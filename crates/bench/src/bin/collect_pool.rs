@@ -1,0 +1,30 @@
+//! Stage 1 of the pipeline: generate the pool of policies (paper §5) by
+//! rolling the 13 kernel heuristics through the Set I / Set II environments.
+//! Writes `artifacts/pool.bin`.
+
+use sage_bench::{default_envs, default_gr, pool_path, pool_schemes, SEED};
+use std::time::Instant;
+
+fn main() {
+    let envs = default_envs();
+    let schemes = pool_schemes();
+    println!(
+        "collecting pool: {} envs x {} schemes ({} rollouts)",
+        envs.len(),
+        schemes.len(),
+        envs.len() * schemes.len()
+    );
+    let t0 = Instant::now();
+    let pool = sage_collector::collect_pool(&envs, &schemes, default_gr(), SEED, |done, total| {
+        if done % 50 == 0 || done == total {
+            println!("  {done}/{total} ({:.0} s)", t0.elapsed().as_secs_f64());
+        }
+    });
+    println!(
+        "pool: {} trajectories, {} transitions",
+        pool.trajectories.len(),
+        pool.total_steps()
+    );
+    pool.save_file(&pool_path()).expect("write pool");
+    println!("wrote {}", pool_path().display());
+}

@@ -1,0 +1,22 @@
+//! Figure 1: winning rates of representative heuristic CC schemes in Set I
+//! (single-flow) and Set II (vs Cubic) — the "empty half of the glass":
+//! rankings in the two sets are roughly opposite.
+
+use sage_bench::{default_envs, print_league_variants, SEED};
+use sage_eval::runner::{run_contenders, Contender};
+
+fn main() {
+    // The schemes shown in Fig. 1.
+    let contenders: Vec<Contender> = ["vegas", "yeah", "copa", "bbr2", "cubic", "htcp", "bic"]
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    let envs = default_envs();
+    println!("fig01: {} schemes x {} envs", contenders.len(), envs.len());
+    let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
+        if d % 100 == 0 {
+            eprintln!("  {d}/{t}");
+        }
+    });
+    print_league_variants(&records, "Fig.1 heuristics");
+}

@@ -1,0 +1,13 @@
+//! Figure 5: the TCP-friendliness reward R2 = exp(-8 (x-1)^2) as a function
+//! of x = r / fair_share — peaked exactly at the ideal fair share.
+
+use sage_gr::reward_friendliness;
+
+fn main() {
+    println!("x=r/fair_share\tR2");
+    let fr = 10e6;
+    for i in 0..=40 {
+        let x = i as f64 * 0.05;
+        println!("{x:.2}\t{:.4}", reward_friendliness(x * fr, fr));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 7: Sage's winning rate against the pool league after each training
+//! "day" (checkpoint), in both Set I and Set II. The paper's headline: Sage
+//! crosses the heuristics within the training budget and keeps climbing.
+
+use sage_bench::{default_envs, default_gr, model_path, pool_schemes, print_table, SEED};
+use sage_collector::SetKind;
+use sage_core::SageModel;
+use sage_eval::league::rank_league;
+use sage_eval::runner::{run_contenders, scores_of_set, Contender};
+use std::sync::Arc;
+
+fn main() {
+    let envs = default_envs();
+    let heuristics: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    // The heuristics' trajectories do not depend on the checkpoint: run them
+    // once and merge each day's Sage records in (the winner margins are
+    // recomputed per merged league).
+    let heuristic_records = run_contenders(&heuristics, &envs, 2.0, SEED, |_, _| {});
+    eprintln!("heuristic baseline runs done");
+    let mut rows = Vec::new();
+    for day in 1..=7 {
+        let path = model_path(&format!("sage_d{day}"));
+        if !path.exists() {
+            eprintln!("(checkpoint {day} missing — run train_sage)");
+            continue;
+        }
+        let model = Arc::new(SageModel::load_file(&path).expect("load ckpt"));
+        let sage_only = vec![Contender::Model { name: "sage", model, gr_cfg: default_gr() }];
+        let sage_records = run_contenders(&sage_only, &envs, 2.0, SEED, |_, _| {});
+        let mut records = sage_records;
+        records.extend(heuristic_records.iter().map(|r| sage_eval::runner::RunRecord {
+            scheme: r.scheme.clone(),
+            env_id: r.env_id.clone(),
+            set: r.set,
+            traj: r.traj.clone(),
+            stats: r.stats.clone(),
+            all_stats: r.all_stats.clone(),
+            score: r.score.clone(),
+        }));
+        let rate_of = |set: SetKind| -> (f64, f64) {
+            let table = rank_league(&scores_of_set(&records, set), 0.10);
+            let sage = table.iter().find(|e| e.scheme == "sage").map(|e| e.winning_rate).unwrap_or(0.0);
+            let best_h = table
+                .iter()
+                .filter(|e| e.scheme != "sage")
+                .map(|e| e.winning_rate)
+                .fold(0.0, f64::max);
+            (sage, best_h)
+        };
+        let (s1, h1) = rate_of(SetKind::SetI);
+        let (s2, h2) = rate_of(SetKind::SetII);
+        rows.push(vec![
+            format!("{day}"),
+            format!("{:.2}%", s1 * 100.0),
+            format!("{:.2}%", h1 * 100.0),
+            format!("{:.2}%", s2 * 100.0),
+            format!("{:.2}%", h2 * 100.0),
+        ]);
+        eprintln!("day {day} done");
+    }
+    print_table(
+        "Fig.7 Sage winning rate during training",
+        &["day", "SetI sage", "SetI best-heuristic", "SetII sage", "SetII best-heuristic"],
+        &rows,
+    );
+}

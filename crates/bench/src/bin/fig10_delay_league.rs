@@ -1,0 +1,25 @@
+//! Figure 10 (and Fig. 21 margin-5% + Table 2 alpha=3 variants): the league
+//! of delay-based designs — Sage vs BBR2, Copa, C2TCP, LEDBAT, Vegas,
+//! Sprout.
+
+use sage_bench::{default_envs, default_gr, model_path, print_league_variants, SEED};
+use sage_core::SageModel;
+use sage_eval::runner::{run_contenders, Contender};
+use std::sync::Arc;
+
+fn main() {
+    let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
+    let mut contenders: Vec<Contender> = sage_heuristics::delay_league_names()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    contenders.push(Contender::Model { name: "sage", model, gr_cfg: default_gr() });
+    let envs = default_envs();
+    println!("fig10: {} contenders x {} envs", contenders.len(), envs.len());
+    let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
+        if d % 100 == 0 {
+            eprintln!("  {d}/{t}");
+        }
+    });
+    print_league_variants(&records, "Fig.10 delay-based league");
+}

@@ -1,0 +1,70 @@
+//! Figure 12 (§7.3): ablation study. Retrain six variants under a shortened
+//! regime — input ablations (no Min/Max, no rttVar, no Loss/Inf) and
+//! architecture ablations (no GRU, no Encoder, no GMM) — and compare
+//! winning rates against the pool league in both sets.
+
+use sage_bench::{default_envs, default_gr, default_train_cfg, envvar, model_path, pool_path, pool_schemes, print_table, SEED};
+use sage_collector::{Pool, SetKind};
+use sage_core::{CrrConfig, CrrTrainer, NetConfig, SageModel};
+use sage_eval::league::rank_league;
+use sage_eval::runner::{run_contenders, scores_of_set, Contender};
+use sage_gr::FeatureMask;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn train_variant(name: &str, cfg: CrrConfig, pool: &Pool, steps: u64) -> Arc<SageModel> {
+    let path = model_path(name);
+    if path.exists() {
+        return Arc::new(SageModel::load_file(&path).unwrap());
+    }
+    let t0 = Instant::now();
+    let mut tr = CrrTrainer::new(cfg, pool);
+    tr.train(pool, steps, |_, _| {});
+    tr.model().save_file(&path).unwrap();
+    println!("trained {name} ({:.0} s)", t0.elapsed().as_secs_f64());
+    Arc::new(SageModel::load_file(&path).unwrap())
+}
+
+fn main() {
+    let pool = Pool::load_file(&pool_path()).expect("collect first");
+    let steps = envvar("SAGE_ABLATION_STEPS", 3000) as u64;
+    let base = default_train_cfg();
+    let gr = default_gr();
+
+    let variants: Vec<(&str, CrrConfig)> = vec![
+        ("abl_nominmax", CrrConfig { net: base.net.with_mask(FeatureMask::NoMinMax), ..base }),
+        ("abl_norttvar", CrrConfig { net: base.net.with_mask(FeatureMask::NoRttVar), ..base }),
+        ("abl_nolossinf", CrrConfig { net: base.net.with_mask(FeatureMask::NoLossInflight), ..base }),
+        ("abl_nogru", CrrConfig { net: NetConfig { gru: 0, ..base.net }, ..base }),
+        ("abl_noencoder", CrrConfig { net: NetConfig { enc2: 0, ..base.net }, ..base }),
+        ("abl_nogmm", CrrConfig { net: NetConfig { gmm_k: 1, ..base.net }, ..base }),
+    ];
+
+    let mut contenders: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    contenders.push(Contender::Model {
+        name: "sage",
+        model: Arc::new(SageModel::load_file(&model_path("sage")).expect("train first")),
+        gr_cfg: gr,
+    });
+    for (name, cfg) in &variants {
+        let model = train_variant(name, *cfg, &pool, steps);
+        let static_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        contenders.push(Contender::Model { name: static_name, model, gr_cfg: gr });
+    }
+
+    let envs = default_envs();
+    let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
+        if d % 200 == 0 {
+            eprintln!("  {d}/{t}");
+        }
+    });
+    let mut rows = Vec::new();
+    let s1 = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);
+    let s2 = rank_league(&scores_of_set(&records, SetKind::SetII), 0.10);
+    for name in std::iter::once("sage").chain(variants.iter().map(|(n, _)| *n)) {
+        let r1 = s1.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
+        let r2 = s2.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
+        rows.push(vec![name.to_string(), format!("{:.2}%", r1 * 100.0), format!("{:.2}%", r2 * 100.0)]);
+    }
+    print_table("Fig.12 ablations (winning rate vs pool league)", &["variant", "Set I", "Set II"], &rows);
+}

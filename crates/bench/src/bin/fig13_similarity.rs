@@ -1,0 +1,51 @@
+//! Figure 13 (§7.2): Similarity Index of Sage to each of the 13 pool schemes
+//! on eight randomly chosen environments — one row per environment. The
+//! paper's point: the most-similar scheme changes across environments, so
+//! Sage is not a clone of any single heuristic.
+
+use sage_bench::{default_envs, default_gr, model_path, print_table, SEED};
+use sage_collector::rollout;
+use sage_core::policy::{ActionMode, SagePolicy};
+use sage_core::SageModel;
+use sage_eval::similarity::similarity_index;
+use sage_heuristics::{build, pool_names};
+use sage_util::Rng;
+use std::sync::Arc;
+
+fn main() {
+    let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
+    let gr = default_gr();
+    let mut rng = Rng::new(SEED ^ 0xF13);
+    let mut envs = default_envs();
+    rng.shuffle(&mut envs);
+    envs.truncate(8);
+
+    let schemes = pool_names();
+    let mut header = vec!["environment"];
+    header.extend(schemes.iter().copied());
+    header.push("argmax");
+    let mut rows = Vec::new();
+    for env in &envs {
+        let sage_run = rollout(
+            env,
+            "sage",
+            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic)),
+            gr,
+            SEED,
+        );
+        let mut row = vec![env.id.clone()];
+        let mut best = ("-", f64::NEG_INFINITY);
+        for s in &schemes {
+            let run = rollout(env, s, build(s, SEED).unwrap(), gr, SEED);
+            let sim = similarity_index(&sage_run.traj, &run.traj);
+            if sim > best.1 {
+                best = (s, sim);
+            }
+            row.push(format!("{sim:.3}"));
+        }
+        row.push(best.0.to_string());
+        rows.push(row);
+        eprintln!("{} done (most similar: {})", env.id, best.0);
+    }
+    print_table("Fig.13 Similarity Index of Sage to pool schemes", &header, &rows);
+}

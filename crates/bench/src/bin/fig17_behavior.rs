@@ -1,0 +1,68 @@
+//! Figure 17 (§7.6): Sage's sending rate, one-way delay and cwnd over time in
+//! three scenarios — (1) capacity doubles 24->48 Mbit/s, (2) capacity halves
+//! 48->24 Mbit/s, (3) competing with a Cubic flow on a 24 Mbit/s link
+//! (20 ms min RTT, 450 KB buffer, as in the paper).
+
+use sage_bench::{default_gr, model_path, series, SEED};
+use sage_collector::{rollout, EnvSpec, SetKind};
+use sage_core::policy::{ActionMode, SagePolicy};
+use sage_core::SageModel;
+use sage_netsim::aqm::AqmKind;
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::from_secs;
+use std::sync::Arc;
+
+fn env(id: &str, link: LinkModel, competing: usize, cap: f64) -> EnvSpec {
+    EnvSpec {
+        id: id.into(),
+        set: if competing > 0 { SetKind::SetII } else { SetKind::SetI },
+        link,
+        rtt_ms: 20.0,
+        buffer_bytes: 450_000,
+        aqm: AqmKind::TailDrop,
+        random_loss: 0.0,
+        duration: from_secs(60.0),
+        competing_cubic: competing,
+        test_flow_start: 0,
+        capacity_mbps: cap,
+        seed: SEED,
+    }
+}
+
+fn main() {
+    let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
+    let gr = default_gr();
+    let scenarios = vec![
+        ("sudden-increase-24to48", env("fig17-up", LinkModel::Step { before_mbps: 24.0, after_mbps: 48.0, at: from_secs(30.0) }, 0, 36.0)),
+        ("sudden-decrease-48to24", env("fig17-down", LinkModel::Step { before_mbps: 48.0, after_mbps: 24.0, at: from_secs(30.0) }, 0, 36.0)),
+        ("vs-cubic-24", env("fig17-cubic", LinkModel::Constant { mbps: 24.0 }, 1, 24.0)),
+    ];
+    for (name, e) in scenarios {
+        let res = rollout(
+            &e,
+            "sage",
+            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic)),
+            gr,
+            SEED,
+        );
+        println!("\n== Fig.17 {name}: t(s)  rate(Mbps)  owd(ms)  cwnd(pkt) ==");
+        let rate = series(&res.traj.thr, 0.01, 40);
+        let owd = series(&res.traj.owd, 0.01, 40);
+        let cwnd = series(&res.traj.cwnd, 0.01, 40);
+        for i in 0..rate.len() {
+            println!(
+                "{:.1}\t{:.1}\t{:.1}\t{:.0}",
+                rate[i].0,
+                rate[i].1 / 1e6,
+                owd.get(i).map(|x| x.1 * 1e3).unwrap_or(0.0),
+                cwnd.get(i).map(|x| x.1).unwrap_or(0.0)
+            );
+        }
+        println!(
+            "summary: thr {:.1} Mbps, owd {:.1} ms, competing flows: {}",
+            res.stats.avg_goodput_mbps,
+            res.stats.avg_owd_ms,
+            res.all_stats.len() - 1
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figures 19 & 28 (§7.7): TCP-friendliness beyond the training regime —
+//! one flow of the scheme under test sharing a 48 Mbit/s, 40 ms mRTT,
+//! BDP-buffer bottleneck with 3 (and 7) competing Cubic flows for 2 minutes.
+//! The pool only ever contained two-flow scenarios.
+
+use sage_bench::{default_gr, model_path, print_table, SEED};
+use sage_core::policy::{ActionMode, SagePolicy};
+use sage_core::SageModel;
+use sage_heuristics::build;
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::from_secs;
+use sage_transport::sim::NullMonitor;
+use sage_transport::{CongestionControl, FlowConfig, SimConfig, Simulation};
+use std::sync::Arc;
+
+fn run(name: &str, cca: Box<dyn CongestionControl>, n_cubic: usize) -> (f64, f64, f64) {
+    let mut cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 48.0 },
+        240_000, // 1 x BDP at 40 ms
+        40.0,
+        from_secs(120.0),
+    );
+    cfg.seed = SEED;
+    let mut flows: Vec<FlowConfig> = (0..n_cubic)
+        .map(|k| FlowConfig::starting_at(build("cubic", SEED + k as u64).unwrap(), from_secs(0.1 * k as f64)))
+        .collect();
+    flows.push(FlowConfig::starting_at(cca, from_secs(1.0)));
+    let mut sim = Simulation::new(cfg, flows);
+    let stats = sim.run(&mut NullMonitor);
+    let test = stats.last().unwrap();
+    let fair = 48.0 / (n_cubic + 1) as f64;
+    let cubic_total: f64 = stats[..n_cubic].iter().map(|s| s.avg_goodput_mbps).sum();
+    let _ = name;
+    (test.avg_goodput_mbps, fair, cubic_total)
+}
+
+fn main() {
+    let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
+    let gr = default_gr();
+    for n_cubic in [3usize, 7] {
+        let mut rows = Vec::new();
+        let sage: Box<dyn CongestionControl> =
+            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic));
+        let (thr, fair, ctot) = run("sage", sage, n_cubic);
+        rows.push(vec![
+            "sage".into(),
+            format!("{thr:.1}"),
+            format!("{fair:.1}"),
+            format!("{:.2}", thr / fair),
+            format!("{ctot:.1}"),
+        ]);
+        for scheme in ["cubic", "bbr2", "vegas", "ledbat", "copa", "vivace"] {
+            let (thr, fair, ctot) = run(scheme, build(scheme, SEED).unwrap(), n_cubic);
+            rows.push(vec![
+                scheme.into(),
+                format!("{thr:.1}"),
+                format!("{fair:.1}"),
+                format!("{:.2}", thr / fair),
+                format!("{ctot:.1}"),
+            ]);
+        }
+        print_table(
+            &format!("Fig.{} — test flow vs {n_cubic} Cubic flows (48 Mbps, 40 ms, BDP buffer)", if n_cubic == 3 { "19/28 (3 cubics)" } else { "28 (7 cubics)" }),
+            &["scheme", "thr Mbps", "fair share", "thr/fair", "cubic total"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figures 24 & 25 (Appendix F): friendliness dynamics samples — per-second
+//! throughput of the test flow and the competing Cubic flow in a small-buffer
+//! and a large-buffer Set II scenario (24 Mbit/s, 40 ms mRTT; 120 KB and
+//! 1.92 MB buffers), for ML-based (Fig. 24) and delay-based (Fig. 25)
+//! schemes.
+
+use sage_bench::{default_gr, model_path, print_table, SEED};
+use sage_core::policy::{ActionMode, SagePolicy};
+use sage_core::SageModel;
+use sage_heuristics::build;
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::from_secs;
+use sage_transport::sim::{Monitor, TickRecord};
+use sage_transport::{CongestionControl, FlowConfig, SimConfig, Simulation, SocketView};
+use std::sync::Arc;
+
+struct PerSecond {
+    rows: Vec<[f64; 2]>,
+    counts: Vec<[u32; 2]>,
+}
+impl Monitor for PerSecond {
+    fn on_tick(&mut self, flow_idx: usize, _v: &SocketView, t: &TickRecord) {
+        let sec = (t.now / 1_000_000_000) as usize;
+        if self.rows.len() <= sec {
+            self.rows.resize(sec + 1, [0.0; 2]);
+            self.counts.resize(sec + 1, [0; 2]);
+        }
+        self.rows[sec][flow_idx] += t.goodput_bps / 1e6;
+        self.counts[sec][flow_idx] += 1;
+    }
+}
+
+fn run(cca: Box<dyn CongestionControl>, buffer: u64) -> (f64, f64) {
+    let mut cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, buffer, 40.0, from_secs(100.0));
+    cfg.seed = SEED;
+    let flows = vec![
+        FlowConfig::at_start(build("cubic", SEED).unwrap()),
+        FlowConfig::starting_at(cca, from_secs(1.0)),
+    ];
+    let mut sim = Simulation::new(cfg, flows);
+    let stats = sim.run(&mut PerSecond { rows: Vec::new(), counts: Vec::new() });
+    (stats[1].avg_goodput_mbps, stats[0].avg_goodput_mbps)
+}
+
+fn main() {
+    let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
+    let gr = default_gr();
+    for (label, buffer) in [("small buffer 120KB", 120_000u64), ("large buffer 1.92MB", 1_920_000)] {
+        let mut rows = Vec::new();
+        let sage: Box<dyn CongestionControl> =
+            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic));
+        let (s, c) = run(sage, buffer);
+        rows.push(vec!["sage".into(), format!("{s:.1}"), format!("{c:.1}"), format!("{:.2}", s / 12.0)]);
+        for scheme in ["cubic", "vegas", "copa", "c2tcp", "bbr2", "ledbat", "vivace"] {
+            let (s, c) = run(build(scheme, SEED).unwrap(), buffer);
+            rows.push(vec![scheme.into(), format!("{s:.1}"), format!("{c:.1}"), format!("{:.2}", s / 12.0)]);
+        }
+        print_table(
+            &format!("Fig.24/25 friendliness dynamics — {label} (fair share 12 Mbps)"),
+            &["scheme", "test thr", "cubic thr", "test/fair"],
+            &rows,
+        );
+    }
+}

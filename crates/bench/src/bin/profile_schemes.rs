@@ -1,0 +1,21 @@
+//! Diagnostic: per-scheme wall-clock cost and utilisation of a 15 s
+//! reference run — a quick health check of all pool heuristics.
+
+use sage_heuristics::{build, pool_names};
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::from_secs;
+use sage_transport::sim::NullMonitor;
+use sage_transport::{FlowConfig, SimConfig, Simulation};
+use std::time::Instant;
+
+fn main() {
+    for name in pool_names() {
+        let bdp = (24.0 * 1e6 / 8.0 * 40.0 / 1e3) as u64;
+        let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, bdp * 2, 40.0, from_secs(15.0));
+        let cca = build(name, 7).unwrap();
+        let t = Instant::now();
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(cca)]);
+        let s = sim.run(&mut NullMonitor).remove(0);
+        println!("{name:10} {:6.1} ms   thr {:.1}", t.elapsed().as_millis(), s.avg_goodput_mbps);
+    }
+}

@@ -1,0 +1,46 @@
+//! Stage 2: train Sage with data-driven (offline) RL on the collected pool.
+//! Saves periodic checkpoints (`sage_d1`, `sage_d2`, ... — the "training
+//! days" of Fig. 7) and the final model `sage.model`.
+
+use sage_bench::{default_train_cfg, envvar, model_path, pool_path};
+use sage_collector::Pool;
+use sage_core::CrrTrainer;
+use std::time::Instant;
+
+fn main() {
+    let pool = Pool::load_file(&pool_path()).expect("run collect_pool first");
+    println!(
+        "pool: {} trajectories / {} transitions from {:?}",
+        pool.trajectories.len(),
+        pool.total_steps(),
+        pool.schemes()
+    );
+    let steps = envvar("SAGE_STEPS", 30000) as u64;
+    let ckpts = 7; // seven "days" of Fig. 7
+    let per_ckpt = (steps / ckpts).max(1);
+    let mut trainer = CrrTrainer::new(default_train_cfg(), &pool);
+    let t0 = Instant::now();
+    let mut day = 0;
+    for i in 0..steps {
+        let m = trainer.train_step(&pool);
+        if (i + 1) % 200 == 0 {
+            println!(
+                "step {:5}: policy {:.3} critic {:.3} w {:.2} q {:.2} ({:.0} s)",
+                i + 1,
+                m.policy_loss,
+                m.critic_loss,
+                m.mean_weight,
+                m.mean_q,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        if (i + 1) % per_ckpt == 0 && day < ckpts {
+            day += 1;
+            let p = model_path(&format!("sage_d{day}"));
+            trainer.model().save_file(&p).expect("save ckpt");
+            println!("checkpoint day {day} -> {}", p.display());
+        }
+    }
+    trainer.model().save_file(&model_path("sage")).expect("save model");
+    println!("wrote {}", model_path("sage").display());
+}

@@ -1,0 +1,143 @@
+//! Shared harness code for the experiment binaries: canonical environment
+//! sets, artifact paths, training configurations and league definitions —
+//! so every figure regenerates from the same pipeline artifacts.
+
+use sage_collector::{training_envs, EnvSpec};
+use sage_core::{CrrConfig, NetConfig};
+use sage_gr::GrConfig;
+use std::path::PathBuf;
+
+/// Root directory for pipeline artifacts (pool, models, results).
+pub fn artifacts_dir() -> PathBuf {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../artifacts");
+    std::fs::create_dir_all(&p).ok();
+    p
+}
+
+pub fn pool_path() -> PathBuf {
+    artifacts_dir().join("pool.bin")
+}
+
+pub fn model_path(name: &str) -> PathBuf {
+    artifacts_dir().join(format!("{name}.model"))
+}
+
+/// Master seed for the reproduction pipeline.
+pub const SEED: u64 = 2023;
+
+/// Scale knobs, overridable through environment variables so the same
+/// binaries support both smoke runs and full runs:
+/// `SAGE_SET1`, `SAGE_SET2` (env counts), `SAGE_SECS` (env duration),
+/// `SAGE_STEPS` (training steps).
+pub fn envvar(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The canonical environment set used for pool collection AND for the
+/// Fig. 1/7/9/10 winning-rate evaluations (the paper evaluates winning rates
+/// over the Set I/II environments themselves).
+pub fn default_envs() -> Vec<EnvSpec> {
+    let set1 = envvar("SAGE_SET1", 36);
+    let set2 = envvar("SAGE_SET2", 18);
+    let secs = envvar("SAGE_SECS", 15) as f64;
+    training_envs(set1, set2, secs, SEED)
+}
+
+/// The default GR timescales (§7.4 mix).
+pub fn default_gr() -> GrConfig {
+    GrConfig::default()
+}
+
+/// The 13 pool schemes.
+pub fn pool_schemes() -> Vec<&'static str> {
+    sage_heuristics::pool_names()
+}
+
+/// Default training configuration for the reproduction-scale Sage.
+pub fn default_train_cfg() -> CrrConfig {
+    CrrConfig {
+        net: NetConfig::default(),
+        batch: 16,
+        unroll: 8,
+        seed: SEED,
+        ..CrrConfig::default()
+    }
+}
+
+/// Print a row-oriented results table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join("\t"));
+    for r in rows {
+        println!("{}", r.join("\t"));
+    }
+}
+
+/// Print league tables for one set of run records at both winning margins
+/// (10% default and 5% for Fig. 20/21) and, for Set I, also at alpha = 3
+/// (Tables 2/3).
+pub fn print_league_variants(records: &[sage_eval::runner::RunRecord], label: &str) {
+    use sage_collector::SetKind;
+    use sage_eval::league::rank_league;
+    use sage_eval::runner::scores_of_set;
+    use sage_eval::score::{interval_scores, RunScore, ScoreKind};
+
+    for (set, set_label) in [(SetKind::SetI, "Set I"), (SetKind::SetII, "Set II")] {
+        let scores = scores_of_set(records, set);
+        if scores.is_empty() {
+            continue;
+        }
+        for margin in [0.10, 0.05] {
+            let table = rank_league(&scores, margin);
+            let rows: Vec<Vec<String>> = table
+                .iter()
+                .map(|e| vec![e.scheme.clone(), format!("{:.2}%", e.winning_rate * 100.0)])
+                .collect();
+            print_table(
+                &format!("{label} — {set_label}, margin {:.0}%", margin * 100.0),
+                &["scheme", "winning rate"],
+                &rows,
+            );
+        }
+        // alpha = 3 variant of the Power score (Tables 2/3).
+        if set == SetKind::SetI {
+            let alpha3: Vec<RunScore> = records
+                .iter()
+                .filter(|r| r.set == SetKind::SetI)
+                .map(|r| RunScore {
+                    scheme: r.scheme.clone(),
+                    env_id: r.env_id.clone(),
+                    kind: ScoreKind::Power,
+                    intervals: interval_scores(&r.traj.thr, &r.traj.owd, ScoreKind::Power, 3.0, 0.0),
+                })
+                .collect();
+            let table = rank_league(&alpha3, 0.10);
+            let rows: Vec<Vec<String>> = table
+                .iter()
+                .map(|e| vec![e.scheme.clone(), format!("{:.2}%", e.winning_rate * 100.0)])
+                .collect();
+            print_table(
+                &format!("{label} — Set I, alpha=3 (r^3/d), margin 10%"),
+                &["scheme", "winning rate"],
+                &rows,
+            );
+        }
+    }
+}
+
+/// Downsample a per-tick series to roughly `n` points of (seconds, value)
+/// for time-series figures.
+pub fn series(ticks: &[f32], tick_secs: f64, n: usize) -> Vec<(f64, f64)> {
+    if ticks.is_empty() {
+        return Vec::new();
+    }
+    let stride = (ticks.len() / n.max(1)).max(1);
+    ticks
+        .chunks(stride)
+        .enumerate()
+        .map(|(i, c)| {
+            let mean = c.iter().map(|&x| x as f64).sum::<f64>() / c.len() as f64;
+            ((i * stride) as f64 * tick_secs, mean)
+        })
+        .collect()
+}

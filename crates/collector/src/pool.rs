@@ -1,0 +1,305 @@
+//! The pool of policies: recorded trajectories and their binary storage.
+//!
+//! A custom little-endian format is used instead of JSON because a pool is a
+//! few hundred thousand 70-float records — exactly the "once, before
+//! training" artefact the paper describes.
+
+use sage_gr::STATE_DIM;
+use std::io::{self, Read, Write};
+
+/// One scheme's recorded behaviour in one environment.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    pub scheme: String,
+    pub env_id: String,
+    /// True for Set II (TCP-friendliness) environments.
+    pub set2: bool,
+    /// Ideal fair share of the recorded flow, bits/s.
+    pub fair_share_bps: f64,
+    /// `steps x STATE_DIM` states, flattened row-major.
+    pub states: Vec<f32>,
+    /// Per-step action (cwnd ratio).
+    pub actions: Vec<f32>,
+    /// Per-step Power reward (Eq. 1).
+    pub r1: Vec<f32>,
+    /// Per-step TCP-friendliness reward (Eq. 2).
+    pub r2: Vec<f32>,
+    /// Per-step receiver goodput, bits/s (for scores and figures).
+    pub thr: Vec<f32>,
+    /// Per-step mean one-way delay, seconds.
+    pub owd: Vec<f32>,
+    /// Per-step congestion window, packets.
+    pub cwnd: Vec<f32>,
+}
+
+impl Trajectory {
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// State row `t` as a slice.
+    pub fn state(&self, t: usize) -> &[f32] {
+        &self.states[t * STATE_DIM..(t + 1) * STATE_DIM]
+    }
+
+    /// The reward stream matching the environment's set: R2 in Set II
+    /// (farsighted TCP-friendliness), R1 otherwise (myopic Power).
+    pub fn reward(&self, t: usize) -> f32 {
+        if self.set2 {
+            self.r2[t]
+        } else {
+            self.r1[t]
+        }
+    }
+}
+
+/// A pool of trajectories (the dataset D of §4.2).
+#[derive(Debug, Clone, Default)]
+pub struct Pool {
+    pub trajectories: Vec<Trajectory>,
+}
+
+impl Pool {
+    pub fn new() -> Self {
+        Pool { trajectories: Vec::new() }
+    }
+
+    /// Total number of recorded steps.
+    pub fn total_steps(&self) -> usize {
+        self.trajectories.iter().map(|t| t.len()).sum()
+    }
+
+    /// Distinct scheme names present.
+    pub fn schemes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.trajectories.iter().map(|t| t.scheme.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Keep only trajectories of the given schemes (for the Fig. 15 pool
+    /// diversity study and the BC-top baselines).
+    pub fn filter_schemes(&self, keep: &[&str]) -> Pool {
+        Pool {
+            trajectories: self
+                .trajectories
+                .iter()
+                .filter(|t| keep.contains(&t.scheme.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Per-feature mean and standard deviation over all states (for input
+    /// standardisation during training and inference).
+    pub fn feature_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut mean = vec![0.0f64; STATE_DIM];
+        let mut n = 0u64;
+        for t in &self.trajectories {
+            for s in t.states.chunks_exact(STATE_DIM) {
+                for (m, &x) in mean.iter_mut().zip(s) {
+                    *m += x as f64;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            mean.iter_mut().for_each(|m| *m /= n as f64);
+        }
+        let mut var = vec![0.0f64; STATE_DIM];
+        for t in &self.trajectories {
+            for s in t.states.chunks_exact(STATE_DIM) {
+                for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(s) {
+                    let d = x as f64 - m;
+                    *v += d * d;
+                }
+            }
+        }
+        let std: Vec<f64> = var
+            .iter()
+            .map(|&v| (v / n.max(1) as f64).sqrt().max(1e-6))
+            .collect();
+        (mean, std)
+    }
+
+    /// Serialise to a little-endian binary stream.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(b"SAGEPOOL")?;
+        w.write_all(&(STATE_DIM as u64).to_le_bytes())?;
+        w.write_all(&(self.trajectories.len() as u64).to_le_bytes())?;
+        for t in &self.trajectories {
+            write_str(w, &t.scheme)?;
+            write_str(w, &t.env_id)?;
+            w.write_all(&[t.set2 as u8])?;
+            w.write_all(&t.fair_share_bps.to_le_bytes())?;
+            w.write_all(&(t.len() as u64).to_le_bytes())?;
+            write_f32s(w, &t.states)?;
+            write_f32s(w, &t.actions)?;
+            write_f32s(w, &t.r1)?;
+            write_f32s(w, &t.r2)?;
+            write_f32s(w, &t.thr)?;
+            write_f32s(w, &t.owd)?;
+            write_f32s(w, &t.cwnd)?;
+        }
+        Ok(())
+    }
+
+    pub fn load(r: &mut impl Read) -> io::Result<Pool> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"SAGEPOOL" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad pool magic"));
+        }
+        let dim = read_u64(r)? as usize;
+        if dim != STATE_DIM {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "state dim mismatch"));
+        }
+        let n = read_u64(r)? as usize;
+        let mut trajectories = Vec::with_capacity(n);
+        for _ in 0..n {
+            let scheme = read_str(r)?;
+            let env_id = read_str(r)?;
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            let set2 = b[0] != 0;
+            let mut f = [0u8; 8];
+            r.read_exact(&mut f)?;
+            let fair_share_bps = f64::from_le_bytes(f);
+            let steps = read_u64(r)? as usize;
+            trajectories.push(Trajectory {
+                scheme,
+                env_id,
+                set2,
+                fair_share_bps,
+                states: read_f32s(r, steps * STATE_DIM)?,
+                actions: read_f32s(r, steps)?,
+                r1: read_f32s(r, steps)?,
+                r2: read_f32s(r, steps)?,
+                thr: read_f32s(r, steps)?,
+                owd: read_f32s(r, steps)?,
+                cwnd: read_f32s(r, steps)?,
+            });
+        }
+        Ok(Pool { trajectories })
+    }
+
+    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)
+    }
+
+    pub fn load_file(path: &std::path::Path) -> io::Result<Pool> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Pool::load(&mut f)
+    }
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u64).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_u64(r)? as usize;
+    if n > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+    }
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8"))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_f32s(w: &mut impl Write, xs: &[f32]) -> io::Result<()> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traj(scheme: &str, steps: usize, set2: bool) -> Trajectory {
+        Trajectory {
+            scheme: scheme.into(),
+            env_id: "env-x".into(),
+            set2,
+            fair_share_bps: 12e6,
+            states: (0..steps * STATE_DIM).map(|i| i as f32 * 0.01).collect(),
+            actions: (0..steps).map(|i| 1.0 + i as f32 * 0.001).collect(),
+            r1: vec![0.5; steps],
+            r2: vec![0.8; steps],
+            thr: vec![1e7; steps],
+            owd: vec![0.03; steps],
+            cwnd: vec![20.0; steps],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("cubic", 7, false));
+        p.trajectories.push(sample_traj("vegas", 3, true));
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        let q = Pool::load(&mut &buf[..]).unwrap();
+        assert_eq!(q.trajectories.len(), 2);
+        assert_eq!(q.trajectories[0].scheme, "cubic");
+        assert_eq!(q.trajectories[0].states, p.trajectories[0].states);
+        assert_eq!(q.trajectories[1].set2, true);
+        assert_eq!(q.total_steps(), 10);
+    }
+
+    #[test]
+    fn reward_selects_by_set() {
+        let t1 = sample_traj("cubic", 2, false);
+        assert_eq!(t1.reward(0), 0.5);
+        let t2 = sample_traj("cubic", 2, true);
+        assert_eq!(t2.reward(0), 0.8);
+    }
+
+    #[test]
+    fn filter_schemes_keeps_subset() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("cubic", 2, false));
+        p.trajectories.push(sample_traj("vegas", 2, false));
+        p.trajectories.push(sample_traj("bic", 2, false));
+        let f = p.filter_schemes(&["cubic", "vegas"]);
+        assert_eq!(f.schemes(), vec!["cubic".to_string(), "vegas".to_string()]);
+    }
+
+    #[test]
+    fn feature_stats_standardise() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("cubic", 50, false));
+        let (mean, std) = p.feature_stats();
+        assert_eq!(mean.len(), STATE_DIM);
+        assert!(std.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let garbage = b"NOTAPOOLxxxxxxxxxxxx".to_vec();
+        assert!(Pool::load(&mut &garbage[..]).is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! The neural architecture (paper Fig. 6) at configurable scale, plus the
+//! distributional critic and model (de)serialisation.
+
+use sage_gr::FeatureMask;
+use sage_nn::gmm::{GmmHead, GmmNodes, GmmParams};
+use sage_nn::graph::{Graph, NodeId};
+use sage_nn::layers::{GruCell, LayerNorm, Linear, ResidualBlock};
+use sage_nn::{Array, ParamStore};
+use sage_util::Rng;
+use std::io::{self, Read, Write};
+
+/// Bounds of the log-action (ln of the cwnd ratio) the policy may emit per
+/// 10 ms step.
+pub const LOG_ACTION_MIN: f64 = -1.4; // ratio ~0.25
+pub const LOG_ACTION_MAX: f64 = 1.4; // ratio ~4.0
+
+/// Action scale: the policy and critic operate on `ln(ratio) / ACTION_SCALE`.
+/// Per-10 ms cwnd ratios concentrate within a few percent of 1.0 (log-actions
+/// of a few hundredths); rescaling makes the GMM's support and the critic's
+/// action input comparable to the standardised state features. Without it,
+/// Q(s, a) is numerically almost independent of `a`, the CRR advantage
+/// collapses to zero, and the mixture cannot resolve conditional structure
+/// above its sigma floor.
+pub const ACTION_SCALE: f64 = 0.05;
+
+/// Bounds of the scaled action.
+pub const SCALED_ACTION_MIN: f64 = LOG_ACTION_MIN / ACTION_SCALE;
+pub const SCALED_ACTION_MAX: f64 = LOG_ACTION_MAX / ACTION_SCALE;
+
+/// Architecture hyper-parameters. The paper's sizes (encoder FC 256,
+/// GRU 1024) are scaled down for single-core training; topology is
+/// identical.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetConfig {
+    /// Input feature selection (ablations of §7.3).
+    pub mask_kind: u8,
+    /// First encoder width.
+    pub enc1: usize,
+    /// GRU width (0 disables the GRU: the "no GRU" ablation).
+    pub gru: usize,
+    /// Post-GRU encoder width (0 disables it: the "no Encoder" ablation).
+    pub enc2: usize,
+    /// FC trunk width.
+    pub fc: usize,
+    /// Number of residual blocks.
+    pub residual_blocks: usize,
+    /// Mixture components (1 = plain Gaussian: the "no GMM" ablation).
+    pub gmm_k: usize,
+    /// Critic hidden width.
+    pub critic_hidden: usize,
+    /// Distributional critic atom count.
+    pub atoms: usize,
+    /// Value support [v_min, v_max].
+    pub v_min: f64,
+    pub v_max: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            mask_kind: 0,
+            enc1: 48,
+            gru: 48,
+            enc2: 32,
+            fc: 48,
+            residual_blocks: 2,
+            gmm_k: 3,
+            critic_hidden: 64,
+            atoms: 41,
+            v_min: 0.0,
+            v_max: 50.0,
+        }
+    }
+}
+
+impl NetConfig {
+    pub fn mask(&self) -> FeatureMask {
+        match self.mask_kind {
+            1 => FeatureMask::NoMinMax,
+            2 => FeatureMask::NoRttVar,
+            3 => FeatureMask::NoLossInflight,
+            _ => FeatureMask::Full,
+        }
+    }
+
+    pub fn with_mask(mut self, m: FeatureMask) -> Self {
+        self.mask_kind = match m {
+            FeatureMask::Full => 0,
+            FeatureMask::NoMinMax => 1,
+            FeatureMask::NoRttVar => 2,
+            FeatureMask::NoLossInflight => 3,
+        };
+        self
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.mask().dim()
+    }
+
+    /// Atom support values.
+    pub fn support(&self) -> Vec<f64> {
+        (0..self.atoms)
+            .map(|i| self.v_min + (self.v_max - self.v_min) * i as f64 / (self.atoms - 1) as f64)
+            .collect()
+    }
+}
+
+/// The policy network of Fig. 6.
+pub struct PolicyNet {
+    pub cfg: NetConfig,
+    enc1a: Linear,
+    enc1b: Linear,
+    gru: Option<GruCell>,
+    post_ln: LayerNorm,
+    enc2: Option<Linear>,
+    fc: Linear,
+    res: Vec<ResidualBlock>,
+    head: GmmHead,
+    /// Width of the features entering the post-GRU stack.
+    trunk_in: usize,
+}
+
+impl PolicyNet {
+    pub fn new(store: &mut ParamStore, prefix: &str, cfg: NetConfig, rng: &mut Rng) -> Self {
+        let d = cfg.input_dim();
+        let enc1a = Linear::new(store, &format!("{prefix}.enc1a"), d, cfg.enc1, rng);
+        let enc1b = Linear::new(store, &format!("{prefix}.enc1b"), cfg.enc1, cfg.enc1, rng);
+        let gru = if cfg.gru > 0 {
+            Some(GruCell::new(store, &format!("{prefix}.gru"), cfg.enc1, cfg.gru, rng))
+        } else {
+            None
+        };
+        let after_gru = if cfg.gru > 0 { cfg.gru } else { cfg.enc1 };
+        let post_ln = LayerNorm::new(store, &format!("{prefix}.postln"), after_gru);
+        let enc2 = if cfg.enc2 > 0 {
+            Some(Linear::new(store, &format!("{prefix}.enc2"), after_gru, cfg.enc2, rng))
+        } else {
+            None
+        };
+        let trunk_in = if cfg.enc2 > 0 { cfg.enc2 } else { after_gru };
+        let fc = Linear::new(store, &format!("{prefix}.fc"), trunk_in, cfg.fc, rng);
+        let res = (0..cfg.residual_blocks)
+            .map(|i| ResidualBlock::new(store, &format!("{prefix}.res{i}"), cfg.fc, rng))
+            .collect();
+        let head = GmmHead::new(store, &format!("{prefix}.gmm"), cfg.fc, cfg.gmm_k, rng);
+        PolicyNet { cfg, enc1a, enc1b, gru, post_ln, enc2, fc, res, head, trunk_in }
+    }
+
+    /// Initial hidden state for `batch` sequences.
+    pub fn initial_hidden(&self, g: &mut Graph, batch: usize) -> NodeId {
+        let width = if self.cfg.gru > 0 { self.cfg.gru } else { self.cfg.enc1 };
+        g.input(Array::zeros(batch, width))
+    }
+
+    /// One timestep: consumes `x` [B, D] and hidden [B, H]; returns
+    /// (mixture nodes, new hidden).
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> (GmmNodes, NodeId) {
+        let (nodes, h1, _) = self.step_with_features(g, store, x, h);
+        (nodes, h1)
+    }
+
+    /// Like [`PolicyNet::step`] but also returns the last hidden (trunk)
+    /// features feeding the GMM head — used by the t-SNE visualisation of
+    /// Fig. 16.
+    pub fn step_with_features(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        h: NodeId,
+    ) -> (GmmNodes, NodeId, NodeId) {
+        let e = self.enc1a.fwd(g, store, x);
+        let e = g.lrelu(e, 0.01);
+        let e = self.enc1b.fwd(g, store, e);
+        let e = g.lrelu(e, 0.01);
+        let (feat, new_h) = match &self.gru {
+            Some(cell) => {
+                let h1 = cell.step(g, store, e, h);
+                (h1, h1)
+            }
+            None => (e, h),
+        };
+        let n = self.post_ln.fwd(g, store, feat);
+        let n = g.lrelu(n, 0.01);
+        let t = match &self.enc2 {
+            Some(enc) => {
+                let t = enc.fwd(g, store, n);
+                g.tanh(t)
+            }
+            None => n,
+        };
+        debug_assert_eq!(g.value(t).cols, self.trunk_in);
+        let mut z = self.fc.fwd(g, store, t);
+        for rb in &self.res {
+            z = rb.fwd(g, store, z);
+        }
+        let nodes = self.head.fwd(g, store, z);
+        (nodes, new_h, z)
+    }
+
+    /// Mixture parameters for row `r` of a step output.
+    pub fn mixture(&self, g: &Graph, nodes: GmmNodes, r: usize) -> GmmParams {
+        GmmParams::from_nodes(g, nodes, r)
+    }
+
+    pub fn log_prob(&self, g: &mut Graph, nodes: GmmNodes, action: NodeId) -> NodeId {
+        self.head.log_prob(g, nodes, action)
+    }
+}
+
+/// Feed-forward distributional critic: (state, action) -> atom logits.
+pub struct CriticNet {
+    pub cfg: NetConfig,
+    l1: Linear,
+    l2: Linear,
+    out: Linear,
+}
+
+impl CriticNet {
+    pub fn new(store: &mut ParamStore, prefix: &str, cfg: NetConfig, rng: &mut Rng) -> Self {
+        let d = cfg.input_dim() + 1;
+        CriticNet {
+            l1: Linear::new(store, &format!("{prefix}.l1"), d, cfg.critic_hidden, rng),
+            l2: Linear::new(store, &format!("{prefix}.l2"), cfg.critic_hidden, cfg.critic_hidden, rng),
+            out: Linear::new(store, &format!("{prefix}.out"), cfg.critic_hidden, cfg.atoms, rng),
+            cfg,
+        }
+    }
+
+    /// Atom logits [n, atoms] for states [n, D] and actions [n, 1].
+    pub fn logits(&self, g: &mut Graph, store: &ParamStore, state: NodeId, action: NodeId) -> NodeId {
+        let x = g.concat_cols(state, action);
+        let h = self.l1.fwd(g, store, x);
+        let h = g.lrelu(h, 0.01);
+        let h = self.l2.fwd(g, store, h);
+        let h = g.lrelu(h, 0.01);
+        self.out.fwd(g, store, h)
+    }
+
+    /// Expected Q values (plain f64) from logits.
+    pub fn expected_q(&self, logits: &Array) -> Vec<f64> {
+        let support = self.cfg.support();
+        let (n, a) = logits.shape();
+        let mut out = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = &logits.data[r * a..(r + 1) * a];
+            let lse = sage_nn::graph::log_sum_exp(row);
+            let q: f64 = row
+                .iter()
+                .zip(&support)
+                .map(|(&l, &z)| (l - lse).exp() * z)
+                .sum();
+            out.push(q);
+        }
+        out
+    }
+}
+
+/// A trained, deployable model: config + input standardisation + policy
+/// parameters.
+pub struct SageModel {
+    pub cfg: NetConfig,
+    pub norm_mean: Vec<f64>,
+    pub norm_std: Vec<f64>,
+    pub store: ParamStore,
+    pub policy: PolicyNet,
+}
+
+impl SageModel {
+    /// Fresh, untrained model.
+    pub fn new(cfg: NetConfig, norm_mean: Vec<f64>, norm_std: Vec<f64>, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let mut store = ParamStore::new();
+        let policy = PolicyNet::new(&mut store, "pi", cfg, &mut rng);
+        SageModel { cfg, norm_mean, norm_std, store, policy }
+    }
+
+    /// Standardise and mask a full 69-dim state.
+    pub fn prepare_input(&self, full_state: &[f64]) -> Vec<f64> {
+        let masked_idx = self.cfg.mask().indices();
+        masked_idx
+            .iter()
+            .map(|&i| (full_state[i] - self.norm_mean[i]) / self.norm_std[i])
+            .collect()
+    }
+
+    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let header = serde_json::to_vec(&(
+            &self.cfg,
+            &self.norm_mean,
+            &self.norm_std,
+        ))
+        .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+        w.write_all(b"SAGEMDL1")?;
+        w.write_all(&(header.len() as u64).to_le_bytes())?;
+        w.write_all(&header)?;
+        self.store.save(&mut w)
+    }
+
+    pub fn load_file(path: &std::path::Path) -> io::Result<SageModel> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"SAGEMDL1" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+        }
+        let mut u = [0u8; 8];
+        r.read_exact(&mut u)?;
+        let hlen = u64::from_le_bytes(u) as usize;
+        let mut hb = vec![0u8; hlen];
+        r.read_exact(&mut hb)?;
+        let (cfg, norm_mean, norm_std): (NetConfig, Vec<f64>, Vec<f64>) =
+            serde_json::from_slice(&hb).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut model = SageModel::new(cfg, norm_mean, norm_std, 0);
+        model.store.load(&mut r)?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_gr::STATE_DIM;
+
+    fn dummy_model(cfg: NetConfig) -> SageModel {
+        SageModel::new(cfg, vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 7)
+    }
+
+    #[test]
+    fn policy_step_produces_valid_mixture() {
+        let m = dummy_model(NetConfig::default());
+        let mut g = Graph::new();
+        let x = g.input(Array::from_vec(2, m.cfg.input_dim(), vec![0.1; 2 * m.cfg.input_dim()]));
+        let h = m.policy.initial_hidden(&mut g, 2);
+        let (nodes, h1) = m.policy.step(&mut g, &m.store, x, h);
+        assert_eq!(g.value(h1).shape(), (2, m.cfg.gru));
+        let p = m.policy.mixture(&g, nodes, 0);
+        assert_eq!(p.means.len(), 3);
+        assert!((p.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablation_configs_build() {
+        for cfg in [
+            NetConfig { gru: 0, ..NetConfig::default() },
+            NetConfig { enc2: 0, ..NetConfig::default() },
+            NetConfig { gmm_k: 1, ..NetConfig::default() },
+            NetConfig::default().with_mask(FeatureMask::NoMinMax),
+            NetConfig::default().with_mask(FeatureMask::NoRttVar),
+            NetConfig::default().with_mask(FeatureMask::NoLossInflight),
+        ] {
+            let m = dummy_model(cfg);
+            let mut g = Graph::new();
+            let d = cfg.input_dim();
+            let x = g.input(Array::from_vec(1, d, vec![0.2; d]));
+            let h = m.policy.initial_hidden(&mut g, 1);
+            let (nodes, _) = m.policy.step(&mut g, &m.store, x, h);
+            let p = m.policy.mixture(&g, nodes, 0);
+            assert_eq!(p.means.len(), cfg.gmm_k);
+            assert!(p.means.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn critic_expected_q_within_support() {
+        let cfg = NetConfig::default();
+        let mut rng = Rng::new(3);
+        let mut store = ParamStore::new();
+        let critic = CriticNet::new(&mut store, "q", cfg, &mut rng);
+        let mut g = Graph::new();
+        let s = g.input(Array::from_vec(2, cfg.input_dim(), vec![0.3; 2 * cfg.input_dim()]));
+        let a = g.input(Array::from_vec(2, 1, vec![0.0, 0.5]));
+        let logits = critic.logits(&mut g, &store, s, a);
+        let q = critic.expected_q(g.value(logits));
+        assert!(q.iter().all(|&v| (cfg.v_min..=cfg.v_max).contains(&v)));
+    }
+
+    #[test]
+    fn model_save_load_round_trip() {
+        let m = dummy_model(NetConfig::default());
+        let dir = std::env::temp_dir().join("sage_model_test.bin");
+        m.save_file(&dir).unwrap();
+        let m2 = SageModel::load_file(&dir).unwrap();
+        assert_eq!(m2.cfg, m.cfg);
+        assert_eq!(m2.store.get(0).data, m.store.get(0).data);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn prepare_input_standardises() {
+        let mut m = dummy_model(NetConfig::default());
+        m.norm_mean = vec![1.0; STATE_DIM];
+        m.norm_std = vec![2.0; STATE_DIM];
+        let full = vec![3.0; STATE_DIM];
+        let x = m.prepare_input(&full);
+        assert_eq!(x.len(), m.cfg.input_dim());
+        assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn support_spans_vmin_vmax() {
+        let cfg = NetConfig::default();
+        let s = cfg.support();
+        assert_eq!(s.len(), cfg.atoms);
+        assert_eq!(s[0], cfg.v_min);
+        assert!((s[cfg.atoms - 1] - cfg.v_max).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! Evaluation machinery: the score/winner/winning-rate terminology of §5.1
+//! and Appendix D, league runners, the cosine Distance/Similarity metrics of
+//! §7.1/§7.2, and a small exact t-SNE for Fig. 16.
+
+pub mod league;
+pub mod runner;
+pub mod score;
+pub mod similarity;
+pub mod tsne;
+
+pub use league::{rank_league, LeagueEntry};
+pub use runner::{run_contenders, Contender, RunRecord};
+pub use score::{interval_scores, RunScore, ScoreKind};
+pub use similarity::{cosine_distance, cosine_similarity, transition_vectors, DistanceIndex};

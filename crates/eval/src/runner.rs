@@ -1,0 +1,151 @@
+//! League runner: roll a set of contenders (heuristics and learned models)
+//! through environment sets and produce scores + trajectories for the
+//! figures.
+
+use crate::score::{interval_scores, RunScore, ScoreKind};
+use sage_collector::{rollout, EnvSpec, SetKind, Trajectory};
+use sage_core::baselines::{HybridPolicy, OracleCc};
+use sage_core::policy::{ActionMode, SagePolicy};
+use sage_core::SageModel;
+use sage_gr::GrConfig;
+use sage_heuristics::build;
+use sage_transport::{CongestionControl, FlowStats};
+use std::sync::Arc;
+
+/// Something that can be entered into a league.
+#[derive(Clone)]
+pub enum Contender {
+    /// A heuristic from `sage-heuristics` by name.
+    Heuristic(&'static str),
+    /// A learned model deployed through the Execution block.
+    Model { name: &'static str, model: Arc<SageModel>, gr_cfg: GrConfig },
+    /// An Orca-like hybrid (Cubic x learned multiplier).
+    Hybrid { name: &'static str, model: Arc<SageModel>, gr_cfg: GrConfig },
+    /// The BDP oracle (Indigo's teacher).
+    Oracle,
+}
+
+impl Contender {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Contender::Heuristic(n) => n,
+            Contender::Model { name, .. } => name,
+            Contender::Hybrid { name, .. } => name,
+            Contender::Oracle => "oracle",
+        }
+    }
+
+    /// Instantiate the congestion controller for one run.
+    pub fn build(&self, env: &EnvSpec, seed: u64) -> Box<dyn CongestionControl> {
+        match self {
+            Contender::Heuristic(n) => build(n, seed).unwrap_or_else(|| panic!("unknown {n}")),
+            Contender::Model { name, model, gr_cfg } => Box::new(
+                SagePolicy::new(model.clone(), *gr_cfg, seed, ActionMode::Deterministic)
+                    .with_name(name),
+            ),
+            Contender::Hybrid { name, model, gr_cfg } => Box::new(
+                HybridPolicy::new(model.clone(), *gr_cfg, seed, ActionMode::Deterministic)
+                    .with_name(name),
+            ),
+            Contender::Oracle => Box::new(OracleCc::new(env.capacity_mbps, env.rtt_ms)),
+        }
+    }
+}
+
+/// One completed run.
+pub struct RunRecord {
+    pub scheme: String,
+    pub env_id: String,
+    pub set: SetKind,
+    pub traj: Trajectory,
+    pub stats: FlowStats,
+    pub all_stats: Vec<FlowStats>,
+    pub score: RunScore,
+}
+
+/// Run every contender through every environment; `alpha` is the Power
+/// exponent (2 by default, 3 for Tables 2/3).
+pub fn run_contenders(
+    contenders: &[Contender],
+    envs: &[EnvSpec],
+    alpha: f64,
+    seed: u64,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<RunRecord> {
+    let total = contenders.len() * envs.len();
+    let mut out = Vec::with_capacity(total);
+    let mut done = 0;
+    for env in envs {
+        for c in contenders {
+            let cca = c.build(env, seed);
+            let res = rollout(env, c.name(), cca, gr_of(c), seed);
+            let kind = match env.set {
+                SetKind::SetI => ScoreKind::Power,
+                SetKind::SetII => ScoreKind::Friendliness,
+            };
+            let intervals = interval_scores(&res.traj.thr, &res.traj.owd, kind, alpha, env.fair_share_bps());
+            out.push(RunRecord {
+                scheme: c.name().to_string(),
+                env_id: env.id.clone(),
+                set: env.set,
+                score: RunScore {
+                    scheme: c.name().to_string(),
+                    env_id: env.id.clone(),
+                    kind,
+                    intervals,
+                },
+                traj: res.traj,
+                stats: res.stats,
+                all_stats: res.all_stats,
+            });
+            done += 1;
+            progress(done, total);
+        }
+    }
+    out
+}
+
+fn gr_of(c: &Contender) -> GrConfig {
+    match c {
+        Contender::Model { gr_cfg, .. } | Contender::Hybrid { gr_cfg, .. } => *gr_cfg,
+        _ => GrConfig::default(),
+    }
+}
+
+/// Scores of the Set I (resp. Set II) runs.
+pub fn scores_of_set(records: &[RunRecord], set: SetKind) -> Vec<RunScore> {
+    records
+        .iter()
+        .filter(|r| r.set == set)
+        .map(|r| r.score.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::league::rank_league;
+    use sage_collector::training_envs;
+
+    #[test]
+    fn heuristic_league_runs_and_ranks() {
+        let envs = training_envs(2, 1, 4.0, 21);
+        let contenders = vec![Contender::Heuristic("cubic"), Contender::Heuristic("vegas")];
+        let records = run_contenders(&contenders, &envs, 2.0, 3, |_, _| {});
+        assert_eq!(records.len(), 6);
+        let s1 = scores_of_set(&records, SetKind::SetI);
+        let table = rank_league(&s1, 0.10);
+        assert_eq!(table.len(), 2);
+        assert!(table.iter().all(|e| (0.0..=1.0).contains(&e.winning_rate)));
+    }
+
+    #[test]
+    fn oracle_contender_wins_single_flow_power() {
+        let envs: Vec<EnvSpec> = training_envs(3, 0, 6.0, 33);
+        let contenders = vec![Contender::Oracle, Contender::Heuristic("newreno")];
+        let records = run_contenders(&contenders, &envs, 2.0, 3, |_, _| {});
+        let table = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);
+        // The oracle knows the BDP: it should be at or near the top.
+        assert_eq!(table[0].scheme, "oracle", "table: {table:?}");
+    }
+}

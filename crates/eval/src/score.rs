@@ -1,0 +1,123 @@
+//! Scores (§5.1): single-flow Power `S_p = r^alpha / d` and TCP-friendliness
+//! `S_fr = |f - r|`, computed over four intervals per run (Appendix D: a
+//! single whole-run number would smooth out reaction-speed differences).
+
+/// Which score a run is judged by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// Higher is better: `r^alpha / d`.
+    Power,
+    /// Lower is better: `|fair_share - r|`.
+    Friendliness,
+}
+
+/// The per-interval scores of one scheme in one environment.
+#[derive(Debug, Clone)]
+pub struct RunScore {
+    pub scheme: String,
+    pub env_id: String,
+    pub kind: ScoreKind,
+    /// One score per interval (Appendix D uses four).
+    pub intervals: Vec<f64>,
+}
+
+/// Number of scoring intervals per run (Appendix D).
+pub const INTERVALS: usize = 4;
+
+/// Compute interval scores from per-tick goodput (bit/s) and one-way delay
+/// (seconds) streams.
+///
+/// For `Power`, `r` is the interval-mean goodput in Mbit/s and `d` the
+/// interval-mean delay in ms (ticks with no deliveries are excluded from the
+/// delay mean). For `Friendliness` the score is `|fair_share - r|` in Mbit/s.
+pub fn interval_scores(
+    thr_bps: &[f32],
+    owd_s: &[f32],
+    kind: ScoreKind,
+    alpha: f64,
+    fair_share_bps: f64,
+) -> Vec<f64> {
+    let n = thr_bps.len();
+    if n == 0 {
+        return vec![0.0; INTERVALS];
+    }
+    let mut out = Vec::with_capacity(INTERVALS);
+    for k in 0..INTERVALS {
+        let lo = k * n / INTERVALS;
+        let hi = ((k + 1) * n / INTERVALS).max(lo + 1).min(n);
+        let thr: f64 =
+            thr_bps[lo..hi].iter().map(|&x| x as f64).sum::<f64>() / (hi - lo) as f64;
+        let delays: Vec<f64> = owd_s[lo..hi]
+            .iter()
+            .filter(|&&d| d > 0.0)
+            .map(|&d| d as f64)
+            .collect();
+        match kind {
+            ScoreKind::Power => {
+                let r_mbps = thr / 1e6;
+                let d_ms = if delays.is_empty() {
+                    // No deliveries at all: worst possible power.
+                    out.push(0.0);
+                    continue;
+                } else {
+                    sage_util::mean(&delays) * 1e3
+                };
+                out.push(r_mbps.powf(alpha) / d_ms.max(1e-3));
+            }
+            ScoreKind::Friendliness => {
+                out.push((fair_share_bps / 1e6 - thr / 1e6).abs());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_rewards_throughput_quadratically_at_alpha2() {
+        let thr_hi = vec![48e6f32; 40];
+        let thr_lo = vec![24e6f32; 40];
+        let owd = vec![0.03f32; 40];
+        let hi = interval_scores(&thr_hi, &owd, ScoreKind::Power, 2.0, 0.0);
+        let lo = interval_scores(&thr_lo, &owd, ScoreKind::Power, 2.0, 0.0);
+        for (h, l) in hi.iter().zip(&lo) {
+            assert!((h / l - 4.0).abs() < 1e-9, "quadratic in r");
+        }
+    }
+
+    #[test]
+    fn power_penalises_delay_linearly() {
+        let thr = vec![24e6f32; 40];
+        let fast = interval_scores(&thr, &vec![0.02f32; 40], ScoreKind::Power, 2.0, 0.0);
+        let slow = interval_scores(&thr, &vec![0.04f32; 40], ScoreKind::Power, 2.0, 0.0);
+        assert!((fast[0] / slow[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friendliness_zero_at_fair_share() {
+        let thr = vec![24e6f32; 40];
+        let owd = vec![0.03f32; 40];
+        let s = interval_scores(&thr, &owd, ScoreKind::Friendliness, 2.0, 24e6);
+        assert!(s.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn intervals_capture_temporal_change() {
+        // Throughput doubles halfway: interval scores differ.
+        let mut thr = vec![12e6f32; 20];
+        thr.extend(vec![48e6f32; 20]);
+        let owd = vec![0.03f32; 40];
+        let s = interval_scores(&thr, &owd, ScoreKind::Power, 2.0, 0.0);
+        assert!(s[3] > s[0] * 10.0);
+        assert_eq!(s.len(), INTERVALS);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let s = interval_scores(&[], &[], ScoreKind::Power, 2.0, 0.0);
+        assert_eq!(s, vec![0.0; INTERVALS]);
+    }
+}

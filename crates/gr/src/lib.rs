@@ -1,0 +1,15 @@
+//! The General Representation (GR) unit — paper §4.1.
+//!
+//! Treats every congestion-control scheme as a black box and records, at each
+//! monitor timestep, (1) a 69-element state vector of *raw* socket signals at
+//! three timescales (Table 1), (2) the scheme's action expressed as the
+//! congestion-window ratio `a_t = cwnd_t / cwnd_{t-1}`, and (3) two reward
+//! signals: single-flow Power (Eq. 1) and TCP-friendliness (Eq. 2).
+
+pub mod mask;
+pub mod reward;
+pub mod state;
+
+pub use mask::FeatureMask;
+pub use reward::{reward_friendliness, reward_power, RewardParams};
+pub use state::{GrConfig, GrStep, GrUnit, STATE_DIM, STATE_NAMES};

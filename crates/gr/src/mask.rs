@@ -1,0 +1,133 @@
+//! Feature masks for the ablation study of §7.3 (Fig. 12): trained variants
+//! that remove min/max statistics, RTT rate/variance signals, or
+//! loss/inflight signals from the input vector.
+
+use crate::state::STATE_DIM;
+
+/// A selection of state-vector indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMask {
+    /// All 69 inputs.
+    Full,
+    /// Remove every `.min`/`.max` windowed statistic, keeping averages —
+    /// 33 inputs (the paper's "no Min/Max" model).
+    NoMinMax,
+    /// Remove RTT rates and variances (Table 1 rows 23-40).
+    NoRttVar,
+    /// Remove loss and inflight information (rows 41-58).
+    NoLossInflight,
+}
+
+impl FeatureMask {
+    /// 0-based indices kept by this mask, in ascending order.
+    pub fn indices(self) -> Vec<usize> {
+        match self {
+            FeatureMask::Full => (0..STATE_DIM).collect(),
+            FeatureMask::NoMinMax => {
+                // Rows 1-4 kept; in each windowed triple keep only `.avg`
+                // (rows 5..=58 are 6 groups x 3 windows x [avg,min,max]);
+                // rows 59-69 kept.
+                let mut keep: Vec<usize> = (0..4).collect();
+                for group in 0..6 {
+                    for wnd in 0..3 {
+                        keep.push(4 + group * 9 + wnd * 3); // the avg slot
+                    }
+                }
+                keep.extend(58..STATE_DIM);
+                keep
+            }
+            FeatureMask::NoRttVar => {
+                // Drop rows 23-40 (indices 22..40): rtt_rate_* and rtt_var_*.
+                (0..STATE_DIM).filter(|&i| !(22..40).contains(&i)).collect()
+            }
+            FeatureMask::NoLossInflight => {
+                // Drop rows 41-58 (indices 40..58): inflight_* and lost_*.
+                (0..STATE_DIM).filter(|&i| !(40..58).contains(&i)).collect()
+            }
+        }
+    }
+
+    /// Input dimension after masking.
+    pub fn dim(self) -> usize {
+        self.indices().len()
+    }
+
+    /// Apply the mask to a full state vector.
+    pub fn apply(self, full: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(full.len(), STATE_DIM);
+        self.indices().iter().map(|&i| full[i]).collect()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureMask::Full => "full",
+            FeatureMask::NoMinMax => "no-minmax",
+            FeatureMask::NoRttVar => "no-rttvar",
+            FeatureMask::NoLossInflight => "no-loss-inf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::STATE_NAMES;
+
+    #[test]
+    fn full_keeps_everything() {
+        assert_eq!(FeatureMask::Full.dim(), STATE_DIM);
+    }
+
+    #[test]
+    fn no_minmax_keeps_33() {
+        // The paper: "removing all min/max statistics ... leading to a
+        // vector of 33 elements".
+        assert_eq!(FeatureMask::NoMinMax.dim(), 33);
+        for &i in &FeatureMask::NoMinMax.indices() {
+            assert!(
+                !STATE_NAMES[i].ends_with(".min") && !STATE_NAMES[i].ends_with(".max"),
+                "kept {}",
+                STATE_NAMES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn no_rttvar_drops_rows_23_to_40() {
+        let keep = FeatureMask::NoRttVar.indices();
+        assert_eq!(keep.len(), STATE_DIM - 18);
+        for &i in &keep {
+            assert!(
+                !STATE_NAMES[i].starts_with("rtt_rate_") && !STATE_NAMES[i].starts_with("rtt_var_"),
+                "kept {}",
+                STATE_NAMES[i]
+            );
+        }
+        // The scalar rtt_rate (row 60) survives — only the windowed rows go.
+        assert!(keep.contains(&59));
+    }
+
+    #[test]
+    fn no_loss_inflight_drops_rows_41_to_58() {
+        let keep = FeatureMask::NoLossInflight.indices();
+        assert_eq!(keep.len(), STATE_DIM - 18);
+        for &i in &keep {
+            assert!(
+                !STATE_NAMES[i].starts_with("inflight_") && !STATE_NAMES[i].starts_with("lost_"),
+                "kept {}",
+                STATE_NAMES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_projects_correctly() {
+        let full: Vec<f64> = (0..STATE_DIM).map(|i| i as f64).collect();
+        let m = FeatureMask::NoMinMax;
+        let proj = m.apply(&full);
+        let idx = m.indices();
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(proj[k], i as f64);
+        }
+    }
+}

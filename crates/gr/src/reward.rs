@@ -1,0 +1,117 @@
+//! The two reward functions of §4.1.
+//!
+//! *Power* (Eq. 1) drives the myopic single-flow objective (high delivery
+//! rate, low loss, low delay); *TCP-friendliness* (Eq. 2) rewards staying at
+//! the ideal fair share when competing with the default loss-based scheme.
+//!
+//! The paper leaves the constants xi and kappa unspecified; we use xi = 2 and
+//! kappa = 2 (kappa = 2 matches the evaluation's alpha = 2 Power score) and
+//! normalise: rates by the `rate_scale` (so environments of different
+//! capacity produce comparable rewards) and delay by the minimum RTT.
+
+/// Parameters of the Power reward (Eq. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct RewardParams {
+    /// Loss penalty weight (xi in Eq. 1).
+    pub xi: f64,
+    /// Throughput-vs-delay exponent (kappa in Eq. 1).
+    pub kappa: f64,
+    /// Rate normaliser, bits/s (e.g. link capacity).
+    pub rate_scale: f64,
+}
+
+impl Default for RewardParams {
+    fn default() -> Self {
+        RewardParams { xi: 2.0, kappa: 2.0, rate_scale: 1.0e8 }
+    }
+}
+
+impl RewardParams {
+    /// Normalise by a known link capacity (the collector's usual setting).
+    pub fn for_capacity(mbps: f64) -> Self {
+        RewardParams { xi: 2.0, kappa: 2.0, rate_scale: mbps * 1e6 }
+    }
+}
+
+/// Eq. 1: `R1 = (r - xi*l)^kappa / d`, with `r` and `l` normalised by
+/// `rate_scale` and `d` by the minimum RTT. Clamped to [0, ...] so a heavily
+/// lossy interval cannot produce a complex/negative power.
+pub fn reward_power(p: &RewardParams, delivery_bps: f64, loss_bps: f64, mean_owd_s: f64, min_rtt_s: f64) -> f64 {
+    let r = delivery_bps / p.rate_scale;
+    let l = loss_bps / p.rate_scale;
+    let base = (r - p.xi * l).max(0.0);
+    // One-way delay normalised by one-way propagation (min_rtt/2); floor the
+    // denominator so a tick with no deliveries is not divided by zero.
+    let d = if min_rtt_s > 0.0 {
+        (mean_owd_s / (min_rtt_s / 2.0)).max(1.0)
+    } else {
+        1.0
+    };
+    base.powf(p.kappa) / d
+}
+
+/// Eq. 2: `R2 = exp(-8 (x-1)^2)` with `x = r / fair_share`. Peaks at exactly
+/// the fair share and decays on both sides (Fig. 5).
+pub fn reward_friendliness(delivery_bps: f64, fair_share_bps: f64) -> f64 {
+    if fair_share_bps <= 0.0 {
+        return 0.0;
+    }
+    let x = delivery_bps / fair_share_bps;
+    (-8.0 * (x - 1.0) * (x - 1.0)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_increases_with_rate() {
+        let p = RewardParams::for_capacity(48.0);
+        let low = reward_power(&p, 12e6, 0.0, 0.020, 0.040);
+        let high = reward_power(&p, 48e6, 0.0, 0.020, 0.040);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn power_decreases_with_delay() {
+        let p = RewardParams::for_capacity(48.0);
+        let fast = reward_power(&p, 24e6, 0.0, 0.020, 0.040);
+        let slow = reward_power(&p, 24e6, 0.0, 0.100, 0.040);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn power_penalises_loss() {
+        let p = RewardParams::for_capacity(48.0);
+        let clean = reward_power(&p, 24e6, 0.0, 0.020, 0.040);
+        let lossy = reward_power(&p, 24e6, 5e6, 0.020, 0.040);
+        assert!(clean > lossy);
+    }
+
+    #[test]
+    fn power_never_negative() {
+        let p = RewardParams::for_capacity(48.0);
+        assert!(reward_power(&p, 1e6, 50e6, 0.020, 0.040) >= 0.0);
+    }
+
+    #[test]
+    fn friendliness_peaks_at_fair_share() {
+        let at = reward_friendliness(24e6, 24e6);
+        assert!((at - 1.0).abs() < 1e-12);
+        assert!(reward_friendliness(12e6, 24e6) < at);
+        assert!(reward_friendliness(36e6, 24e6) < at);
+    }
+
+    #[test]
+    fn friendliness_is_symmetricish_shape() {
+        // Fig. 5: the curve is a Gaussian in x.
+        let below = reward_friendliness(18e6, 24e6); // x = 0.75
+        let above = reward_friendliness(30e6, 24e6); // x = 1.25
+        assert!((below - above).abs() < 1e-12);
+    }
+
+    #[test]
+    fn friendliness_handles_zero_fair_share() {
+        assert_eq!(reward_friendliness(10e6, 0.0), 0.0);
+    }
+}

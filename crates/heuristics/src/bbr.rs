@@ -1,0 +1,275 @@
+//! BBR v2-style congestion control (Cardwell et al.): model-based — estimates
+//! the bottleneck bandwidth (windowed-max delivery rate) and the round-trip
+//! propagation time (windowed-min RTT), paces at `gain x BtlBw`, and caps
+//! inflight at `cwnd_gain x BDP`.
+//!
+//! Implements the BBR state machine (STARTUP → DRAIN → PROBE_BW ⇄ PROBE_RTT)
+//! with v2's explicit loss response (inflight_hi bound and a 0.7 beta), on
+//! top of the transport's delivery-rate sampler. Bandwidth-probing cycle
+//! phases are clocked by the monitor tick (wall time), which is how our
+//! deployment — like the paper's userspace agent — drives periodic logic.
+
+use sage_netsim::time::{Nanos, MILLIS, SECONDS};
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const STARTUP_GAIN: f64 = 2.885; // 2/ln(2)
+const DRAIN_GAIN: f64 = 1.0 / 2.885;
+const PROBE_RTT_INTERVAL: Nanos = 10 * SECONDS;
+const PROBE_RTT_DURATION: Nanos = 200 * MILLIS;
+const CYCLE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+const BETA: f64 = 0.7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+pub struct Bbr {
+    state: State,
+    cwnd: f64,
+    pacing_gain: f64,
+    cwnd_gain: f64,
+    /// Filtered bottleneck bandwidth (max over recent samples), bits/s.
+    btl_bw: f64,
+    /// Bandwidth plateau detection for exiting STARTUP.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    cycle_idx: usize,
+    cycle_start: Nanos,
+    probe_rtt_due: Nanos,
+    probe_rtt_done: Option<Nanos>,
+    /// BBRv2 upper bound on inflight after loss.
+    inflight_hi: f64,
+    mss: u32,
+}
+
+impl Bbr {
+    pub fn new() -> Self {
+        Bbr {
+            state: State::Startup,
+            cwnd: INIT_CWND,
+            pacing_gain: STARTUP_GAIN,
+            cwnd_gain: 2.0,
+            btl_bw: 0.0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            cycle_idx: 0,
+            cycle_start: 0,
+            probe_rtt_due: PROBE_RTT_INTERVAL,
+            probe_rtt_done: None,
+            inflight_hi: f64::INFINITY,
+            mss: 1500,
+        }
+    }
+
+    fn bdp_pkts(&self, sock: &SocketView) -> f64 {
+        if sock.min_rtt <= 0.0 {
+            return INIT_CWND;
+        }
+        (self.btl_bw * sock.min_rtt / 8.0 / self.mss as f64).max(MIN_CWND)
+    }
+
+    fn update_target_cwnd(&mut self, sock: &SocketView) {
+        let bdp = self.bdp_pkts(sock);
+        let target = match self.state {
+            State::ProbeRtt => 4.0,
+            _ => (self.cwnd_gain * bdp).min(self.inflight_hi),
+        };
+        self.cwnd = target.max(MIN_CWND);
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn name(&self) -> &'static str {
+        "bbr2"
+    }
+
+    fn init(&mut self, _now: Nanos, mss: u32) {
+        self.mss = mss;
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, sock: &SocketView) {
+        // Bandwidth filter: windowed max is maintained by the rate sampler.
+        self.btl_bw = sock.max_delivery_rate_bps;
+        self.update_target_cwnd(sock);
+    }
+
+    fn on_tick(&mut self, now: Nanos, sock: &SocketView) {
+        match self.state {
+            State::Startup => {
+                // Exit when bandwidth stops growing 25% for 3 ticks of a
+                // round-ish duration (we approximate rounds with ticks at
+                // RTT scale: only count when a full srtt elapsed).
+                if self.btl_bw > self.full_bw * 1.25 {
+                    self.full_bw = self.btl_bw;
+                    self.full_bw_rounds = 0;
+                } else if self.btl_bw > 0.0 {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= 10 {
+                        self.state = State::Drain;
+                        self.pacing_gain = DRAIN_GAIN;
+                    }
+                }
+            }
+            State::Drain => {
+                let bdp = self.bdp_pkts(sock);
+                if sock.inflight_pkts <= bdp {
+                    self.state = State::ProbeBw;
+                    self.pacing_gain = CYCLE_GAINS[0];
+                    self.cycle_idx = 0;
+                    self.cycle_start = now;
+                }
+            }
+            State::ProbeBw => {
+                let phase_len = (sock.min_rtt.max(0.01) * SECONDS as f64) as Nanos;
+                if now.saturating_sub(self.cycle_start) >= phase_len {
+                    self.cycle_idx = (self.cycle_idx + 1) % CYCLE_GAINS.len();
+                    self.pacing_gain = CYCLE_GAINS[self.cycle_idx];
+                    self.cycle_start = now;
+                }
+                if now >= self.probe_rtt_due {
+                    self.state = State::ProbeRtt;
+                    self.probe_rtt_done = Some(now + PROBE_RTT_DURATION);
+                }
+            }
+            State::ProbeRtt => {
+                if let Some(done) = self.probe_rtt_done {
+                    if now >= done {
+                        self.state = State::ProbeBw;
+                        self.pacing_gain = 1.0;
+                        self.cycle_start = now;
+                        self.probe_rtt_due = now + PROBE_RTT_INTERVAL;
+                        self.probe_rtt_done = None;
+                    }
+                }
+            }
+        }
+        self.update_target_cwnd(sock);
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, sock: &SocketView) {
+        // BBRv2 loss response: bound inflight and back off multiplicatively.
+        let bdp = self.bdp_pkts(sock);
+        self.inflight_hi = (sock.inflight_pkts.max(bdp) * BETA).max(MIN_CWND);
+        if self.state == State::Startup {
+            self.state = State::Drain;
+            self.pacing_gain = DRAIN_GAIN;
+        }
+        self.update_target_cwnd(sock);
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = MIN_CWND;
+        self.inflight_hi = f64::INFINITY;
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.state = State::Startup;
+        self.pacing_gain = STARTUP_GAIN;
+    }
+
+    fn on_exit_recovery(&mut self, _now: Nanos, sock: &SocketView) {
+        // Gradually reopen the inflight bound.
+        self.inflight_hi = (self.inflight_hi * 1.1).min(1e9);
+        self.update_target_cwnd(sock);
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_bps(&self) -> Option<f64> {
+        if self.btl_bw > 0.0 {
+            Some((self.pacing_gain * self.btl_bw).max(1e5))
+        } else {
+            None // ACK-clocked until the first bandwidth sample exists
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    fn view_bw(cwnd: f64, bw_bps: f64, min_rtt: f64, inflight: f64) -> SocketView {
+        let mut v = view(cwnd);
+        v.max_delivery_rate_bps = bw_bps;
+        v.delivery_rate_bps = bw_bps;
+        v.min_rtt = min_rtt;
+        v.inflight_pkts = inflight;
+        v
+    }
+
+    #[test]
+    fn startup_exits_on_bandwidth_plateau() {
+        let mut b = Bbr::new();
+        b.init(0, 1500);
+        let v = view_bw(10.0, 24e6, 0.04, 10.0);
+        b.on_ack(&ack(1), &v);
+        for i in 0..20 {
+            b.on_tick(i * 10 * MILLIS, &v);
+        }
+        assert_ne!(b.state, State::Startup, "plateau should end startup");
+    }
+
+    #[test]
+    fn cwnd_tracks_two_bdp_in_probe_bw() {
+        let mut b = Bbr::new();
+        b.init(0, 1500);
+        // 24 Mbps, 40 ms: BDP = 80 pkts.
+        let v = view_bw(10.0, 24e6, 0.04, 60.0);
+        b.on_ack(&ack(1), &v);
+        for i in 0..40 {
+            b.on_tick(i * 10 * MILLIS, &v);
+        }
+        assert_eq!(b.state, State::ProbeBw);
+        assert!((b.cwnd_pkts() - 160.0).abs() < 10.0, "cwnd {}", b.cwnd_pkts());
+    }
+
+    #[test]
+    fn probe_rtt_shrinks_window() {
+        let mut b = Bbr::new();
+        b.init(0, 1500);
+        let v = view_bw(10.0, 24e6, 0.04, 60.0);
+        b.on_ack(&ack(1), &v);
+        let mut saw_probe_rtt = false;
+        for i in 0..1200 {
+            b.on_tick(i * 10 * MILLIS, &v);
+            if b.state == State::ProbeRtt {
+                saw_probe_rtt = true;
+                assert!(b.cwnd_pkts() <= 4.0);
+            }
+        }
+        assert!(saw_probe_rtt, "PROBE_RTT must occur within 12 s");
+    }
+
+    #[test]
+    fn loss_bounds_inflight() {
+        let mut b = Bbr::new();
+        b.init(0, 1500);
+        let v = view_bw(200.0, 24e6, 0.04, 200.0);
+        b.on_ack(&ack(1), &v);
+        b.on_congestion_event(0, &v);
+        assert!(b.inflight_hi.is_finite());
+        assert!(b.cwnd_pkts() <= b.inflight_hi + 1e-9);
+    }
+
+    #[test]
+    fn pacing_rate_follows_gain() {
+        let mut b = Bbr::new();
+        b.init(0, 1500);
+        let v = view_bw(10.0, 48e6, 0.04, 10.0);
+        b.on_ack(&ack(1), &v);
+        let r = b.pacing_bps().unwrap();
+        assert!((r - STARTUP_GAIN * 48e6).abs() < 1e6);
+    }
+}

@@ -1,0 +1,133 @@
+//! BIC (Binary Increase Congestion control; Xu, Harfoush, Rhee 2004): binary
+//! search between the window before the last loss and the current window,
+//! with max probing beyond it.
+
+use crate::common::slow_start;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const BETA: f64 = 0.8; // Linux: 819/1024
+const S_MAX: f64 = 32.0;
+const S_MIN: f64 = 0.01;
+const LOW_WINDOW: f64 = 14.0;
+
+pub struct Bic {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+}
+
+impl Bic {
+    pub fn new() -> Self {
+        Bic { cwnd: INIT_CWND, ssthresh: f64::INFINITY, w_max: 0.0 }
+    }
+
+    /// Per-RTT increment from the binary-search rule.
+    fn increment(&self) -> f64 {
+        if self.w_max == 0.0 {
+            return 1.0;
+        }
+        if self.cwnd < self.w_max {
+            let dist = (self.w_max - self.cwnd) / 2.0;
+            dist.clamp(S_MIN, S_MAX)
+        } else {
+            // Max probing: slowly at first, then faster.
+            let dist = self.cwnd - self.w_max;
+            (1.0 + dist / 4.0).clamp(S_MIN, S_MAX)
+        }
+    }
+}
+
+impl Default for Bic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Bic {
+    fn name(&self) -> &'static str {
+        "bic"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, _sock: &SocketView) {
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        let inc = self.increment();
+        self.cwnd += inc * ack.newly_acked_pkts as f64 / self.cwnd;
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        let beta = if self.cwnd <= LOW_WINDOW { 0.5 } else { BETA };
+        // Fast convergence.
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + beta) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.cwnd = (self.cwnd * beta).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    #[test]
+    fn binary_search_converges_to_w_max() {
+        let mut b = Bic::new();
+        for _ in 0..500 {
+            b.on_ack(&ack(1), &view(b.cwnd_pkts()));
+        }
+        let w = b.cwnd_pkts();
+        b.on_congestion_event(0, &view(w));
+        // After loss, growth rate shrinks as the window nears w_max.
+        let mut prev = b.cwnd_pkts();
+        let mut increments = Vec::new();
+        for _ in 0..2000 {
+            b.on_ack(&ack(1), &view(b.cwnd_pkts()));
+            increments.push(b.cwnd_pkts() - prev);
+            prev = b.cwnd_pkts();
+        }
+        // Later increments near w_max must be smaller than early ones.
+        let early: f64 = increments[..100].iter().sum();
+        let late: f64 = increments[1000..1100].iter().sum();
+        assert!(early > late, "early {early} late {late}");
+    }
+
+    #[test]
+    fn beta_is_gentle_for_large_windows() {
+        let mut b = Bic::new();
+        for _ in 0..500 {
+            b.on_ack(&ack(1), &view(b.cwnd_pkts()));
+        }
+        let before = b.cwnd_pkts();
+        assert!(before > LOW_WINDOW);
+        b.on_congestion_event(0, &view(before));
+        assert!((b.cwnd_pkts() - before * BETA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increment_is_clamped() {
+        let b = Bic { cwnd: 10.0, ssthresh: 1.0, w_max: 10_000.0 };
+        assert!(b.increment() <= S_MAX);
+        let b2 = Bic { cwnd: 9_999.0, ssthresh: 1.0, w_max: 10_000.0 };
+        assert!(b2.increment() >= S_MIN);
+    }
+}

@@ -1,0 +1,100 @@
+//! C2TCP-style control (Abbasloo et al. 2019): wraps a loss-based scheme
+//! (Cubic here, as in the paper) with a target-delay brake — when the
+//! smoothed RTT exceeds a setpoint multiple of the minimum RTT, the window is
+//! cut multiplicatively toward the setpoint, bounding delay on cellular-like
+//! variable links.
+
+use crate::cubic::Cubic;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, MIN_CWND};
+
+/// Delay setpoint as a multiple of min RTT.
+const SETPOINT: f64 = 1.5;
+
+pub struct C2tcp {
+    inner: Cubic,
+    /// Extra brake applied on top of Cubic's window (multiplier <= 1).
+    brake: f64,
+}
+
+impl C2tcp {
+    pub fn new() -> Self {
+        C2tcp { inner: Cubic::new(), brake: 1.0 }
+    }
+}
+
+impl Default for C2tcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for C2tcp {
+    fn name(&self) -> &'static str {
+        "c2tcp"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        self.inner.on_ack(ack, sock);
+        if sock.min_rtt > 0.0 && sock.latest_rtt > 0.0 {
+            let target = SETPOINT * sock.min_rtt;
+            if sock.latest_rtt > target {
+                // Brake proportional to the violation.
+                self.brake = (self.brake * (target / sock.latest_rtt)).max(0.1);
+            } else {
+                // Release the brake gradually while under the setpoint.
+                self.brake = (self.brake + 0.01).min(1.0);
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, now: Nanos, sock: &SocketView) {
+        self.inner.on_congestion_event(now, sock);
+    }
+
+    fn on_rto(&mut self, now: Nanos, sock: &SocketView) {
+        self.inner.on_rto(now, sock);
+        self.brake = 1.0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        (self.inner.cwnd_pkts() * self.brake).max(MIN_CWND)
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.inner.ssthresh_pkts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn brake_engages_above_setpoint() {
+        let mut c = C2tcp::new();
+        let v = view_rtt(10.0, 0.040, 0.040);
+        for _ in 0..30 {
+            c.on_ack(&ack(1), &v);
+        }
+        let unbraked = c.cwnd_pkts();
+        // RTT spikes to 3x min: brake cuts the effective window.
+        let spike = view_rtt(unbraked, 0.120, 0.040);
+        for _ in 0..10 {
+            c.on_ack(&ack(1), &spike);
+        }
+        assert!(c.cwnd_pkts() < unbraked, "brake should cut window");
+    }
+
+    #[test]
+    fn brake_releases_below_setpoint() {
+        let mut c = C2tcp::new();
+        c.brake = 0.3;
+        let v = view_rtt(10.0, 0.045, 0.040);
+        for _ in 0..100 {
+            c.on_ack(&ack(1), &v);
+        }
+        assert!(c.brake > 0.9, "brake {} should release", c.brake);
+    }
+}

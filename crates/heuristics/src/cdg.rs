@@ -1,0 +1,157 @@
+//! CAIA Delay-Gradient (CDG; Hayes & Armitage 2011): backs off
+//! probabilistically when the *gradient* of RTT is positive, making it
+//! insensitive to the absolute queue level of competing flows.
+
+use crate::common::{slow_start, RoundTracker};
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+use sage_util::{Ewma, Rng};
+
+/// Gradient scaling parameter G (seconds); the kernel default maps to ~1ms
+/// granularity smoothing.
+const G: f64 = 0.003;
+const BACKOFF_BETA: f64 = 0.7;
+
+pub struct Cdg {
+    cwnd: f64,
+    ssthresh: f64,
+    round: RoundTracker,
+    round_min: f64,
+    round_max: f64,
+    prev_min: Option<f64>,
+    prev_max: Option<f64>,
+    gmin_smooth: Ewma,
+    gmax_smooth: Ewma,
+    rng: Rng,
+    /// Consecutive backoffs without loss (shadow-window recovery guard).
+    pub backoffs: u64,
+}
+
+impl Cdg {
+    pub fn new(seed: u64) -> Self {
+        Cdg {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            round: RoundTracker::default(),
+            round_min: f64::INFINITY,
+            round_max: 0.0,
+            prev_min: None,
+            prev_max: None,
+            gmin_smooth: Ewma::new(0.125),
+            gmax_smooth: Ewma::new(0.125),
+            rng: Rng::new(seed ^ 0xCD6),
+            backoffs: 0,
+        }
+    }
+}
+
+impl CongestionControl for Cdg {
+    fn name(&self) -> &'static str {
+        "cdg"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if let Some(rtt) = ack.rtt_sample {
+            self.round_min = self.round_min.min(rtt);
+            self.round_max = self.round_max.max(rtt);
+        }
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        self.cwnd += ack.newly_acked_pkts as f64 / self.cwnd;
+        if self.round.update(sock) && self.round_min.is_finite() {
+            let (gmin, gmax) = match (self.prev_min, self.prev_max) {
+                (Some(pm), Some(px)) => (self.round_min - pm, self.round_max - px),
+                _ => (0.0, 0.0),
+            };
+            self.prev_min = Some(self.round_min);
+            self.prev_max = Some(self.round_max);
+            self.round_min = f64::INFINITY;
+            self.round_max = 0.0;
+            let gmin_s = self.gmin_smooth.update(gmin);
+            let gmax_s = self.gmax_smooth.update(gmax);
+            // Backoff probability: P = 1 - exp(-g/G) for positive gradients.
+            let g = gmin_s.max(gmax_s);
+            if g > 0.0 {
+                let p = 1.0 - (-g / G).exp();
+                if self.rng.chance(p) {
+                    self.cwnd = (self.cwnd * BACKOFF_BETA).max(MIN_CWND);
+                    self.ssthresh = self.cwnd;
+                    self.backoffs += 1;
+                }
+            } else {
+                self.backoffs = 0;
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = (self.cwnd * BACKOFF_BETA).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+        self.backoffs = 0;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    fn rounds_with_rtts(c: &mut Cdg, rtts: &[f64]) {
+        let mut delivered = 0u64;
+        for &rtt in rtts {
+            let w = c.cwnd_pkts();
+            for _ in 0..w.ceil() as u64 {
+                delivered += 1500;
+                let mut v = view_rtt(c.cwnd_pkts(), rtt, 0.040);
+                v.delivered_bytes_total = delivered;
+                let mut a = ack(1);
+                a.rtt_sample = Some(rtt);
+                c.on_ack(&a, &v);
+            }
+        }
+    }
+
+    #[test]
+    fn rising_delay_gradient_causes_backoffs() {
+        let mut c = Cdg::new(3);
+        c.ssthresh = 5.0;
+        c.cwnd = 30.0;
+        // Steeply rising RTTs across rounds.
+        let rtts: Vec<f64> = (0..40).map(|i| 0.040 + i as f64 * 0.004).collect();
+        rounds_with_rtts(&mut c, &rtts);
+        assert!(c.backoffs > 0, "positive gradient must trigger backoff");
+    }
+
+    #[test]
+    fn flat_delay_no_backoff() {
+        let mut c = Cdg::new(3);
+        c.ssthresh = 5.0;
+        c.cwnd = 30.0;
+        let before = c.cwnd_pkts();
+        rounds_with_rtts(&mut c, &[0.040; 30]);
+        assert_eq!(c.backoffs, 0);
+        assert!(c.cwnd_pkts() > before, "reno growth continues");
+    }
+
+    #[test]
+    fn loss_backoff_factor() {
+        let mut c = Cdg::new(3);
+        c.cwnd = 100.0;
+        c.on_congestion_event(0, &view_rtt(100.0, 0.05, 0.04));
+        assert!((c.cwnd_pkts() - 70.0).abs() < 1e-9);
+    }
+}

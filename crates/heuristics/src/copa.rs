@@ -1,0 +1,149 @@
+//! Copa (Arun & Balakrishnan, NSDI 2018): targets a sending rate of
+//! `1/(delta * d_q)` where `d_q` is the queuing delay; the window moves
+//! toward the target with a velocity that doubles when the direction is
+//! consistent. The default mode uses delta = 0.5.
+
+use crate::common::RoundTracker;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const DELTA: f64 = 0.5;
+
+pub struct Copa {
+    cwnd: f64,
+    velocity: f64,
+    direction_up: bool,
+    same_direction_rounds: u32,
+    round: RoundTracker,
+    in_slow_start: bool,
+}
+
+impl Copa {
+    pub fn new() -> Self {
+        Copa {
+            cwnd: INIT_CWND,
+            velocity: 1.0,
+            direction_up: true,
+            same_direction_rounds: 0,
+            round: RoundTracker::default(),
+            in_slow_start: true,
+        }
+    }
+
+    /// Target window: rate 1/(delta*dq) times RTT, expressed in packets.
+    fn target_cwnd(&self, sock: &SocketView) -> f64 {
+        let dq = (sock.srtt - sock.min_rtt).max(1e-4); // seconds, floored
+        let rate_pps = 1.0 / (DELTA * dq);
+        (rate_pps * sock.srtt.max(1e-3)).max(MIN_CWND)
+    }
+}
+
+impl Default for Copa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Copa {
+    fn name(&self) -> &'static str {
+        "copa"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        let target = self.target_cwnd(sock);
+        if self.in_slow_start {
+            self.cwnd += ack.newly_acked_pkts as f64;
+            if self.cwnd >= target {
+                self.in_slow_start = false;
+            }
+            return;
+        }
+        let up = self.cwnd < target;
+        // Velocity doubling on consistent direction, evaluated per round.
+        if self.round.update(sock) {
+            if up == self.direction_up {
+                self.same_direction_rounds += 1;
+                if self.same_direction_rounds >= 3 {
+                    self.velocity = (self.velocity * 2.0).min(1024.0);
+                }
+            } else {
+                self.velocity = 1.0;
+                self.same_direction_rounds = 0;
+                self.direction_up = up;
+            }
+        }
+        let step = self.velocity * ack.newly_acked_pkts as f64 / (DELTA * self.cwnd);
+        if up {
+            self.cwnd += step;
+        } else {
+            self.cwnd = (self.cwnd - step).max(MIN_CWND);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        // Copa reacts primarily to delay; on loss it resets velocity and
+        // backs off mildly.
+        self.cwnd = (self.cwnd / 2.0).max(MIN_CWND);
+        self.velocity = 1.0;
+        self.same_direction_rounds = 0;
+        self.in_slow_start = false;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = MIN_CWND;
+        self.velocity = 1.0;
+        self.in_slow_start = true;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn target_is_inverse_in_queue_delay() {
+        let c = Copa::new();
+        let small_queue = c.target_cwnd(&view_rtt(10.0, 0.042, 0.040));
+        let big_queue = c.target_cwnd(&view_rtt(10.0, 0.080, 0.040));
+        assert!(small_queue > big_queue, "{small_queue} vs {big_queue}");
+    }
+
+    #[test]
+    fn moves_toward_target() {
+        let mut c = Copa::new();
+        c.in_slow_start = false;
+        c.cwnd = 10.0;
+        // Tiny queuing delay -> large target -> grows.
+        let v = view_rtt(10.0, 0.041, 0.040);
+        let before = c.cwnd_pkts();
+        for _ in 0..20 {
+            c.on_ack(&ack(1), &v);
+        }
+        assert!(c.cwnd_pkts() > before);
+        // Large queuing delay -> small target -> shrinks.
+        let v2 = view_rtt(c.cwnd_pkts(), 0.400, 0.040);
+        let before2 = c.cwnd_pkts();
+        for _ in 0..20 {
+            c.on_ack(&ack(1), &v2);
+        }
+        assert!(c.cwnd_pkts() < before2);
+    }
+
+    #[test]
+    fn slow_start_exits_at_target() {
+        let mut c = Copa::new();
+        let v = view_rtt(10.0, 0.0405, 0.040); // dq=0.5ms -> target = 4000pps*40ms = 162
+        for _ in 0..500 {
+            c.on_ack(&ack(1), &v);
+            if !c.in_slow_start {
+                break;
+            }
+        }
+        assert!(!c.in_slow_start);
+    }
+}

@@ -1,0 +1,186 @@
+//! CUBIC (Ha, Rhee, Xu 2008; RFC 8312): window growth is a cubic function of
+//! time since the last congestion event, with fast convergence and a
+//! TCP-friendliness (Reno-tracking) floor. Default scheme in Linux, Windows
+//! and macOS — and the competitor in all of Sage's Set II scenarios.
+
+use crate::common::slow_start;
+use sage_netsim::time::{Nanos, SECONDS};
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// CUBIC scaling constant.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<Nanos>,
+    /// Time offset at which the cubic reaches `w_max`.
+    k: f64,
+    /// Reno-equivalent window estimate for TCP friendliness.
+    w_est: f64,
+    acked_in_epoch: f64,
+}
+
+impl Cubic {
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            acked_in_epoch: 0.0,
+        }
+    }
+
+    fn reset_epoch(&mut self, now: Nanos) {
+        self.epoch_start = Some(now);
+        self.k = if self.w_max > self.cwnd {
+            ((self.w_max - self.cwnd) / C).cbrt()
+        } else {
+            0.0
+        };
+        self.w_est = self.cwnd;
+        self.acked_in_epoch = 0.0;
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        let now = ack.now;
+        if self.epoch_start.is_none() {
+            if self.w_max == 0.0 {
+                self.w_max = self.cwnd;
+            }
+            self.reset_epoch(now);
+        }
+        let t = (now - self.epoch_start.unwrap()) as f64 / SECONDS as f64;
+        let rtt = sock.srtt.max(1e-3);
+        // Target window one RTT into the future (RFC 8312 §4.1).
+        let target = C * (t + rtt - self.k).powi(3) + self.w_max;
+        if target > self.cwnd {
+            self.cwnd += (target - self.cwnd) / self.cwnd * ack.newly_acked_pkts as f64;
+        } else {
+            // Minimal growth to stay responsive.
+            self.cwnd += 0.01 * ack.newly_acked_pkts as f64 / self.cwnd;
+        }
+        // TCP-friendly region (RFC 8312 §4.2).
+        self.acked_in_epoch += ack.newly_acked_pkts as f64;
+        self.w_est = self.w_est
+            + 3.0 * (1.0 - BETA) / (1.0 + BETA) * ack.newly_acked_pkts as f64 / self.cwnd;
+        if self.w_est > self.cwnd {
+            self.cwnd = self.w_est;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        // Fast convergence (RFC 8312 §4.6).
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.cwnd = (self.cwnd * BETA).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+        self.epoch_start = None;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+    use sage_netsim::time::MILLIS;
+
+    #[test]
+    fn concave_growth_toward_w_max() {
+        let mut c = Cubic::new();
+        // Build a window then lose.
+        for _ in 0..200 {
+            c.on_ack(&ack(1), &view(c.cwnd_pkts()));
+        }
+        let before = c.cwnd_pkts();
+        c.on_congestion_event(0, &view(before));
+        assert!((c.cwnd_pkts() - before * BETA).abs() < 1e-6);
+        // Growth right after the loss approaches w_max but does not blow past
+        // it quickly (concave region).
+        let mut ev = ack(1);
+        for i in 0..50u64 {
+            ev.now = i * 10 * MILLIS;
+            c.on_ack(&ev, &view(c.cwnd_pkts()));
+        }
+        assert!(c.cwnd_pkts() <= before * 1.05, "cwnd {} vs w_max {}", c.cwnd_pkts(), before);
+        assert!(c.cwnd_pkts() > before * BETA, "should have grown");
+    }
+
+    #[test]
+    fn convex_growth_past_w_max_eventually() {
+        let mut c = Cubic::new();
+        for _ in 0..100 {
+            c.on_ack(&ack(1), &view(c.cwnd_pkts()));
+        }
+        let before = c.cwnd_pkts();
+        c.on_congestion_event(0, &view(before));
+        let mut ev = ack(1);
+        // Several simulated seconds of ACKs.
+        for i in 0..2_000u64 {
+            ev.now = i * 5 * MILLIS;
+            c.on_ack(&ev, &view(c.cwnd_pkts()));
+        }
+        assert!(c.cwnd_pkts() > before, "probing should exceed old w_max");
+    }
+
+    #[test]
+    fn fast_convergence_reduces_w_max() {
+        let mut c = Cubic::new();
+        for _ in 0..100 {
+            c.on_ack(&ack(1), &view(c.cwnd_pkts()));
+        }
+        c.on_congestion_event(0, &view(c.cwnd_pkts()));
+        let w_max_1 = c.w_max;
+        // Second loss below w_max triggers fast convergence.
+        c.on_congestion_event(0, &view(c.cwnd_pkts()));
+        assert!(c.w_max < w_max_1);
+    }
+
+    #[test]
+    fn slow_start_respected() {
+        let mut c = Cubic::new();
+        let w0 = c.cwnd_pkts();
+        c.on_ack(&ack(5), &view(w0));
+        assert_eq!(c.cwnd_pkts(), w0 + 5.0);
+    }
+}

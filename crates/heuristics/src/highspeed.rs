@@ -1,0 +1,132 @@
+//! HighSpeed TCP (Floyd, RFC 3649): window-dependent AIMD parameters a(w)
+//! and b(w) so large-BDP flows recover quickly from a single loss.
+
+use crate::common::slow_start;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const LOW_WINDOW: f64 = 38.0;
+const HIGH_WINDOW: f64 = 83_000.0;
+const HIGH_P: f64 = 1e-7;
+const HIGH_DECREASE: f64 = 0.1;
+
+/// RFC 3649 §5: b(w) interpolates log-linearly from 0.5 at LOW_WINDOW to
+/// HIGH_DECREASE at HIGH_WINDOW.
+fn b_of_w(w: f64) -> f64 {
+    if w <= LOW_WINDOW {
+        return 0.5;
+    }
+    let f = ((w.ln() - LOW_WINDOW.ln()) / (HIGH_WINDOW.ln() - LOW_WINDOW.ln())).clamp(0.0, 1.0);
+    (HIGH_DECREASE - 0.5) * f + 0.5
+}
+
+/// RFC 3649 §5: a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)), with the response
+/// function p(w) = 0.078 / w^1.2.
+fn a_of_w(w: f64) -> f64 {
+    if w <= LOW_WINDOW {
+        return 1.0;
+    }
+    let p = 0.078 / w.powf(1.2) * (HIGH_P / (0.078 / HIGH_WINDOW.powf(1.2))).powf(0.0);
+    let b = b_of_w(w);
+    (w * w * p * 2.0 * b / (2.0 - b)).max(1.0)
+}
+
+pub struct HighSpeed {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl HighSpeed {
+    pub fn new() -> Self {
+        HighSpeed { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+    }
+}
+
+impl Default for HighSpeed {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for HighSpeed {
+    fn name(&self) -> &'static str {
+        "highspeed"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, _sock: &SocketView) {
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        let a = a_of_w(self.cwnd);
+        self.cwnd += a * ack.newly_acked_pkts as f64 / self.cwnd;
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        let b = b_of_w(self.cwnd);
+        self.cwnd = (self.cwnd * (1.0 - b)).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        let b = b_of_w(self.cwnd);
+        self.ssthresh = (self.cwnd * (1.0 - b)).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    #[test]
+    fn reno_compatible_below_low_window() {
+        assert_eq!(a_of_w(20.0), 1.0);
+        assert_eq!(b_of_w(20.0), 0.5);
+    }
+
+    #[test]
+    fn aggressive_above_low_window() {
+        assert!(a_of_w(1000.0) > 1.0, "a(1000) = {}", a_of_w(1000.0));
+        assert!(b_of_w(1000.0) < 0.5);
+        assert!(b_of_w(HIGH_WINDOW) <= HIGH_DECREASE + 1e-9);
+    }
+
+    #[test]
+    fn monotone_parameters() {
+        let mut prev_a = 0.0;
+        let mut prev_b = 1.0;
+        for w in [38.0, 100.0, 1_000.0, 10_000.0, 83_000.0] {
+            assert!(a_of_w(w) >= prev_a);
+            assert!(b_of_w(w) <= prev_b + 1e-12);
+            prev_a = a_of_w(w);
+            prev_b = b_of_w(w);
+        }
+    }
+
+    #[test]
+    fn gentle_backoff_for_big_windows() {
+        let mut h = HighSpeed::new();
+        h.cwnd = 10_000.0;
+        h.ssthresh = 1.0;
+        h.on_congestion_event(0, &view(10_000.0));
+        assert!(h.cwnd_pkts() > 6_000.0, "large windows lose < 40%: {}", h.cwnd_pkts());
+    }
+
+    #[test]
+    fn ca_growth_positive() {
+        let mut h = HighSpeed::new();
+        h.ssthresh = 5.0;
+        let before = h.cwnd_pkts();
+        h.on_ack(&ack(1), &view(before));
+        assert!(h.cwnd_pkts() > before);
+    }
+}

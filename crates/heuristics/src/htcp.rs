@@ -1,0 +1,141 @@
+//! H-TCP (Leith & Shorten 2004): the additive-increase factor grows with the
+//! elapsed time since the last congestion event; the backoff factor adapts to
+//! the RTT range (beta = RTTmin/RTTmax, clamped to [0.5, 0.8]).
+
+use crate::common::slow_start;
+use sage_netsim::time::{Nanos, SECONDS};
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// Low-speed regime length (seconds): behave like Reno for the first second.
+const DELTA_L: f64 = 1.0;
+
+pub struct Htcp {
+    cwnd: f64,
+    ssthresh: f64,
+    last_congestion: Nanos,
+    rtt_min: f64,
+    rtt_max: f64,
+}
+
+impl Htcp {
+    pub fn new() -> Self {
+        Htcp {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            last_congestion: 0,
+            rtt_min: f64::INFINITY,
+            rtt_max: 0.0,
+        }
+    }
+
+    fn alpha(&self, now: Nanos) -> f64 {
+        let delta = (now - self.last_congestion) as f64 / SECONDS as f64;
+        if delta <= DELTA_L {
+            1.0
+        } else {
+            let d = delta - DELTA_L;
+            1.0 + 10.0 * d + 0.25 * d * d
+        }
+    }
+
+    fn beta(&self) -> f64 {
+        if self.rtt_max <= 0.0 || !self.rtt_min.is_finite() {
+            return 0.5;
+        }
+        (self.rtt_min / self.rtt_max).clamp(0.5, 0.8)
+    }
+}
+
+impl Default for Htcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Htcp {
+    fn name(&self) -> &'static str {
+        "htcp"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, _sock: &SocketView) {
+        if let Some(rtt) = ack.rtt_sample {
+            self.rtt_min = self.rtt_min.min(rtt);
+            self.rtt_max = self.rtt_max.max(rtt);
+        }
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        let a = self.alpha(ack.now);
+        self.cwnd += a * ack.newly_acked_pkts as f64 / self.cwnd;
+    }
+
+    fn on_congestion_event(&mut self, now: Nanos, _sock: &SocketView) {
+        let b = self.beta();
+        self.cwnd = (self.cwnd * b).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+        self.last_congestion = now;
+        // Reset the RTT range for the next epoch.
+        self.rtt_min = f64::INFINITY;
+        self.rtt_max = 0.0;
+    }
+
+    fn on_rto(&mut self, now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd * 0.5).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+        self.last_congestion = now;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+    use sage_netsim::time::from_secs;
+
+    #[test]
+    fn reno_like_in_first_second() {
+        let h = Htcp::new();
+        assert_eq!(h.alpha(from_secs(0.5)), 1.0);
+    }
+
+    #[test]
+    fn alpha_accelerates_after_one_second() {
+        let h = Htcp::new();
+        let a3 = h.alpha(from_secs(3.0));
+        assert!((a3 - (1.0 + 10.0 * 2.0 + 0.25 * 4.0)).abs() < 1e-9);
+        assert!(h.alpha(from_secs(10.0)) > a3);
+    }
+
+    #[test]
+    fn beta_adapts_to_rtt_range() {
+        let mut h = Htcp::new();
+        let mut a = ack(1);
+        a.rtt_sample = Some(0.040);
+        h.on_ack(&a, &view(10.0));
+        a.rtt_sample = Some(0.080);
+        h.on_ack(&a, &view(10.0));
+        assert_eq!(h.beta(), 0.5); // 40/80 = 0.5 (clamped lower bound)
+        let mut h2 = Htcp::new();
+        a.rtt_sample = Some(0.040);
+        h2.on_ack(&a, &view(10.0));
+        a.rtt_sample = Some(0.044);
+        h2.on_ack(&a, &view(10.0));
+        assert!((h2.beta() - 0.8).abs() < 1e-9); // clamped upper bound
+    }
+
+    #[test]
+    fn congestion_resets_epoch() {
+        let mut h = Htcp::new();
+        h.cwnd = 100.0;
+        h.on_congestion_event(from_secs(5.0), &view(100.0));
+        assert_eq!(h.alpha(from_secs(5.5)), 1.0, "alpha resets after loss");
+    }
+}

@@ -1,0 +1,105 @@
+//! TCP Hybla (Caini & Firrincieli 2004): normalises window growth by
+//! `rho = RTT/RTT0` so long-RTT (e.g. satellite) flows grow as fast in wall
+//! clock as a reference 25 ms flow.
+
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// Reference RTT (seconds).
+const RTT0: f64 = 0.025;
+
+pub struct Hybla {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Hybla {
+    pub fn new() -> Self {
+        Hybla { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+    }
+
+    fn rho(sock: &SocketView) -> f64 {
+        (sock.srtt / RTT0).max(1.0)
+    }
+}
+
+impl Default for Hybla {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Hybla {
+    fn name(&self) -> &'static str {
+        "hybla"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        let rho = Self::rho(sock);
+        if self.cwnd < self.ssthresh {
+            // SS: cwnd += 2^rho - 1 per ACK.
+            self.cwnd += (2f64.powf(rho) - 1.0) * ack.newly_acked_pkts as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // CA: cwnd += rho^2 / cwnd per ACK.
+            self.cwnd += rho * rho * ack.newly_acked_pkts as f64 / self.cwnd;
+        }
+        // Cap the per-ack explosion for enormous rho values.
+        self.cwnd = self.cwnd.min(1e6);
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn long_rtt_grows_faster_per_ack() {
+        let mut short = Hybla::new();
+        let mut long = Hybla::new();
+        short.ssthresh = 5.0;
+        long.ssthresh = 5.0;
+        let vs = view_rtt(10.0, 0.025, 0.025);
+        let vl = view_rtt(10.0, 0.200, 0.200);
+        for _ in 0..10 {
+            short.on_ack(&ack(1), &vs);
+            long.on_ack(&ack(1), &vl);
+        }
+        assert!(long.cwnd_pkts() > short.cwnd_pkts(), "rho compensation missing");
+    }
+
+    #[test]
+    fn rho_floors_at_one() {
+        let v = view_rtt(10.0, 0.001, 0.001);
+        assert_eq!(Hybla::rho(&v), 1.0);
+    }
+
+    #[test]
+    fn halves_on_loss() {
+        let mut h = Hybla::new();
+        h.cwnd = 40.0;
+        h.on_congestion_event(0, &view_rtt(40.0, 0.1, 0.1));
+        assert_eq!(h.cwnd_pkts(), 20.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! TCP-Illinois (Liu, Başar, Srikant 2008): loss-based primary signal with
+//! delay-modulated AIMD parameters — large alpha/small beta when the queue is
+//! empty, small alpha/large beta as delay approaches the maximum.
+
+use crate::common::slow_start;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const ALPHA_MAX: f64 = 10.0;
+const ALPHA_MIN: f64 = 0.3;
+const BETA_MIN: f64 = 0.125;
+const BETA_MAX: f64 = 0.5;
+
+pub struct Illinois {
+    cwnd: f64,
+    ssthresh: f64,
+    max_delay: f64,
+}
+
+impl Illinois {
+    pub fn new() -> Self {
+        Illinois { cwnd: INIT_CWND, ssthresh: f64::INFINITY, max_delay: 0.0 }
+    }
+
+    /// Average queuing delay da and the derived alpha (per-RTT increase).
+    fn alpha(&self, da: f64) -> f64 {
+        let dm = self.max_delay;
+        if dm <= 0.0 {
+            return ALPHA_MAX;
+        }
+        let d1 = 0.01 * dm;
+        if da <= d1 {
+            ALPHA_MAX
+        } else {
+            // kappa1/(kappa2 + da) through (d1, alpha_max), (dm, alpha_min).
+            let k1 = (dm - d1) * ALPHA_MAX * ALPHA_MIN / (ALPHA_MAX - ALPHA_MIN);
+            let k2 = k1 / ALPHA_MAX - d1;
+            (k1 / (k2 + da)).clamp(ALPHA_MIN, ALPHA_MAX)
+        }
+    }
+
+    fn beta(&self, da: f64) -> f64 {
+        let dm = self.max_delay;
+        if dm <= 0.0 {
+            return BETA_MIN;
+        }
+        let d2 = 0.1 * dm;
+        let d3 = 0.8 * dm;
+        if da <= d2 {
+            BETA_MIN
+        } else if da >= d3 {
+            BETA_MAX
+        } else {
+            BETA_MIN + (BETA_MAX - BETA_MIN) * (da - d2) / (d3 - d2)
+        }
+    }
+}
+
+impl Default for Illinois {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Illinois {
+    fn name(&self) -> &'static str {
+        "illinois"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        let da = (sock.srtt - sock.min_rtt).max(0.0);
+        self.max_delay = self.max_delay.max(da);
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        let a = self.alpha(da);
+        self.cwnd += a * ack.newly_acked_pkts as f64 / self.cwnd;
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, sock: &SocketView) {
+        let da = (sock.srtt - sock.min_rtt).max(0.0);
+        let b = self.beta(da);
+        self.cwnd = (self.cwnd * (1.0 - b)).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn alpha_max_when_queue_empty() {
+        let mut il = Illinois::new();
+        il.max_delay = 0.1;
+        assert_eq!(il.alpha(0.0), ALPHA_MAX);
+        assert_eq!(il.alpha(0.0005), ALPHA_MAX); // below d1
+    }
+
+    #[test]
+    fn alpha_shrinks_with_delay() {
+        let mut il = Illinois::new();
+        il.max_delay = 0.1;
+        assert!(il.alpha(0.05) < ALPHA_MAX);
+        assert!((il.alpha(0.1) - ALPHA_MIN).abs() < 0.1);
+    }
+
+    #[test]
+    fn beta_grows_with_delay() {
+        let mut il = Illinois::new();
+        il.max_delay = 0.1;
+        assert_eq!(il.beta(0.005), BETA_MIN);
+        assert_eq!(il.beta(0.09), BETA_MAX);
+        let mid = il.beta(0.045);
+        assert!(mid > BETA_MIN && mid < BETA_MAX);
+    }
+
+    #[test]
+    fn fast_growth_at_low_delay() {
+        let mut il = Illinois::new();
+        il.ssthresh = 5.0;
+        il.cwnd = 10.0;
+        let v = view_rtt(10.0, 0.040, 0.040);
+        let before = il.cwnd_pkts();
+        il.on_ack(&ack(1), &v);
+        assert!(il.cwnd_pkts() - before >= ALPHA_MAX / 10.0 * 0.9);
+    }
+}

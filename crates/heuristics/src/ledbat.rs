@@ -1,0 +1,90 @@
+//! LEDBAT (RFC 6817; Rossi et al. 2010): a *scavenger* protocol targeting a
+//! fixed queuing delay (100 ms) and yielding to any queue growth beyond it.
+
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// Target queuing delay, seconds.
+const TARGET: f64 = 0.100;
+/// Gain in windows per RTT per unit off-target.
+const GAIN: f64 = 1.0;
+
+pub struct Ledbat {
+    cwnd: f64,
+}
+
+impl Ledbat {
+    pub fn new() -> Self {
+        Ledbat { cwnd: INIT_CWND }
+    }
+}
+
+impl Default for Ledbat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Ledbat {
+    fn name(&self) -> &'static str {
+        "ledbat"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        let q = (sock.latest_rtt - sock.min_rtt).max(0.0);
+        let off_target = (TARGET - q) / TARGET;
+        // RFC 6817 linear controller; at most one packet per RTT of growth.
+        self.cwnd += GAIN * off_target * ack.newly_acked_pkts as f64 / self.cwnd;
+        self.cwnd = self.cwnd.max(MIN_CWND);
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = (self.cwnd / 2.0).max(MIN_CWND);
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn grows_below_target_delay() {
+        let mut l = Ledbat::new();
+        let v = view_rtt(10.0, 0.045, 0.040); // 5 ms queue < 100 ms target
+        let before = l.cwnd_pkts();
+        for _ in 0..50 {
+            l.on_ack(&ack(1), &v);
+        }
+        assert!(l.cwnd_pkts() > before);
+    }
+
+    #[test]
+    fn shrinks_above_target_delay() {
+        let mut l = Ledbat::new();
+        l.cwnd = 50.0;
+        let v = view_rtt(50.0, 0.240, 0.040); // 200 ms queue > target
+        for _ in 0..50 {
+            l.on_ack(&ack(1), &v);
+        }
+        assert!(l.cwnd_pkts() < 50.0);
+    }
+
+    #[test]
+    fn equilibrium_at_target() {
+        let mut l = Ledbat::new();
+        l.cwnd = 30.0;
+        let v = view_rtt(30.0, 0.140, 0.040); // exactly at target
+        let before = l.cwnd_pkts();
+        l.on_ack(&ack(1), &v);
+        assert!((l.cwnd_pkts() - before).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! TCP NewReno (RFC 6582): the canonical loss-based AIMD scheme — slow start,
+//! congestion avoidance of +1 packet/RTT, halving on loss.
+
+use crate::common::{ai_increase, slow_start};
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl NewReno {
+    pub fn new() -> Self {
+        NewReno { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, _sock: &SocketView) {
+        if !slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            ai_increase(&mut self.cwnd, ack.newly_acked_pkts, 1.0);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = NewReno::new();
+        let start = r.cwnd_pkts();
+        // One window of ACKs in slow start doubles cwnd.
+        for _ in 0..start as u64 {
+            r.on_ack(&ack(1), &view(r.cwnd_pkts()));
+        }
+        assert!((r.cwnd_pkts() - 2.0 * start).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_per_rtt() {
+        let mut r = NewReno::new();
+        r.on_congestion_event(0, &view(10.0)); // forces CA at ssthresh=5
+        let w = r.cwnd_pkts();
+        for _ in 0..w.round() as u64 {
+            r.on_ack(&ack(1), &view(r.cwnd_pkts()));
+        }
+        assert!((r.cwnd_pkts() - (w + 1.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut r = NewReno::new();
+        for _ in 0..100 {
+            r.on_ack(&ack(1), &view(r.cwnd_pkts()));
+        }
+        let before = r.cwnd_pkts();
+        r.on_congestion_event(0, &view(before));
+        assert!((r.cwnd_pkts() - before / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rto_collapses_to_min() {
+        let mut r = NewReno::new();
+        r.on_rto(0, &view(10.0));
+        assert_eq!(r.cwnd_pkts(), MIN_CWND);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sprout-style control (Winstein, Sivaraman, Balakrishnan, NSDI 2013):
+//! forecasts the link's deliverable volume over a 100 ms horizon from recent
+//! delivery-rate observations and sizes the window to what can drain within
+//! the delay budget with high probability (a conservative quantile).
+//!
+//! The original uses a per-trace stochastic model inferred by Bayesian
+//! filtering over cellular link states; we keep the essential behaviour —
+//! "send only what the forecast says will drain in 100 ms" — using an online
+//! mean/deviation forecast of the delivery rate.
+
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+use sage_util::Ewma;
+
+/// Delay budget, seconds (Sprout's 100 ms target).
+const BUDGET: f64 = 0.100;
+/// Conservatism: how many deviations below the mean rate to assume.
+const K_SIGMA: f64 = 1.0;
+
+pub struct Sprout {
+    cwnd: f64,
+    rate_mean: Ewma,
+    dev_mean: Ewma,
+    mss: u32,
+}
+
+impl Sprout {
+    pub fn new() -> Self {
+        Sprout {
+            cwnd: INIT_CWND,
+            rate_mean: Ewma::new(0.2),
+            dev_mean: Ewma::new(0.2),
+            mss: 1500,
+        }
+    }
+}
+
+impl Default for Sprout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Sprout {
+    fn name(&self) -> &'static str {
+        "sprout"
+    }
+
+    fn init(&mut self, _now: Nanos, mss: u32) {
+        self.mss = mss;
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, sock: &SocketView) {
+        if sock.delivery_rate_bps > 0.0 {
+            let m = self.rate_mean.get_or(sock.delivery_rate_bps);
+            self.rate_mean.update(sock.delivery_rate_bps);
+            self.dev_mean.update((sock.delivery_rate_bps - m).abs());
+        }
+    }
+
+    fn on_tick(&mut self, _now: Nanos, _sock: &SocketView) {
+        let mean = self.rate_mean.get_or(0.0);
+        let dev = self.dev_mean.get_or(0.0);
+        let conservative = (mean - K_SIGMA * dev).max(mean * 0.1);
+        if conservative > 0.0 {
+            // Window = volume drainable within the budget.
+            self.cwnd = (conservative * BUDGET / 8.0 / self.mss as f64).max(MIN_CWND);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = (self.cwnd / 2.0).max(MIN_CWND);
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    #[test]
+    fn window_sized_by_forecast_and_budget() {
+        let mut s = Sprout::new();
+        s.init(0, 1500);
+        let mut v = view(10.0);
+        v.delivery_rate_bps = 24e6;
+        for _ in 0..100 {
+            s.on_ack(&ack(1), &v);
+        }
+        s.on_tick(0, &v);
+        // 24 Mbps * 100 ms / 8 / 1500 = 200 packets (minus deviation margin).
+        assert!(s.cwnd_pkts() > 100.0 && s.cwnd_pkts() <= 210.0, "cwnd {}", s.cwnd_pkts());
+    }
+
+    #[test]
+    fn variance_makes_it_conservative() {
+        let mut steady = Sprout::new();
+        let mut bursty = Sprout::new();
+        let mut v = view(10.0);
+        for i in 0..200 {
+            v.delivery_rate_bps = 24e6;
+            steady.on_ack(&ack(1), &v);
+            v.delivery_rate_bps = if i % 2 == 0 { 4e6 } else { 44e6 };
+            bursty.on_ack(&ack(1), &v);
+        }
+        steady.on_tick(0, &v);
+        bursty.on_tick(0, &v);
+        assert!(bursty.cwnd_pkts() < steady.cwnd_pkts(), "variance should shrink window");
+    }
+}

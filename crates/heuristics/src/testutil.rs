@@ -1,0 +1,51 @@
+//! Shared fixtures for scheme unit tests.
+
+use sage_transport::cc::CaState;
+use sage_transport::{AckEvent, SocketView};
+
+/// An ACK event acknowledging `n` packets with a 50 ms RTT sample.
+pub fn ack(n: u64) -> AckEvent {
+    AckEvent {
+        now: 0,
+        newly_acked_pkts: n,
+        newly_acked_bytes: n * 1500,
+        rtt_sample: Some(0.05),
+        exited_recovery: false,
+    }
+}
+
+/// A socket view with the given cwnd and benign defaults
+/// (srtt 50 ms, min_rtt 40 ms).
+pub fn view(cwnd: f64) -> SocketView {
+    SocketView {
+        now: 0,
+        mss: 1500,
+        srtt: 0.05,
+        rttvar: 0.001,
+        latest_rtt: 0.05,
+        prev_rtt: 0.05,
+        min_rtt: 0.04,
+        inflight_pkts: cwnd,
+        inflight_bytes: (cwnd * 1500.0) as u64,
+        delivery_rate_bps: 10e6,
+        prev_delivery_rate_bps: 10e6,
+        max_delivery_rate_bps: 12e6,
+        prev_max_delivery_rate_bps: 12e6,
+        ca_state: CaState::Open,
+        delivered_bytes_total: 0,
+        sent_bytes_total: 0,
+        lost_bytes_total: 0,
+        lost_pkts_total: 0,
+        cwnd_pkts: cwnd,
+        ssthresh_pkts: f64::INFINITY,
+    }
+}
+
+/// A view with explicit srtt/min_rtt (seconds).
+pub fn view_rtt(cwnd: f64, srtt: f64, min_rtt: f64) -> SocketView {
+    let mut v = view(cwnd);
+    v.srtt = srtt;
+    v.latest_rtt = srtt;
+    v.min_rtt = min_rtt;
+    v
+}

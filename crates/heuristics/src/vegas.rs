@@ -1,0 +1,150 @@
+//! TCP Vegas (Brakmo & Peterson 1994): delay-based congestion avoidance that
+//! keeps an estimated `alpha..beta` packets queued at the bottleneck.
+
+use crate::common::RoundTracker;
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const ALPHA: f64 = 2.0;
+const BETA: f64 = 4.0;
+const GAMMA: f64 = 1.0;
+
+pub struct Vegas {
+    cwnd: f64,
+    ssthresh: f64,
+    round: RoundTracker,
+    /// Minimum RTT observed during the current round.
+    round_min_rtt: f64,
+}
+
+impl Vegas {
+    pub fn new() -> Self {
+        Vegas {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            round: RoundTracker::default(),
+            round_min_rtt: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if let Some(rtt) = ack.rtt_sample {
+            self.round_min_rtt = self.round_min_rtt.min(rtt);
+        }
+        let new_round = self.round.update(sock);
+        if !new_round {
+            return;
+        }
+        let base = sock.min_rtt.max(1e-6);
+        let rtt = if self.round_min_rtt.is_finite() { self.round_min_rtt } else { sock.srtt.max(base) };
+        self.round_min_rtt = f64::INFINITY;
+        if rtt <= 0.0 {
+            return;
+        }
+        // diff = cwnd * (rtt - base)/rtt: estimated packets queued by us.
+        let diff = self.cwnd * (rtt - base) / rtt;
+        if self.cwnd < self.ssthresh {
+            // Vegas slow start: only every other round, and stop once a
+            // queue starts forming.
+            if diff > GAMMA {
+                self.ssthresh = self.cwnd;
+                self.cwnd = (self.cwnd - diff).max(MIN_CWND);
+            } else {
+                self.cwnd *= 2.0;
+            }
+        } else if diff < ALPHA {
+            self.cwnd += 1.0;
+        } else if diff > BETA {
+            self.cwnd = (self.cwnd - 1.0).max(MIN_CWND);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    /// Feed one full round of ACKs at a given RTT.
+    fn round(v: &mut Vegas, srtt: f64, min_rtt: f64, delivered: &mut u64) {
+        let w = v.cwnd_pkts();
+        for _ in 0..w.ceil() as u64 {
+            *delivered += 1500;
+            let mut view = view_rtt(v.cwnd_pkts(), srtt, min_rtt);
+            view.delivered_bytes_total = *delivered;
+            let mut a = ack(1);
+            a.rtt_sample = Some(srtt);
+            v.on_ack(&a, &view);
+        }
+    }
+
+    #[test]
+    fn grows_when_queue_is_empty() {
+        let mut v = Vegas::new();
+        v.ssthresh = 5.0; // force CA
+        let w0 = v.cwnd_pkts();
+        let mut d = 0;
+        for _ in 0..5 {
+            round(&mut v, 0.040, 0.040, &mut d); // no queuing delay
+        }
+        assert!(v.cwnd_pkts() > w0, "should grow with empty queue");
+    }
+
+    #[test]
+    fn shrinks_when_queue_builds() {
+        let mut v = Vegas::new();
+        v.ssthresh = 5.0;
+        v.cwnd = 50.0;
+        let mut d = 0;
+        // rtt twice the base: diff = 25 packets queued >> beta.
+        for _ in 0..5 {
+            round(&mut v, 0.080, 0.040, &mut d);
+        }
+        assert!(v.cwnd_pkts() < 50.0, "should back off under queuing");
+    }
+
+    #[test]
+    fn slow_start_exits_on_queue_signal() {
+        let mut v = Vegas::new();
+        let mut d = 0;
+        // Keep doubling while no queue...
+        round(&mut v, 0.040, 0.040, &mut d);
+        let grew = v.cwnd_pkts();
+        assert!(grew >= INIT_CWND);
+        // ...then a queue appears: ssthresh set, growth stops.
+        for _ in 0..3 {
+            round(&mut v, 0.120, 0.040, &mut d);
+        }
+        assert!(v.ssthresh.is_finite());
+    }
+}

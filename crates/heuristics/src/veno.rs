@@ -1,0 +1,128 @@
+//! TCP Veno (Fu & Liew 2003): Vegas-style backlog estimate N distinguishes
+//! random loss (N small: gentle backoff x0.8) from congestion loss
+//! (N large: halve); increase slows to every other ACK once N exceeds beta.
+
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+const BETA_PKTS: f64 = 3.0;
+
+pub struct Veno {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Toggle for every-other-ACK increase in the congested regime.
+    hold: bool,
+}
+
+impl Veno {
+    pub fn new() -> Self {
+        Veno { cwnd: INIT_CWND, ssthresh: f64::INFINITY, hold: false }
+    }
+
+    fn backlog(&self, sock: &SocketView) -> f64 {
+        let rtt = sock.srtt.max(1e-6);
+        let base = sock.min_rtt.max(1e-6);
+        self.cwnd * (rtt - base).max(0.0) / rtt
+    }
+}
+
+impl Default for Veno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Veno {
+    fn name(&self) -> &'static str {
+        "veno"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += ack.newly_acked_pkts as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        let n = self.backlog(sock);
+        if n < BETA_PKTS {
+            // Plenty of headroom: Reno increase.
+            self.cwnd += ack.newly_acked_pkts as f64 / self.cwnd;
+        } else {
+            // Congested: increase every other ACK.
+            if self.hold {
+                self.cwnd += ack.newly_acked_pkts as f64 / self.cwnd;
+            }
+            self.hold = !self.hold;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, sock: &SocketView) {
+        let n = self.backlog(sock);
+        let factor = if n < BETA_PKTS { 0.8 } else { 0.5 };
+        self.cwnd = (self.cwnd * factor).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    #[test]
+    fn random_loss_gets_gentle_backoff() {
+        let mut v = Veno::new();
+        v.cwnd = 50.0;
+        // Empty queue: srtt == min_rtt.
+        v.on_congestion_event(0, &view_rtt(50.0, 0.040, 0.040));
+        assert!((v.cwnd_pkts() - 40.0).abs() < 1e-9, "0.8 backoff expected");
+    }
+
+    #[test]
+    fn congestion_loss_halves() {
+        let mut v = Veno::new();
+        v.cwnd = 50.0;
+        // Large queue: backlog = 25 > beta.
+        v.on_congestion_event(0, &view_rtt(50.0, 0.080, 0.040));
+        assert!((v.cwnd_pkts() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congested_increase_is_half_rate() {
+        let mut v = Veno::new();
+        v.ssthresh = 5.0;
+        v.cwnd = 50.0;
+        let congested = view_rtt(50.0, 0.080, 0.040);
+        let before = v.cwnd_pkts();
+        for _ in 0..10 {
+            v.on_ack(&ack(1), &congested);
+        }
+        let grew_congested = v.cwnd_pkts() - before;
+
+        let mut v2 = Veno::new();
+        v2.ssthresh = 5.0;
+        v2.cwnd = 50.0;
+        let free = view_rtt(50.0, 0.040, 0.040);
+        let before2 = v2.cwnd_pkts();
+        for _ in 0..10 {
+            v2.on_ack(&ack(1), &free);
+        }
+        let grew_free = v2.cwnd_pkts() - before2;
+        assert!((grew_congested - grew_free / 2.0).abs() < grew_free * 0.2);
+    }
+}

@@ -1,0 +1,200 @@
+//! PCC Vivace-style control (Dong et al., NSDI 2018): online-learning rate
+//! control. Each monitor interval the sender perturbs its rate by ±epsilon,
+//! scores the resulting utility U(r) = r^0.9 − b·r·(dRTT/dt)⁺ − c·r·loss,
+//! and ascends the empirical utility gradient.
+
+use sage_netsim::time::{Nanos, SECONDS};
+use sage_transport::{AckEvent, CongestionControl, SocketView, MIN_CWND};
+
+const EPS: f64 = 0.05;
+const B_LATENCY: f64 = 900.0;
+const C_LOSS: f64 = 11.35;
+/// Monitor-interval count per probe phase.
+const MI_PER_PHASE: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Up,
+    Down,
+}
+
+pub struct Vivace {
+    /// Base sending rate, bits/s.
+    rate_bps: f64,
+    phase: Phase,
+    mi_count: u32,
+    utility_up: f64,
+    utility_down: f64,
+    prev_rtt: f64,
+    prev_lost: u64,
+    prev_time: Nanos,
+    step_bps: f64,
+    /// Consecutive same-direction steps (PCC's rate-change amplification).
+    streak: i32,
+    last_dir: f64,
+    mss: u32,
+    srtt: f64,
+}
+
+impl Vivace {
+    pub fn new() -> Self {
+        Vivace {
+            rate_bps: 2e6,
+            phase: Phase::Up,
+            mi_count: 0,
+            utility_up: 0.0,
+            utility_down: 0.0,
+            prev_rtt: 0.0,
+            prev_lost: 0,
+            prev_time: 0,
+            step_bps: 0.5e6,
+            streak: 0,
+            last_dir: 0.0,
+            mss: 1500,
+            srtt: 0.05,
+        }
+    }
+
+    fn utility(&self, rate_bps: f64, rtt_grad: f64, loss_frac: f64) -> f64 {
+        let r_mbps = rate_bps / 1e6;
+        r_mbps.powf(0.9) - B_LATENCY * r_mbps * rtt_grad.max(0.0) - C_LOSS * r_mbps * loss_frac
+    }
+}
+
+impl Default for Vivace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vivace {
+    fn name(&self) -> &'static str {
+        "vivace"
+    }
+
+    fn init(&mut self, _now: Nanos, mss: u32) {
+        self.mss = mss;
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, sock: &SocketView) {
+        if sock.srtt > 0.0 {
+            self.srtt = sock.srtt;
+        }
+    }
+
+    fn on_tick(&mut self, now: Nanos, sock: &SocketView) {
+        let dt = now.saturating_sub(self.prev_time) as f64 / SECONDS as f64;
+        if dt <= 0.0 {
+            return;
+        }
+        let rtt_grad = if self.prev_rtt > 0.0 { (sock.srtt - self.prev_rtt) / dt } else { 0.0 };
+        let lost_delta = sock.lost_pkts_total.saturating_sub(self.prev_lost);
+        let sent_est = (self.rate_bps * dt / 8.0 / self.mss as f64).max(1.0);
+        let loss_frac = (lost_delta as f64 / sent_est).min(1.0);
+        self.prev_rtt = sock.srtt;
+        self.prev_lost = sock.lost_pkts_total;
+        self.prev_time = now;
+
+        let trial_rate = match self.phase {
+            Phase::Up => self.rate_bps * (1.0 + EPS),
+            Phase::Down => self.rate_bps * (1.0 - EPS),
+        };
+        let u = self.utility(trial_rate, rtt_grad, loss_frac);
+        match self.phase {
+            Phase::Up => self.utility_up += u,
+            Phase::Down => self.utility_down += u,
+        }
+        self.mi_count += 1;
+        if self.mi_count >= MI_PER_PHASE {
+            self.mi_count = 0;
+            match self.phase {
+                Phase::Up => {
+                    self.phase = Phase::Down;
+                }
+                Phase::Down => {
+                    // Completed both probes: gradient step with PCC-style
+                    // amplification on consistent direction.
+                    let grad = self.utility_up - self.utility_down;
+                    let dir = if grad > 0.0 { 1.0 } else { -1.0 };
+                    if dir == self.last_dir {
+                        self.streak = (self.streak + 1).min(8);
+                    } else {
+                        self.streak = 0;
+                    }
+                    self.last_dir = dir;
+                    let amp = 1.0 + self.streak as f64;
+                    self.rate_bps = (self.rate_bps
+                        + dir * amp * self.step_bps.max(0.05 * self.rate_bps))
+                    .clamp(0.1e6, 1e9);
+                    self.utility_up = 0.0;
+                    self.utility_down = 0.0;
+                    self.phase = Phase::Up;
+                }
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        // Loss enters the utility; no direct window action.
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.rate_bps = (self.rate_bps / 2.0).max(0.1e6);
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        // Window cap: 2x the rate-delay product so pacing dominates.
+        let phase_rate = match self.phase {
+            Phase::Up => self.rate_bps * (1.0 + EPS),
+            Phase::Down => self.rate_bps * (1.0 - EPS),
+        };
+        (2.0 * phase_rate * self.srtt / 8.0 / self.mss as f64).max(MIN_CWND)
+    }
+
+    fn pacing_bps(&self) -> Option<f64> {
+        let r = match self.phase {
+            Phase::Up => self.rate_bps * (1.0 + EPS),
+            Phase::Down => self.rate_bps * (1.0 - EPS),
+        };
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::view;
+    use sage_netsim::time::MILLIS;
+
+    #[test]
+    fn utility_prefers_higher_rate_without_penalty() {
+        let v = Vivace::new();
+        assert!(v.utility(20e6, 0.0, 0.0) > v.utility(10e6, 0.0, 0.0));
+    }
+
+    #[test]
+    fn utility_penalises_latency_growth_and_loss() {
+        let v = Vivace::new();
+        assert!(v.utility(20e6, 0.5, 0.0) < v.utility(20e6, 0.0, 0.0));
+        assert!(v.utility(20e6, 0.0, 0.1) < v.utility(20e6, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rate_climbs_on_clean_link() {
+        let mut v = Vivace::new();
+        v.init(0, 1500);
+        let sock = view(10.0);
+        let r0 = v.rate_bps;
+        for i in 1..200u64 {
+            v.on_tick(i * 10 * MILLIS, &sock);
+        }
+        assert!(v.rate_bps > r0, "rate should ascend: {} -> {}", r0, v.rate_bps);
+    }
+
+    #[test]
+    fn paces_at_probe_rate() {
+        let v = Vivace::new();
+        let p = v.pacing_bps().unwrap();
+        assert!((p - v.rate_bps * (1.0 + EPS)).abs() < 1.0);
+    }
+}

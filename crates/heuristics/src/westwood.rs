@@ -1,0 +1,110 @@
+//! TCP Westwood+ (Casetti, Gerla et al. 2002): Reno-style growth, but on loss
+//! the window is set from a bandwidth estimate times the minimum RTT
+//! (faster recovery over lossy wireless paths).
+
+use crate::common::{ai_increase, slow_start};
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+use sage_util::Ewma;
+
+pub struct Westwood {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Bandwidth estimate, bits/s (EWMA of delivery-rate samples).
+    bwe: Ewma,
+}
+
+impl Westwood {
+    pub fn new() -> Self {
+        Westwood { cwnd: INIT_CWND, ssthresh: f64::INFINITY, bwe: Ewma::new(0.1) }
+    }
+
+    fn bdp_pkts(&self, sock: &SocketView) -> f64 {
+        let bw = self.bwe.get_or(0.0);
+        if sock.min_rtt <= 0.0 || sock.mss == 0 {
+            return MIN_CWND;
+        }
+        (bw * sock.min_rtt / 8.0 / sock.mss as f64).max(MIN_CWND)
+    }
+}
+
+impl Default for Westwood {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Westwood {
+    fn name(&self) -> &'static str {
+        "westwood"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if sock.delivery_rate_bps > 0.0 {
+            self.bwe.update(sock.delivery_rate_bps);
+        }
+        if !slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            ai_increase(&mut self.cwnd, ack.newly_acked_pkts, 1.0);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, sock: &SocketView) {
+        // Westwood's signature: ssthresh = BWE * RTTmin.
+        self.ssthresh = self.bdp_pkts(sock);
+        self.cwnd = self.cwnd.min(self.ssthresh).max(MIN_CWND);
+    }
+
+    fn on_rto(&mut self, _now: Nanos, sock: &SocketView) {
+        self.ssthresh = self.bdp_pkts(sock);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view};
+
+    #[test]
+    fn loss_sets_window_to_bdp() {
+        let mut w = Westwood::new();
+        // Feed rate samples: 12 Mbps, min_rtt 40 ms -> BDP = 40 packets.
+        let mut v = view(100.0);
+        v.delivery_rate_bps = 12e6;
+        v.min_rtt = 0.040;
+        for _ in 0..200 {
+            w.on_ack(&ack(1), &v);
+        }
+        w.cwnd = 100.0;
+        w.on_congestion_event(0, &v);
+        let bdp = 12e6 * 0.040 / 8.0 / 1500.0;
+        assert!((w.ssthresh_pkts() - bdp).abs() < 2.0, "ssthresh {} bdp {bdp}", w.ssthresh_pkts());
+        assert!(w.cwnd_pkts() <= w.ssthresh_pkts() + 1e-9);
+    }
+
+    #[test]
+    fn random_loss_is_forgiven() {
+        // With a high bandwidth estimate, a loss barely dents the window —
+        // the behaviour Westwood was designed for on wireless paths.
+        let mut w = Westwood::new();
+        let mut v = view(30.0);
+        v.delivery_rate_bps = 48e6;
+        v.min_rtt = 0.040;
+        for _ in 0..100 {
+            w.on_ack(&ack(1), &v);
+        }
+        let before = w.cwnd_pkts();
+        w.on_congestion_event(0, &v);
+        // BDP = 160 pkts > cwnd: window survives intact.
+        assert_eq!(w.cwnd_pkts(), before.min(w.ssthresh_pkts()));
+        assert!(w.cwnd_pkts() >= before - 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! YeAH-TCP (Baiocchi, Castellani, Vacirca 2007): "Yet Another Highspeed TCP"
+//! — aggressive STCP-like growth in *Fast* mode while the estimated queue is
+//! small; precautionary decongestion in *Slow* mode; loss backoff scaled by
+//! the queue estimate.
+
+use crate::common::{slow_start, RoundTracker};
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// Queue threshold (packets) separating Fast and Slow modes.
+const Q_MAX: f64 = 80.0;
+/// RTT ratio threshold.
+const PHY: f64 = 1.2;
+/// STCP-like per-ACK multiplicative increase in Fast mode.
+const STCP_A: f64 = 0.02;
+
+pub struct Yeah {
+    cwnd: f64,
+    ssthresh: f64,
+    round: RoundTracker,
+    fast_mode: bool,
+    round_min_rtt: f64,
+}
+
+impl Yeah {
+    pub fn new() -> Self {
+        Yeah {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            round: RoundTracker::default(),
+            fast_mode: true,
+            round_min_rtt: f64::INFINITY,
+        }
+    }
+
+    fn queue_pkts(&self, rtt: f64, base: f64) -> f64 {
+        if rtt <= 0.0 {
+            return 0.0;
+        }
+        self.cwnd * (rtt - base).max(0.0) / rtt
+    }
+}
+
+impl Default for Yeah {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Yeah {
+    fn name(&self) -> &'static str {
+        "yeah"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView) {
+        if let Some(rtt) = ack.rtt_sample {
+            self.round_min_rtt = self.round_min_rtt.min(rtt);
+        }
+        if slow_start(&mut self.cwnd, self.ssthresh, ack.newly_acked_pkts) {
+            return;
+        }
+        // Growth: STCP-like in fast mode, Reno-like in slow mode.
+        if self.fast_mode {
+            self.cwnd += (STCP_A * self.cwnd).max(1.0) * ack.newly_acked_pkts as f64 / self.cwnd;
+        } else {
+            self.cwnd += ack.newly_acked_pkts as f64 / self.cwnd;
+        }
+        if self.round.update(sock) {
+            let base = sock.min_rtt.max(1e-6);
+            let rtt = if self.round_min_rtt.is_finite() {
+                self.round_min_rtt
+            } else {
+                sock.srtt.max(base)
+            };
+            self.round_min_rtt = f64::INFINITY;
+            let q = self.queue_pkts(rtt, base);
+            if q > Q_MAX || rtt / base > PHY {
+                self.fast_mode = false;
+                // Precautionary decongestion: drain the estimated queue.
+                if q > Q_MAX {
+                    self.cwnd = (self.cwnd - q / 2.0).max(MIN_CWND);
+                    self.ssthresh = self.cwnd;
+                }
+            } else {
+                self.fast_mode = true;
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, sock: &SocketView) {
+        let base = sock.min_rtt.max(1e-6);
+        let rtt = sock.srtt.max(base);
+        let q = self.queue_pkts(rtt, base);
+        // Backoff by the larger of the queue estimate or 1/8 of the window,
+        // capped at one half (the paper's loss response).
+        let dec = (q.max(self.cwnd / 8.0)).min(self.cwnd / 2.0);
+        self.cwnd = (self.cwnd - dec).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, view_rtt};
+
+    fn round(y: &mut Yeah, srtt: f64, base: f64, delivered: &mut u64) {
+        let w = y.cwnd_pkts();
+        for _ in 0..w.ceil() as u64 {
+            *delivered += 1500;
+            let mut v = view_rtt(y.cwnd_pkts(), srtt, base);
+            v.delivered_bytes_total = *delivered;
+            let mut a = ack(1);
+            a.rtt_sample = Some(srtt);
+            y.on_ack(&a, &v);
+        }
+    }
+
+    #[test]
+    fn fast_mode_outgrows_reno() {
+        let mut y = Yeah::new();
+        y.ssthresh = 5.0;
+        y.cwnd = 100.0;
+        let mut d = 0;
+        let before = y.cwnd_pkts();
+        round(&mut y, 0.040, 0.040, &mut d);
+        // STCP: ~2% per ack * 100 acks = much more than Reno's +1.
+        assert!(y.cwnd_pkts() - before > 1.5, "grew {}", y.cwnd_pkts() - before);
+    }
+
+    #[test]
+    fn slow_mode_engages_under_queueing() {
+        let mut y = Yeah::new();
+        y.ssthresh = 5.0;
+        y.cwnd = 400.0;
+        let mut d = 0;
+        // rtt 2x base: queue estimate = 200 > Q_MAX.
+        round(&mut y, 0.080, 0.040, &mut d);
+        assert!(!y.fast_mode);
+        assert!(y.cwnd_pkts() < 400.0, "decongestion should shrink cwnd");
+    }
+
+    #[test]
+    fn loss_backoff_scales_with_queue() {
+        let mut y = Yeah::new();
+        y.cwnd = 100.0;
+        // Small queue: backoff limited to cwnd/8.
+        y.on_congestion_event(0, &view_rtt(100.0, 0.040, 0.040));
+        assert!((y.cwnd_pkts() - 87.5).abs() < 1e-6);
+        let mut y2 = Yeah::new();
+        y2.cwnd = 100.0;
+        // Huge queue: backoff capped at half.
+        y2.on_congestion_event(0, &view_rtt(100.0, 0.200, 0.040));
+        assert!((y2.cwnd_pkts() - 50.0).abs() < 1e-6);
+    }
+}

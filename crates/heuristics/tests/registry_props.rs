@@ -1,0 +1,119 @@
+//! Cross-scheme invariants: every registered scheme must keep its window
+//! within sane bounds under arbitrary ACK/loss sequences.
+
+use proptest::prelude::*;
+use sage_heuristics::{build, delay_league_names, pool_names};
+use sage_transport::cc::CaState;
+use sage_transport::{AckEvent, SocketView};
+
+fn view(cwnd: f64, srtt: f64, min_rtt: f64, rate: f64) -> SocketView {
+    SocketView {
+        now: 0,
+        mss: 1500,
+        srtt,
+        rttvar: srtt / 20.0,
+        latest_rtt: srtt,
+        prev_rtt: srtt,
+        min_rtt,
+        inflight_pkts: cwnd,
+        inflight_bytes: (cwnd * 1500.0) as u64,
+        delivery_rate_bps: rate,
+        prev_delivery_rate_bps: rate,
+        max_delivery_rate_bps: rate,
+        prev_max_delivery_rate_bps: rate,
+        ca_state: CaState::Open,
+        delivered_bytes_total: 1_000_000,
+        sent_bytes_total: 1_100_000,
+        lost_bytes_total: 0,
+        lost_pkts_total: 0,
+        cwnd_pkts: cwnd,
+        ssthresh_pkts: f64::INFINITY,
+    }
+}
+
+fn all_names() -> Vec<&'static str> {
+    let mut v = pool_names();
+    v.extend(delay_league_names());
+    v.push("vivace");
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn windows_stay_finite_and_positive(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(0u8..4, 10..150),
+        srtt in 0.005f64..0.3,
+        rate in 1e5f64..2e8,
+    ) {
+        for name in all_names() {
+            let mut cca = build(name, seed).unwrap();
+            cca.init(0, 1500);
+            let mut now = 0u64;
+            for &op in &ops {
+                now += 10_000_000;
+                let v = view(cca.cwnd_pkts(), srtt, srtt * 0.8, rate);
+                match op {
+                    0 => cca.on_ack(
+                        &AckEvent {
+                            now,
+                            newly_acked_pkts: 1,
+                            newly_acked_bytes: 1500,
+                            rtt_sample: Some(srtt),
+                            exited_recovery: false,
+                        },
+                        &v,
+                    ),
+                    1 => cca.on_congestion_event(now, &v),
+                    2 => cca.on_rto(now, &v),
+                    _ => cca.on_tick(now, &v),
+                }
+                let w = cca.cwnd_pkts();
+                prop_assert!(w.is_finite(), "{}: non-finite cwnd", name);
+                prop_assert!(w >= 0.0, "{}: negative cwnd {}", name, w);
+                prop_assert!(w < 1e7, "{}: runaway cwnd {}", name, w);
+                if let Some(p) = cca.pacing_bps() {
+                    prop_assert!(p.is_finite() && p > 0.0, "{}: bad pacing {}", name, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_event_never_increases_window(seed in any::<u64>()) {
+        for name in all_names() {
+            // Vivace reacts through its utility, not the window; skip.
+            if name == "vivace" {
+                continue;
+            }
+            let mut cca = build(name, seed).unwrap();
+            cca.init(0, 1500);
+            for i in 1..50u64 {
+                let v = view(cca.cwnd_pkts(), 0.05, 0.04, 24e6);
+                cca.on_ack(
+                    &AckEvent {
+                        now: i * 10_000_000,
+                        newly_acked_pkts: 1,
+                        newly_acked_bytes: 1500,
+                        rtt_sample: Some(0.05),
+                        exited_recovery: false,
+                    },
+                    &v,
+                );
+            }
+            let before = cca.cwnd_pkts();
+            let v = view(before, 0.05, 0.04, 24e6);
+            cca.on_congestion_event(500_000_000, &v);
+            prop_assert!(
+                cca.cwnd_pkts() <= before + 1e-9,
+                "{}: loss grew cwnd {} -> {}",
+                name,
+                before,
+                cca.cwnd_pkts()
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic "Internet profiles" standing in for the paper's real-world
+//! evaluation (§6.1): intra-continental, inter-continental, and
+//! highly-variable cellular paths.
+//!
+//! The paper measured 16 US servers (min RTT down to 7 ms), 13 global servers
+//! (min RTT up to 237 ms), and 23 recorded cellular traces. We model each
+//! regime by its defining characteristics: RTT scale, capacity, capacity
+//! volatility, and stochastic loss. These generators exercise the identical
+//! code paths (queue build-up, ACK clocking, loss recovery) that the real
+//! paths would.
+
+use crate::link::{cellular_trace, LinkModel};
+use crate::time::{Nanos, SECONDS};
+use sage_util::Rng;
+
+/// Which real-world regime to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InternetProfile {
+    /// US-continental paths: short RTT, stable wired capacity.
+    IntraContinental,
+    /// Global paths: long RTT, moderate capacity, light stochastic loss.
+    InterContinental,
+    /// Cellular access: highly variable capacity, medium RTT.
+    Cellular,
+}
+
+/// A sampled path specification.
+#[derive(Debug, Clone)]
+pub struct PathSample {
+    pub link: LinkModel,
+    pub rtt_ms: f64,
+    pub buffer_bytes: u64,
+    pub random_loss: f64,
+    pub label: String,
+}
+
+impl InternetProfile {
+    pub fn name(self) -> &'static str {
+        match self {
+            InternetProfile::IntraContinental => "intra-continental",
+            InternetProfile::InterContinental => "inter-continental",
+            InternetProfile::Cellular => "cellular",
+        }
+    }
+
+    /// Sample one path from the profile's distribution.
+    pub fn sample(self, rng: &mut Rng, duration: Nanos) -> PathSample {
+        match self {
+            InternetProfile::IntraContinental => {
+                let mbps = *rng.choose(&[24.0, 48.0, 96.0, 144.0, 192.0]);
+                let rtt_ms = rng.range(8.0, 40.0);
+                let bdp = bdp_bytes(mbps, rtt_ms);
+                let buffer_bytes = (bdp as f64 * rng.range(1.0, 4.0)) as u64;
+                PathSample {
+                    link: LinkModel::Constant { mbps },
+                    rtt_ms,
+                    buffer_bytes,
+                    random_loss: 0.0,
+                    label: format!("intra-{mbps:.0}mbps-{rtt_ms:.0}ms"),
+                }
+            }
+            InternetProfile::InterContinental => {
+                let mbps = *rng.choose(&[12.0, 24.0, 36.0, 48.0, 60.0]);
+                let rtt_ms = rng.range(70.0, 240.0);
+                let bdp = bdp_bytes(mbps, rtt_ms);
+                let buffer_bytes = (bdp as f64 * rng.range(0.5, 2.0)) as u64;
+                PathSample {
+                    link: LinkModel::Constant { mbps },
+                    rtt_ms,
+                    buffer_bytes,
+                    random_loss: rng.range(0.0, 0.004),
+                    label: format!("inter-{mbps:.0}mbps-{rtt_ms:.0}ms"),
+                }
+            }
+            InternetProfile::Cellular => {
+                let mean = rng.range(4.0, 25.0);
+                let vol = rng.range(0.3, 0.7);
+                let rtt_ms = rng.range(30.0, 80.0);
+                let link = cellular_trace(rng, duration.max(SECONDS), mean, vol, 0.5, 96.0);
+                let bdp = bdp_bytes(mean, rtt_ms);
+                let buffer_bytes = (bdp as f64 * rng.range(2.0, 8.0)) as u64;
+                PathSample {
+                    link,
+                    rtt_ms,
+                    buffer_bytes,
+                    random_loss: 0.0,
+                    label: format!("cell-{mean:.0}mbps-{rtt_ms:.0}ms"),
+                }
+            }
+        }
+    }
+}
+
+/// Bandwidth-delay product in bytes.
+pub fn bdp_bytes(mbps: f64, rtt_ms: f64) -> u64 {
+    (mbps * 1e6 / 8.0 * rtt_ms / 1e3) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_matches_hand_computation() {
+        // 48 Mbps * 40 ms = 240 KB.
+        assert_eq!(bdp_bytes(48.0, 40.0), 240_000);
+    }
+
+    #[test]
+    fn profiles_sample_within_declared_ranges() {
+        let mut rng = Rng::new(9);
+        for _ in 0..50 {
+            let s = InternetProfile::IntraContinental.sample(&mut rng, 10 * SECONDS);
+            assert!((8.0..=40.0).contains(&s.rtt_ms));
+            assert_eq!(s.random_loss, 0.0);
+
+            let s = InternetProfile::InterContinental.sample(&mut rng, 10 * SECONDS);
+            assert!((70.0..=240.0).contains(&s.rtt_ms));
+            assert!(s.random_loss <= 0.004);
+
+            let s = InternetProfile::Cellular.sample(&mut rng, 10 * SECONDS);
+            assert!((30.0..=80.0).contains(&s.rtt_ms));
+            assert!(matches!(s.link, LinkModel::Trace { .. }));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = Rng::new(4);
+        let mut b = Rng::new(4);
+        let sa = InternetProfile::Cellular.sample(&mut a, 10 * SECONDS);
+        let sb = InternetProfile::Cellular.sample(&mut b, 10 * SECONDS);
+        assert_eq!(sa.rtt_ms, sb.rtt_ms);
+        assert_eq!(sa.buffer_bytes, sb.buffer_bytes);
+    }
+}

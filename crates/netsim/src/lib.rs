@@ -1,0 +1,30 @@
+//! Packet-level discrete-event network emulator — the Mahimahi substitute.
+//!
+//! The paper runs each congestion-control scheme through a Mahimahi-emulated
+//! bottleneck (one queue, one rate-limited link, fixed propagation delay, an
+//! optional AQM). This crate models exactly that data path:
+//!
+//! ```text
+//! sender(s) --> [ BottleneckQueue + AQM ] --> Link(rate(t)) --> prop delay --> receiver
+//!                                    ACKs <-- fixed-delay return path <--
+//! ```
+//!
+//! The crate is deliberately synchronous: congestion-control simulation is
+//! CPU-bound, so (per the networking guides bundled with this project) an
+//! async runtime would add overhead without benefit. The [`engine::EventQueue`]
+//! provides deterministic discrete-event ordering.
+
+pub mod aqm;
+pub mod engine;
+pub mod internet;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod time;
+
+pub use aqm::{Aqm, AqmKind};
+pub use engine::EventQueue;
+pub use link::LinkModel;
+pub use packet::Packet;
+pub use queue::{BottleneckPath, EnqueueOutcome};
+pub use time::{Nanos, MILLIS, MICROS, SECONDS};

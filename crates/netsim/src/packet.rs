@@ -1,0 +1,28 @@
+//! The unit of transmission through the emulated network.
+
+use crate::time::Nanos;
+
+/// Identifier of a flow within one simulation.
+pub type FlowId = u16;
+
+/// A data packet (the emulator never inspects payload bytes; only metadata
+/// needed for congestion dynamics is carried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number in packets (not bytes) within the flow.
+    pub seq: u64,
+    /// Wire size in bytes (headers included).
+    pub bytes: u32,
+    /// Time the sender transmitted this copy (for RTT measurement).
+    pub sent_at: Nanos,
+    /// True when this is a retransmission (Karn's rule: no RTT sample).
+    pub retransmit: bool,
+}
+
+impl Packet {
+    pub fn new(flow: FlowId, seq: u64, bytes: u32, sent_at: Nanos) -> Self {
+        Packet { flow, seq, bytes, sent_at, retransmit: false }
+    }
+}

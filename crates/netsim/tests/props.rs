@@ -1,0 +1,92 @@
+//! Property-based tests for link models, the event queue and the bottleneck
+//! path.
+
+use proptest::prelude::*;
+use sage_netsim::aqm::TailDrop;
+use sage_netsim::engine::EventQueue;
+use sage_netsim::link::LinkModel;
+use sage_netsim::packet::Packet;
+use sage_netsim::queue::{BottleneckPath, EnqueueOutcome};
+use sage_netsim::time::SECONDS;
+
+proptest! {
+    #[test]
+    fn finish_time_monotone_in_bits(
+        mbps in 1.0f64..200.0,
+        start in 0u64..SECONDS,
+        bits_a in 1.0f64..1e6,
+        bits_b in 1.0f64..1e6,
+    ) {
+        let l = LinkModel::Constant { mbps };
+        let (small, large) = if bits_a <= bits_b { (bits_a, bits_b) } else { (bits_b, bits_a) };
+        prop_assert!(l.finish_time(start, small) <= l.finish_time(start, large));
+        prop_assert!(l.finish_time(start, small) > start);
+    }
+
+    #[test]
+    fn step_rate_integral_conserved(
+        before in 1.0f64..100.0,
+        after in 1.0f64..100.0,
+        at_ms in 1u64..1000,
+        bits in 1e3f64..1e7,
+    ) {
+        // Serving `bits` across the step boundary must take exactly as long
+        // as integrating the two-rate profile predicts.
+        let at = at_ms * 1_000_000;
+        let l = LinkModel::Step { before_mbps: before, after_mbps: after, at };
+        let f = l.finish_time(0, bits);
+        let first_phase_bits = before * 1e6 * (at as f64 / SECONDS as f64);
+        let expected = if bits <= first_phase_bits {
+            bits / (before * 1e6)
+        } else {
+            at as f64 / SECONDS as f64 + (bits - first_phase_bits) / (after * 1e6)
+        };
+        let actual = f as f64 / SECONDS as f64;
+        prop_assert!((actual - expected).abs() < 1e-6, "actual {actual} expected {expected}");
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(events in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in events.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn path_conserves_packets(
+        mbps in 1.0f64..100.0,
+        cap_pkts in 1u64..64,
+        n in 1usize..200,
+    ) {
+        let mut p = BottleneckPath::new(
+            LinkModel::Constant { mbps },
+            cap_pkts * 1500,
+            Box::new(TailDrop),
+            0.0,
+            1,
+        );
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..n {
+            match p.enqueue(0, Packet::new(0, i as u64, 1500, 0)) {
+                EnqueueOutcome::Queued => accepted += 1,
+                EnqueueOutcome::Dropped(_) => dropped += 1,
+            }
+        }
+        let mut delivered = 0u64;
+        while let Some(t) = p.next_completion() {
+            p.complete(t);
+            delivered += 1;
+        }
+        prop_assert_eq!(accepted + dropped, n as u64);
+        prop_assert_eq!(delivered, accepted);
+        prop_assert_eq!(p.total_dropped, dropped);
+        prop_assert_eq!(p.backlog_packets(), 0);
+    }
+}

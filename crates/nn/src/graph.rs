@@ -1,0 +1,694 @@
+//! Reverse-mode automatic differentiation over [`Array`] nodes.
+//!
+//! A [`Graph`] is rebuilt per forward pass (define-by-run). Parameters are
+//! copied in from a [`ParamStore`]; after `backward`, their gradients are
+//! accumulated back into the store.
+
+use crate::array::Array;
+use crate::params::{ParamId, ParamStore};
+
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+enum Op {
+    Leaf,
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    /// `x[n,d] + bias[1,d]` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f64),
+    AddConst(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    LRelu(NodeId, f64),
+    Exp(NodeId),
+    /// ln(max(x, floor)).
+    Ln(NodeId, f64),
+    /// Mean over all elements -> 1x1.
+    Mean(NodeId),
+    ConcatCols(NodeId, NodeId),
+    SliceCols(NodeId, usize, usize),
+    /// Row-wise layer normalisation with gain/bias [1,d].
+    LayerNorm { x: NodeId, gain: NodeId, bias: NodeId, eps: f64 },
+    /// Log-probability of a scalar action under a Gaussian mixture.
+    /// means/log_stds/logits are `[n,K]`; action is a leaf `[n,1]`; out `[n,1]`.
+    GmmLogProb { means: NodeId, log_stds: NodeId, logits: NodeId, action: NodeId },
+    /// Per-row cross-entropy of softmax(logits) against target probs `[n,A] -> [n,1]`.
+    SoftmaxCE { logits: NodeId, target: NodeId },
+}
+
+struct Node {
+    val: Array,
+    op: Op,
+}
+
+/// A define-by-run computation graph.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, val: Array, op: Op) -> NodeId {
+        self.nodes.push(Node { val, op });
+        self.nodes.len() - 1
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Array {
+        &self.nodes[id].val
+    }
+
+    /// Non-differentiable input.
+    pub fn input(&mut self, a: Array) -> NodeId {
+        self.push(a, Op::Leaf)
+    }
+
+    /// Differentiable parameter (value copied from the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.get(id).clone(), Op::Param(id))
+    }
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].val.matmul(&self.nodes[b].val);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Broadcast-add a `[1,d]` bias row to every row of x.
+    pub fn add_row(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let xv = &self.nodes[x].val;
+        let bv = &self.nodes[bias].val;
+        assert_eq!(bv.rows, 1);
+        assert_eq!(xv.cols, bv.cols);
+        let mut out = xv.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                *out.at_mut(r, c) += bv.at(0, c);
+            }
+        }
+        self.push(out, Op::AddRow(x, bias))
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].val.zip(&self.nodes[b].val, |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].val.zip(&self.nodes[b].val, |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].val.zip(&self.nodes[b].val, |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    pub fn scale(&mut self, a: NodeId, k: f64) -> NodeId {
+        let v = self.nodes[a].val.map(|x| x * k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    pub fn add_const(&mut self, a: NodeId, k: f64) -> NodeId {
+        let v = self.nodes[a].val.map(|x| x + k);
+        self.push(v, Op::AddConst(a))
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].val.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].val.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn lrelu(&mut self, a: NodeId, slope: f64) -> NodeId {
+        let v = self.nodes[a].val.map(|x| if x >= 0.0 { x } else { slope * x });
+        self.push(v, Op::LRelu(a, slope))
+    }
+
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].val.map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Natural log with a numeric floor.
+    pub fn ln(&mut self, a: NodeId, floor: f64) -> NodeId {
+        let v = self.nodes[a].val.map(|x| x.max(floor).ln());
+        self.push(v, Op::Ln(a, floor))
+    }
+
+    /// Mean over all elements, yielding a 1x1 scalar.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let av = &self.nodes[a].val;
+        let m = av.data.iter().sum::<f64>() / av.data.len() as f64;
+        self.push(Array::scalar(m), Op::Mean(a))
+    }
+
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a].val, &self.nodes[b].val);
+        assert_eq!(av.rows, bv.rows);
+        let mut out = Array::zeros(av.rows, av.cols + bv.cols);
+        for r in 0..av.rows {
+            for c in 0..av.cols {
+                *out.at_mut(r, c) = av.at(r, c);
+            }
+            for c in 0..bv.cols {
+                *out.at_mut(r, av.cols + c) = bv.at(r, c);
+            }
+        }
+        self.push(out, Op::ConcatCols(a, b))
+    }
+
+    /// Columns `[from, to)` of a node.
+    pub fn slice_cols(&mut self, a: NodeId, from: usize, to: usize) -> NodeId {
+        let av = &self.nodes[a].val;
+        assert!(from < to && to <= av.cols);
+        let mut out = Array::zeros(av.rows, to - from);
+        for r in 0..av.rows {
+            for c in from..to {
+                *out.at_mut(r, c - from) = av.at(r, c);
+            }
+        }
+        self.push(out, Op::SliceCols(a, from, to))
+    }
+
+    /// Row-wise layer normalisation with learned gain and bias (`[1,d]`).
+    pub fn layer_norm(&mut self, x: NodeId, gain: NodeId, bias: NodeId) -> NodeId {
+        let eps = 1e-5;
+        let xv = &self.nodes[x].val;
+        let g = &self.nodes[gain].val;
+        let b = &self.nodes[bias].val;
+        let d = xv.cols;
+        let mut out = Array::zeros(xv.rows, d);
+        for r in 0..xv.rows {
+            let row = &xv.data[r * d..(r + 1) * d];
+            let mu = row.iter().sum::<f64>() / d as f64;
+            let var = row.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / d as f64;
+            let sd = (var + eps).sqrt();
+            for c in 0..d {
+                let xhat = (row[c] - mu) / sd;
+                *out.at_mut(r, c) = g.at(0, c) * xhat + b.at(0, c);
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gain, bias, eps })
+    }
+
+    /// Log-probability of scalar actions under a Gaussian mixture whose
+    /// parameters are per-row: `means`/`log_stds`/`logits` are `[n,K]`;
+    /// `action` is `[n,1]`. Returns `[n,1]`.
+    pub fn gmm_log_prob(&mut self, means: NodeId, log_stds: NodeId, logits: NodeId, action: NodeId) -> NodeId {
+        let (mv, sv, wv, av) = (
+            &self.nodes[means].val,
+            &self.nodes[log_stds].val,
+            &self.nodes[logits].val,
+            &self.nodes[action].val,
+        );
+        let (n, k) = mv.shape();
+        assert_eq!(sv.shape(), (n, k));
+        assert_eq!(wv.shape(), (n, k));
+        assert_eq!(av.shape(), (n, 1));
+        let mut out = Array::zeros(n, 1);
+        for r in 0..n {
+            out.data[r] = gmm_row_logp(
+                &mv.data[r * k..(r + 1) * k],
+                &sv.data[r * k..(r + 1) * k],
+                &wv.data[r * k..(r + 1) * k],
+                av.data[r],
+            )
+            .0;
+        }
+        self.push(out, Op::GmmLogProb { means, log_stds, logits, action })
+    }
+
+    /// Cross-entropy per row of softmax(logits) against target probabilities.
+    pub fn softmax_cross_entropy(&mut self, logits: NodeId, target: NodeId) -> NodeId {
+        let (lv, tv) = (&self.nodes[logits].val, &self.nodes[target].val);
+        assert_eq!(lv.shape(), tv.shape());
+        let (n, a) = lv.shape();
+        let mut out = Array::zeros(n, 1);
+        for r in 0..n {
+            let row = &lv.data[r * a..(r + 1) * a];
+            let lse = log_sum_exp(row);
+            let mut ce = 0.0;
+            for c in 0..a {
+                let logp = row[c] - lse;
+                ce -= tv.at(r, c) * logp;
+            }
+            out.data[r] = ce;
+        }
+        self.push(out, Op::SoftmaxCE { logits, target })
+    }
+
+    /// Run backpropagation from `loss` (must be 1x1) and accumulate parameter
+    /// gradients into `store`.
+    pub fn backward(&self, loss: NodeId, store: &mut ParamStore) {
+        let grads = self.node_grads(loss);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let (Op::Param(pid), Some(g)) = (&node.op, &grads[i]) {
+                store.params[*pid].grad.add_assign(g);
+            }
+        }
+    }
+
+    /// Gradient of `loss` w.r.t. every node (None if unreached).
+    fn node_grads(&self, loss: NodeId) -> Vec<Option<Array>> {
+        assert_eq!(self.nodes[loss].val.shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Array>> = vec![None; self.nodes.len()];
+        grads[loss] = Some(Array::scalar(1.0));
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        grads
+    }
+
+    fn accumulate(grads: &mut Vec<Option<Array>>, id: NodeId, g: Array) {
+        match &mut grads[id] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn backprop_node(&self, i: NodeId, g: &Array, grads: &mut Vec<Option<Array>>) {
+        match &self.nodes[i].op {
+            Op::Leaf | Op::Param(_) => {}
+            Op::MatMul(a, b) => {
+                let da = g.matmul(&self.nodes[*b].val.t());
+                let db = self.nodes[*a].val.t().matmul(g);
+                Self::accumulate(grads, *a, da);
+                Self::accumulate(grads, *b, db);
+            }
+            Op::AddRow(x, bias) => {
+                Self::accumulate(grads, *x, g.clone());
+                // Bias gradient: sum over rows.
+                let mut db = Array::zeros(1, g.cols);
+                for r in 0..g.rows {
+                    for c in 0..g.cols {
+                        db.data[c] += g.at(r, c);
+                    }
+                }
+                Self::accumulate(grads, *bias, db);
+            }
+            Op::Add(a, b) => {
+                Self::accumulate(grads, *a, g.clone());
+                Self::accumulate(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::accumulate(grads, *a, g.clone());
+                Self::accumulate(grads, *b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let da = g.zip(&self.nodes[*b].val, |gg, bb| gg * bb);
+                let db = g.zip(&self.nodes[*a].val, |gg, aa| gg * aa);
+                Self::accumulate(grads, *a, da);
+                Self::accumulate(grads, *b, db);
+            }
+            Op::Scale(a, k) => Self::accumulate(grads, *a, g.map(|x| x * k)),
+            Op::AddConst(a) => Self::accumulate(grads, *a, g.clone()),
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].val;
+                Self::accumulate(grads, *a, g.zip(y, |gg, yy| gg * (1.0 - yy * yy)));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].val;
+                Self::accumulate(grads, *a, g.zip(y, |gg, yy| gg * yy * (1.0 - yy)));
+            }
+            Op::LRelu(a, slope) => {
+                let x = &self.nodes[*a].val;
+                Self::accumulate(
+                    grads,
+                    *a,
+                    g.zip(x, |gg, xx| if xx >= 0.0 { gg } else { gg * slope }),
+                );
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[i].val;
+                Self::accumulate(grads, *a, g.zip(y, |gg, yy| gg * yy));
+            }
+            Op::Ln(a, floor) => {
+                let x = &self.nodes[*a].val;
+                Self::accumulate(
+                    grads,
+                    *a,
+                    g.zip(x, |gg, xx| if xx > *floor { gg / xx } else { 0.0 }),
+                );
+            }
+            Op::Mean(a) => {
+                let n = self.nodes[*a].val.data.len() as f64;
+                let scale = g.data[0] / n;
+                let da = self.nodes[*a].val.map(|_| scale);
+                Self::accumulate(grads, *a, da);
+            }
+            Op::ConcatCols(a, b) => {
+                let ac = self.nodes[*a].val.cols;
+                let bc = self.nodes[*b].val.cols;
+                let mut da = Array::zeros(g.rows, ac);
+                let mut db = Array::zeros(g.rows, bc);
+                for r in 0..g.rows {
+                    for c in 0..ac {
+                        *da.at_mut(r, c) = g.at(r, c);
+                    }
+                    for c in 0..bc {
+                        *db.at_mut(r, c) = g.at(r, ac + c);
+                    }
+                }
+                Self::accumulate(grads, *a, da);
+                Self::accumulate(grads, *b, db);
+            }
+            Op::SliceCols(a, from, _to) => {
+                let av = &self.nodes[*a].val;
+                let mut da = Array::zeros(av.rows, av.cols);
+                for r in 0..g.rows {
+                    for c in 0..g.cols {
+                        *da.at_mut(r, from + c) = g.at(r, c);
+                    }
+                }
+                Self::accumulate(grads, *a, da);
+            }
+            Op::LayerNorm { x, gain, bias, eps } => {
+                let xv = &self.nodes[*x].val;
+                let gv = &self.nodes[*gain].val;
+                let d = xv.cols;
+                let mut dx = Array::zeros(xv.rows, d);
+                let mut dgain = Array::zeros(1, d);
+                let mut dbias = Array::zeros(1, d);
+                for r in 0..xv.rows {
+                    let row = &xv.data[r * d..(r + 1) * d];
+                    let mu = row.iter().sum::<f64>() / d as f64;
+                    let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / d as f64;
+                    let sd = (var + eps).sqrt();
+                    let xhat: Vec<f64> = row.iter().map(|&v| (v - mu) / sd).collect();
+                    let dy = &g.data[r * d..(r + 1) * d];
+                    let mut m1 = 0.0; // mean(dy*gain)
+                    let mut m2 = 0.0; // mean(dy*gain*xhat)
+                    for c in 0..d {
+                        let dyg = dy[c] * gv.at(0, c);
+                        m1 += dyg;
+                        m2 += dyg * xhat[c];
+                        dgain.data[c] += dy[c] * xhat[c];
+                        dbias.data[c] += dy[c];
+                    }
+                    m1 /= d as f64;
+                    m2 /= d as f64;
+                    for c in 0..d {
+                        let dyg = dy[c] * gv.at(0, c);
+                        *dx.at_mut(r, c) = (dyg - m1 - xhat[c] * m2) / sd;
+                    }
+                }
+                Self::accumulate(grads, *x, dx);
+                Self::accumulate(grads, *gain, dgain);
+                Self::accumulate(grads, *bias, dbias);
+            }
+            Op::GmmLogProb { means, log_stds, logits, action } => {
+                let mv = &self.nodes[*means].val;
+                let sv = &self.nodes[*log_stds].val;
+                let wv = &self.nodes[*logits].val;
+                let av = &self.nodes[*action].val;
+                let (n, k) = mv.shape();
+                let mut dm = Array::zeros(n, k);
+                let mut ds = Array::zeros(n, k);
+                let mut dw = Array::zeros(n, k);
+                for r in 0..n {
+                    let gr = g.data[r];
+                    let (_, resp, weights) = gmm_row_logp(
+                        &mv.data[r * k..(r + 1) * k],
+                        &sv.data[r * k..(r + 1) * k],
+                        &wv.data[r * k..(r + 1) * k],
+                        av.data[r],
+                    );
+                    for c in 0..k {
+                        let mu = mv.at(r, c);
+                        let sigma = sv.at(r, c).exp();
+                        let z = (av.data[r] - mu) / sigma;
+                        *dm.at_mut(r, c) = gr * resp[c] * z / sigma;
+                        *ds.at_mut(r, c) = gr * resp[c] * (z * z - 1.0);
+                        *dw.at_mut(r, c) = gr * (resp[c] - weights[c]);
+                    }
+                }
+                Self::accumulate(grads, *means, dm);
+                Self::accumulate(grads, *log_stds, ds);
+                Self::accumulate(grads, *logits, dw);
+            }
+            Op::SoftmaxCE { logits, target } => {
+                let lv = &self.nodes[*logits].val;
+                let tv = &self.nodes[*target].val;
+                let (n, a) = lv.shape();
+                let mut dl = Array::zeros(n, a);
+                for r in 0..n {
+                    let gr = g.data[r];
+                    let row = &lv.data[r * a..(r + 1) * a];
+                    let lse = log_sum_exp(row);
+                    // Sum of target probs (usually 1, but be exact).
+                    let tsum: f64 = (0..a).map(|c| tv.at(r, c)).sum();
+                    for c in 0..a {
+                        let p = (row[c] - lse).exp();
+                        *dl.at_mut(r, c) = gr * (tsum * p - tv.at(r, c));
+                    }
+                }
+                Self::accumulate(grads, *logits, dl);
+            }
+        }
+    }
+}
+
+/// Numerically stable log(sum(exp(xs))).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+
+/// Log-density of the mixture at `a`, plus component responsibilities and
+/// softmax weights (for gradients).
+fn gmm_row_logp(means: &[f64], log_stds: &[f64], logits: &[f64], a: f64) -> (f64, Vec<f64>, Vec<f64>) {
+    let k = means.len();
+    let logw_norm = log_sum_exp(logits);
+    let mut joint = vec![0.0; k];
+    let mut weights = vec![0.0; k];
+    for c in 0..k {
+        let logw = logits[c] - logw_norm;
+        weights[c] = logw.exp();
+        let sigma = log_stds[c].exp();
+        let z = (a - means[c]) / sigma;
+        let log_pdf = -0.5 * z * z - log_stds[c] - LOG_SQRT_2PI;
+        joint[c] = logw + log_pdf;
+    }
+    let logp = log_sum_exp(&joint);
+    let resp: Vec<f64> = joint.iter().map(|&j| (j - logp).exp()).collect();
+    (logp, resp, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_util::Rng;
+
+    /// Central finite-difference check of d loss / d param for every scalar
+    /// in `store`, against autodiff.
+    fn grad_check(
+        store: &mut ParamStore,
+        forward: &dyn Fn(&mut Graph, &ParamStore) -> NodeId,
+        tol: f64,
+    ) {
+        // Autodiff gradients.
+        store.zero_grads();
+        let mut g = Graph::new();
+        let loss = forward(&mut g, store);
+        g.backward(loss, store);
+        let auto_grads: Vec<Vec<f64>> = store.params.iter().map(|p| p.grad.data.clone()).collect();
+
+        let h = 1e-6;
+        for pi in 0..store.params.len() {
+            for ei in 0..store.params[pi].value.data.len() {
+                let orig = store.params[pi].value.data[ei];
+                store.params[pi].value.data[ei] = orig + h;
+                let mut g1 = Graph::new();
+                let l1 = forward(&mut g1, store);
+                let f1 = g1.value(l1).data[0];
+                store.params[pi].value.data[ei] = orig - h;
+                let mut g2 = Graph::new();
+                let l2 = forward(&mut g2, store);
+                let f2 = g2.value(l2).data[0];
+                store.params[pi].value.data[ei] = orig;
+                let fd = (f1 - f2) / (2.0 * h);
+                let ad = auto_grads[pi][ei];
+                assert!(
+                    (fd - ad).abs() <= tol * (1.0 + fd.abs().max(ad.abs())),
+                    "param {} elem {}: fd {} vs ad {}",
+                    store.params[pi].name,
+                    ei,
+                    fd,
+                    ad
+                );
+            }
+        }
+    }
+
+    fn x_input(g: &mut Graph) -> NodeId {
+        g.input(Array::from_vec(3, 4, vec![
+            0.5, -1.0, 2.0, 0.1, -0.3, 0.8, -1.5, 0.6, 1.2, -0.7, 0.4, -0.2,
+        ]))
+    }
+
+    #[test]
+    fn grad_mlp_with_everything() {
+        let mut rng = Rng::new(2);
+        let mut store = ParamStore::new();
+        let w1 = store.glorot("w1", 4, 5, &mut rng);
+        let b1 = store.zeros("b1", 1, 5);
+        let g1 = store.constant("g1", 1, 5, 1.0);
+        let bb1 = store.zeros("bb1", 1, 5);
+        let w2 = store.glorot("w2", 5, 1, &mut rng);
+        grad_check(
+            &mut store,
+            &move |g, s| {
+                let x = x_input(g);
+                let wa = g.param(s, w1);
+                let ba = g.param(s, b1);
+                let h = g.matmul(x, wa);
+                let h = g.add_row(h, ba);
+                let ga = g.param(s, g1);
+                let bba = g.param(s, bb1);
+                let h = g.layer_norm(h, ga, bba);
+                let h = g.lrelu(h, 0.01);
+                let wb = g.param(s, w2);
+                let y = g.matmul(h, wb);
+                let y = g.tanh(y);
+                g.mean(y)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_exp_ln_mul() {
+        let mut rng = Rng::new(3);
+        let mut store = ParamStore::new();
+        let w = store.glorot("w", 4, 3, &mut rng);
+        grad_check(
+            &mut store,
+            &move |g, s| {
+                let x = x_input(g);
+                let wa = g.param(s, w);
+                let h = g.matmul(x, wa);
+                let a = g.sigmoid(h);
+                let b = g.exp(h);
+                let c = g.mul(a, b);
+                let c = g.add_const(c, 1.0);
+                let c = g.ln(c, 1e-12);
+                g.mean(c)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice_sub_scale() {
+        let mut rng = Rng::new(4);
+        let mut store = ParamStore::new();
+        let w = store.glorot("w", 4, 4, &mut rng);
+        grad_check(
+            &mut store,
+            &move |g, s| {
+                let x = x_input(g);
+                let wa = g.param(s, w);
+                let h = g.matmul(x, wa);
+                let cat = g.concat_cols(h, x);
+                let left = g.slice_cols(cat, 0, 4);
+                let right = g.slice_cols(cat, 4, 8);
+                let diff = g.sub(left, right);
+                let sc = g.scale(diff, 0.5);
+                let t = g.tanh(sc);
+                g.mean(t)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_gmm_log_prob() {
+        let mut rng = Rng::new(5);
+        let mut store = ParamStore::new();
+        let wm = store.glorot("wm", 4, 3, &mut rng);
+        let ws = store.glorot("ws", 4, 3, &mut rng);
+        let ww = store.glorot("ww", 4, 3, &mut rng);
+        grad_check(
+            &mut store,
+            &move |g, s| {
+                let x = x_input(g);
+                let m = g.param(s, wm);
+                let sdev = g.param(s, ws);
+                let w = g.param(s, ww);
+                let means = g.matmul(x, m);
+                let log_stds = g.matmul(x, sdev);
+                let logits = g.matmul(x, w);
+                let action = g.input(Array::from_vec(3, 1, vec![0.2, -0.4, 1.1]));
+                let logp = g.gmm_log_prob(means, log_stds, logits, action);
+                let neg = g.scale(logp, -1.0);
+                g.mean(neg)
+            },
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_cross_entropy() {
+        let mut rng = Rng::new(6);
+        let mut store = ParamStore::new();
+        let w = store.glorot("w", 4, 5, &mut rng);
+        grad_check(
+            &mut store,
+            &move |g, s| {
+                let x = x_input(g);
+                let wa = g.param(s, w);
+                let logits = g.matmul(x, wa);
+                let target = g.input(Array::from_vec(3, 5, vec![
+                    0.1, 0.2, 0.3, 0.2, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.0, 0.0,
+                ]));
+                let ce = g.softmax_cross_entropy(logits, target);
+                g.mean(ce)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gmm_logp_matches_single_gaussian() {
+        // One component: must equal the normal log-density.
+        let (logp, resp, w) = gmm_row_logp(&[0.5], &[0.0], &[0.3], 1.0);
+        let expected = -0.5 * 0.25 - 0.0 - LOG_SQRT_2PI;
+        assert!((logp - expected).abs() < 1e-12);
+        assert!((resp[0] - 1.0).abs() < 1e-12);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! The congestion-control hook interface ("TCP Pure" API).
+//!
+//! A CCA owns its congestion window (in packets, fractional allowed) and
+//! optionally a pacing rate; the transport owns sequencing, loss detection and
+//! retransmission, and notifies the CCA through these callbacks — mirroring
+//! the Linux `tcp_congestion_ops` contract the paper's Policy Collector
+//! records through socket APIs.
+
+use sage_netsim::time::Nanos;
+
+/// Socket congestion-avoidance state, as exposed to the GR unit
+/// (`ca_state` row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaState {
+    /// Normal operation.
+    Open,
+    /// Duplicate ACKs seen, not yet in recovery.
+    Disorder,
+    /// Fast recovery after triple-dup-ACK.
+    Recovery,
+    /// RTO-triggered loss recovery.
+    Loss,
+}
+
+impl CaState {
+    /// Numeric encoding used in the state vector (matches Linux ordering).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            CaState::Open => 0.0,
+            CaState::Disorder => 1.0,
+            CaState::Recovery => 3.0,
+            CaState::Loss => 4.0,
+        }
+    }
+}
+
+/// Snapshot of socket statistics handed to CCAs and the GR unit.
+/// All rates are bits/second, all times seconds unless stated otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketView {
+    pub now: Nanos,
+    pub mss: u32,
+    /// Smoothed RTT (s); 0 before the first sample.
+    pub srtt: f64,
+    /// RTT variance (s).
+    pub rttvar: f64,
+    /// Most recent RTT sample (s).
+    pub latest_rtt: f64,
+    /// RTT sample preceding the latest (for `rtt_rate`).
+    pub prev_rtt: f64,
+    /// Windowed minimum RTT (s).
+    pub min_rtt: f64,
+    /// Packets in flight.
+    pub inflight_pkts: f64,
+    /// Bytes in flight.
+    pub inflight_bytes: u64,
+    /// Latest delivery-rate sample (bit/s).
+    pub delivery_rate_bps: f64,
+    /// Delivery-rate sample preceding the latest (for `dr_ratio`).
+    pub prev_delivery_rate_bps: f64,
+    /// Windowed maximum delivery rate (bit/s).
+    pub max_delivery_rate_bps: f64,
+    /// Windowed max before the latest sample (for `dr_max_ratio`).
+    pub prev_max_delivery_rate_bps: f64,
+    /// Congestion-avoidance state.
+    pub ca_state: CaState,
+    /// Cumulative counters since flow start.
+    pub delivered_bytes_total: u64,
+    pub sent_bytes_total: u64,
+    pub lost_bytes_total: u64,
+    pub lost_pkts_total: u64,
+    /// Congestion window currently applied by the sender (packets).
+    pub cwnd_pkts: f64,
+    /// Slow-start threshold (packets); `f64::INFINITY` when unset.
+    pub ssthresh_pkts: f64,
+}
+
+impl SocketView {
+    /// Bandwidth-delay product estimate in packets, from windowed max rate
+    /// and min RTT (as BBR computes it).
+    pub fn bdp_pkts(&self) -> f64 {
+        if self.min_rtt <= 0.0 || self.mss == 0 {
+            return 0.0;
+        }
+        self.max_delivery_rate_bps * self.min_rtt / 8.0 / self.mss as f64
+    }
+}
+
+/// Details of a cumulative-ACK arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    pub now: Nanos,
+    /// Packets newly cumulatively acknowledged by this ACK.
+    pub newly_acked_pkts: u64,
+    /// Bytes newly acknowledged.
+    pub newly_acked_bytes: u64,
+    /// RTT sample carried by this ACK, seconds (None under Karn's rule).
+    pub rtt_sample: Option<f64>,
+    /// True if this ACK ended fast recovery.
+    pub exited_recovery: bool,
+}
+
+/// A pluggable congestion-control algorithm.
+///
+/// Implementations must be deterministic given their inputs (any randomness
+/// must come from a seeded generator owned by the implementation).
+pub trait CongestionControl: Send {
+    /// Scheme name as used in league tables (e.g. "cubic").
+    fn name(&self) -> &'static str;
+
+    /// Called once when the flow starts.
+    fn init(&mut self, _now: Nanos, _mss: u32) {}
+
+    /// Called for every ACK that advances `snd_una`.
+    fn on_ack(&mut self, ack: &AckEvent, sock: &SocketView);
+
+    /// Called when entering fast recovery (triple dup-ACK). The CCA should
+    /// reduce its window (multiplicative decrease).
+    fn on_congestion_event(&mut self, now: Nanos, sock: &SocketView);
+
+    /// Called on retransmission timeout. The CCA should collapse its window.
+    fn on_rto(&mut self, now: Nanos, sock: &SocketView);
+
+    /// Called when fast recovery completes successfully.
+    fn on_exit_recovery(&mut self, _now: Nanos, _sock: &SocketView) {}
+
+    /// Called every monitor tick (10 ms by default) — used by model-based
+    /// schemes (BBR) and by learned policies (Sage) that act on wall-clock
+    /// periods rather than per-ACK.
+    fn on_tick(&mut self, _now: Nanos, _sock: &SocketView) {}
+
+    /// Current congestion window in packets (the sender clamps to
+    /// [`crate::MIN_CWND`], so implementations may return smaller values).
+    fn cwnd_pkts(&self) -> f64;
+
+    /// Current slow-start threshold in packets (for the state vector).
+    fn ssthresh_pkts(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Pacing rate in bits/s; `None` means pure window-based (ACK-clocked)
+    /// transmission.
+    fn pacing_bps(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ca_state_encoding_matches_linux() {
+        assert_eq!(CaState::Open.as_f64(), 0.0);
+        assert_eq!(CaState::Disorder.as_f64(), 1.0);
+        assert_eq!(CaState::Recovery.as_f64(), 3.0);
+        assert_eq!(CaState::Loss.as_f64(), 4.0);
+    }
+
+    #[test]
+    fn bdp_pkts_computation() {
+        let mut v = dummy_view();
+        v.max_delivery_rate_bps = 48e6;
+        v.min_rtt = 0.040;
+        v.mss = 1500;
+        // 48 Mbps * 40 ms / 8 / 1500 = 160 packets.
+        assert!((v.bdp_pkts() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bdp_pkts_zero_without_rtt() {
+        let v = dummy_view();
+        assert_eq!(v.bdp_pkts(), 0.0);
+    }
+
+    pub(crate) fn dummy_view() -> SocketView {
+        SocketView {
+            now: 0,
+            mss: 1500,
+            srtt: 0.0,
+            rttvar: 0.0,
+            latest_rtt: 0.0,
+            prev_rtt: 0.0,
+            min_rtt: 0.0,
+            inflight_pkts: 0.0,
+            inflight_bytes: 0,
+            delivery_rate_bps: 0.0,
+            prev_delivery_rate_bps: 0.0,
+            max_delivery_rate_bps: 0.0,
+            prev_max_delivery_rate_bps: 0.0,
+            ca_state: CaState::Open,
+            delivered_bytes_total: 0,
+            sent_bytes_total: 0,
+            lost_bytes_total: 0,
+            lost_pkts_total: 0,
+            cwnd_pkts: 10.0,
+            ssthresh_pkts: f64::INFINITY,
+        }
+    }
+}

@@ -1,0 +1,719 @@
+//! Per-flow sender/receiver state: sequencing, SACK-equivalent scoreboard,
+//! fast retransmit, NewReno partial-ACK handling, RTO, RTT and rate tracking.
+
+use crate::cc::{AckEvent, CaState, CongestionControl, SocketView};
+use crate::rate::{RateSampler, RateSnapshot};
+use crate::rtt::RttEstimator;
+use crate::{MIN_CWND, MSS};
+use sage_netsim::packet::{FlowId, Packet};
+use sage_netsim::time::{Nanos, SECONDS};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Bookkeeping for one transmitted (and not yet cumulatively ACKed) packet.
+#[derive(Debug, Clone, Copy)]
+pub struct SentMeta {
+    pub bytes: u32,
+    pub sent_at: Nanos,
+    pub retransmitted: bool,
+    /// Selectively acknowledged (receiver holds it, ACK not yet cumulative).
+    pub sacked: bool,
+    /// Marked lost and awaiting retransmission.
+    pub lost: bool,
+    pub rate_snap: RateSnapshot,
+}
+
+/// An acknowledgement travelling back to the sender.
+#[derive(Debug, Clone, Copy)]
+pub struct Ack {
+    pub flow: FlowId,
+    /// Cumulative: all seq < ack_seq received.
+    pub ack_seq: u64,
+    /// The data packet that triggered this ACK (SACK-equivalent info).
+    pub for_seq: u64,
+    /// Echo of the data packet's transmission time.
+    pub for_sent_at: Nanos,
+    /// Whether the triggering packet was a retransmission (Karn's rule).
+    pub for_retx: bool,
+}
+
+/// What the sender wants the simulation to do after processing an event.
+#[derive(Debug, Default)]
+pub struct SendActions {
+    /// Rearm the RTO timer to this deadline (None = leave as is).
+    pub rearm_rto: Option<Nanos>,
+    /// Cancel the RTO timer (no outstanding data).
+    pub cancel_rto: bool,
+}
+
+/// One end-to-end flow (sender and receiver bookkeeping in one struct since
+/// the emulation is single-process).
+pub struct Flow {
+    pub id: FlowId,
+    pub cca: Box<dyn CongestionControl>,
+    pub start: Nanos,
+    pub stop: Option<Nanos>,
+    pub active: bool,
+    pub done: bool,
+
+    // --- Sender state ---
+    next_seq: u64,
+    snd_una: u64,
+    outstanding: BTreeMap<u64, SentMeta>,
+    n_sacked: usize,
+    n_lost: usize,
+    dupacks: u32,
+    /// Highest selectively acknowledged sequence (exclusive loss-marking bound).
+    highest_sacked: u64,
+    /// Sequences below this have already been loss-scanned (amortisation).
+    loss_scan_floor: u64,
+    pub ca_state: CaState,
+    recovery_high: u64,
+    retransmit_queue: VecDeque<u64>,
+    pub rtt: RttEstimator,
+    pub rate: RateSampler,
+    prev_rtt: f64,
+    prev_rate_bps: f64,
+    pub rto_deadline: Option<Nanos>,
+    rto_backoff: u32,
+
+    // --- Cumulative sender counters ---
+    pub sent_pkts_total: u64,
+    pub sent_bytes_total: u64,
+    pub lost_pkts_total: u64,
+    pub lost_bytes_total: u64,
+    pub retx_pkts_total: u64,
+
+    // --- Receiver state ---
+    rcv_nxt: u64,
+    ooo: BTreeSet<u64>,
+    pub rcv_bytes_total: u64,
+    /// One-way delays (seconds) of packets delivered this tick.
+    pub tick_owd_sum: f64,
+    pub tick_owd_count: u64,
+    pub tick_rcv_bytes: u64,
+    /// All one-way delay samples (seconds) for percentile statistics.
+    pub owd_samples: Vec<f32>,
+}
+
+impl Flow {
+    pub fn new(id: FlowId, cca: Box<dyn CongestionControl>, start: Nanos, stop: Option<Nanos>) -> Self {
+        Flow {
+            id,
+            cca,
+            start,
+            stop,
+            active: false,
+            done: false,
+            next_seq: 0,
+            snd_una: 0,
+            outstanding: BTreeMap::new(),
+            n_sacked: 0,
+            n_lost: 0,
+            dupacks: 0,
+            highest_sacked: 0,
+            loss_scan_floor: 0,
+            ca_state: CaState::Open,
+            recovery_high: 0,
+            retransmit_queue: VecDeque::new(),
+            rtt: RttEstimator::new(),
+            rate: RateSampler::new(),
+            prev_rtt: 0.0,
+            prev_rate_bps: 0.0,
+            rto_deadline: None,
+            rto_backoff: 0,
+            sent_pkts_total: 0,
+            sent_bytes_total: 0,
+            lost_pkts_total: 0,
+            lost_bytes_total: 0,
+            retx_pkts_total: 0,
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            rcv_bytes_total: 0,
+            tick_owd_sum: 0.0,
+            tick_owd_count: 0,
+            tick_rcv_bytes: 0,
+            owd_samples: Vec::new(),
+        }
+    }
+
+    /// Packets in flight: outstanding minus SACKed minus marked-lost.
+    pub fn pipe_pkts(&self) -> usize {
+        self.outstanding.len() - self.n_sacked - self.n_lost
+    }
+
+    /// Effective congestion window in packets (CCA value with a floor).
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cca.cwnd_pkts().max(MIN_CWND)
+    }
+
+    /// Whether the window permits transmitting another packet.
+    pub fn window_open(&self) -> bool {
+        self.active && (self.pipe_pkts() as f64) < self.cwnd_pkts().floor().max(MIN_CWND)
+    }
+
+    /// Whether a retransmission is pending.
+    pub fn has_retransmit(&self) -> bool {
+        !self.retransmit_queue.is_empty()
+    }
+
+    /// Produce the next packet to transmit (retransmissions first), updating
+    /// all bookkeeping. Caller must have checked `window_open`.
+    pub fn make_packet(&mut self, now: Nanos) -> Packet {
+        let snap = self.rate.snapshot(now);
+        // Skip stale queue entries (cumulatively ACKed or SACKed since they
+        // were queued).
+        while let Some(seq) = self.retransmit_queue.pop_front() {
+            let stale = !matches!(self.outstanding.get(&seq), Some(m) if m.lost);
+            if stale {
+                continue;
+            }
+            if let Some(meta) = self.outstanding.get_mut(&seq) {
+                meta.lost = false;
+                meta.retransmitted = true;
+                meta.sent_at = now;
+                meta.rate_snap = snap;
+                self.n_lost -= 1;
+                self.retx_pkts_total += 1;
+                let mut pkt = Packet::new(self.id, seq, meta.bytes, now);
+                pkt.retransmit = true;
+                return pkt;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let meta = SentMeta {
+            bytes: MSS,
+            sent_at: now,
+            retransmitted: false,
+            sacked: false,
+            lost: false,
+            rate_snap: snap,
+        };
+        self.outstanding.insert(seq, meta);
+        self.sent_pkts_total += 1;
+        self.sent_bytes_total += MSS as u64;
+        Packet::new(self.id, seq, MSS, now)
+    }
+
+    /// Receiver: process an arriving data packet, returning the ACK to send
+    /// on the return path.
+    pub fn on_data(&mut self, now: Nanos, pkt: Packet) -> Ack {
+        let owd = now.saturating_sub(pkt.sent_at) as f64 / SECONDS as f64;
+        // Count goodput only for first-time in-order/ooo arrivals.
+        let is_new = pkt.seq >= self.rcv_nxt && !self.ooo.contains(&pkt.seq);
+        if is_new {
+            self.rcv_bytes_total += pkt.bytes as u64;
+            self.tick_rcv_bytes += pkt.bytes as u64;
+            self.tick_owd_sum += owd;
+            self.tick_owd_count += 1;
+            self.owd_samples.push(owd as f32);
+            if pkt.seq == self.rcv_nxt {
+                self.rcv_nxt += 1;
+                while self.ooo.remove(&self.rcv_nxt) {
+                    self.rcv_nxt += 1;
+                }
+            } else {
+                self.ooo.insert(pkt.seq);
+            }
+        }
+        Ack {
+            flow: self.id,
+            ack_seq: self.rcv_nxt,
+            for_seq: pkt.seq,
+            for_sent_at: pkt.sent_at,
+            for_retx: pkt.retransmit,
+        }
+    }
+
+    /// Sender: process an arriving ACK. Returns timer actions.
+    pub fn on_ack(&mut self, now: Nanos, ack: Ack) -> SendActions {
+        let mut actions = SendActions::default();
+        // SACK-equivalent: the triggering packet is at the receiver.
+        if ack.for_seq >= ack.ack_seq {
+            if let Some(meta) = self.outstanding.get_mut(&ack.for_seq) {
+                if !meta.sacked {
+                    meta.sacked = true;
+                    if meta.lost {
+                        // Was marked lost but actually arrived; unmark (the
+                        // retransmit queue lazily skips it).
+                        meta.lost = false;
+                        self.n_lost -= 1;
+                    }
+                    self.n_sacked += 1;
+                    self.highest_sacked = self.highest_sacked.max(ack.for_seq);
+                }
+            }
+        }
+
+        if ack.ack_seq > self.snd_una {
+            // --- New data acknowledged ---
+            let mut newly_acked_pkts = 0u64;
+            let mut newly_acked_bytes = 0u64;
+            // RTT sample (Karn's rule: skip retransmitted packets).
+            let rtt_sample = if !ack.for_retx {
+                let sample = now.saturating_sub(ack.for_sent_at) as f64 / SECONDS as f64;
+                Some(sample)
+            } else {
+                None
+            };
+            // Rate sample uses the triggering packet's snapshot.
+            let snap = self
+                .outstanding
+                .get(&ack.for_seq)
+                .map(|m| m.rate_snap)
+                .unwrap_or_else(|| self.rate.snapshot(now));
+
+            let acked: Vec<u64> = self
+                .outstanding
+                .range(..ack.ack_seq)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in acked {
+                if let Some(meta) = self.outstanding.remove(&s) {
+                    if meta.sacked {
+                        self.n_sacked -= 1;
+                    }
+                    if meta.lost {
+                        self.n_lost -= 1;
+                        // Remove from retransmit queue if still pending.
+                        self.retransmit_queue.retain(|&q| q != s);
+                    }
+                    newly_acked_pkts += 1;
+                    newly_acked_bytes += meta.bytes as u64;
+                }
+            }
+            self.snd_una = ack.ack_seq;
+            self.dupacks = 0;
+            // Any forward progress resets exponential RTO backoff (Linux
+            // behaviour); without this a loss storm can push the timer past
+            // the life of the connection.
+            self.rto_backoff = 0;
+
+            if let Some(s) = rtt_sample {
+                self.prev_rtt = self.rtt.latest();
+                self.rtt.on_sample(now, s);
+            }
+            if newly_acked_bytes > 0 {
+                self.prev_rate_bps = self.rate.latest_bps();
+                self.rate.on_delivered(now, newly_acked_bytes, snap);
+            }
+
+            let mut exited = false;
+            match self.ca_state {
+                CaState::Recovery | CaState::Loss => {
+                    if ack.ack_seq >= self.recovery_high {
+                        exited = true;
+                        self.ca_state = CaState::Open;
+                        self.rto_backoff = 0;
+                        let view = self.socket_view(now);
+                        self.cca.on_exit_recovery(now, &view);
+                    } else {
+                        // Partial ACK: newly exposed holes are lost too.
+                        self.mark_losses();
+                    }
+                }
+                CaState::Disorder => {
+                    self.ca_state = CaState::Open;
+                }
+                CaState::Open => {}
+            }
+
+            // Like Linux's tcp_cong_control: the CCA's window-growth hook is
+            // suppressed during fast recovery (where PRR governs; here the
+            // reduced window simply holds until recovery completes) but runs
+            // in every other state — including CA_Loss, where slow start must
+            // regrow the collapsed window.
+            if self.ca_state != CaState::Recovery {
+                let view = self.socket_view(now);
+                let ev = AckEvent {
+                    now,
+                    newly_acked_pkts,
+                    newly_acked_bytes,
+                    rtt_sample,
+                    exited_recovery: exited,
+                };
+                self.cca.on_ack(&ev, &view);
+            }
+
+            if self.outstanding.is_empty() && self.retransmit_queue.is_empty() {
+                actions.cancel_rto = true;
+                self.rto_deadline = None;
+            } else {
+                let deadline = now + self.rto_scaled();
+                self.rto_deadline = Some(deadline);
+                actions.rearm_rto = Some(deadline);
+            }
+        } else {
+            // --- Duplicate ACK ---
+            self.dupacks += 1;
+            match self.ca_state {
+                CaState::Open => {
+                    self.ca_state = CaState::Disorder;
+                }
+                _ => {}
+            }
+            if self.dupacks == 3 && matches!(self.ca_state, CaState::Open | CaState::Disorder) {
+                // Enter fast recovery.
+                self.ca_state = CaState::Recovery;
+                self.recovery_high = self.next_seq;
+                self.mark_losses();
+                let view = self.socket_view(now);
+                self.cca.on_congestion_event(now, &view);
+            } else if self.dupacks > 3 && self.ca_state == CaState::Recovery {
+                // Later SACKs may expose more holes; packet conservation
+                // happens naturally as each dup-ACK shrinks the pipe.
+                self.mark_losses();
+            }
+        }
+        actions
+    }
+
+    /// SACK-based loss marking (Linux SACK/FACK recovery): every unsacked
+    /// packet below the highest SACKed sequence is a hole the receiver has
+    /// proven lost (the emulated path never reorders). Marks all such holes
+    /// and queues their retransmission. The scan floor makes repeated calls
+    /// amortised O(n log n) over a connection.
+    fn mark_losses(&mut self) {
+        if self.highest_sacked <= self.loss_scan_floor {
+            return;
+        }
+        let from = self.loss_scan_floor.max(self.snd_una);
+        if from >= self.highest_sacked {
+            return;
+        }
+        let newly: Vec<u64> = self
+            .outstanding
+            .range(from..self.highest_sacked)
+            .filter(|(_, m)| !m.sacked && !m.lost)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in newly {
+            let meta = self.outstanding.get_mut(&seq).unwrap();
+            meta.lost = true;
+            self.n_lost += 1;
+            self.lost_pkts_total += 1;
+            self.lost_bytes_total += meta.bytes as u64;
+            self.retransmit_queue.push_back(seq);
+        }
+        self.loss_scan_floor = self.highest_sacked;
+    }
+
+    /// Retransmission timeout fired at `now`. Returns new timer deadline.
+    pub fn on_rto(&mut self, now: Nanos) -> Option<Nanos> {
+        match self.rto_deadline {
+            Some(d) if now >= d => {}
+            _ => return self.rto_deadline, // stale timer event
+        }
+        if self.outstanding.is_empty() {
+            self.rto_deadline = None;
+            return None;
+        }
+        self.ca_state = CaState::Loss;
+        self.recovery_high = self.next_seq;
+        self.dupacks = 0;
+        self.rto_backoff = (self.rto_backoff + 1).min(5);
+        // Go-back-N: every unsacked outstanding packet is presumed lost.
+        self.retransmit_queue.clear();
+        let mut newly_lost = 0u64;
+        for (&seq, meta) in self.outstanding.iter_mut() {
+            if !meta.sacked {
+                if !meta.lost {
+                    newly_lost += 1;
+                    self.lost_bytes_total += meta.bytes as u64;
+                }
+                meta.lost = true;
+                self.retransmit_queue.push_back(seq);
+            }
+        }
+        self.n_lost = self.retransmit_queue.len();
+        self.lost_pkts_total += newly_lost;
+        let view = self.socket_view(now);
+        self.cca.on_rto(now, &view);
+        let deadline = now + self.rto_scaled();
+        self.rto_deadline = Some(deadline);
+        Some(deadline)
+    }
+
+    fn rto_scaled(&self) -> Nanos {
+        self.rtt.rto().saturating_mul(1 << self.rto_backoff.min(5))
+    }
+
+    /// Arm the RTO when the first packet of a burst goes out.
+    pub fn ensure_rto(&mut self, now: Nanos) -> Option<Nanos> {
+        if self.rto_deadline.is_none() && !self.outstanding.is_empty() {
+            let d = now + self.rto_scaled();
+            self.rto_deadline = Some(d);
+            return Some(d);
+        }
+        None
+    }
+
+    /// Build the socket statistics snapshot.
+    pub fn socket_view(&self, now: Nanos) -> SocketView {
+        SocketView {
+            now,
+            mss: MSS,
+            srtt: self.rtt.srtt(),
+            rttvar: self.rtt.rttvar(),
+            latest_rtt: self.rtt.latest(),
+            prev_rtt: self.prev_rtt,
+            min_rtt: self.rtt.min_rtt(),
+            inflight_pkts: self.pipe_pkts() as f64,
+            inflight_bytes: (self.pipe_pkts() as u64) * MSS as u64,
+            delivery_rate_bps: self.rate.latest_bps(),
+            prev_delivery_rate_bps: self.prev_rate_bps,
+            max_delivery_rate_bps: self.rate.max_bps(),
+            prev_max_delivery_rate_bps: self.rate.prev_max_bps(),
+            ca_state: self.ca_state,
+            delivered_bytes_total: self.rate.delivered_bytes(),
+            sent_bytes_total: self.sent_bytes_total,
+            lost_bytes_total: self.lost_bytes_total,
+            lost_pkts_total: self.lost_pkts_total,
+            cwnd_pkts: self.cwnd_pkts(),
+            ssthresh_pkts: self.cca.ssthresh_pkts(),
+        }
+    }
+
+    /// Reset per-tick receiver accumulators, returning (bytes, mean owd s).
+    pub fn take_tick(&mut self) -> (u64, f64) {
+        let bytes = self.tick_rcv_bytes;
+        let owd = if self.tick_owd_count > 0 {
+            self.tick_owd_sum / self.tick_owd_count as f64
+        } else {
+            0.0
+        };
+        self.tick_rcv_bytes = 0;
+        self.tick_owd_sum = 0.0;
+        self.tick_owd_count = 0;
+        (bytes, owd)
+    }
+
+    /// Cumulative snd_una (for tests).
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Diagnostic dump of sender/receiver state (debugging and tests).
+    pub fn debug_state(&self) -> String {
+        let first: Vec<(u64, bool, bool)> = self
+            .outstanding
+            .iter()
+            .take(5)
+            .map(|(&s, m)| (s, m.sacked, m.lost))
+            .collect();
+        format!(
+            "snd_una={} next_seq={} outstanding={} n_sacked={} n_lost={} rtxq={:?} rcv_nxt={} ooo={} first={:?} ca={:?} dupacks={}",
+            self.snd_una,
+            self.next_seq,
+            self.outstanding.len(),
+            self.n_sacked,
+            self.n_lost,
+            self.retransmit_queue,
+            self.rcv_nxt,
+            self.ooo.len(),
+            first,
+            self.ca_state,
+            self.dupacks
+        )
+    }
+
+    /// Highest sequence produced so far (for tests).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{AckEvent, SocketView};
+    use sage_netsim::time::MILLIS;
+
+    /// A fixed-window CCA for exercising the flow machinery.
+    struct FixedWindow {
+        cwnd: f64,
+        congestion_events: u32,
+        rtos: u32,
+    }
+    impl CongestionControl for FixedWindow {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _s: &SocketView) {}
+        fn on_congestion_event(&mut self, _now: Nanos, _s: &SocketView) {
+            self.congestion_events += 1;
+            self.cwnd = (self.cwnd / 2.0).max(2.0);
+        }
+        fn on_rto(&mut self, _now: Nanos, _s: &SocketView) {
+            self.rtos += 1;
+            self.cwnd = 2.0;
+        }
+        fn cwnd_pkts(&self) -> f64 {
+            self.cwnd
+        }
+    }
+
+    fn flow(cwnd: f64) -> Flow {
+        let mut f = Flow::new(0, Box::new(FixedWindow { cwnd, congestion_events: 0, rtos: 0 }), 0, None);
+        f.active = true;
+        f
+    }
+
+    /// Deliver a data packet to the (co-located) receiver and feed the ACK
+    /// right back, simulating an instant network.
+    fn roundtrip(f: &mut Flow, pkt: Packet, now: Nanos) {
+        let ack = f.on_data(now, pkt);
+        f.on_ack(now, ack);
+    }
+
+    #[test]
+    fn sends_up_to_window() {
+        let mut f = flow(4.0);
+        let mut sent = 0;
+        while f.window_open() {
+            f.make_packet(0);
+            sent += 1;
+        }
+        assert_eq!(sent, 4);
+        assert_eq!(f.pipe_pkts(), 4);
+    }
+
+    #[test]
+    fn in_order_delivery_advances_snd_una() {
+        let mut f = flow(10.0);
+        let p0 = f.make_packet(0);
+        let p1 = f.make_packet(0);
+        roundtrip(&mut f, p0, 10 * MILLIS);
+        assert_eq!(f.snd_una(), 1);
+        roundtrip(&mut f, p1, 11 * MILLIS);
+        assert_eq!(f.snd_una(), 2);
+        assert_eq!(f.pipe_pkts(), 0);
+        assert!(f.rtt.has_sample());
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut f = flow(10.0);
+        let packets: Vec<Packet> = (0..6).map(|_| f.make_packet(0)).collect();
+        // Packet 0 lost; 1..=4 arrive -> dup ACKs.
+        for (i, &p) in packets.iter().enumerate().skip(1).take(4) {
+            let ack = f.on_data((i as u64) * MILLIS, p);
+            assert_eq!(ack.ack_seq, 0, "cumulative ack stuck at hole");
+            f.on_ack((i as u64) * MILLIS, ack);
+        }
+        assert_eq!(f.ca_state, CaState::Recovery);
+        assert!(f.has_retransmit());
+        assert_eq!(f.lost_pkts_total, 1);
+        // Retransmission goes out and fills the hole.
+        let rtx = f.make_packet(10 * MILLIS);
+        assert_eq!(rtx.seq, 0);
+        assert!(rtx.retransmit);
+        let ack = f.on_data(12 * MILLIS, rtx);
+        assert_eq!(ack.ack_seq, 5);
+        f.on_ack(12 * MILLIS, ack);
+        // Packet 5 is genuinely still in flight: the partial ACK must NOT
+        // spuriously retransmit it (SACK evidence rule).
+        assert_eq!(f.ca_state, CaState::Recovery);
+        assert!(!f.has_retransmit(), "no spurious retransmit without SACK evidence");
+        let ack5 = f.on_data(13 * MILLIS, packets[5]);
+        assert_eq!(ack5.ack_seq, 6);
+        f.on_ack(13 * MILLIS, ack5);
+        assert_eq!(f.ca_state, CaState::Open, "recovery exits once all pre-loss data acked");
+    }
+
+    #[test]
+    fn sack_accounting_shrinks_pipe() {
+        let mut f = flow(10.0);
+        let packets: Vec<Packet> = (0..5).map(|_| f.make_packet(0)).collect();
+        assert_eq!(f.pipe_pkts(), 5);
+        // Packet 0 lost; others arrive.
+        for &p in &packets[1..] {
+            let ack = f.on_data(MILLIS, p);
+            f.on_ack(MILLIS, ack);
+        }
+        // 4 sacked, 1 marked lost after dup-acks.
+        assert_eq!(f.pipe_pkts(), 0);
+    }
+
+    #[test]
+    fn rto_marks_all_outstanding_lost() {
+        let mut f = flow(8.0);
+        for _ in 0..8 {
+            f.make_packet(0);
+        }
+        f.ensure_rto(0);
+        let deadline = f.rto_deadline.unwrap();
+        let next = f.on_rto(deadline);
+        assert!(next.is_some());
+        assert_eq!(f.ca_state, CaState::Loss);
+        assert_eq!(f.pipe_pkts(), 0);
+        assert_eq!(f.lost_pkts_total, 8);
+        // All 8 packets queued for retransmission, oldest first.
+        let p = f.make_packet(deadline + 1);
+        assert_eq!(p.seq, 0);
+        assert!(p.retransmit);
+    }
+
+    #[test]
+    fn stale_rto_is_ignored() {
+        let mut f = flow(4.0);
+        f.make_packet(0);
+        f.ensure_rto(0);
+        // Fire far before the deadline: no state change.
+        f.on_rto(1);
+        assert_eq!(f.ca_state, CaState::Open);
+        assert_eq!(f.lost_pkts_total, 0);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmit_rtt() {
+        let mut f = flow(4.0);
+        let p = f.make_packet(0);
+        // Simulate loss + RTO + retransmit.
+        f.ensure_rto(0);
+        let d = f.rto_deadline.unwrap();
+        f.on_rto(d);
+        let rtx = f.make_packet(d);
+        assert!(rtx.retransmit);
+        let before = f.rtt.has_sample();
+        let ack = f.on_data(d + 5 * MILLIS, rtx);
+        f.on_ack(d + 10 * MILLIS, ack);
+        assert_eq!(f.rtt.has_sample(), before, "no RTT sample from retransmit");
+        let _ = p;
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut f = flow(10.0);
+        let packets: Vec<Packet> = (0..3).map(|_| f.make_packet(0)).collect();
+        let a2 = f.on_data(MILLIS, packets[2]);
+        assert_eq!(a2.ack_seq, 0);
+        let a0 = f.on_data(2 * MILLIS, packets[0]);
+        assert_eq!(a0.ack_seq, 1);
+        let a1 = f.on_data(3 * MILLIS, packets[1]);
+        assert_eq!(a1.ack_seq, 3, "hole filled: cumulative ack jumps");
+    }
+
+    #[test]
+    fn duplicate_data_not_double_counted() {
+        let mut f = flow(10.0);
+        let p = f.make_packet(0);
+        f.on_data(MILLIS, p);
+        let bytes_after_first = f.rcv_bytes_total;
+        f.on_data(2 * MILLIS, p);
+        assert_eq!(f.rcv_bytes_total, bytes_after_first);
+    }
+
+    #[test]
+    fn tick_accumulators_reset() {
+        let mut f = flow(10.0);
+        let p = f.make_packet(0);
+        f.on_data(5 * MILLIS, p);
+        let (bytes, owd) = f.take_tick();
+        assert_eq!(bytes, MSS as u64);
+        assert!(owd > 0.0);
+        let (bytes2, owd2) = f.take_tick();
+        assert_eq!(bytes2, 0);
+        assert_eq!(owd2, 0.0);
+    }
+}

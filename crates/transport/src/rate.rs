@@ -1,0 +1,139 @@
+//! Delivery-rate sampling in the style of BBR / `tcp_rate.c`.
+//!
+//! Every transmitted packet snapshots `(delivered_bytes, time)`; when the
+//! packet is ACKed, the rate sample is the delivered delta over the elapsed
+//! interval. This yields per-ACK bandwidth samples robust to ACK compression.
+
+use sage_netsim::time::{Nanos, SECONDS};
+use std::collections::VecDeque;
+
+/// Per-packet snapshot captured at transmission time.
+#[derive(Debug, Clone, Copy)]
+pub struct RateSnapshot {
+    pub delivered_bytes: u64,
+    pub at: Nanos,
+}
+
+/// Sender-side delivery rate tracker.
+#[derive(Debug, Clone)]
+pub struct RateSampler {
+    delivered_bytes: u64,
+    delivered_at: Nanos,
+    latest_bps: f64,
+    /// Monotonic deque of (timestamp, bps): decreasing bps front-to-back, so
+    /// the front is always the windowed maximum. O(1) amortised per sample.
+    max_window: VecDeque<(Nanos, f64)>,
+    max_window_len: Nanos,
+    prev_max: f64,
+}
+
+impl Default for RateSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateSampler {
+    pub fn new() -> Self {
+        RateSampler {
+            delivered_bytes: 0,
+            delivered_at: 0,
+            latest_bps: 0.0,
+            max_window: VecDeque::new(),
+            max_window_len: 10 * SECONDS,
+            prev_max: 0.0,
+        }
+    }
+
+    /// Snapshot to attach to a packet being transmitted now.
+    pub fn snapshot(&self, now: Nanos) -> RateSnapshot {
+        RateSnapshot {
+            delivered_bytes: self.delivered_bytes,
+            at: if self.delivered_at == 0 { now } else { self.delivered_at },
+        }
+    }
+
+    /// Record `bytes` newly cumulatively ACKed at `now`, producing a rate
+    /// sample against the snapshot taken when the ACKed packet was sent.
+    pub fn on_delivered(&mut self, now: Nanos, bytes: u64, snap: RateSnapshot) -> f64 {
+        self.delivered_bytes += bytes;
+        self.delivered_at = now;
+        let interval = now.saturating_sub(snap.at);
+        if interval > 0 {
+            let delta = self.delivered_bytes.saturating_sub(snap.delivered_bytes);
+            let bps = delta as f64 * 8.0 / (interval as f64 / SECONDS as f64);
+            self.latest_bps = bps;
+            self.prev_max = self.max_bps();
+            while matches!(self.max_window.back(), Some(&(_, r)) if r <= bps) {
+                self.max_window.pop_back();
+            }
+            self.max_window.push_back((now, bps));
+            let cutoff = now.saturating_sub(self.max_window_len);
+            while matches!(self.max_window.front(), Some(&(t, _)) if t < cutoff) {
+                self.max_window.pop_front();
+            }
+        }
+        self.latest_bps
+    }
+
+    /// Cumulative delivered bytes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Latest instantaneous rate sample, bits/s.
+    pub fn latest_bps(&self) -> f64 {
+        self.latest_bps
+    }
+
+    /// Windowed maximum delivery rate, bits/s.
+    pub fn max_bps(&self) -> f64 {
+        self.max_window.front().map(|&(_, r)| r).unwrap_or(0.0)
+    }
+
+    /// Maximum before the latest sample was folded in (for `dr_max_ratio`).
+    pub fn prev_max_bps(&self) -> f64 {
+        self.prev_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_netsim::time::MILLIS;
+
+    #[test]
+    fn steady_stream_measures_line_rate() {
+        let mut s = RateSampler::new();
+        // 1500 B every 1 ms = 12 Mbps. Snapshot then deliver one interval later.
+        let mut snaps = Vec::new();
+        for i in 0..20u64 {
+            snaps.push((i, s.snapshot(i * MILLIS)));
+            if i >= 2 {
+                let (_, snap) = snaps[(i - 2) as usize];
+                s.on_delivered(i * MILLIS, 1500, snap);
+            }
+        }
+        assert!((s.latest_bps() - 12e6).abs() / 12e6 < 0.05, "rate {}", s.latest_bps());
+    }
+
+    #[test]
+    fn max_tracks_peak() {
+        let mut s = RateSampler::new();
+        let snap0 = s.snapshot(0);
+        s.on_delivered(MILLIS, 15_000, snap0); // 120 Mbps burst
+        let snap1 = s.snapshot(MILLIS);
+        s.on_delivered(11 * MILLIS, 1_500, snap1); // slow
+        assert!(s.max_bps() > 100e6);
+        assert!(s.latest_bps() < 10e6);
+    }
+
+    #[test]
+    fn zero_interval_is_ignored() {
+        let mut s = RateSampler::new();
+        let snap = s.snapshot(5);
+        s.on_delivered(5, 1500, snap);
+        assert_eq!(s.latest_bps(), 0.0);
+        assert_eq!(s.delivered_bytes(), 1500);
+    }
+}

@@ -1,0 +1,155 @@
+//! RTT estimation per RFC 6298 (Jacobson/Karels) plus a windowed minimum.
+
+use sage_netsim::time::{Nanos, MILLIS, SECONDS};
+use std::collections::VecDeque;
+
+/// Smoothed RTT state. All durations are in seconds (f64) except deadlines.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    latest: f64,
+    /// Monotonic deque of (timestamp, rtt): increasing rtt front-to-back, so
+    /// the front is always the windowed minimum. O(1) amortised per sample.
+    min_window: VecDeque<(Nanos, f64)>,
+    min_window_len: Nanos,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            latest: 0.0,
+            min_window: VecDeque::new(),
+            min_window_len: 10 * SECONDS,
+        }
+    }
+
+    /// Feed one RTT sample (seconds) taken at `now`.
+    pub fn on_sample(&mut self, now: Nanos, rtt: f64) {
+        self.latest = rtt;
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298: beta = 1/4, alpha = 1/8.
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+            }
+        }
+        // Monotonic deque maintenance: drop dominated entries from the back,
+        // expired entries from the front.
+        while matches!(self.min_window.back(), Some(&(_, r)) if r >= rtt) {
+            self.min_window.pop_back();
+        }
+        self.min_window.push_back((now, rtt));
+        let cutoff = now.saturating_sub(self.min_window_len);
+        while matches!(self.min_window.front(), Some(&(t, _)) if t < cutoff) {
+            self.min_window.pop_front();
+        }
+    }
+
+    /// Smoothed RTT in seconds (0 until the first sample).
+    pub fn srtt(&self) -> f64 {
+        self.srtt.unwrap_or(0.0)
+    }
+
+    /// RTT variance estimate in seconds.
+    pub fn rttvar(&self) -> f64 {
+        self.rttvar
+    }
+
+    /// Most recent sample in seconds.
+    pub fn latest(&self) -> f64 {
+        self.latest
+    }
+
+    /// Windowed minimum RTT in seconds (propagation-delay estimate);
+    /// falls back to srtt, then 0.
+    pub fn min_rtt(&self) -> f64 {
+        match self.min_window.front() {
+            Some(&(_, r)) => r,
+            None => self.srtt(),
+        }
+    }
+
+    /// Retransmission timeout in nanoseconds (RFC 6298 with a 200 ms floor,
+    /// matching modern Linux rather than the RFC's 1 s).
+    pub fn rto(&self) -> Nanos {
+        match self.srtt {
+            None => SECONDS, // conservative initial RTO
+            Some(srtt) => {
+                let rto = srtt + (4.0 * self.rttvar).max(0.001);
+                ((rto * SECONDS as f64) as Nanos).max(200 * MILLIS)
+            }
+        }
+    }
+
+    pub fn has_sample(&self) -> bool {
+        self.srtt.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RttEstimator::new();
+        e.on_sample(0, 0.1);
+        assert!((e.srtt() - 0.1).abs() < 1e-12);
+        assert!((e.rttvar() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srtt_converges() {
+        let mut e = RttEstimator::new();
+        for i in 0..200 {
+            e.on_sample(i * MILLIS, 0.05);
+        }
+        assert!((e.srtt() - 0.05).abs() < 1e-9);
+        assert!(e.rttvar() < 1e-3);
+    }
+
+    #[test]
+    fn min_rtt_tracks_window_min() {
+        let mut e = RttEstimator::new();
+        e.on_sample(0, 0.08);
+        e.on_sample(MILLIS, 0.03);
+        e.on_sample(2 * MILLIS, 0.2);
+        assert!((e.min_rtt() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_rtt_expires_old_samples() {
+        let mut e = RttEstimator::new();
+        e.on_sample(0, 0.01);
+        e.on_sample(20 * SECONDS, 0.05);
+        assert!((e.min_rtt() - 0.05).abs() < 1e-12, "old min should expire");
+    }
+
+    #[test]
+    fn rto_has_floor() {
+        let mut e = RttEstimator::new();
+        for i in 0..100 {
+            e.on_sample(i * MILLIS, 0.001);
+        }
+        assert_eq!(e.rto(), 200 * MILLIS);
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RttEstimator::new();
+        assert_eq!(e.rto(), SECONDS);
+    }
+}

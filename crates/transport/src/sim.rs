@@ -1,0 +1,599 @@
+//! The discrete-event simulation binding flows to a bottleneck path —
+//! the equivalent of one Mahimahi shell run.
+
+use crate::cc::{CongestionControl, SocketView};
+use crate::flow::{Ack, Flow};
+use sage_netsim::aqm::AqmKind;
+use sage_netsim::engine::EventQueue;
+use sage_netsim::link::LinkModel;
+use sage_netsim::packet::{FlowId, Packet};
+use sage_netsim::queue::{BottleneckPath, EnqueueOutcome};
+use sage_netsim::time::{from_ms, Nanos, MILLIS, SECONDS};
+use sage_util::percentile;
+
+/// Network-level configuration of a run.
+pub struct SimConfig {
+    pub link: LinkModel,
+    pub buffer_bytes: u64,
+    pub aqm: AqmKind,
+    /// Minimum round-trip propagation delay in milliseconds (split evenly
+    /// between the forward and return path).
+    pub rtt_ms: f64,
+    /// Independent per-packet random loss probability on the forward path.
+    pub random_loss: f64,
+    pub duration: Nanos,
+    pub seed: u64,
+    /// Monitor/action interval (the GR unit's timestep); 10 ms by default.
+    pub monitor_interval: Nanos,
+    /// Uniform jitter bound applied to the ACK return path (models end-host
+    /// timing noise; breaks the deterministic phase-lock that synchronised
+    /// flows would otherwise exhibit over a DropTail queue). Default 200 us.
+    pub ack_jitter: Nanos,
+}
+
+impl SimConfig {
+    pub fn new(link: LinkModel, buffer_bytes: u64, rtt_ms: f64, duration: Nanos) -> Self {
+        SimConfig {
+            link,
+            buffer_bytes,
+            aqm: AqmKind::TailDrop,
+            rtt_ms,
+            random_loss: 0.0,
+            duration,
+            seed: 1,
+            monitor_interval: 10 * MILLIS,
+            ack_jitter: 200_000,
+        }
+    }
+}
+
+/// One flow participating in a run.
+pub struct FlowConfig {
+    pub cca: Box<dyn CongestionControl>,
+    pub start: Nanos,
+    pub stop: Option<Nanos>,
+}
+
+impl FlowConfig {
+    pub fn at_start(cca: Box<dyn CongestionControl>) -> Self {
+        FlowConfig { cca, start: 0, stop: None }
+    }
+
+    pub fn starting_at(cca: Box<dyn CongestionControl>, start: Nanos) -> Self {
+        FlowConfig { cca, start, stop: None }
+    }
+}
+
+/// Per-tick observation handed to monitors (one per flow per tick).
+#[derive(Debug, Clone, Copy)]
+pub struct TickRecord {
+    pub now: Nanos,
+    /// Receiver goodput over the tick, bits/s.
+    pub goodput_bps: f64,
+    /// Mean one-way delay of packets delivered this tick, seconds (0 if none).
+    pub mean_owd: f64,
+    /// Bytes newly lost during this tick (sender estimate).
+    pub lost_bytes_delta: u64,
+    /// Congestion window applied during this tick, packets.
+    pub cwnd_pkts: f64,
+}
+
+/// Summary statistics for one flow after a run.
+#[derive(Debug, Clone)]
+pub struct FlowStats {
+    pub name: String,
+    /// Mean receiver goodput over the flow's active period, Mbit/s.
+    pub avg_goodput_mbps: f64,
+    /// Mean one-way delay of delivered packets, ms.
+    pub avg_owd_ms: f64,
+    /// 95th-percentile one-way delay, ms.
+    pub p95_owd_ms: f64,
+    /// Mean smoothed RTT over ticks, ms.
+    pub avg_srtt_ms: f64,
+    pub delivered_bytes: u64,
+    pub lost_pkts: u64,
+    pub retx_pkts: u64,
+    pub sent_pkts: u64,
+    /// Active sending duration, seconds.
+    pub active_secs: f64,
+}
+
+/// Observer invoked once per flow per monitor tick.
+pub trait Monitor {
+    fn on_tick(&mut self, flow_idx: usize, view: &SocketView, tick: &TickRecord);
+}
+
+/// A no-op monitor.
+pub struct NullMonitor;
+impl Monitor for NullMonitor {
+    fn on_tick(&mut self, _flow_idx: usize, _view: &SocketView, _tick: &TickRecord) {}
+}
+
+enum Ev {
+    /// The bottleneck finished serving a packet (lazily validated).
+    PathComplete(Nanos),
+    /// Data packet reaches the receiver.
+    DataArrive(Packet),
+    /// ACK reaches the sender.
+    AckArrive(Ack),
+    /// RTO timer for a flow (lazily validated against the flow's deadline).
+    Rto(FlowId),
+    /// Global monitor tick.
+    Tick,
+    /// Flow lifecycle.
+    FlowStart(FlowId),
+    FlowStop(FlowId),
+    /// Pacing gate re-opened for a flow.
+    PacedSend(FlowId),
+}
+
+/// A complete single-bottleneck simulation.
+pub struct Simulation {
+    cfg: SimConfig,
+    path: BottleneckPath,
+    flows: Vec<Flow>,
+    events: EventQueue<Ev>,
+    now: Nanos,
+    fwd_owd: Nanos,
+    ret_owd: Nanos,
+    /// Per-flow pacing state: earliest next permitted transmission.
+    pace_next: Vec<Nanos>,
+    /// Whether a PacedSend wake-up is already scheduled for the flow
+    /// (prevents duplicate self-rearming events).
+    pace_armed: Vec<bool>,
+    /// Per-flow lost-bytes counter at the previous tick.
+    prev_lost_bytes: Vec<u64>,
+    rng: sage_util::Rng,
+    /// Per-flow sum/count of srtt over ticks (for FlowStats).
+    srtt_sum: Vec<f64>,
+    srtt_cnt: Vec<u64>,
+}
+
+impl Simulation {
+    pub fn new(cfg: SimConfig, flow_cfgs: Vec<FlowConfig>) -> Self {
+        let path = BottleneckPath::new(
+            cfg.link.clone(),
+            cfg.buffer_bytes,
+            cfg.aqm.build(cfg.seed),
+            cfg.random_loss,
+            cfg.seed,
+        );
+        let half = from_ms(cfg.rtt_ms / 2.0);
+        let cfg_seed = cfg.seed;
+        let mut flows = Vec::new();
+        let mut events = EventQueue::new();
+        for (i, fc) in flow_cfgs.into_iter().enumerate() {
+            let id = i as FlowId;
+            let f = Flow::new(id, fc.cca, fc.start, fc.stop);
+            events.schedule(fc.start, Ev::FlowStart(id));
+            if let Some(stop) = fc.stop {
+                events.schedule(stop, Ev::FlowStop(id));
+            }
+            flows.push(f);
+        }
+        events.schedule(cfg.monitor_interval, Ev::Tick);
+        let n = flows.len();
+        Simulation {
+            cfg,
+            path,
+            flows,
+            events,
+            now: 0,
+            fwd_owd: half,
+            ret_owd: half,
+            pace_next: vec![0; n],
+            pace_armed: vec![false; n],
+            prev_lost_bytes: vec![0; n],
+            rng: sage_util::Rng::new(cfg_seed ^ 0xACE1),
+            srtt_sum: vec![0.0; n],
+            srtt_cnt: vec![0; n],
+        }
+    }
+
+    /// Run to completion, invoking `monitor` once per active flow per tick.
+    pub fn run(&mut self, monitor: &mut dyn Monitor) -> Vec<FlowStats> {
+        while let Some((t, ev)) = self.events.pop() {
+            if t > self.cfg.duration {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Ev::PathComplete(expected) => {
+                    if self.path.next_completion() == Some(expected) {
+                        if let Some(dep) = self.path.complete(self.now) {
+                            self.events
+                                .schedule(dep.at + self.fwd_owd, Ev::DataArrive(dep.pkt));
+                        }
+                        self.schedule_path_completion();
+                    }
+                }
+                Ev::DataArrive(pkt) => {
+                    let idx = pkt.flow as usize;
+                    let ack = self.flows[idx].on_data(self.now, pkt);
+                    let jitter = if self.cfg.ack_jitter > 0 {
+                        (self.rng.uniform() * self.cfg.ack_jitter as f64) as Nanos
+                    } else {
+                        0
+                    };
+                    self.events
+                        .schedule(self.now + self.ret_owd + jitter, Ev::AckArrive(ack));
+                }
+                Ev::AckArrive(ack) => {
+                    let idx = ack.flow as usize;
+                    let actions = self.flows[idx].on_ack(self.now, ack);
+                    if let Some(d) = actions.rearm_rto {
+                        self.events.schedule(d, Ev::Rto(ack.flow));
+                    }
+                    self.try_send(idx);
+                }
+                Ev::Rto(fid) => {
+                    let idx = fid as usize;
+                    let deadline = self.flows[idx].rto_deadline;
+                    if deadline == Some(self.now) || deadline.map_or(false, |d| d <= self.now) {
+                        if let Some(next) = self.flows[idx].on_rto(self.now) {
+                            self.events.schedule(next, Ev::Rto(fid));
+                        }
+                        self.try_send(idx);
+                    }
+                }
+                Ev::Tick => {
+                    self.do_tick(monitor);
+                    self.events
+                        .schedule(self.now + self.cfg.monitor_interval, Ev::Tick);
+                }
+                Ev::FlowStart(fid) => {
+                    let idx = fid as usize;
+                    self.flows[idx].active = true;
+                    let now = self.now;
+                    self.flows[idx].cca.init(now, crate::MSS);
+                    self.try_send(idx);
+                }
+                Ev::FlowStop(fid) => {
+                    let idx = fid as usize;
+                    self.flows[idx].active = false;
+                    self.flows[idx].done = true;
+                }
+                Ev::PacedSend(fid) => {
+                    self.pace_armed[fid as usize] = false;
+                    self.try_send(fid as usize);
+                }
+            }
+        }
+        self.collect_stats()
+    }
+
+    fn do_tick(&mut self, monitor: &mut dyn Monitor) {
+        let interval_s = self.cfg.monitor_interval as f64 / SECONDS as f64;
+        for idx in 0..self.flows.len() {
+            if !self.flows[idx].active {
+                continue;
+            }
+            let now = self.now;
+            let view = self.flows[idx].socket_view(now);
+            {
+                let f = &mut self.flows[idx];
+                f.cca.on_tick(now, &view);
+            }
+            // Rebuild the view after the CCA tick so monitors observe the
+            // post-action cwnd (the GR unit records the action's effect).
+            let view = self.flows[idx].socket_view(now);
+            let (bytes, owd) = self.flows[idx].take_tick();
+            let lost_total = self.flows[idx].lost_bytes_total;
+            let lost_delta = lost_total.saturating_sub(self.prev_lost_bytes[idx]);
+            self.prev_lost_bytes[idx] = lost_total;
+            let tick = TickRecord {
+                now,
+                goodput_bps: bytes as f64 * 8.0 / interval_s,
+                mean_owd: owd,
+                lost_bytes_delta: lost_delta,
+                cwnd_pkts: view.cwnd_pkts,
+            };
+            self.srtt_sum[idx] += view.srtt;
+            self.srtt_cnt[idx] += 1;
+            monitor.on_tick(idx, &view, &tick);
+            // Window may have changed (tick-driven CCAs); try sending.
+            self.try_send(idx);
+        }
+    }
+
+    /// Transmit as many packets as the window and pacing gate allow.
+    fn try_send(&mut self, idx: usize) {
+        loop {
+            let now = self.now;
+            let f = &mut self.flows[idx];
+            if !f.active {
+                return;
+            }
+            if !(f.window_open() || (f.has_retransmit() && f.pipe_pkts() == 0)) {
+                // Always allow a retransmission when nothing is in flight,
+                // otherwise recovery can deadlock with a tiny window.
+                return;
+            }
+            // Pacing gate.
+            if let Some(bps) = f.cca.pacing_bps() {
+                if bps > 0.0 && now < self.pace_next[idx] {
+                    if !self.pace_armed[idx] {
+                        self.pace_armed[idx] = true;
+                        let at = self.pace_next[idx];
+                        self.events.schedule(at, Ev::PacedSend(idx as FlowId));
+                    }
+                    return;
+                }
+            }
+            let pkt = f.make_packet(now);
+            if let Some(bps) = f.cca.pacing_bps() {
+                if bps > 0.0 {
+                    let gap = (pkt.bytes as f64 * 8.0 / bps * SECONDS as f64) as Nanos;
+                    self.pace_next[idx] = now.max(self.pace_next[idx]) + gap;
+                }
+            }
+            if let Some(d) = f.ensure_rto(now) {
+                self.events.schedule(d, Ev::Rto(idx as FlowId));
+            }
+            match self.path.enqueue(now, pkt) {
+                EnqueueOutcome::Queued | EnqueueOutcome::Dropped(_) => {
+                    // Drops surface to the sender through missing ACKs; the
+                    // path records them for its own statistics either way.
+                }
+            }
+            self.schedule_path_completion();
+        }
+    }
+
+    fn schedule_path_completion(&mut self) {
+        if let Some(t) = self.path.next_completion() {
+            self.events.schedule(t, Ev::PathComplete(t));
+        }
+    }
+
+    fn collect_stats(&mut self) -> Vec<FlowStats> {
+        let mut out = Vec::new();
+        for (idx, f) in self.flows.iter().enumerate() {
+            let end = f.stop.unwrap_or(self.cfg.duration).min(self.cfg.duration);
+            let active = end.saturating_sub(f.start) as f64 / SECONDS as f64;
+            let goodput = if active > 0.0 {
+                f.rcv_bytes_total as f64 * 8.0 / active / 1e6
+            } else {
+                0.0
+            };
+            let owds: Vec<f64> = f.owd_samples.iter().map(|&x| x as f64 * 1e3).collect();
+            out.push(FlowStats {
+                name: f.cca.name().to_string(),
+                avg_goodput_mbps: goodput,
+                avg_owd_ms: sage_util::mean(&owds),
+                p95_owd_ms: percentile(&owds, 95.0),
+                avg_srtt_ms: if self.srtt_cnt[idx] > 0 {
+                    self.srtt_sum[idx] / self.srtt_cnt[idx] as f64 * 1e3
+                } else {
+                    0.0
+                },
+                delivered_bytes: f.rcv_bytes_total,
+                lost_pkts: f.lost_pkts_total,
+                retx_pkts: f.retx_pkts_total,
+                sent_pkts: f.sent_pkts_total,
+                active_secs: active,
+            });
+        }
+        out
+    }
+
+    /// Total packets dropped at the bottleneck.
+    pub fn path_drops(&self) -> u64 {
+        self.path.total_dropped
+    }
+
+    /// Access a flow (for inspection in tests and figures).
+    pub fn flow(&self, idx: usize) -> &Flow {
+        &self.flows[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{AckEvent, CaState};
+
+    /// Minimal AIMD Reno for end-to-end sanity tests (real schemes live in
+    /// `sage-heuristics`).
+    struct MiniReno {
+        cwnd: f64,
+        ssthresh: f64,
+    }
+    impl MiniReno {
+        fn new() -> Self {
+            MiniReno { cwnd: crate::INIT_CWND, ssthresh: f64::INFINITY }
+        }
+    }
+    impl CongestionControl for MiniReno {
+        fn name(&self) -> &'static str {
+            "mini-reno"
+        }
+        fn on_ack(&mut self, ack: &AckEvent, _s: &SocketView) {
+            for _ in 0..ack.newly_acked_pkts {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0;
+                } else {
+                    self.cwnd += 1.0 / self.cwnd;
+                }
+            }
+        }
+        fn on_congestion_event(&mut self, _now: Nanos, _s: &SocketView) {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+        }
+        fn on_rto(&mut self, _now: Nanos, _s: &SocketView) {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = 2.0;
+        }
+        fn cwnd_pkts(&self) -> f64 {
+            self.cwnd
+        }
+        fn ssthresh_pkts(&self) -> f64 {
+            self.ssthresh
+        }
+    }
+
+    fn run_one(mbps: f64, rtt_ms: f64, bdp_mult: f64, secs: f64) -> FlowStats {
+        let bdp = (mbps * 1e6 / 8.0 * rtt_ms / 1e3) as u64;
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps },
+            ((bdp as f64 * bdp_mult) as u64).max(3000),
+            rtt_ms,
+            sage_netsim::time::from_secs(secs),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        sim.run(&mut NullMonitor).remove(0)
+    }
+
+    #[test]
+    fn reno_fills_a_small_pipe() {
+        let s = run_one(12.0, 20.0, 2.0, 10.0);
+        assert!(
+            s.avg_goodput_mbps > 10.0,
+            "expected near-full utilisation, got {} Mbps",
+            s.avg_goodput_mbps
+        );
+        assert!(s.avg_owd_ms >= 10.0, "one-way delay below propagation? {}", s.avg_owd_ms);
+    }
+
+    #[test]
+    fn reno_fills_a_larger_pipe() {
+        let s = run_one(48.0, 40.0, 2.0, 15.0);
+        assert!(s.avg_goodput_mbps > 40.0, "got {} Mbps", s.avg_goodput_mbps);
+    }
+
+    #[test]
+    fn losses_occur_with_tiny_buffer() {
+        let s = run_one(24.0, 20.0, 0.25, 10.0);
+        assert!(s.lost_pkts > 0, "tiny buffer must cause losses");
+        assert!(s.avg_goodput_mbps > 5.0, "still makes progress: {}", s.avg_goodput_mbps);
+    }
+
+    #[test]
+    fn delay_bounded_by_buffer() {
+        // 1 BDP buffer: worst-case queue is one extra RTT; one-way delay is
+        // bounded by prop/2 + buffer-drain plus service granularity.
+        let s = run_one(24.0, 40.0, 1.0, 10.0);
+        assert!(s.avg_owd_ms < 20.0 + 40.0 + 5.0, "owd {}", s.avg_owd_ms);
+        assert!(s.p95_owd_ms >= s.avg_owd_ms);
+    }
+
+    #[test]
+    fn two_flows_share_roughly_fairly() {
+        let mbps = 24.0;
+        let bdp = (mbps * 1e6 / 8.0 * 40.0 / 1e3) as u64;
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps },
+            bdp * 2,
+            40.0,
+            sage_netsim::time::from_secs(30.0),
+        );
+        let mut sim = Simulation::new(
+            cfg,
+            vec![
+                FlowConfig::at_start(Box::new(MiniReno::new())),
+                FlowConfig::at_start(Box::new(MiniReno::new())),
+            ],
+        );
+        let stats = sim.run(&mut NullMonitor);
+        let total = stats[0].avg_goodput_mbps + stats[1].avg_goodput_mbps;
+        assert!(total > 20.0, "total {total}");
+        let ratio = stats[0].avg_goodput_mbps / stats[1].avg_goodput_mbps.max(0.01);
+        assert!((0.5..=2.0).contains(&ratio), "unfair split {ratio}");
+    }
+
+    #[test]
+    fn step_scenario_tracks_capacity_increase() {
+        let cfg = SimConfig::new(
+            LinkModel::Step {
+                before_mbps: 24.0,
+                after_mbps: 96.0,
+                at: sage_netsim::time::from_secs(10.0),
+            },
+            2_000_000,
+            20.0,
+            sage_netsim::time::from_secs(20.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        let stats = sim.run(&mut NullMonitor);
+        // Average must exceed the low phase alone.
+        assert!(stats[0].avg_goodput_mbps > 20.0, "got {}", stats[0].avg_goodput_mbps);
+    }
+
+    #[test]
+    fn monitor_ticks_fire_at_interval() {
+        struct Counter(u64);
+        impl Monitor for Counter {
+            fn on_tick(&mut self, _i: usize, _v: &SocketView, _t: &TickRecord) {
+                self.0 += 1;
+            }
+        }
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            100_000,
+            20.0,
+            sage_netsim::time::from_secs(2.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        let mut c = Counter(0);
+        sim.run(&mut c);
+        // 2 s at 10 ms per tick = about 200 ticks.
+        assert!((190..=201).contains(&c.0), "ticks {}", c.0);
+    }
+
+    #[test]
+    fn late_flow_start_respected() {
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            100_000,
+            20.0,
+            sage_netsim::time::from_secs(4.0),
+        );
+        let mut sim = Simulation::new(
+            cfg,
+            vec![FlowConfig::starting_at(
+                Box::new(MiniReno::new()),
+                sage_netsim::time::from_secs(2.0),
+            )],
+        );
+        let stats = sim.run(&mut NullMonitor);
+        assert!((stats[0].active_secs - 2.0).abs() < 1e-6);
+        assert!(stats[0].delivered_bytes > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_one(24.0, 30.0, 1.0, 5.0);
+        let b = run_one(24.0, 30.0, 1.0, 5.0);
+        assert_eq!(a.delivered_bytes, b.delivered_bytes);
+        assert_eq!(a.lost_pkts, b.lost_pkts);
+    }
+
+    #[test]
+    fn recovery_state_reached_and_left() {
+        struct StateWatch {
+            saw_recovery: bool,
+            back_open: bool,
+        }
+        impl Monitor for StateWatch {
+            fn on_tick(&mut self, _i: usize, v: &SocketView, _t: &TickRecord) {
+                if v.ca_state == CaState::Recovery {
+                    self.saw_recovery = true;
+                } else if self.saw_recovery && v.ca_state == CaState::Open {
+                    self.back_open = true;
+                }
+            }
+        }
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            30_000, // small buffer forces losses
+            20.0,
+            sage_netsim::time::from_secs(10.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        let mut w = StateWatch { saw_recovery: false, back_open: false };
+        sim.run(&mut w);
+        assert!(w.saw_recovery, "expected fast recovery under small buffer");
+        assert!(w.back_open, "expected recovery to complete");
+    }
+}

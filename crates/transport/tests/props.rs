@@ -1,0 +1,73 @@
+//! Property-based end-to-end invariants of the transport over randomised
+//! network conditions: conservation laws that must hold for any environment.
+
+use proptest::prelude::*;
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::from_secs;
+use sage_transport::sim::NullMonitor;
+use sage_transport::{CongestionControl, FlowConfig, SimConfig, Simulation, SocketView};
+
+/// A window that follows a fixed pseudo-random walk — exercises arbitrary
+/// cwnd dynamics through the sender machinery.
+struct RandomWalkCc {
+    cwnd: f64,
+    state: u64,
+}
+impl CongestionControl for RandomWalkCc {
+    fn name(&self) -> &'static str {
+        "randomwalk"
+    }
+    fn on_ack(&mut self, _a: &sage_transport::AckEvent, _s: &SocketView) {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let r = (self.state >> 33) as f64 / (1u64 << 31) as f64; // [0,1)
+        self.cwnd = (self.cwnd * (0.9 + 0.25 * r)).clamp(2.0, 500.0);
+    }
+    fn on_congestion_event(&mut self, _n: u64, _s: &SocketView) {
+        self.cwnd = (self.cwnd / 2.0).max(2.0);
+    }
+    fn on_rto(&mut self, _n: u64, _s: &SocketView) {
+        self.cwnd = 2.0;
+    }
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn conservation_under_random_conditions(
+        mbps in 2.0f64..100.0,
+        rtt in 5.0f64..150.0,
+        buf_mult in 0.25f64..8.0,
+        loss in 0.0f64..0.05,
+        walk_seed in any::<u64>(),
+    ) {
+        let bdp = (mbps * 1e6 / 8.0 * rtt / 1e3).max(4500.0);
+        let mut cfg = SimConfig::new(
+            LinkModel::Constant { mbps },
+            (bdp * buf_mult) as u64,
+            rtt,
+            from_secs(4.0),
+        );
+        cfg.random_loss = loss;
+        cfg.seed = walk_seed;
+        let cca = RandomWalkCc { cwnd: 10.0, state: walk_seed | 1 };
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
+        let stats = sim.run(&mut NullMonitor).remove(0);
+
+        // Conservation: the receiver cannot get more than was sent.
+        prop_assert!(stats.delivered_bytes <= (stats.sent_pkts + stats.retx_pkts) * 1500);
+        // Goodput cannot exceed the link rate (small tolerance for the
+        // final in-flight burst).
+        prop_assert!(stats.avg_goodput_mbps <= mbps * 1.05 + 0.5);
+        // One-way delay at least half the propagation delay.
+        if stats.delivered_bytes > 0 {
+            prop_assert!(stats.avg_owd_ms >= rtt / 2.0 - 0.5);
+        }
+        // Forward progress unless the loss rate is absurd.
+        if loss < 0.02 {
+            prop_assert!(stats.delivered_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Deterministic RNG, math and statistics helpers shared across the Sage workspace.
+//!
+//! Every stochastic component in this reproduction (trace generation, neural-net
+//! initialisation, GMM sampling, environment subsampling) draws from the
+//! [`Rng`] defined here, so a run is fully determined by its seeds. We use our
+//! own xoshiro256++ instead of the `rand` crate so that simulation results are
+//! reproducible byte-for-byte across dependency upgrades.
+
+pub mod ring;
+pub mod rng;
+pub mod stats;
+
+pub use ring::RingWindow;
+pub use rng::Rng;
+pub use stats::{mean, percentile, stddev, Ewma, OnlineStats};

@@ -1,0 +1,167 @@
+//! Fixed-capacity ring buffer with O(1) windowed mean and O(n) min/max, used
+//! by the General Representation unit for the Small/Medium/Large statistics
+//! windows of Table 1.
+
+/// A sliding window over the last `capacity` samples.
+#[derive(Debug, Clone)]
+pub struct RingWindow {
+    buf: Vec<f64>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    sum: f64,
+}
+
+impl RingWindow {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        RingWindow { buf: vec![0.0; capacity], capacity, head: 0, len: 0, sum: 0.0 }
+    }
+
+    /// Push a sample, evicting the oldest once full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.capacity {
+            self.sum -= self.buf[self.head];
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.capacity;
+        self.sum += x;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the samples currently in the window (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+
+    /// Minimum of the samples currently in the window (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.iter().fold(f64::INFINITY, f64::min).min_empty(self.len)
+    }
+
+    /// Maximum of the samples currently in the window (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.iter().fold(f64::NEG_INFINITY, f64::max).max_empty(self.len)
+    }
+
+    /// Most recently pushed sample.
+    pub fn last(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            let idx = (self.head + self.capacity - 1) % self.capacity;
+            Some(self.buf[idx])
+        }
+    }
+
+    /// Iterate oldest-to-newest over the live samples.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let start = (self.head + self.capacity - self.len) % self.capacity;
+        (0..self.len).map(move |i| self.buf[(start + i) % self.capacity])
+    }
+
+    /// Clear the window without deallocating.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.sum = 0.0;
+    }
+}
+
+/// Private helpers turning +/- infinity sentinels into 0.0 for empty windows.
+trait EmptyFold {
+    fn min_empty(self, len: usize) -> f64;
+    fn max_empty(self, len: usize) -> f64;
+}
+
+impl EmptyFold for f64 {
+    fn min_empty(self, len: usize) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            self
+        }
+    }
+    fn max_empty(self, len: usize) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut w = RingWindow::new(3);
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert_eq!(w.len(), 3);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        w.push(10.0); // evicts 1.0
+        assert_eq!(w.len(), 3);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 10.0);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let w = RingWindow::new(4);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+        assert_eq!(w.last(), None);
+    }
+
+    #[test]
+    fn last_tracks_most_recent() {
+        let mut w = RingWindow::new(2);
+        w.push(5.0);
+        assert_eq!(w.last(), Some(5.0));
+        w.push(6.0);
+        w.push(7.0);
+        assert_eq!(w.last(), Some(7.0));
+    }
+
+    #[test]
+    fn iter_is_oldest_to_newest() {
+        let mut w = RingWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        let v: Vec<f64> = w.iter().collect();
+        assert_eq!(v, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = RingWindow::new(3);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+    }
+}

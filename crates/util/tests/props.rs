@@ -1,0 +1,67 @@
+//! Property-based tests for the statistics and windowing primitives.
+
+use proptest::prelude::*;
+use sage_util::{mean, percentile, stddev, OnlineStats, RingWindow, Rng};
+
+proptest! {
+    #[test]
+    fn percentile_within_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let p25 = percentile(&xs, 25.0);
+        let p50 = percentile(&xs, 50.0);
+        let p75 = percentile(&xs, 75.0);
+        prop_assert!(p25 <= p50 + 1e-12 && p50 <= p75 + 1e-12);
+    }
+
+    #[test]
+    fn online_stats_match_batch(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        prop_assert!((o.mean() - mean(&xs)).abs() < 1e-6);
+        prop_assert!((o.variance().sqrt() - stddev(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_window_matches_naive(
+        cap in 1usize..20,
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut w = RingWindow::new(cap);
+        for (i, &x) in xs.iter().enumerate() {
+            w.push(x);
+            let live = &xs[i.saturating_sub(cap - 1)..=i];
+            let naive_mean = live.iter().sum::<f64>() / live.len() as f64;
+            let naive_min = live.iter().cloned().fold(f64::INFINITY, f64::min);
+            let naive_max = live.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((w.mean() - naive_mean).abs() < 1e-6);
+            prop_assert!((w.min() - naive_min).abs() < 1e-12);
+            prop_assert!((w.max() - naive_max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), lo in -1e6f64..0.0, hi in 1.0f64..1e6) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            let x = r.range(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Quickstart: emulate a bottleneck link, run two congestion-control schemes
+//! through it, and print their throughput/delay.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sage::heuristics::build;
+use sage::netsim::link::LinkModel;
+use sage::netsim::time::from_secs;
+use sage::transport::sim::NullMonitor;
+use sage::transport::{FlowConfig, SimConfig, Simulation};
+
+fn main() {
+    // A 48 Mbit/s bottleneck, 40 ms round-trip propagation, 2xBDP buffer.
+    for scheme in ["cubic", "vegas", "bbr2"] {
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 48.0 },
+            480_000,
+            40.0,
+            from_secs(15.0),
+        );
+        let cca = build(scheme, 1).expect("known scheme");
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(cca)]);
+        let stats = sim.run(&mut NullMonitor).remove(0);
+        println!(
+            "{scheme:10} throughput {:5.1} Mbit/s   mean one-way delay {:5.1} ms   p95 {:5.1} ms   losses {}",
+            stats.avg_goodput_mbps, stats.avg_owd_ms, stats.p95_owd_ms, stats.lost_pkts
+        );
+    }
+}

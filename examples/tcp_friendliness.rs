@@ -1,0 +1,41 @@
+//! TCP-friendliness demo (the paper's Set II in miniature): each scheme
+//! competes with an earlier-arriving Cubic flow on a shared bottleneck;
+//! the closer to the fair share, the friendlier.
+//!
+//! ```sh
+//! cargo run --release --example tcp_friendliness
+//! ```
+
+use sage::heuristics::build;
+use sage::netsim::link::LinkModel;
+use sage::netsim::time::from_secs;
+use sage::transport::sim::NullMonitor;
+use sage::transport::{FlowConfig, SimConfig, Simulation};
+
+fn main() {
+    let fair = 24.0 / 2.0;
+    println!("24 Mbit/s link, 40 ms RTT, 4xBDP buffer; fair share = {fair} Mbit/s\n");
+    for scheme in ["cubic", "bbr2", "vegas", "yeah", "ledbat", "copa", "vivace"] {
+        let mut cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            480_000,
+            40.0,
+            from_secs(60.0),
+        );
+        cfg.seed = 5;
+        let mut sim = Simulation::new(
+            cfg,
+            vec![
+                FlowConfig::at_start(build("cubic", 1).unwrap()),
+                FlowConfig::starting_at(build(scheme, 2).unwrap(), from_secs(1.0)),
+            ],
+        );
+        let stats = sim.run(&mut NullMonitor);
+        println!(
+            "{scheme:8} vs cubic: {:5.1} / {:5.1} Mbit/s  (test flow at {:4.0}% of fair share)",
+            stats[1].avg_goodput_mbps,
+            stats[0].avg_goodput_mbps,
+            stats[1].avg_goodput_mbps / fair * 100.0
+        );
+    }
+}

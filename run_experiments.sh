@@ -1,0 +1,41 @@
+#!/bin/bash
+# Regenerate every paper figure/table into artifacts/results/.
+# Assumes collect_pool + train_sage have produced artifacts/pool.bin and
+# artifacts/sage*.model. Smaller env subsets (SAGE_SET1/SET2) bound runtime
+# for the league-style figures; they are seeded subsamples of the training
+# grid. Core figures run first so partial runs still produce the headline
+# results; the retraining-heavy studies (12/14/15) come last.
+set -u
+cd "$(dirname "$0")"
+mkdir -p artifacts/results
+R=artifacts/results
+run() {
+  local name=$1; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" > "$R/$name.txt" 2> "$R/$name.err" || echo "  $name FAILED"
+}
+
+export SAGE_BASELINE_STEPS=${SAGE_BASELINE_STEPS:-2000}
+export SAGE_ABLATION_STEPS=${SAGE_ABLATION_STEPS:-1500}
+export SAGE_GRAN_STEPS=${SAGE_GRAN_STEPS:-1500}
+export SAGE_DIVERSITY_STEPS=${SAGE_DIVERSITY_STEPS:-1500}
+
+run fig05 cargo run --release -q -p sage-bench --bin fig05_reward_shape
+run fig01 env SAGE_SET1=36 SAGE_SET2=18 cargo run --release -q -p sage-bench --bin fig01_winning_rates
+run fig22 cargo run --release -q -p sage-bench --bin fig22_frontier
+run fig23 cargo run --release -q -p sage-bench --bin fig23_aqm
+run fig17 cargo run --release -q -p sage-bench --bin fig17_behavior
+run train_baselines cargo run --release -q -p sage-bench --bin train_baselines
+run fig11 cargo run --release -q -p sage-bench --bin fig11_distance_cdf
+run fig07 env SAGE_SET1=20 SAGE_SET2=10 cargo run --release -q -p sage-bench --bin fig07_training_curve
+run fig09 env SAGE_SET1=16 SAGE_SET2=8 cargo run --release -q -p sage-bench --bin fig09_ml_league
+run fig10 env SAGE_SET1=20 SAGE_SET2=10 cargo run --release -q -p sage-bench --bin fig10_delay_league
+run fig19 cargo run --release -q -p sage-bench --bin fig19_tcp_friendliness
+run fig24 cargo run --release -q -p sage-bench --bin fig24_dynamics
+run fig08 env SAGE_FIG8_N=6 cargo run --release -q -p sage-bench --bin fig08_internet
+run fig13 env SAGE_SET1=24 SAGE_SET2=12 cargo run --release -q -p sage-bench --bin fig13_similarity
+run fig18 cargo run --release -q -p sage-bench --bin fig18_fairness
+run fig15 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig15_diversity
+run fig12 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig12_ablation
+run fig14 env SAGE_SET1=12 SAGE_SET2=6 cargo run --release -q -p sage-bench --bin fig14_granularity
+echo "ALL EXPERIMENTS DONE"
