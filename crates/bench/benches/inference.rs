@@ -1,47 +1,52 @@
 //! Inference-overhead microbenchmark (paper §8, footnote 11: Sage's
 //! deployment overhead matters because the model runs in real time every
 //! monitor interval). Measures one policy forward pass — the per-10 ms cost.
+//!
+//! Plain `std::time::Instant` harness (no external bench framework so the
+//! workspace builds offline): warm up, then report mean/min over N runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sage_bench::timeit;
 use sage_core::{NetConfig, SageModel};
 use sage_gr::STATE_DIM;
 use sage_nn::{Array, Graph};
 
-fn bench_inference(c: &mut Criterion) {
-    let model = SageModel::new(NetConfig::default(), vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 1);
+fn main() {
+    let model = SageModel::new(
+        NetConfig::default(),
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        1,
+    );
     let state = vec![0.1; STATE_DIM];
     let mut hidden = vec![0.0; model.cfg.gru];
-    c.bench_function("policy_forward_one_step", |b| {
-        b.iter(|| {
-            let x = model.prepare_input(&state);
-            let mut g = Graph::new();
-            let xin = g.input(Array::row(x));
-            let hin = g.input(Array::row(hidden.clone()));
-            let (nodes, hout) = model.policy.step(&mut g, &model.store, xin, hin);
-            hidden = g.value(hout).data.clone();
-            let mix = model.policy.mixture(&g, nodes, 0);
-            criterion::black_box(mix.mean())
-        })
+    timeit("policy_forward_one_step", 300, || {
+        let x = model.prepare_input(&state);
+        let mut g = Graph::new();
+        let xin = g.input(Array::row(x));
+        let hin = g.input(Array::row(hidden.clone()));
+        let (nodes, hout) = model.policy.step(&mut g, &model.store, xin, hin);
+        hidden = g.value(hout).data.clone();
+        let mix = model.policy.mixture(&g, nodes, 0);
+        std::hint::black_box(mix.mean());
     });
 
     // The paper compares against larger architectures: the GRU-free variant.
-    let nogru = SageModel::new(NetConfig { gru: 0, ..NetConfig::default() }, vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 1);
-    c.bench_function("policy_forward_no_gru", |b| {
-        b.iter(|| {
-            let x = nogru.prepare_input(&state);
-            let mut g = Graph::new();
-            let xin = g.input(Array::row(x));
-            let hin = nogru.policy.initial_hidden(&mut g, 1);
-            let (nodes, _) = nogru.policy.step(&mut g, &nogru.store, xin, hin);
-            let mix = nogru.policy.mixture(&g, nodes, 0);
-            criterion::black_box(mix.mean())
-        })
+    let nogru = SageModel::new(
+        NetConfig {
+            gru: 0,
+            ..NetConfig::default()
+        },
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        1,
+    );
+    timeit("policy_forward_no_gru", 300, || {
+        let x = nogru.prepare_input(&state);
+        let mut g = Graph::new();
+        let xin = g.input(Array::row(x));
+        let hin = nogru.policy.initial_hidden(&mut g, 1);
+        let (nodes, _) = nogru.policy.step(&mut g, &nogru.store, xin, hin);
+        let mix = nogru.policy.mixture(&g, nodes, 0);
+        std::hint::black_box(mix.mean());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_inference
-}
-criterion_main!(benches);

@@ -1,50 +1,42 @@
 //! Emulator throughput microbenchmark: packet-events per second of the
 //! discrete-event engine — the budget every experiment in this repo spends.
+//!
+//! Plain `std::time::Instant` harness (no external bench framework so the
+//! workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sage_bench::timeit;
 use sage_heuristics::build;
 use sage_netsim::link::LinkModel;
 use sage_netsim::time::from_secs;
 use sage_transport::sim::NullMonitor;
 use sage_transport::{FlowConfig, SimConfig, Simulation};
 
-fn bench_simulator(c: &mut Criterion) {
-    c.bench_function("cubic_5s_48mbps", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::new(
-                LinkModel::Constant { mbps: 48.0 },
-                480_000,
-                40.0,
-                from_secs(5.0),
-            );
-            let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(build("cubic", 1).unwrap())]);
-            criterion::black_box(sim.run(&mut NullMonitor))
-        })
+fn main() {
+    timeit("cubic_5s_48mbps", 10, || {
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 48.0 },
+            480_000,
+            40.0,
+            from_secs(5.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(build("cubic", 1).unwrap())]);
+        std::hint::black_box(sim.run(&mut NullMonitor));
     });
 
-    c.bench_function("two_flow_contention_5s", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::new(
-                LinkModel::Constant { mbps: 24.0 },
-                240_000,
-                40.0,
-                from_secs(5.0),
-            );
-            let mut sim = Simulation::new(
-                cfg,
-                vec![
-                    FlowConfig::at_start(build("cubic", 1).unwrap()),
-                    FlowConfig::at_start(build("vegas", 2).unwrap()),
-                ],
-            );
-            criterion::black_box(sim.run(&mut NullMonitor))
-        })
+    timeit("two_flow_contention_5s", 10, || {
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            240_000,
+            40.0,
+            from_secs(5.0),
+        );
+        let mut sim = Simulation::new(
+            cfg,
+            vec![
+                FlowConfig::at_start(build("cubic", 1).unwrap()),
+                FlowConfig::at_start(build("vegas", 2).unwrap()),
+            ],
+        );
+        std::hint::black_box(sim.run(&mut NullMonitor));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_simulator
-}
-criterion_main!(benches);

@@ -1,8 +1,14 @@
 //! Stage 1 of the pipeline: generate the pool of policies (paper §5) by
 //! rolling the 13 kernel heuristics through the Set I / Set II environments.
 //! Writes `artifacts/pool.bin`.
+//!
+//! Collection runs under the supervisor: panicking or diverging cells are
+//! retried with fresh seeds and then skipped, and a crash-safe checkpoint of
+//! the partial pool is written periodically so an interrupted run resumes
+//! from the last checkpoint instead of from zero.
 
-use sage_bench::{default_envs, default_gr, pool_path, pool_schemes, SEED};
+use sage_bench::{default_envs, default_gr, envvar, pool_path, pool_schemes, SEED};
+use sage_collector::{collect_pool_supervised, SuperviseConfig};
 use std::time::Instant;
 
 fn main() {
@@ -14,17 +20,31 @@ fn main() {
         schemes.len(),
         envs.len() * schemes.len()
     );
+    let sup = SuperviseConfig {
+        max_steps_per_env: envvar("SAGE_MAX_STEPS", 0),
+        checkpoint_every: envvar("SAGE_CKPT_EVERY", 50),
+        checkpoint_path: Some(pool_path()),
+        ..SuperviseConfig::default()
+    };
     let t0 = Instant::now();
-    let pool = sage_collector::collect_pool(&envs, &schemes, default_gr(), SEED, |done, total| {
-        if done % 50 == 0 || done == total {
-            println!("  {done}/{total} ({:.0} s)", t0.elapsed().as_secs_f64());
-        }
-    });
+    let (pool, report) =
+        collect_pool_supervised(&envs, &schemes, default_gr(), SEED, &sup, |done, total| {
+            if done % 50 == 0 || done == total {
+                println!("  {done}/{total} ({:.0} s)", t0.elapsed().as_secs_f64());
+            }
+        });
     println!(
         "pool: {} trajectories, {} transitions",
         pool.trajectories.len(),
         pool.total_steps()
     );
-    pool.save_file(&pool_path()).expect("write pool");
+    println!(
+        "supervision: {} completed, {} retries, {} panicked, {} diverged, {} truncated, {} checkpoints",
+        report.completed, report.retries, report.panicked, report.diverged, report.truncated,
+        report.checkpoints
+    );
+    if !report.failed.is_empty() {
+        println!("abandoned cells: {:?}", report.failed);
+    }
     println!("wrote {}", pool_path().display());
 }

@@ -11,7 +11,10 @@ use std::sync::Arc;
 
 fn main() {
     let envs = default_envs();
-    let heuristics: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    let heuristics: Vec<Contender> = pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
     // The heuristics' trajectories do not depend on the checkpoint: run them
     // once and merge each day's Sage records in (the winner margins are
     // recomputed per merged league).
@@ -25,21 +28,33 @@ fn main() {
             continue;
         }
         let model = Arc::new(SageModel::load_file(&path).expect("load ckpt"));
-        let sage_only = vec![Contender::Model { name: "sage", model, gr_cfg: default_gr() }];
+        let sage_only = vec![Contender::Model {
+            name: "sage",
+            model,
+            gr_cfg: default_gr(),
+        }];
         let sage_records = run_contenders(&sage_only, &envs, 2.0, SEED, |_, _| {});
         let mut records = sage_records;
-        records.extend(heuristic_records.iter().map(|r| sage_eval::runner::RunRecord {
-            scheme: r.scheme.clone(),
-            env_id: r.env_id.clone(),
-            set: r.set,
-            traj: r.traj.clone(),
-            stats: r.stats.clone(),
-            all_stats: r.all_stats.clone(),
-            score: r.score.clone(),
-        }));
+        records.extend(
+            heuristic_records
+                .iter()
+                .map(|r| sage_eval::runner::RunRecord {
+                    scheme: r.scheme.clone(),
+                    env_id: r.env_id.clone(),
+                    set: r.set,
+                    traj: r.traj.clone(),
+                    stats: r.stats.clone(),
+                    all_stats: r.all_stats.clone(),
+                    score: r.score.clone(),
+                }),
+        );
         let rate_of = |set: SetKind| -> (f64, f64) {
             let table = rank_league(&scores_of_set(&records, set), 0.10);
-            let sage = table.iter().find(|e| e.scheme == "sage").map(|e| e.winning_rate).unwrap_or(0.0);
+            let sage = table
+                .iter()
+                .find(|e| e.scheme == "sage")
+                .map(|e| e.winning_rate)
+                .unwrap_or(0.0);
             let best_h = table
                 .iter()
                 .filter(|e| e.scheme != "sage")
@@ -60,7 +75,13 @@ fn main() {
     }
     print_table(
         "Fig.7 Sage winning rate during training",
-        &["day", "SetI sage", "SetI best-heuristic", "SetII sage", "SetII best-heuristic"],
+        &[
+            "day",
+            "SetI sage",
+            "SetI best-heuristic",
+            "SetII sage",
+            "SetII best-heuristic",
+        ],
         &rows,
     );
 }

@@ -33,6 +33,7 @@ fn profile_envs(profile: InternetProfile, n: usize, secs: f64, seed: u64) -> Vec
                 test_flow_start: 0,
                 capacity_mbps: s.link.mean_mbps(from_secs(secs)),
                 seed: seed + i as u64,
+                faults: sage_netsim::faults::FaultPlan::default(),
             }
         })
         .collect()
@@ -41,7 +42,11 @@ fn profile_envs(profile: InternetProfile, n: usize, secs: f64, seed: u64) -> Vec
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
     let contenders: Vec<Contender> = vec![
-        Contender::Model { name: "sage", model, gr_cfg: default_gr() },
+        Contender::Model {
+            name: "sage",
+            model,
+            gr_cfg: default_gr(),
+        },
         Contender::Heuristic("bbr2"),
         Contender::Heuristic("cubic"),
         Contender::Heuristic("vegas"),
@@ -69,8 +74,14 @@ fn main() {
             let mut nt = Vec::new();
             for env in &envs {
                 let of_env: Vec<_> = records.iter().filter(|r| r.env_id == env.id).collect();
-                let min_d = of_env.iter().map(|r| r.stats.avg_owd_ms).fold(f64::INFINITY, f64::min);
-                let max_t = of_env.iter().map(|r| r.stats.avg_goodput_mbps).fold(0.0, f64::max);
+                let min_d = of_env
+                    .iter()
+                    .map(|r| r.stats.avg_owd_ms)
+                    .fold(f64::INFINITY, f64::min);
+                let max_t = of_env
+                    .iter()
+                    .map(|r| r.stats.avg_goodput_mbps)
+                    .fold(0.0, f64::max);
                 if let Some(r) = of_env.iter().find(|r| r.scheme == c.name()) {
                     nd.push(r.stats.avg_owd_ms / min_d.max(1e-9));
                     nd95.push(r.stats.p95_owd_ms / min_d.max(1e-9));

@@ -8,29 +8,79 @@ use sage_eval::runner::{run_contenders, Contender};
 use std::sync::Arc;
 
 fn load(name: &'static str) -> Arc<SageModel> {
-    Arc::new(SageModel::load_file(&model_path(name)).unwrap_or_else(|e| {
-        panic!("missing model {name} ({e}); run train_sage + train_baselines")
-    }))
+    Arc::new(
+        SageModel::load_file(&model_path(name)).unwrap_or_else(|e| {
+            panic!("missing model {name} ({e}); run train_sage + train_baselines")
+        }),
+    )
 }
 
 fn main() {
     let gr = default_gr();
     let contenders = vec![
-        Contender::Model { name: "sage", model: load("sage"), gr_cfg: gr },
-        Contender::Model { name: "bc", model: load("bc"), gr_cfg: gr },
-        Contender::Model { name: "bc-top", model: load("bc_top"), gr_cfg: gr },
-        Contender::Model { name: "bc-top3", model: load("bc_top3"), gr_cfg: gr },
-        Contender::Model { name: "bcv2", model: load("bcv2"), gr_cfg: gr },
-        Contender::Model { name: "onlinerl", model: load("onlinerl"), gr_cfg: gr },
-        Contender::Model { name: "aurora", model: load("aurora"), gr_cfg: gr },
-        Contender::Model { name: "indigo", model: load("indigo"), gr_cfg: gr },
-        Contender::Model { name: "indigov2", model: load("indigov2"), gr_cfg: gr },
-        Contender::Hybrid { name: "orca", model: load("orca"), gr_cfg: gr },
-        Contender::Hybrid { name: "orcav2", model: load("orcav2"), gr_cfg: gr },
+        Contender::Model {
+            name: "sage",
+            model: load("sage"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "bc",
+            model: load("bc"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "bc-top",
+            model: load("bc_top"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "bc-top3",
+            model: load("bc_top3"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "bcv2",
+            model: load("bcv2"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "onlinerl",
+            model: load("onlinerl"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "aurora",
+            model: load("aurora"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "indigo",
+            model: load("indigo"),
+            gr_cfg: gr,
+        },
+        Contender::Model {
+            name: "indigov2",
+            model: load("indigov2"),
+            gr_cfg: gr,
+        },
+        Contender::Hybrid {
+            name: "orca",
+            model: load("orca"),
+            gr_cfg: gr,
+        },
+        Contender::Hybrid {
+            name: "orcav2",
+            model: load("orcav2"),
+            gr_cfg: gr,
+        },
         Contender::Heuristic("vivace"),
     ];
     let envs = default_envs();
-    println!("fig09: {} contenders x {} envs", contenders.len(), envs.len());
+    println!(
+        "fig09: {} contenders x {} envs",
+        contenders.len(),
+        envs.len()
+    );
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 100 == 0 {
             eprintln!("  {d}/{t}");

@@ -13,9 +13,17 @@ fn main() {
         .into_iter()
         .map(Contender::Heuristic)
         .collect();
-    contenders.push(Contender::Model { name: "sage", model, gr_cfg: default_gr() });
+    contenders.push(Contender::Model {
+        name: "sage",
+        model,
+        gr_cfg: default_gr(),
+    });
     let envs = default_envs();
-    println!("fig10: {} contenders x {} envs", contenders.len(), envs.len());
+    println!(
+        "fig10: {} contenders x {} envs",
+        contenders.len(),
+        envs.len()
+    );
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 100 == 0 {
             eprintln!("  {d}/{t}");

@@ -22,7 +22,11 @@ fn main() {
     let env = EnvSpec {
         id: "fig11-step-24-96".into(),
         set: SetKind::SetI,
-        link: LinkModel::Step { before_mbps: 24.0, after_mbps: 96.0, at: from_secs(15.0) },
+        link: LinkModel::Step {
+            before_mbps: 24.0,
+            after_mbps: 96.0,
+            at: from_secs(15.0),
+        },
         rtt_ms: 40.0,
         buffer_bytes: 480_000,
         aqm: sage_netsim::aqm::AqmKind::TailDrop,
@@ -32,16 +36,31 @@ fn main() {
         test_flow_start: 0,
         capacity_mbps: 60.0,
         seed: SEED,
+        faults: sage_netsim::faults::FaultPlan::default(),
     };
     let gr = default_gr();
     let sage_model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
-    let bc_model = Arc::new(SageModel::load_file(&model_path("bc")).expect("train baselines first"));
+    let bc_model =
+        Arc::new(SageModel::load_file(&model_path("bc")).expect("train baselines first"));
 
     let mut rows = Vec::new();
     let runs: Vec<(&str, Box<dyn sage_transport::CongestionControl>)> = vec![
         ("vegas", build("vegas", SEED).unwrap()),
-        ("sage", Box::new(SagePolicy::new(sage_model, gr, SEED, ActionMode::Deterministic))),
-        ("bc", Box::new(SagePolicy::new(bc_model, gr, SEED, ActionMode::Deterministic).with_name("bc"))),
+        (
+            "sage",
+            Box::new(SagePolicy::new(
+                sage_model,
+                gr,
+                SEED,
+                ActionMode::Deterministic,
+            )),
+        ),
+        (
+            "bc",
+            Box::new(
+                SagePolicy::new(bc_model, gr, SEED, ActionMode::Deterministic).with_name("bc"),
+            ),
+        ),
     ];
     for (name, cca) in runs {
         let res = rollout(&env, name, cca, gr, SEED);
@@ -57,7 +76,9 @@ fn main() {
     }
     print_table(
         "Fig.11 Distance CDF summary + performance",
-        &["scheme", "p50 dist", "p65 dist", "p95 dist", "thr Mbps", "owd ms"],
+        &[
+            "scheme", "p50 dist", "p65 dist", "p95 dist", "thr Mbps", "owd ms",
+        ],
         &rows,
     );
 }

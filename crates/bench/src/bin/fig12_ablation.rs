@@ -3,7 +3,10 @@
 //! architecture ablations (no GRU, no Encoder, no GMM) — and compare
 //! winning rates against the pool league in both sets.
 
-use sage_bench::{default_envs, default_gr, default_train_cfg, envvar, model_path, pool_path, pool_schemes, print_table, SEED};
+use sage_bench::{
+    default_envs, default_gr, default_train_cfg, envvar, model_path, pool_path, pool_schemes,
+    print_table, SEED,
+};
 use sage_collector::{Pool, SetKind};
 use sage_core::{CrrConfig, CrrTrainer, NetConfig, SageModel};
 use sage_eval::league::rank_league;
@@ -32,15 +35,60 @@ fn main() {
     let gr = default_gr();
 
     let variants: Vec<(&str, CrrConfig)> = vec![
-        ("abl_nominmax", CrrConfig { net: base.net.with_mask(FeatureMask::NoMinMax), ..base }),
-        ("abl_norttvar", CrrConfig { net: base.net.with_mask(FeatureMask::NoRttVar), ..base }),
-        ("abl_nolossinf", CrrConfig { net: base.net.with_mask(FeatureMask::NoLossInflight), ..base }),
-        ("abl_nogru", CrrConfig { net: NetConfig { gru: 0, ..base.net }, ..base }),
-        ("abl_noencoder", CrrConfig { net: NetConfig { enc2: 0, ..base.net }, ..base }),
-        ("abl_nogmm", CrrConfig { net: NetConfig { gmm_k: 1, ..base.net }, ..base }),
+        (
+            "abl_nominmax",
+            CrrConfig {
+                net: base.net.with_mask(FeatureMask::NoMinMax),
+                ..base
+            },
+        ),
+        (
+            "abl_norttvar",
+            CrrConfig {
+                net: base.net.with_mask(FeatureMask::NoRttVar),
+                ..base
+            },
+        ),
+        (
+            "abl_nolossinf",
+            CrrConfig {
+                net: base.net.with_mask(FeatureMask::NoLossInflight),
+                ..base
+            },
+        ),
+        (
+            "abl_nogru",
+            CrrConfig {
+                net: NetConfig { gru: 0, ..base.net },
+                ..base
+            },
+        ),
+        (
+            "abl_noencoder",
+            CrrConfig {
+                net: NetConfig {
+                    enc2: 0,
+                    ..base.net
+                },
+                ..base
+            },
+        ),
+        (
+            "abl_nogmm",
+            CrrConfig {
+                net: NetConfig {
+                    gmm_k: 1,
+                    ..base.net
+                },
+                ..base
+            },
+        ),
     ];
 
-    let mut contenders: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    let mut contenders: Vec<Contender> = pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
     contenders.push(Contender::Model {
         name: "sage",
         model: Arc::new(SageModel::load_file(&model_path("sage")).expect("train first")),
@@ -49,7 +97,11 @@ fn main() {
     for (name, cfg) in &variants {
         let model = train_variant(name, *cfg, &pool, steps);
         let static_name: &'static str = Box::leak(name.to_string().into_boxed_str());
-        contenders.push(Contender::Model { name: static_name, model, gr_cfg: gr });
+        contenders.push(Contender::Model {
+            name: static_name,
+            model,
+            gr_cfg: gr,
+        });
     }
 
     let envs = default_envs();
@@ -62,9 +114,25 @@ fn main() {
     let s1 = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);
     let s2 = rank_league(&scores_of_set(&records, SetKind::SetII), 0.10);
     for name in std::iter::once("sage").chain(variants.iter().map(|(n, _)| *n)) {
-        let r1 = s1.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        let r2 = s2.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        rows.push(vec![name.to_string(), format!("{:.2}%", r1 * 100.0), format!("{:.2}%", r2 * 100.0)]);
+        let r1 = s1
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        let r2 = s2
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}%", r1 * 100.0),
+            format!("{:.2}%", r2 * 100.0),
+        ]);
     }
-    print_table("Fig.12 ablations (winning rate vs pool league)", &["variant", "Set I", "Set II"], &rows);
+    print_table(
+        "Fig.12 ablations (winning rate vs pool league)",
+        &["variant", "Set I", "Set II"],
+        &rows,
+    );
 }

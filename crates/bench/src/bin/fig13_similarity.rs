@@ -29,7 +29,12 @@ fn main() {
         let sage_run = rollout(
             env,
             "sage",
-            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic)),
+            Box::new(SagePolicy::new(
+                model.clone(),
+                gr,
+                SEED,
+                ActionMode::Deterministic,
+            )),
             gr,
             SEED,
         );
@@ -47,5 +52,9 @@ fn main() {
         rows.push(row);
         eprintln!("{} done (most similar: {})", env.id, best.0);
     }
-    print_table("Fig.13 Similarity Index of Sage to pool schemes", &header, &rows);
+    print_table(
+        "Fig.13 Similarity Index of Sage to pool schemes",
+        &header,
+        &rows,
+    );
 }

@@ -4,7 +4,10 @@
 //! Also dumps the last-hidden-layer t-SNE coordinates over seven Set II
 //! environments (Fig. 16).
 
-use sage_bench::{default_envs, default_gr, default_train_cfg, envvar, model_path, pool_schemes, print_table, SEED};
+use sage_bench::{
+    default_envs, default_gr, default_train_cfg, envvar, model_path, pool_schemes, print_table,
+    SEED,
+};
 use sage_collector::{collect_pool, rollout, SetKind};
 use sage_core::policy::{ActionMode, SagePolicy};
 use sage_core::{CrrTrainer, SageModel};
@@ -38,7 +41,10 @@ fn main() {
         ("sage_m", GrConfig::uniform(200)),
         ("sage_l", GrConfig::uniform(1000)),
     ];
-    let mut contenders: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    let mut contenders: Vec<Contender> = pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
     contenders.push(Contender::Model {
         name: "sage",
         model: Arc::new(SageModel::load_file(&model_path("sage")).expect("train first")),
@@ -46,7 +52,11 @@ fn main() {
     });
     for (name, gr) in &variants {
         let model = train_for_granularity(name, *gr, steps);
-        contenders.push(Contender::Model { name, model, gr_cfg: *gr });
+        contenders.push(Contender::Model {
+            name,
+            model,
+            gr_cfg: *gr,
+        });
     }
     let envs = default_envs();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
@@ -58,14 +68,34 @@ fn main() {
     let s2 = rank_league(&scores_of_set(&records, SetKind::SetII), 0.10);
     let mut rows = Vec::new();
     for name in ["sage", "sage_s", "sage_m", "sage_l"] {
-        let r1 = s1.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        let r2 = s2.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        rows.push(vec![name.into(), format!("{:.2}%", r1 * 100.0), format!("{:.2}%", r2 * 100.0)]);
+        let r1 = s1
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        let r2 = s2
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        rows.push(vec![
+            name.into(),
+            format!("{:.2}%", r1 * 100.0),
+            format!("{:.2}%", r2 * 100.0),
+        ]);
     }
-    print_table("Fig.14 granularity (winning rate vs pool league)", &["model", "Set I", "Set II"], &rows);
+    print_table(
+        "Fig.14 granularity (winning rate vs pool league)",
+        &["model", "Set I", "Set II"],
+        &rows,
+    );
 
     // ---- Fig. 16: t-SNE of the last hidden layer over 7 Set II envs ----
-    let mut set2_envs: Vec<_> = envs.iter().filter(|e| e.set == SetKind::SetII).cloned().collect();
+    let mut set2_envs: Vec<_> = envs
+        .iter()
+        .filter(|e| e.set == SetKind::SetII)
+        .cloned()
+        .collect();
     set2_envs.truncate(7);
     for (name, gr) in &variants {
         let model = Arc::new(SageModel::load_file(&model_path(name)).unwrap());
@@ -75,7 +105,12 @@ fn main() {
             let run = rollout(
                 env,
                 name,
-                Box::new(SagePolicy::new(model.clone(), *gr, SEED, ActionMode::Deterministic)),
+                Box::new(SagePolicy::new(
+                    model.clone(),
+                    *gr,
+                    SEED,
+                    ActionMode::Deterministic,
+                )),
                 *gr,
                 SEED,
             );
@@ -90,7 +125,9 @@ fn main() {
                 debug_assert_eq!(full.len(), STATE_DIM);
                 let x = model.prepare_input(&full);
                 let xin = g.input(Array::row(x));
-                let (_, h1, trunk) = model.policy.step_with_features(&mut g, &model.store, xin, h);
+                let (_, h1, trunk) = model
+                    .policy
+                    .step_with_features(&mut g, &model.store, xin, h);
                 h = h1;
                 if t % stride == 0 {
                     feats.push(g.value(trunk).data.clone());
@@ -101,7 +138,14 @@ fn main() {
                 }
             }
         }
-        let coords = tsne(&feats, TsneConfig { perplexity: 15.0, iterations: 300, ..Default::default() });
+        let coords = tsne(
+            &feats,
+            TsneConfig {
+                perplexity: 15.0,
+                iterations: 300,
+                ..Default::default()
+            },
+        );
         println!("\n== Fig.16 t-SNE coordinates: {name} (env_idx x y) ==");
         for (i, (x, y)) in coords.iter().enumerate() {
             println!("{}\t{x:.2}\t{y:.2}", labels[i]);
@@ -111,7 +155,8 @@ fn main() {
         let mut inter = (0.0, 0usize);
         for i in 0..coords.len() {
             for j in (i + 1)..coords.len() {
-                let d = ((coords[i].0 - coords[j].0).powi(2) + (coords[i].1 - coords[j].1).powi(2)).sqrt();
+                let d = ((coords[i].0 - coords[j].0).powi(2) + (coords[i].1 - coords[j].1).powi(2))
+                    .sqrt();
                 if labels[i] == labels[j] {
                     intra.0 += d;
                     intra.1 += 1;

@@ -3,7 +3,10 @@
 //! Sage-Top4 (the four top-ranked of each set) — and show the diverse pool
 //! wins.
 
-use sage_bench::{default_envs, default_gr, default_train_cfg, envvar, model_path, pool_path, pool_schemes, print_table, SEED};
+use sage_bench::{
+    default_envs, default_gr, default_train_cfg, envvar, model_path, pool_path, pool_schemes,
+    print_table, SEED,
+};
 use sage_collector::{Pool, SetKind};
 use sage_core::{CrrTrainer, SageModel};
 use sage_eval::league::rank_league;
@@ -20,7 +23,11 @@ fn train_on(name: &str, pool: &Pool, steps: u64) -> Arc<SageModel> {
     let mut tr = CrrTrainer::new(default_train_cfg(), pool);
     tr.train(pool, steps, |_, _| {});
     tr.model().save_file(&path).unwrap();
-    println!("trained {name} on {} trajs ({:.0} s)", pool.trajectories.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "trained {name} on {} trajs ({:.0} s)",
+        pool.trajectories.len(),
+        t0.elapsed().as_secs_f64()
+    );
     Arc::new(SageModel::load_file(&path).unwrap())
 }
 
@@ -32,17 +39,35 @@ fn main() {
     // Top four of each set (paper: {Vegas, BBR2, YeAH, Illinois} and
     // {Cubic, HTCP, BIC, Highspeed}).
     let top4 = pool.filter_schemes(&[
-        "vegas", "bbr2", "yeah", "illinois", "cubic", "htcp", "bic", "highspeed",
+        "vegas",
+        "bbr2",
+        "yeah",
+        "illinois",
+        "cubic",
+        "htcp",
+        "bic",
+        "highspeed",
     ]);
     let gr = default_gr();
-    let mut contenders: Vec<Contender> = pool_schemes().into_iter().map(Contender::Heuristic).collect();
+    let mut contenders: Vec<Contender> = pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
     contenders.push(Contender::Model {
         name: "sage",
         model: Arc::new(SageModel::load_file(&model_path("sage")).expect("train first")),
         gr_cfg: gr,
     });
-    contenders.push(Contender::Model { name: "sage-top", model: train_on("sage_top", &top, steps), gr_cfg: gr });
-    contenders.push(Contender::Model { name: "sage-top4", model: train_on("sage_top4", &top4, steps), gr_cfg: gr });
+    contenders.push(Contender::Model {
+        name: "sage-top",
+        model: train_on("sage_top", &top, steps),
+        gr_cfg: gr,
+    });
+    contenders.push(Contender::Model {
+        name: "sage-top4",
+        model: train_on("sage_top4", &top4, steps),
+        gr_cfg: gr,
+    });
 
     let envs = default_envs();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
@@ -54,9 +79,25 @@ fn main() {
     let s2 = rank_league(&scores_of_set(&records, SetKind::SetII), 0.10);
     let mut rows = Vec::new();
     for name in ["sage", "sage-top4", "sage-top"] {
-        let r1 = s1.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        let r2 = s2.iter().find(|e| e.scheme == name).map(|e| e.winning_rate).unwrap_or(0.0);
-        rows.push(vec![name.into(), format!("{:.2}%", r1 * 100.0), format!("{:.2}%", r2 * 100.0)]);
+        let r1 = s1
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        let r2 = s2
+            .iter()
+            .find(|e| e.scheme == name)
+            .map(|e| e.winning_rate)
+            .unwrap_or(0.0);
+        rows.push(vec![
+            name.into(),
+            format!("{:.2}%", r1 * 100.0),
+            format!("{:.2}%", r2 * 100.0),
+        ]);
     }
-    print_table("Fig.15 pool diversity (winning rate vs pool league)", &["model", "Set I", "Set II"], &rows);
+    print_table(
+        "Fig.15 pool diversity (winning rate vs pool league)",
+        &["model", "Set I", "Set II"],
+        &rows,
+    );
 }

@@ -15,7 +15,11 @@ use std::sync::Arc;
 fn env(id: &str, link: LinkModel, competing: usize, cap: f64) -> EnvSpec {
     EnvSpec {
         id: id.into(),
-        set: if competing > 0 { SetKind::SetII } else { SetKind::SetI },
+        set: if competing > 0 {
+            SetKind::SetII
+        } else {
+            SetKind::SetI
+        },
         link,
         rtt_ms: 20.0,
         buffer_bytes: 450_000,
@@ -26,6 +30,7 @@ fn env(id: &str, link: LinkModel, competing: usize, cap: f64) -> EnvSpec {
         test_flow_start: 0,
         capacity_mbps: cap,
         seed: SEED,
+        faults: sage_netsim::faults::FaultPlan::default(),
     }
 }
 
@@ -33,15 +38,47 @@ fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
     let gr = default_gr();
     let scenarios = vec![
-        ("sudden-increase-24to48", env("fig17-up", LinkModel::Step { before_mbps: 24.0, after_mbps: 48.0, at: from_secs(30.0) }, 0, 36.0)),
-        ("sudden-decrease-48to24", env("fig17-down", LinkModel::Step { before_mbps: 48.0, after_mbps: 24.0, at: from_secs(30.0) }, 0, 36.0)),
-        ("vs-cubic-24", env("fig17-cubic", LinkModel::Constant { mbps: 24.0 }, 1, 24.0)),
+        (
+            "sudden-increase-24to48",
+            env(
+                "fig17-up",
+                LinkModel::Step {
+                    before_mbps: 24.0,
+                    after_mbps: 48.0,
+                    at: from_secs(30.0),
+                },
+                0,
+                36.0,
+            ),
+        ),
+        (
+            "sudden-decrease-48to24",
+            env(
+                "fig17-down",
+                LinkModel::Step {
+                    before_mbps: 48.0,
+                    after_mbps: 24.0,
+                    at: from_secs(30.0),
+                },
+                0,
+                36.0,
+            ),
+        ),
+        (
+            "vs-cubic-24",
+            env("fig17-cubic", LinkModel::Constant { mbps: 24.0 }, 1, 24.0),
+        ),
     ];
     for (name, e) in scenarios {
         let res = rollout(
             &e,
             "sage",
-            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic)),
+            Box::new(SagePolicy::new(
+                model.clone(),
+                gr,
+                SEED,
+                ActionMode::Deterministic,
+            )),
             gr,
             SEED,
         );
@@ -49,11 +86,11 @@ fn main() {
         let rate = series(&res.traj.thr, 0.01, 40);
         let owd = series(&res.traj.owd, 0.01, 40);
         let cwnd = series(&res.traj.cwnd, 0.01, 40);
-        for i in 0..rate.len() {
+        for (i, (t, thr)) in rate.iter().enumerate() {
             println!(
                 "{:.1}\t{:.1}\t{:.1}\t{:.0}",
-                rate[i].0,
-                rate[i].1 / 1e6,
+                t,
+                thr / 1e6,
                 owd.get(i).map(|x| x.1 * 1e3).unwrap_or(0.0),
                 cwnd.get(i).map(|x| x.1).unwrap_or(0.0)
             );

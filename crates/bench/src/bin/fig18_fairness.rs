@@ -32,7 +32,10 @@ impl Monitor for ThroughputTrace {
     }
 }
 
-fn run_fairness(name: &str, mk: &dyn Fn(u64) -> Box<dyn CongestionControl>) -> (Vec<Vec<f64>>, f64) {
+fn run_fairness(
+    name: &str,
+    mk: &dyn Fn(u64) -> Box<dyn CongestionControl>,
+) -> (Vec<Vec<f64>>, f64) {
     // Returns per-flow mean goodput per second (Mbps) and the Jain index.
     let n_flows = 4;
     let total = from_secs(120.0);
@@ -42,7 +45,10 @@ fn run_fairness(name: &str, mk: &dyn Fn(u64) -> Box<dyn CongestionControl>) -> (
         .map(|k| FlowConfig::starting_at(mk(SEED + k as u64), from_secs(25.0 * k as f64)))
         .collect();
     let mut sim = Simulation::new(cfg, flows);
-    let mut mon = ThroughputTrace { per_flow: vec![Vec::new(); n_flows], counts: vec![Vec::new(); n_flows] };
+    let mut mon = ThroughputTrace {
+        per_flow: vec![Vec::new(); n_flows],
+        counts: vec![Vec::new(); n_flows],
+    };
     let stats = sim.run(&mut mon);
     // Normalise bucket sums to means.
     for (f, row) in mon.per_flow.iter_mut().enumerate() {
@@ -63,8 +69,19 @@ fn run_fairness(name: &str, mk: &dyn Fn(u64) -> Box<dyn CongestionControl>) -> (
     }
     let sum: f64 = finals.iter().sum();
     let sumsq: f64 = finals.iter().map(|x| x * x).sum();
-    let jain = if sumsq > 0.0 { sum * sum / (finals.len() as f64 * sumsq) } else { 0.0 };
-    println!("{name}: final per-flow Mbps {:?}, Jain {:.3}", finals.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>(), jain);
+    let jain = if sumsq > 0.0 {
+        sum * sum / (finals.len() as f64 * sumsq)
+    } else {
+        0.0
+    };
+    println!(
+        "{name}: final per-flow Mbps {:?}, Jain {:.3}",
+        finals
+            .iter()
+            .map(|x| (x * 10.0).round() / 10.0)
+            .collect::<Vec<_>>(),
+        jain
+    );
     (mon.per_flow, jain)
 }
 
@@ -73,7 +90,12 @@ fn main() {
     let gr = default_gr();
     let mut rows = Vec::new();
     let make_sage = |seed: u64| -> Box<dyn CongestionControl> {
-        Box::new(SagePolicy::new(model.clone(), gr, seed, ActionMode::Deterministic))
+        Box::new(SagePolicy::new(
+            model.clone(),
+            gr,
+            seed,
+            ActionMode::Deterministic,
+        ))
     };
     let (trace, jain) = run_fairness("sage", &make_sage);
     rows.push(vec!["sage".to_string(), format!("{jain:.3}")]);
@@ -87,10 +109,16 @@ fn main() {
     }
 
     // Fig. 27: other schemes in the same setting.
-    for scheme in ["cubic", "bbr2", "vegas", "yeah", "westwood", "copa", "vivace"] {
+    for scheme in [
+        "cubic", "bbr2", "vegas", "yeah", "westwood", "copa", "vivace",
+    ] {
         let mk = |seed: u64| -> Box<dyn CongestionControl> { build(scheme, seed).unwrap() };
         let (_, jain) = run_fairness(scheme, &mk);
         rows.push(vec![scheme.to_string(), format!("{jain:.3}")]);
     }
-    print_table("Fig.18/27 Jain fairness index (4 same-scheme flows)", &["scheme", "Jain"], &rows);
+    print_table(
+        "Fig.18/27 Jain fairness index (4 same-scheme flows)",
+        &["scheme", "Jain"],
+        &rows,
+    );
 }

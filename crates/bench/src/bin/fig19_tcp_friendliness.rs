@@ -22,7 +22,12 @@ fn run(name: &str, cca: Box<dyn CongestionControl>, n_cubic: usize) -> (f64, f64
     );
     cfg.seed = SEED;
     let mut flows: Vec<FlowConfig> = (0..n_cubic)
-        .map(|k| FlowConfig::starting_at(build("cubic", SEED + k as u64).unwrap(), from_secs(0.1 * k as f64)))
+        .map(|k| {
+            FlowConfig::starting_at(
+                build("cubic", SEED + k as u64).unwrap(),
+                from_secs(0.1 * k as f64),
+            )
+        })
         .collect();
     flows.push(FlowConfig::starting_at(cca, from_secs(1.0)));
     let mut sim = Simulation::new(cfg, flows);
@@ -39,8 +44,12 @@ fn main() {
     let gr = default_gr();
     for n_cubic in [3usize, 7] {
         let mut rows = Vec::new();
-        let sage: Box<dyn CongestionControl> =
-            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic));
+        let sage: Box<dyn CongestionControl> = Box::new(SagePolicy::new(
+            model.clone(),
+            gr,
+            SEED,
+            ActionMode::Deterministic,
+        ));
         let (thr, fair, ctot) = run("sage", sage, n_cubic);
         rows.push(vec![
             "sage".into(),
@@ -60,8 +69,21 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Fig.{} — test flow vs {n_cubic} Cubic flows (48 Mbps, 40 ms, BDP buffer)", if n_cubic == 3 { "19/28 (3 cubics)" } else { "28 (7 cubics)" }),
-            &["scheme", "thr Mbps", "fair share", "thr/fair", "cubic total"],
+            &format!(
+                "Fig.{} — test flow vs {n_cubic} Cubic flows (48 Mbps, 40 ms, BDP buffer)",
+                if n_cubic == 3 {
+                    "19/28 (3 cubics)"
+                } else {
+                    "28 (7 cubics)"
+                }
+            ),
+            &[
+                "scheme",
+                "thr Mbps",
+                "fair share",
+                "thr/fair",
+                "cubic total",
+            ],
             &rows,
         );
     }

@@ -26,15 +26,25 @@ fn env(id: &str, buf_mult: f64) -> EnvSpec {
         test_flow_start: 0,
         capacity_mbps: 48.0,
         seed: SEED,
+        faults: sage_netsim::faults::FaultPlan::default(),
     }
 }
 
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
-    let mut contenders: Vec<Contender> =
-        sage_bench::pool_schemes().into_iter().map(Contender::Heuristic).collect();
-    contenders.push(Contender::Model { name: "sage", model, gr_cfg: default_gr() });
-    for (label, buf) in [("shallow buffer (0.5 BDP)", 0.5), ("deep buffer (8 BDP)", 8.0)] {
+    let mut contenders: Vec<Contender> = sage_bench::pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    contenders.push(Contender::Model {
+        name: "sage",
+        model,
+        gr_cfg: default_gr(),
+    });
+    for (label, buf) in [
+        ("shallow buffer (0.5 BDP)", 0.5),
+        ("deep buffer (8 BDP)", 8.0),
+    ] {
         let envs = vec![env(label, buf)];
         let records = run_contenders(&contenders, &envs, 2.0, SEED, |_, _| {});
         let mut rows: Vec<Vec<String>> = records

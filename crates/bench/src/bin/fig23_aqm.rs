@@ -14,7 +14,11 @@ use std::sync::Arc;
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
     let contenders = vec![
-        Contender::Model { name: "sage", model, gr_cfg: default_gr() },
+        Contender::Model {
+            name: "sage",
+            model,
+            gr_cfg: default_gr(),
+        },
         Contender::Heuristic("cubic"),
         Contender::Heuristic("bbr2"),
         Contender::Heuristic("vegas"),
@@ -43,6 +47,7 @@ fn main() {
             test_flow_start: 0,
             capacity_mbps: 48.0,
             seed: SEED,
+            faults: sage_netsim::faults::FaultPlan::default(),
         })
         .collect();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |_, _| {});
@@ -51,18 +56,33 @@ fn main() {
         let mut row = vec![c.name().to_string()];
         let mut thrs = Vec::new();
         for env in &envs {
-            let r = records.iter().find(|r| r.scheme == c.name() && r.env_id == env.id).unwrap();
-            row.push(format!("{:.1}/{:.0}", r.stats.avg_goodput_mbps, r.stats.avg_owd_ms));
+            let r = records
+                .iter()
+                .find(|r| r.scheme == c.name() && r.env_id == env.id)
+                .unwrap();
+            row.push(format!(
+                "{:.1}/{:.0}",
+                r.stats.avg_goodput_mbps, r.stats.avg_owd_ms
+            ));
             thrs.push(r.stats.avg_goodput_mbps);
         }
         // Spread across AQMs: max/min throughput ratio (1.0 = AQM-independent).
-        let spread = thrs.iter().cloned().fold(0.0, f64::max) / thrs.iter().cloned().fold(f64::INFINITY, f64::min).max(0.01);
+        let spread = thrs.iter().cloned().fold(0.0, f64::max)
+            / thrs.iter().cloned().fold(f64::INFINITY, f64::min).max(0.01);
         row.push(format!("{spread:.2}"));
         rows.push(row);
     }
     print_table(
         "Fig.23 AQM robustness (thr Mbps / owd ms per AQM)",
-        &["scheme", "HDrop", "TDrop", "PIE", "BoDe", "CoDel", "thr spread"],
+        &[
+            "scheme",
+            "HDrop",
+            "TDrop",
+            "PIE",
+            "BoDe",
+            "CoDel",
+            "thr spread",
+        ],
         &rows,
     );
 }

@@ -31,29 +31,56 @@ impl Monitor for PerSecond {
 }
 
 fn run(cca: Box<dyn CongestionControl>, buffer: u64) -> (f64, f64) {
-    let mut cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, buffer, 40.0, from_secs(100.0));
+    let mut cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 24.0 },
+        buffer,
+        40.0,
+        from_secs(100.0),
+    );
     cfg.seed = SEED;
     let flows = vec![
         FlowConfig::at_start(build("cubic", SEED).unwrap()),
         FlowConfig::starting_at(cca, from_secs(1.0)),
     ];
     let mut sim = Simulation::new(cfg, flows);
-    let stats = sim.run(&mut PerSecond { rows: Vec::new(), counts: Vec::new() });
+    let stats = sim.run(&mut PerSecond {
+        rows: Vec::new(),
+        counts: Vec::new(),
+    });
     (stats[1].avg_goodput_mbps, stats[0].avg_goodput_mbps)
 }
 
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
     let gr = default_gr();
-    for (label, buffer) in [("small buffer 120KB", 120_000u64), ("large buffer 1.92MB", 1_920_000)] {
+    for (label, buffer) in [
+        ("small buffer 120KB", 120_000u64),
+        ("large buffer 1.92MB", 1_920_000),
+    ] {
         let mut rows = Vec::new();
-        let sage: Box<dyn CongestionControl> =
-            Box::new(SagePolicy::new(model.clone(), gr, SEED, ActionMode::Deterministic));
+        let sage: Box<dyn CongestionControl> = Box::new(SagePolicy::new(
+            model.clone(),
+            gr,
+            SEED,
+            ActionMode::Deterministic,
+        ));
         let (s, c) = run(sage, buffer);
-        rows.push(vec!["sage".into(), format!("{s:.1}"), format!("{c:.1}"), format!("{:.2}", s / 12.0)]);
-        for scheme in ["cubic", "vegas", "copa", "c2tcp", "bbr2", "ledbat", "vivace"] {
+        rows.push(vec![
+            "sage".into(),
+            format!("{s:.1}"),
+            format!("{c:.1}"),
+            format!("{:.2}", s / 12.0),
+        ]);
+        for scheme in [
+            "cubic", "vegas", "copa", "c2tcp", "bbr2", "ledbat", "vivace",
+        ] {
             let (s, c) = run(build(scheme, SEED).unwrap(), buffer);
-            rows.push(vec![scheme.into(), format!("{s:.1}"), format!("{c:.1}"), format!("{:.2}", s / 12.0)]);
+            rows.push(vec![
+                scheme.into(),
+                format!("{s:.1}"),
+                format!("{c:.1}"),
+                format!("{:.2}", s / 12.0),
+            ]);
         }
         print_table(
             &format!("Fig.24/25 friendliness dynamics — {label} (fair share 12 Mbps)"),

@@ -11,16 +11,25 @@ use std::sync::Arc;
 
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
-    let mut contenders: Vec<Contender> =
-        sage_bench::pool_schemes().into_iter().map(Contender::Heuristic).collect();
-    contenders.push(Contender::Model { name: "sage", model, gr_cfg: default_gr() });
+    let mut contenders: Vec<Contender> = sage_bench::pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    contenders.push(Contender::Model {
+        name: "sage",
+        model,
+        gr_cfg: default_gr(),
+    });
     let envs = default_envs();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 100 == 0 {
             println!("  {d}/{t}");
         }
     });
-    for (set, label) in [(SetKind::SetI, "Set I (single-flow)"), (SetKind::SetII, "Set II (vs Cubic)")] {
+    for (set, label) in [
+        (SetKind::SetI, "Set I (single-flow)"),
+        (SetKind::SetII, "Set II (vs Cubic)"),
+    ] {
         let table = rank_league(&scores_of_set(&records, set), 0.10);
         let rows: Vec<Vec<String>> = table
             .iter()

@@ -2,9 +2,9 @@
 //! action is known — verifies the advantage filter separates actions that
 //! plain BC averages away.
 
+use sage_collector::{Pool, Trajectory};
 use sage_core::crr::{CrrConfig, CrrTrainer};
 use sage_core::model::NetConfig;
-use sage_collector::{Pool, Trajectory};
 use sage_gr::STATE_DIM;
 use sage_nn::{Array, Graph};
 use sage_util::Rng;
@@ -15,7 +15,13 @@ fn synthetic_pool(seed: u64) -> Pool {
     for k in 0..6 {
         let good = k % 2 == 0;
         let steps = 120;
-        let mut t = Trajectory { scheme: if good {"good".into()} else {"bad".into()}, env_id: format!("env{k}"), set2:false, fair_share_bps:1.0, ..Default::default() };
+        let mut t = Trajectory {
+            scheme: if good { "good".into() } else { "bad".into() },
+            env_id: format!("env{k}"),
+            set2: false,
+            fair_share_bps: 1.0,
+            ..Default::default()
+        };
         for i in 0..steps {
             let flag = if (i / 3) % 2 == 0 { 1.0 } else { -1.0 };
             let mut state = vec![0.0f32; STATE_DIM];
@@ -28,7 +34,9 @@ fn synthetic_pool(seed: u64) -> Pool {
             t.actions.push(a as f32);
             t.r1.push(if good { 1.0 } else { 0.0 });
             t.r2.push(0.0);
-            t.thr.push(1e6); t.owd.push(0.02); t.cwnd.push(10.0);
+            t.thr.push(1e6);
+            t.owd.push(0.02);
+            t.cwnd.push(10.0);
         }
         pool.trajectories.push(t);
     }
@@ -38,15 +46,33 @@ fn synthetic_pool(seed: u64) -> Pool {
 fn main() {
     let pool = synthetic_pool(2);
     let cfg = CrrConfig {
-        net: NetConfig { enc1: 8, gru: 8, enc2: 8, fc: 8, residual_blocks: 1, critic_hidden: 16, atoms: 11, ..NetConfig::default() },
-        batch: 8, unroll: 4, bc_only: false, lr: 1e-3, critic_lr: 1e-3, target_period: 20, seed: 5,
+        net: NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 16,
+            atoms: 11,
+            ..NetConfig::default()
+        },
+        batch: 8,
+        unroll: 4,
+        bc_only: false,
+        lr: 1e-3,
+        critic_lr: 1e-3,
+        target_period: 20,
+        seed: 5,
         ..CrrConfig::default()
     };
     let mut tr = CrrTrainer::new(cfg, &pool);
     for i in 0..3000u64 {
         let m = tr.train_step(&pool);
         if i % 500 == 0 {
-            println!("step {i}: ploss {:.3} closs {:.3} w {:.2} q {:.2}", m.policy_loss, m.critic_loss, m.mean_weight, m.mean_q);
+            println!(
+                "step {i}: ploss {:.3} closs {:.3} w {:.2} q {:.2}",
+                m.policy_loss, m.critic_loss, m.mean_weight, m.mean_q
+            );
         }
     }
     let model = tr.model();
@@ -59,6 +85,17 @@ fn main() {
         let h = model.policy.initial_hidden(&mut g, 1);
         let (nodes, _) = model.policy.step(&mut g, &model.store, xin, h);
         let mix = model.policy.mixture(&g, nodes, 0);
-        println!("flag {flag}: mean {:.3} means {:?} w {:?}", mix.mean() * sage_core::model::ACTION_SCALE, mix.means.iter().map(|x|(x*100.0).round()/100.0).collect::<Vec<_>>(), mix.weights.iter().map(|x|(x*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "flag {flag}: mean {:.3} means {:?} w {:?}",
+            mix.mean() * sage_core::model::ACTION_SCALE,
+            mix.means
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            mix.weights
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

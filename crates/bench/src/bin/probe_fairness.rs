@@ -8,25 +8,44 @@ use sage_netsim::time::from_secs;
 use sage_transport::sim::{Monitor, TickRecord};
 use sage_transport::{FlowConfig, SimConfig, Simulation, SocketView};
 
-struct Series { cw: Vec<(f64, f64, f64)> }
+struct Series {
+    cw: Vec<(f64, f64, f64)>,
+}
 impl Monitor for Series {
     fn on_tick(&mut self, i: usize, v: &SocketView, t: &TickRecord) {
-        if t.now % 5_000_000_000 == 0 {
-            self.cw.push((t.now as f64 / 1e9 + i as f64 * 0.001, v.cwnd_pkts, v.ca_state.as_f64()));
+        if t.now.is_multiple_of(5_000_000_000) {
+            self.cw.push((
+                t.now as f64 / 1e9 + i as f64 * 0.001,
+                v.cwnd_pkts,
+                v.ca_state.as_f64(),
+            ));
         }
     }
 }
 fn main() {
-    let mut cfg = SimConfig::new(LinkModel::Constant { mbps: 48.0 }, 480_000, 40.0, from_secs(60.0));
+    let mut cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 48.0 },
+        480_000,
+        40.0,
+        from_secs(60.0),
+    );
     cfg.seed = 3;
-    let mut sim = Simulation::new(cfg, vec![
-        FlowConfig::at_start(build("cubic", 1).unwrap()),
-        FlowConfig::at_start(build("cubic", 2).unwrap()),
-    ]);
+    let mut sim = Simulation::new(
+        cfg,
+        vec![
+            FlowConfig::at_start(build("cubic", 1).unwrap()),
+            FlowConfig::at_start(build("cubic", 2).unwrap()),
+        ],
+    );
     let mut m = Series { cw: vec![] };
     let stats = sim.run(&mut m);
     for s in &stats {
-        println!("{}: thr {:.1} lost {} retx {} sent {}", s.name, s.avg_goodput_mbps, s.lost_pkts, s.retx_pkts, s.sent_pkts);
+        println!(
+            "{}: thr {:.1} lost {} retx {} sent {}",
+            s.name, s.avg_goodput_mbps, s.lost_pkts, s.retx_pkts, s.sent_pkts
+        );
     }
-    for (t, cw, st) in m.cw { println!("t={t:.3} cwnd={cw:.0} state={st}"); }
+    for (t, cw, st) in m.cw {
+        println!("t={t:.3} cwnd={cw:.0} state={st}");
+    }
 }

@@ -10,22 +10,42 @@ use sage_transport::{FlowConfig, SimConfig, Simulation, SocketView};
 struct S;
 impl Monitor for S {
     fn on_tick(&mut self, _i: usize, v: &SocketView, t: &TickRecord) {
-        if t.now % 500_000_000 == 0 {
-            println!("t={:5.1} cwnd={:9.1} inflight={:6.0} state={} lost={} srtt={:.3}",
-                t.now as f64/1e9, v.cwnd_pkts, v.inflight_pkts, v.ca_state.as_f64(), v.lost_pkts_total, v.srtt);
+        if t.now.is_multiple_of(500_000_000) {
+            println!(
+                "t={:5.1} cwnd={:9.1} inflight={:6.0} state={} lost={} srtt={:.3}",
+                t.now as f64 / 1e9,
+                v.cwnd_pkts,
+                v.inflight_pkts,
+                v.ca_state.as_f64(),
+                v.lost_pkts_total,
+                v.srtt
+            );
         }
     }
 }
 fn main() {
-    let bdp = (24.0*1e6/8.0*40.0/1e3) as u64;
-    let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, bdp*2, 40.0, from_secs(15.0));
+    let bdp = (24.0 * 1e6 / 8.0 * 40.0 / 1e3) as u64;
+    let cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 24.0 },
+        bdp * 2,
+        40.0,
+        from_secs(15.0),
+    );
     let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(build("hybla", 7).unwrap())]);
     let s = {
         let stats = sim.run(&mut S);
         let f = sim.flow(0);
-        println!("rto_deadline={:?} pipe={} active={}", f.rto_deadline, f.pipe_pkts(), f.active);
+        println!(
+            "rto_deadline={:?} pipe={} active={}",
+            f.rto_deadline,
+            f.pipe_pkts(),
+            f.active
+        );
         println!("{}", f.debug_state());
         stats[0].clone()
     };
-    println!("thr {:.1} lost {} retx {} sent {}", s.avg_goodput_mbps, s.lost_pkts, s.retx_pkts, s.sent_pkts);
+    println!(
+        "thr {:.1} lost {} retx {} sent {}",
+        s.avg_goodput_mbps, s.lost_pkts, s.retx_pkts, s.sent_pkts
+    );
 }

@@ -10,16 +10,36 @@ use std::sync::Arc;
 fn main() {
     let pool = Pool::load_file(&pool_path()).unwrap();
     // Action distribution in the pool.
-    let mut all: Vec<f64> = pool.trajectories.iter().flat_map(|t| t.actions.iter().map(|&a| (a as f64).ln())).collect();
+    let mut all: Vec<f64> = pool
+        .trajectories
+        .iter()
+        .flat_map(|t| t.actions.iter().map(|&a| (a as f64).ln()))
+        .collect();
     all.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
-    println!("pool log-actions: p1 {:.3} p25 {:.3} p50 {:.3} p75 {:.3} p99 {:.3}", pct(0.01), pct(0.25), pct(0.5), pct(0.75), pct(0.99));
+    println!(
+        "pool log-actions: p1 {:.3} p25 {:.3} p50 {:.3} p75 {:.3} p99 {:.3}",
+        pct(0.01),
+        pct(0.25),
+        pct(0.5),
+        pct(0.75),
+        pct(0.99)
+    );
     let frac_one = all.iter().filter(|&&a| a.abs() < 0.005).count() as f64 / all.len() as f64;
     println!("fraction |ln a| < 0.005: {:.2}", frac_one);
     // Reward stats per set.
     for set2 in [false, true] {
-        let rs: Vec<f64> = pool.trajectories.iter().filter(|t| t.set2 == set2).flat_map(|t| (0..t.len()).map(|i| t.reward(i) as f64)).collect();
-        println!("set2={set2}: reward mean {:.3} max {:.3}", sage_util::mean(&rs), rs.iter().cloned().fold(0.0, f64::max));
+        let rs: Vec<f64> = pool
+            .trajectories
+            .iter()
+            .filter(|t| t.set2 == set2)
+            .flat_map(|t| (0..t.len()).map(|i| t.reward(i) as f64))
+            .collect();
+        println!(
+            "set2={set2}: reward mean {:.3} max {:.3}",
+            sage_util::mean(&rs),
+            rs.iter().cloned().fold(0.0, f64::max)
+        );
     }
 
     // Roll trained sage in two envs and print traces.
@@ -27,13 +47,28 @@ fn main() {
     let envs = default_envs();
     for env in envs.iter().filter(|e| e.set == SetKind::SetI).take(2) {
         for mode in [ActionMode::Deterministic, ActionMode::Sample] {
-        let res = rollout(env, "sage", Box::new(SagePolicy::new(model.clone(), default_gr(), SEED, mode)), default_gr(), SEED);
-        println!("mode {mode:?}:");
-        println!("\nenv {}: thr {:.1} Mbps owd {:.1} ms  (cap {:.0})", env.id, res.stats.avg_goodput_mbps, res.stats.avg_owd_ms, env.capacity_mbps);
-        let n = res.traj.len();
-        for t in (0..n).step_by(n / 6) {
-            println!("  t={:4} cwnd {:8.1} act {:.3} thr {:6.1}", t, res.traj.cwnd[t], res.traj.actions[t], res.traj.thr[t] / 1e6);
-        }
+            let res = rollout(
+                env,
+                "sage",
+                Box::new(SagePolicy::new(model.clone(), default_gr(), SEED, mode)),
+                default_gr(),
+                SEED,
+            );
+            println!("mode {mode:?}:");
+            println!(
+                "\nenv {}: thr {:.1} Mbps owd {:.1} ms  (cap {:.0})",
+                env.id, res.stats.avg_goodput_mbps, res.stats.avg_owd_ms, env.capacity_mbps
+            );
+            let n = res.traj.len();
+            for t in (0..n).step_by(n / 6) {
+                println!(
+                    "  t={:4} cwnd {:8.1} act {:.3} thr {:6.1}",
+                    t,
+                    res.traj.cwnd[t],
+                    res.traj.actions[t],
+                    res.traj.thr[t] / 1e6
+                );
+            }
         }
     }
 }

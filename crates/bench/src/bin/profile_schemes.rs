@@ -11,11 +11,20 @@ use std::time::Instant;
 fn main() {
     for name in pool_names() {
         let bdp = (24.0 * 1e6 / 8.0 * 40.0 / 1e3) as u64;
-        let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, bdp * 2, 40.0, from_secs(15.0));
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            bdp * 2,
+            40.0,
+            from_secs(15.0),
+        );
         let cca = build(name, 7).unwrap();
         let t = Instant::now();
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(cca)]);
         let s = sim.run(&mut NullMonitor).remove(0);
-        println!("{name:10} {:6.1} ms   thr {:.1}", t.elapsed().as_millis(), s.avg_goodput_mbps);
+        println!(
+            "{name:10} {:6.1} ms   thr {:.1}",
+            t.elapsed().as_millis(),
+            s.avg_goodput_mbps
+        );
     }
 }

@@ -1,0 +1,164 @@
+//! Set III: the adversarial robustness suite. Runs all 13 pool heuristics
+//! (plus the learned Sage policy when `artifacts/sage.model` exists) through
+//! the fault-scenario grid — burst loss, corruption, reordering, duplication,
+//! blackouts, link flaps, jitter spikes, ACK compression, and all of them at
+//! once — and reports per-scheme survival, degradation vs its own clean
+//! baseline, retransmit overhead, and abort-restart counts. The full report
+//! goes to `artifacts/results/set3_adversarial.json` (crash-safe write).
+
+use sage_bench::{artifacts_dir, default_gr, envvar, model_path, pool_schemes, print_table, SEED};
+use sage_core::SageModel;
+use sage_eval::runner::Contender;
+use sage_eval::set3::{run_set3, scenario_grid, summarise};
+use sage_util::json::Json;
+use std::sync::Arc;
+
+fn main() {
+    let secs = envvar("SAGE_SECS", 10) as f64;
+    let mut contenders: Vec<Contender> = pool_schemes()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    match SageModel::load_file(&model_path("sage")) {
+        Ok(model) => contenders.push(Contender::Model {
+            name: "sage",
+            model: Arc::new(model),
+            gr_cfg: default_gr(),
+        }),
+        Err(e) => eprintln!("note: no learned policy in the roster ({e}); heuristics only"),
+    }
+    let scenarios = scenario_grid();
+    println!(
+        "set3: {} contenders x {} scenarios, {secs} s each (SAGE_SECS to change)",
+        contenders.len(),
+        scenarios.len()
+    );
+    let entries = run_set3(&contenders, &scenarios, secs, SEED, |d, t| {
+        if d % 11 == 0 || d == t {
+            eprintln!("  {d}/{t}");
+        }
+    });
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.scheme.clone(),
+                e.scenario.to_string(),
+                if e.survived {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                format!("{:.2}", e.goodput_mbps),
+                format!("{:.1}", e.avg_owd_ms),
+                format!("{:.1}%", e.degradation_pct),
+                format!("{:.2}x", e.delay_inflation),
+                format!("{:.2}%", e.retx_overhead_pct),
+                e.restarts.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Set III adversarial grid (per cell)",
+        &[
+            "scheme", "scenario", "ok", "mbps", "owd", "degr", "delay", "retx", "restarts",
+        ],
+        &rows,
+    );
+
+    let summary = summarise(&entries);
+    let srows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|s| {
+            vec![
+                s.scheme.clone(),
+                format!("{}/{}", s.survived, s.scenarios),
+                format!("{:.1}%", s.mean_degradation_pct),
+                format!("{:.1}%", s.worst_degradation_pct),
+                format!("{:.2}%", s.mean_retx_overhead_pct),
+                s.restarts.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Set III summary (most robust first)",
+        &[
+            "scheme",
+            "survived",
+            "mean degr",
+            "worst degr",
+            "mean retx",
+            "restarts",
+        ],
+        &srows,
+    );
+
+    let report = Json::obj(vec![
+        ("suite", Json::str("set3-adversarial")),
+        ("seed", Json::Num(SEED as f64)),
+        ("duration_secs", Json::Num(secs)),
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(|s| Json::str(s.id)).collect()),
+        ),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("scheme", Json::str(e.scheme.clone())),
+                            ("scenario", Json::str(e.scenario)),
+                            ("survived", Json::Bool(e.survived)),
+                            ("goodput_mbps", Json::Num(e.goodput_mbps)),
+                            ("avg_owd_ms", Json::Num(e.avg_owd_ms)),
+                            ("degradation_pct", Json::Num(e.degradation_pct)),
+                            ("delay_inflation", Json::Num(e.delay_inflation)),
+                            ("retx_overhead_pct", Json::Num(e.retx_overhead_pct)),
+                            ("restarts", Json::Num(e.restarts as f64)),
+                            ("lost_pkts", Json::Num(e.lost_pkts as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "summary",
+            Json::Arr(
+                summary
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("scheme", Json::str(s.scheme.clone())),
+                            ("scenarios", Json::Num(s.scenarios as f64)),
+                            ("survived", Json::Num(s.survived as f64)),
+                            ("mean_degradation_pct", Json::Num(s.mean_degradation_pct)),
+                            ("worst_degradation_pct", Json::Num(s.worst_degradation_pct)),
+                            (
+                                "mean_retx_overhead_pct",
+                                Json::Num(s.mean_retx_overhead_pct),
+                            ),
+                            ("restarts", Json::Num(s.restarts as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let dir = artifacts_dir().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("set3_adversarial.json");
+    sage_util::fsio::atomic_write(&path, report.to_string().as_bytes()).expect("write set3 report");
+    println!("\nreport: {}", path.display());
+
+    let died: Vec<&str> = entries
+        .iter()
+        .filter(|e| !e.survived)
+        .map(|e| e.scheme.as_str())
+        .collect();
+    if !died.is_empty() {
+        println!("non-surviving cells: {died:?}");
+    }
+}

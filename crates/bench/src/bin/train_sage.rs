@@ -41,6 +41,9 @@ fn main() {
             println!("checkpoint day {day} -> {}", p.display());
         }
     }
-    trainer.model().save_file(&model_path("sage")).expect("save model");
+    trainer
+        .model()
+        .save_file(&model_path("sage"))
+        .expect("save model");
     println!("wrote {}", model_path("sage").display());
 }

@@ -30,7 +30,10 @@ pub const SEED: u64 = 2023;
 /// `SAGE_SET1`, `SAGE_SET2` (env counts), `SAGE_SECS` (env duration),
 /// `SAGE_STEPS` (training steps).
 pub fn envvar(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The canonical environment set used for pool collection AND for the
@@ -108,7 +111,13 @@ pub fn print_league_variants(records: &[sage_eval::runner::RunRecord], label: &s
                     scheme: r.scheme.clone(),
                     env_id: r.env_id.clone(),
                     kind: ScoreKind::Power,
-                    intervals: interval_scores(&r.traj.thr, &r.traj.owd, ScoreKind::Power, 3.0, 0.0),
+                    intervals: interval_scores(
+                        &r.traj.thr,
+                        &r.traj.owd,
+                        ScoreKind::Power,
+                        3.0,
+                        0.0,
+                    ),
                 })
                 .collect();
             let table = rank_league(&alpha3, 0.10);
@@ -140,4 +149,36 @@ pub fn series(ticks: &[f32], tick_secs: f64, n: usize) -> Vec<(f64, f64)> {
             ((i * stride) as f64 * tick_secs, mean)
         })
         .collect()
+}
+
+/// Minimal `Instant`-based micro-benchmark harness: one warm-up run, then
+/// `n` timed iterations; prints mean / min / max wall time per iteration.
+/// Replaces the external bench framework so the workspace builds offline.
+pub fn timeit(name: &str, n: usize, mut f: impl FnMut()) {
+    f(); // warm-up (page in code, fill allocator pools)
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let fmt = |s: f64| {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else {
+            format!("{:.3} us", s * 1e6)
+        }
+    };
+    println!(
+        "{name}: mean {} min {} max {} ({} iters)",
+        fmt(mean),
+        fmt(min),
+        fmt(max),
+        samples.len()
+    );
 }

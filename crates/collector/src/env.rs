@@ -7,12 +7,13 @@
 //! buffer in [1, 16] x BDP.
 
 use sage_netsim::aqm::AqmKind;
+use sage_netsim::faults::FaultPlan;
 use sage_netsim::link::LinkModel;
 use sage_netsim::time::{from_secs, Nanos};
 use sage_util::Rng;
 
 /// Which evaluation set an environment belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetKind {
     /// Single-flow throughput/delay scenarios.
     SetI,
@@ -39,6 +40,8 @@ pub struct EnvSpec {
     /// Mean capacity (Mbit/s), for reward normalisation and fair share.
     pub capacity_mbps: f64,
     pub seed: u64,
+    /// Adversarial fault injection (Set III); empty for Set I/II.
+    pub faults: FaultPlan,
 }
 
 impl EnvSpec {
@@ -80,6 +83,7 @@ pub fn set1_flat_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     test_flow_start: 0,
                     capacity_mbps: bw,
                     seed: 1,
+                    faults: FaultPlan::default(),
                 })
             }
         }
@@ -94,7 +98,7 @@ pub fn set1_step_grid(duration_secs: f64) -> Vec<EnvSpec> {
     for &bw in &BW_GRID {
         for &m in &STEP_M {
             let after = bw * m;
-            if after > 200.0 || after < 3.0 {
+            if !(3.0..=200.0).contains(&after) {
                 continue;
             }
             for &rtt in &[20.0, 40.0, 80.0] {
@@ -117,6 +121,7 @@ pub fn set1_step_grid(duration_secs: f64) -> Vec<EnvSpec> {
                         test_flow_start: 0,
                         capacity_mbps: mean,
                         seed: 1,
+                        faults: FaultPlan::default(),
                     })
                 }
             }
@@ -145,6 +150,7 @@ pub fn set2_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     test_flow_start: from_secs(1.0),
                     capacity_mbps: bw,
                     seed: 2,
+                    faults: FaultPlan::default(),
                 })
             }
         }
@@ -178,8 +184,13 @@ mod tests {
         // Steps: bw x m combos capped below 200 and above 3 Mbit/s.
         let steps = set1_step_grid(10.0);
         assert!(steps.iter().all(|e| {
-            if let LinkModel::Step { after_mbps, before_mbps, .. } = e.link {
-                after_mbps <= 200.0 && after_mbps >= 3.0 && before_mbps <= 200.0
+            if let LinkModel::Step {
+                after_mbps,
+                before_mbps,
+                ..
+            } = e.link
+            {
+                (3.0..=200.0).contains(&after_mbps) && before_mbps <= 200.0
             } else {
                 false
             }

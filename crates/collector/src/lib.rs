@@ -10,7 +10,9 @@
 pub mod env;
 pub mod pool;
 pub mod rollout;
+pub mod supervise;
 
 pub use env::{set1_flat_grid, set1_step_grid, set2_grid, training_envs, EnvSpec, SetKind};
 pub use pool::{Pool, Trajectory};
 pub use rollout::{collect_pool, rollout, RolloutResult};
+pub use supervise::{collect_pool_supervised, CollectReport, SuperviseConfig};

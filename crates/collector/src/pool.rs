@@ -65,7 +65,9 @@ pub struct Pool {
 
 impl Pool {
     pub fn new() -> Self {
-        Pool { trajectories: Vec::new() }
+        Pool {
+            trajectories: Vec::new(),
+        }
     }
 
     /// Total number of recorded steps.
@@ -156,7 +158,10 @@ impl Pool {
         }
         let dim = read_u64(r)? as usize;
         if dim != STATE_DIM {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "state dim mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "state dim mismatch",
+            ));
         }
         let n = read_u64(r)? as usize;
         let mut trajectories = Vec::with_capacity(n);
@@ -187,14 +192,22 @@ impl Pool {
         Ok(Pool { trajectories })
     }
 
+    /// Crash-safe save: the serialised pool goes to a temp file with a
+    /// checksum footer, is fsynced, then atomically renamed over `path`.
+    /// A crash at any point leaves either the old file or the new one —
+    /// never a partial pool.
     pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut f)
+        let mut payload = Vec::new();
+        self.save(&mut payload)?;
+        sage_util::atomic_write_checksummed(path, &payload)
     }
 
+    /// Load a pool saved by [`Pool::save_file`]. Truncated, extended, or
+    /// bit-flipped files are rejected deterministically by the checksum
+    /// footer before any parsing happens.
     pub fn load_file(path: &std::path::Path) -> io::Result<Pool> {
-        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
-        Pool::load(&mut f)
+        let payload = sage_util::read_checksummed(path)?;
+        Pool::load(&mut &payload[..])
     }
 }
 
@@ -206,7 +219,10 @@ fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
 fn read_str(r: &mut impl Read) -> io::Result<String> {
     let n = read_u64(r)? as usize;
     if n > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string too long",
+        ));
     }
     let mut b = vec![0u8; n];
     r.read_exact(&mut b)?;
@@ -266,7 +282,7 @@ mod tests {
         assert_eq!(q.trajectories.len(), 2);
         assert_eq!(q.trajectories[0].scheme, "cubic");
         assert_eq!(q.trajectories[0].states, p.trajectories[0].states);
-        assert_eq!(q.trajectories[1].set2, true);
+        assert!(q.trajectories[1].set2);
         assert_eq!(q.total_steps(), 10);
     }
 
@@ -301,5 +317,61 @@ mod tests {
     fn load_rejects_garbage() {
         let garbage = b"NOTAPOOLxxxxxxxxxxxx".to_vec();
         assert!(Pool::load(&mut &garbage[..]).is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncation_at_every_byte_boundary() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("cubic", 2, false));
+        p.trajectories.push(sample_traj("vegas", 1, true));
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        // The raw stream parser must fail on every proper prefix: no
+        // truncation may silently yield a smaller-but-valid pool.
+        for n in 0..buf.len() {
+            assert!(
+                Pool::load(&mut &buf[..n]).is_err(),
+                "raw load accepted a {n}-byte prefix of a {}-byte pool",
+                buf.len()
+            );
+        }
+        assert!(Pool::load(&mut &buf[..]).is_ok());
+    }
+
+    #[test]
+    fn load_file_rejects_truncated_file_at_every_byte_boundary() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("cubic", 2, false));
+        let good = std::env::temp_dir().join("sage_pool_trunc_good.bin");
+        let bad = std::env::temp_dir().join("sage_pool_trunc_bad.bin");
+        p.save_file(&good).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        for n in 0..bytes.len() {
+            std::fs::write(&bad, &bytes[..n]).unwrap();
+            assert!(
+                Pool::load_file(&bad).is_err(),
+                "accepted truncation at byte {n}"
+            );
+        }
+        assert!(Pool::load_file(&good).is_ok());
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn save_file_is_atomic_and_checksummed() {
+        let mut p = Pool::new();
+        p.trajectories.push(sample_traj("bic", 3, false));
+        let path = std::env::temp_dir().join("sage_pool_atomic.bin");
+        p.save_file(&path).unwrap();
+        let q = Pool::load_file(&path).unwrap();
+        assert_eq!(q.total_steps(), p.total_steps());
+        // Corrupt one payload byte: load must fail with a checksum error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Pool::load_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
     }
 }

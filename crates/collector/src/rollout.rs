@@ -30,7 +30,9 @@ impl Monitor for GrMonitor {
             return;
         }
         let step = self.gr.on_tick(view, tick);
-        self.traj.states.extend(step.state.iter().map(|&x| x as f32));
+        self.traj
+            .states
+            .extend(step.state.iter().map(|&x| x as f32));
         self.traj.actions.push(step.action as f32);
         self.traj.r1.push(step.reward_power as f32);
         self.traj
@@ -49,6 +51,7 @@ fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simu
     cfg.aqm = env.aqm;
     cfg.random_loss = env.random_loss;
     cfg.seed = seed ^ env.seed;
+    cfg.faults = env.faults.clone();
     let mut flows = Vec::new();
     for k in 0..env.competing_cubic {
         flows.push(FlowConfig::starting_at(
@@ -62,7 +65,13 @@ fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simu
 }
 
 /// Roll one scheme through one environment, recording its trajectory.
-pub fn rollout(env: &EnvSpec, scheme: &str, cca: Box<dyn CongestionControl>, gr_cfg: GrConfig, seed: u64) -> RolloutResult {
+pub fn rollout(
+    env: &EnvSpec,
+    scheme: &str,
+    cca: Box<dyn CongestionControl>,
+    gr_cfg: GrConfig,
+    seed: u64,
+) -> RolloutResult {
     let (mut sim, test_idx) = build_sim(env, cca, seed);
     let mut mon = GrMonitor {
         gr: GrUnit::new(gr_cfg, RewardParams::for_capacity(env.capacity_mbps)),
@@ -79,7 +88,11 @@ pub fn rollout(env: &EnvSpec, scheme: &str, cca: Box<dyn CongestionControl>, gr_
     let mut all_stats = sim.run(&mut mon);
     let stats = all_stats[test_idx].clone();
     let _ = &mut all_stats;
-    RolloutResult { traj: mon.traj, stats, all_stats }
+    RolloutResult {
+        traj: mon.traj,
+        stats,
+        all_stats,
+    }
 }
 
 /// Collect the full pool: every scheme through every environment.
@@ -117,7 +130,13 @@ mod tests {
     fn rollout_records_expected_tick_count() {
         let mut env = set1_flat_grid(5.0)[7].clone();
         env.duration = sage_netsim::time::from_secs(5.0);
-        let res = rollout(&env, "cubic", build("cubic", 1).unwrap(), GrConfig::default(), 3);
+        let res = rollout(
+            &env,
+            "cubic",
+            build("cubic", 1).unwrap(),
+            GrConfig::default(),
+            3,
+        );
         // 5 s at 10 ms per tick = about 500 steps.
         assert!((450..=501).contains(&res.traj.len()), "{}", res.traj.len());
         assert_eq!(res.traj.states.len(), res.traj.len() * STATE_DIM);
@@ -126,8 +145,17 @@ mod tests {
 
     #[test]
     fn set2_rollout_runs_cubic_competitor() {
-        let env = set2_grid(8.0).into_iter().find(|e| e.id.contains("bw24-rtt40-q2")).unwrap();
-        let res = rollout(&env, "vegas", build("vegas", 1).unwrap(), GrConfig::default(), 3);
+        let env = set2_grid(8.0)
+            .into_iter()
+            .find(|e| e.id.contains("bw24-rtt40-q2"))
+            .unwrap();
+        let res = rollout(
+            &env,
+            "vegas",
+            build("vegas", 1).unwrap(),
+            GrConfig::default(),
+            3,
+        );
         assert_eq!(res.all_stats.len(), 2);
         assert_eq!(res.all_stats[0].name, "cubic");
         assert!(res.traj.set2);
@@ -142,17 +170,38 @@ mod tests {
     #[test]
     fn collect_pool_covers_schemes_and_envs() {
         let envs: Vec<EnvSpec> = crate::env::training_envs(2, 1, 3.0, 7);
-        let pool = collect_pool(&envs, &["cubic", "vegas"], GrConfig::default(), 1, |_, _| {});
+        let pool = collect_pool(
+            &envs,
+            &["cubic", "vegas"],
+            GrConfig::default(),
+            1,
+            |_, _| {},
+        );
         assert_eq!(pool.trajectories.len(), 6);
-        assert_eq!(pool.schemes(), vec!["cubic".to_string(), "vegas".to_string()]);
+        assert_eq!(
+            pool.schemes(),
+            vec!["cubic".to_string(), "vegas".to_string()]
+        );
         assert!(pool.total_steps() > 500);
     }
 
     #[test]
     fn deterministic_rollouts() {
         let env = set1_flat_grid(3.0)[0].clone();
-        let a = rollout(&env, "cubic", build("cubic", 1).unwrap(), GrConfig::default(), 5);
-        let b = rollout(&env, "cubic", build("cubic", 1).unwrap(), GrConfig::default(), 5);
+        let a = rollout(
+            &env,
+            "cubic",
+            build("cubic", 1).unwrap(),
+            GrConfig::default(),
+            5,
+        );
+        let b = rollout(
+            &env,
+            "cubic",
+            build("cubic", 1).unwrap(),
+            GrConfig::default(),
+            5,
+        );
         assert_eq!(a.traj.actions, b.traj.actions);
         assert_eq!(a.traj.r1, b.traj.r1);
     }

@@ -1,30 +1,39 @@
-//! Environment-grid invariants.
+//! Environment-grid invariants, checked over RNG-generated inputs (no
+//! external property-testing framework: the build must work offline).
 
-use proptest::prelude::*;
 use sage_collector::{set1_flat_grid, set1_step_grid, set2_grid, training_envs, SetKind};
+use sage_util::Rng;
 
-proptest! {
-    #[test]
-    fn training_envs_sizes_and_sets(n1 in 0usize..40, n2 in 0usize..30, seed in proptest::num::u64::ANY) {
+#[test]
+fn training_envs_sizes_and_sets() {
+    let mut rng = Rng::new(0x2A2A);
+    for _ in 0..25 {
+        let n1 = rng.below(40);
+        let n2 = rng.below(30);
+        let seed = rng.next_u64();
         let envs = training_envs(n1, n2, 5.0, seed);
         let s1 = envs.iter().filter(|e| e.set == SetKind::SetI).count();
         let s2 = envs.iter().filter(|e| e.set == SetKind::SetII).count();
-        prop_assert!(s1 <= n1.min(set1_flat_grid(5.0).len() + set1_step_grid(5.0).len()));
-        prop_assert!(s2 <= n2.min(set2_grid(5.0).len()));
-        prop_assert_eq!(envs.len(), s1 + s2);
+        assert!(s1 <= n1.min(set1_flat_grid(5.0).len() + set1_step_grid(5.0).len()));
+        assert!(s2 <= n2.min(set2_grid(5.0).len()));
+        assert_eq!(envs.len(), s1 + s2);
         for e in &envs {
-            prop_assert!(e.buffer_bytes >= 3000);
-            prop_assert!(e.rtt_ms >= 1.0);
-            prop_assert!(e.capacity_mbps > 0.0);
-            prop_assert!(e.fair_share_bps() > 0.0);
+            assert!(e.buffer_bytes >= 3000);
+            assert!(e.rtt_ms >= 1.0);
+            assert!(e.capacity_mbps > 0.0);
+            assert!(e.fair_share_bps() > 0.0);
         }
     }
+}
 
-    #[test]
-    fn same_seed_same_envs(seed in proptest::num::u64::ANY) {
+#[test]
+fn same_seed_same_envs() {
+    let mut rng = Rng::new(0x3B3B);
+    for _ in 0..25 {
+        let seed = rng.next_u64();
         let a = training_envs(6, 3, 5.0, seed);
         let b = training_envs(6, 3, 5.0, seed);
-        prop_assert_eq!(
+        assert_eq!(
             a.iter().map(|e| e.id.clone()).collect::<Vec<_>>(),
             b.iter().map(|e| e.id.clone()).collect::<Vec<_>>()
         );

@@ -7,7 +7,7 @@
 //!   learned policy applies a periodic multiplicative correction
 //!   `cwnd <- cubic_cwnd * 2^u`, u in [-1, 1].
 
-use crate::model::{ACTION_SCALE, SageModel};
+use crate::model::{SageModel, ACTION_SCALE};
 use crate::policy::ActionMode;
 use sage_gr::{GrConfig, GrUnit, RewardParams};
 use sage_heuristics::cubic::Cubic;
@@ -30,7 +30,10 @@ pub struct OracleCc {
 impl OracleCc {
     pub fn new(capacity_mbps: f64, rtt_ms: f64) -> Self {
         let bdp = capacity_mbps * 1e6 / 8.0 * rtt_ms / 1e3 / 1500.0;
-        OracleCc { bdp_pkts: bdp.max(MIN_CWND), cwnd: MIN_CWND * 2.0 }
+        OracleCc {
+            bdp_pkts: bdp.max(MIN_CWND),
+            cwnd: MIN_CWND * 2.0,
+        }
     }
 }
 
@@ -81,7 +84,11 @@ pub struct HybridPolicy {
 
 impl HybridPolicy {
     pub fn new(model: Arc<SageModel>, gr_cfg: GrConfig, seed: u64, mode: ActionMode) -> Self {
-        let hidden_dim = if model.cfg.gru > 0 { model.cfg.gru } else { model.cfg.enc1 };
+        let hidden_dim = if model.cfg.gru > 0 {
+            model.cfg.gru
+        } else {
+            model.cfg.enc1
+        };
         HybridPolicy {
             model,
             cubic: Cubic::new(),
@@ -133,7 +140,7 @@ impl CongestionControl for HybridPolicy {
             cwnd_pkts: self.cwnd_pkts(),
         };
         let step = self.gr.on_tick(sock, &tick);
-        if self.tick_count % self.period != 0 {
+        if !self.tick_count.is_multiple_of(self.period) {
             return;
         }
         let x = self.model.prepare_input(&step.state);
@@ -178,12 +185,21 @@ mod tests {
         for i in 1..200 {
             o.on_tick(i * 10_000_000, &v);
         }
-        assert!((o.cwnd_pkts() - 176.0).abs() < 5.0, "cwnd {}", o.cwnd_pkts());
+        assert!(
+            (o.cwnd_pkts() - 176.0).abs() < 5.0,
+            "cwnd {}",
+            o.cwnd_pkts()
+        );
     }
 
     #[test]
     fn oracle_achieves_high_utilisation_low_delay() {
-        let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, 960_000, 40.0, from_secs(10.0));
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            960_000,
+            40.0,
+            from_secs(10.0),
+        );
         let cca = OracleCc::new(24.0, 40.0);
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
         let s = sim.run(&mut NullMonitor).remove(0);
@@ -193,8 +209,21 @@ mod tests {
 
     #[test]
     fn hybrid_falls_back_to_cubic_scale() {
-        let cfg = NetConfig { enc1: 8, gru: 8, enc2: 8, fc: 8, residual_blocks: 1, critic_hidden: 8, ..NetConfig::default() };
-        let model = Arc::new(SageModel::new(cfg, vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 1));
+        let cfg = NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 8,
+            ..NetConfig::default()
+        };
+        let model = Arc::new(SageModel::new(
+            cfg,
+            vec![0.0; STATE_DIM],
+            vec![1.0; STATE_DIM],
+            1,
+        ));
         let mut h = HybridPolicy::new(model, GrConfig::default(), 1, ActionMode::Deterministic);
         let v = crate::crr::tests_support::dummy_view(10.0);
         for i in 1..50 {

@@ -8,10 +8,21 @@
 //! With `bc_only` the filter is constant 1 — exactly the behavioral-cloning
 //! baselines of §6.2.
 
-use crate::model::{CriticNet, NetConfig, PolicyNet, SageModel, ACTION_SCALE, SCALED_ACTION_MAX, SCALED_ACTION_MIN};
+// The trainer walks several parallel per-timestep arrays (states, actions,
+// rewards, bootstrap values) with shared indices; index loops keep those
+// alignments explicit where iterator zips would bury them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{
+    CriticNet, NetConfig, PolicyNet, SageModel, ACTION_SCALE, SCALED_ACTION_MAX, SCALED_ACTION_MIN,
+};
 use sage_collector::Pool;
 use sage_nn::{Adam, Array, Graph, ParamStore};
 use sage_util::Rng;
+
+/// One sampled training batch: per-timestep state matrices [B, D],
+/// per-timestep actions (ln ratio), and rewards.
+type Batch = (Vec<Array>, Vec<Vec<f64>>, Vec<Vec<f64>>);
 
 /// Trainer hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -142,7 +153,7 @@ impl CrrTrainer {
     /// of per-10 ms cwnd ratios are exactly 1.0; sampling half of each batch
     /// around *active* steps sharpens the conditional signal the policy must
     /// learn (prioritised experience sampling).
-    fn active_steps<'p>(&mut self, pool: &'p Pool) -> &Vec<Vec<u32>> {
+    fn active_steps(&mut self, pool: &Pool) -> &Vec<Vec<u32>> {
         let key = (pool.trajectories.len(), pool.total_steps());
         let stale = match &self.active_cache {
             Some((a, b, _)) => (*a, *b) != key,
@@ -168,7 +179,7 @@ impl CrrTrainer {
 
     /// Sample a batch of (L+1)-step windows; returns per-timestep state
     /// matrices [B, D], per-timestep actions (ln ratio) and rewards.
-    fn sample_batch(&mut self, pool: &Pool) -> Option<(Vec<Array>, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    fn sample_batch(&mut self, pool: &Pool) -> Option<Batch> {
         let l = self.cfg.unroll;
         self.active_steps(pool);
         let eligible: Vec<usize> = pool
@@ -237,12 +248,16 @@ impl CrrTrainer {
             let mut boot_actions: Vec<f64> = vec![0.0; b];
             for t in 0..=l {
                 let x = tg.input(states[t].clone());
-                let (nodes, h1) = self.target_policy.step(&mut tg, &self.target_policy_store, x, h);
+                let (nodes, h1) = self
+                    .target_policy
+                    .step(&mut tg, &self.target_policy_store, x, h);
                 h = h1;
                 if t == l {
                     for (bi, slot) in boot_actions.iter_mut().enumerate() {
                         let mix = self.target_policy.mixture(&tg, nodes, bi);
-                        *slot = mix.sample(&mut self.rng).clamp(SCALED_ACTION_MIN, SCALED_ACTION_MAX);
+                        *slot = mix
+                            .sample(&mut self.rng)
+                            .clamp(SCALED_ACTION_MIN, SCALED_ACTION_MAX);
                     }
                 }
             }
@@ -265,7 +280,9 @@ impl CrrTrainer {
                 }
                 let sn = g.input(flat_boot);
                 let an = g.input(flat_a);
-                let logits = self.target_critic.logits(&mut g, &self.target_critic_store, sn, an);
+                let logits = self
+                    .target_critic
+                    .logits(&mut g, &self.target_critic_store, sn, an);
                 let lv = g.value(logits);
                 let dz = (self.cfg.net.v_max - self.cfg.net.v_min) / (atoms - 1) as f64;
                 for t in 0..l {
@@ -360,9 +377,10 @@ impl CrrTrainer {
         self.policy_opt.step(&mut self.model.store);
 
         self.steps_done += 1;
-        if !self.cfg.bc_only && self.steps_done % self.cfg.target_period == 0 {
+        if !self.cfg.bc_only && self.steps_done.is_multiple_of(self.cfg.target_period) {
             self.target_policy_store.copy_values_from(&self.model.store);
-            self.target_critic_store.copy_values_from(&self.critic_store);
+            self.target_critic_store
+                .copy_values_from(&self.critic_store);
         }
         metrics
     }
@@ -389,7 +407,9 @@ impl CrrTrainer {
                 let mut row = vec![0.0; b];
                 for (bi, slot) in row.iter_mut().enumerate() {
                     let mix = self.model.policy.mixture(&g, nodes, bi);
-                    *slot = mix.sample(&mut self.rng).clamp(SCALED_ACTION_MIN, SCALED_ACTION_MAX);
+                    *slot = mix
+                        .sample(&mut self.rng)
+                        .clamp(SCALED_ACTION_MIN, SCALED_ACTION_MAX);
                 }
                 per_j.push(row);
             }

@@ -6,8 +6,8 @@ use sage_nn::gmm::{GmmHead, GmmNodes, GmmParams};
 use sage_nn::graph::{Graph, NodeId};
 use sage_nn::layers::{GruCell, LayerNorm, Linear, ResidualBlock};
 use sage_nn::{Array, ParamStore};
-use sage_util::Rng;
-use std::io::{self, Read, Write};
+use sage_util::{Json, Rng};
+use std::io::{self, Read};
 
 /// Bounds of the log-action (ln of the cwnd ratio) the policy may emit per
 /// 10 ms step.
@@ -30,7 +30,7 @@ pub const SCALED_ACTION_MAX: f64 = LOG_ACTION_MAX / ACTION_SCALE;
 /// Architecture hyper-parameters. The paper's sizes (encoder FC 256,
 /// GRU 1024) are scaled down for single-core training; topology is
 /// identical.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// Input feature selection (ablations of §7.3).
     pub mask_kind: u8,
@@ -97,6 +97,40 @@ impl NetConfig {
         self.mask().dim()
     }
 
+    /// JSON encoding of the config (model-file headers).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mask_kind", Json::Num(self.mask_kind as f64)),
+            ("enc1", Json::Num(self.enc1 as f64)),
+            ("gru", Json::Num(self.gru as f64)),
+            ("enc2", Json::Num(self.enc2 as f64)),
+            ("fc", Json::Num(self.fc as f64)),
+            ("residual_blocks", Json::Num(self.residual_blocks as f64)),
+            ("gmm_k", Json::Num(self.gmm_k as f64)),
+            ("critic_hidden", Json::Num(self.critic_hidden as f64)),
+            ("atoms", Json::Num(self.atoms as f64)),
+            ("v_min", Json::Num(self.v_min)),
+            ("v_max", Json::Num(self.v_max)),
+        ])
+    }
+
+    /// Inverse of [`NetConfig::to_json`].
+    pub fn from_json(v: &Json) -> Option<NetConfig> {
+        Some(NetConfig {
+            mask_kind: v.get("mask_kind")?.as_usize()? as u8,
+            enc1: v.get("enc1")?.as_usize()?,
+            gru: v.get("gru")?.as_usize()?,
+            enc2: v.get("enc2")?.as_usize()?,
+            fc: v.get("fc")?.as_usize()?,
+            residual_blocks: v.get("residual_blocks")?.as_usize()?,
+            gmm_k: v.get("gmm_k")?.as_usize()?,
+            critic_hidden: v.get("critic_hidden")?.as_usize()?,
+            atoms: v.get("atoms")?.as_usize()?,
+            v_min: v.get("v_min")?.as_f64()?,
+            v_max: v.get("v_max")?.as_f64()?,
+        })
+    }
+
     /// Atom support values.
     pub fn support(&self) -> Vec<f64> {
         (0..self.atoms)
@@ -126,14 +160,26 @@ impl PolicyNet {
         let enc1a = Linear::new(store, &format!("{prefix}.enc1a"), d, cfg.enc1, rng);
         let enc1b = Linear::new(store, &format!("{prefix}.enc1b"), cfg.enc1, cfg.enc1, rng);
         let gru = if cfg.gru > 0 {
-            Some(GruCell::new(store, &format!("{prefix}.gru"), cfg.enc1, cfg.gru, rng))
+            Some(GruCell::new(
+                store,
+                &format!("{prefix}.gru"),
+                cfg.enc1,
+                cfg.gru,
+                rng,
+            ))
         } else {
             None
         };
         let after_gru = if cfg.gru > 0 { cfg.gru } else { cfg.enc1 };
         let post_ln = LayerNorm::new(store, &format!("{prefix}.postln"), after_gru);
         let enc2 = if cfg.enc2 > 0 {
-            Some(Linear::new(store, &format!("{prefix}.enc2"), after_gru, cfg.enc2, rng))
+            Some(Linear::new(
+                store,
+                &format!("{prefix}.enc2"),
+                after_gru,
+                cfg.enc2,
+                rng,
+            ))
         } else {
             None
         };
@@ -143,18 +189,39 @@ impl PolicyNet {
             .map(|i| ResidualBlock::new(store, &format!("{prefix}.res{i}"), cfg.fc, rng))
             .collect();
         let head = GmmHead::new(store, &format!("{prefix}.gmm"), cfg.fc, cfg.gmm_k, rng);
-        PolicyNet { cfg, enc1a, enc1b, gru, post_ln, enc2, fc, res, head, trunk_in }
+        PolicyNet {
+            cfg,
+            enc1a,
+            enc1b,
+            gru,
+            post_ln,
+            enc2,
+            fc,
+            res,
+            head,
+            trunk_in,
+        }
     }
 
     /// Initial hidden state for `batch` sequences.
     pub fn initial_hidden(&self, g: &mut Graph, batch: usize) -> NodeId {
-        let width = if self.cfg.gru > 0 { self.cfg.gru } else { self.cfg.enc1 };
+        let width = if self.cfg.gru > 0 {
+            self.cfg.gru
+        } else {
+            self.cfg.enc1
+        };
         g.input(Array::zeros(batch, width))
     }
 
     /// One timestep: consumes `x` [B, D] and hidden [B, H]; returns
     /// (mixture nodes, new hidden).
-    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> (GmmNodes, NodeId) {
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        h: NodeId,
+    ) -> (GmmNodes, NodeId) {
         let (nodes, h1, _) = self.step_with_features(g, store, x, h);
         (nodes, h1)
     }
@@ -221,14 +288,32 @@ impl CriticNet {
         let d = cfg.input_dim() + 1;
         CriticNet {
             l1: Linear::new(store, &format!("{prefix}.l1"), d, cfg.critic_hidden, rng),
-            l2: Linear::new(store, &format!("{prefix}.l2"), cfg.critic_hidden, cfg.critic_hidden, rng),
-            out: Linear::new(store, &format!("{prefix}.out"), cfg.critic_hidden, cfg.atoms, rng),
+            l2: Linear::new(
+                store,
+                &format!("{prefix}.l2"),
+                cfg.critic_hidden,
+                cfg.critic_hidden,
+                rng,
+            ),
+            out: Linear::new(
+                store,
+                &format!("{prefix}.out"),
+                cfg.critic_hidden,
+                cfg.atoms,
+                rng,
+            ),
             cfg,
         }
     }
 
     /// Atom logits [n, atoms] for states [n, D] and actions [n, 1].
-    pub fn logits(&self, g: &mut Graph, store: &ParamStore, state: NodeId, action: NodeId) -> NodeId {
+    pub fn logits(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        state: NodeId,
+        action: NodeId,
+    ) -> NodeId {
         let x = g.concat_cols(state, action);
         let h = self.l1.fwd(g, store, x);
         let h = g.lrelu(h, 0.01);
@@ -272,7 +357,13 @@ impl SageModel {
         let mut rng = Rng::new(seed);
         let mut store = ParamStore::new();
         let policy = PolicyNet::new(&mut store, "pi", cfg, &mut rng);
-        SageModel { cfg, norm_mean, norm_std, store, policy }
+        SageModel {
+            cfg,
+            norm_mean,
+            norm_std,
+            store,
+            policy,
+        }
     }
 
     /// Standardise and mask a full 69-dim state.
@@ -284,37 +375,126 @@ impl SageModel {
             .collect()
     }
 
-    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
-        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        let header = serde_json::to_vec(&(
-            &self.cfg,
-            &self.norm_mean,
-            &self.norm_std,
-        ))
-        .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
-        w.write_all(b"SAGEMDL1")?;
-        w.write_all(&(header.len() as u64).to_le_bytes())?;
-        w.write_all(&header)?;
-        self.store.save(&mut w)
+    /// Serialise to bytes (no checksum footer — [`SageModel::save_file`]
+    /// adds that).
+    pub fn to_bytes(&self) -> io::Result<Vec<u8>> {
+        use std::io::Write;
+        let header = Json::obj(vec![
+            ("cfg", self.cfg.to_json()),
+            ("norm_mean", Json::nums(self.norm_mean.iter().copied())),
+            ("norm_std", Json::nums(self.norm_std.iter().copied())),
+        ])
+        .to_string();
+        let mut out = Vec::new();
+        out.write_all(b"SAGEMDL1")?;
+        out.write_all(&(header.len() as u64).to_le_bytes())?;
+        out.write_all(header.as_bytes())?;
+        self.store.save(&mut out)?;
+        Ok(out)
     }
 
-    pub fn load_file(path: &std::path::Path) -> io::Result<SageModel> {
-        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    /// Crash-safe save: temp file + fsync + atomic rename, with a checksum
+    /// footer so a truncated or bit-flipped file is rejected at load.
+    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
+        sage_util::atomic_write_checksummed(path, &self.to_bytes()?)
+    }
+
+    /// Parse a model from raw payload bytes (footer already stripped).
+    pub fn from_bytes(payload: &[u8]) -> io::Result<SageModel> {
+        let mut r = payload;
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != b"SAGEMDL1" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad model magic",
+            ));
         }
         let mut u = [0u8; 8];
         r.read_exact(&mut u)?;
         let hlen = u64::from_le_bytes(u) as usize;
-        let mut hb = vec![0u8; hlen];
-        r.read_exact(&mut hb)?;
-        let (cfg, norm_mean, norm_std): (NetConfig, Vec<f64>, Vec<f64>) =
-            serde_json::from_slice(&hb).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let hb: Vec<u8>;
+        if hlen > r.len() {
+            // Some pre-checksum artefacts lost a byte inside the length
+            // field, shifting the stream left and making `hlen` nonsense.
+            // The header is JSON and the parameter block opens with its own
+            // magic, so the file is still recoverable: re-anchor on both.
+            let rest = payload.len() - r.len();
+            let json_at = payload[rest.saturating_sub(8)..]
+                .iter()
+                .position(|&b| b == b'[' || b == b'{')
+                .map(|i| rest.saturating_sub(8) + i)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "model header truncated")
+                })?;
+            let prm_at = payload
+                .windows(8)
+                .position(|w| w == b"SAGEPRM1")
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "model header truncated")
+                })?;
+            if json_at >= prm_at {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "model header truncated",
+                ));
+            }
+            hb = payload[json_at..prm_at].to_vec();
+            r = &payload[prm_at..];
+        } else {
+            let mut buf = vec![0u8; hlen];
+            r.read_exact(&mut buf)?;
+            hb = buf;
+        }
+        let text = std::str::from_utf8(&hb)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "model header not utf-8"))?;
+        let header = Json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Current headers are an object; pre-checksum files carried a
+        // serde_json tuple `[cfg, mean, std]`.
+        let (cfg, norm_mean, norm_std) = match &header {
+            Json::Obj(_) => (
+                header.get("cfg").and_then(NetConfig::from_json),
+                header.get("norm_mean").and_then(Json::to_f64_vec),
+                header.get("norm_std").and_then(Json::to_f64_vec),
+            ),
+            Json::Arr(parts) if parts.len() == 3 => (
+                NetConfig::from_json(&parts[0]),
+                parts[1].to_f64_vec(),
+                parts[2].to_f64_vec(),
+            ),
+            _ => (None, None, None),
+        };
+        let (cfg, norm_mean, norm_std) = match (cfg, norm_mean, norm_std) {
+            (Some(c), Some(m), Some(s)) => (c, m, s),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad model header",
+                ))
+            }
+        };
         let mut model = SageModel::new(cfg, norm_mean, norm_std, 0);
         model.store.load(&mut r)?;
         Ok(model)
+    }
+
+    pub fn load_file(path: &std::path::Path) -> io::Result<SageModel> {
+        match sage_util::read_checksummed(path) {
+            Ok(payload) => SageModel::from_bytes(&payload),
+            // Files written before the checksum footer existed (the seed's
+            // artefacts) have no footer; fall back to a raw read for those,
+            // but surface genuine corruption (length/CRC mismatch) as-is.
+            Err(e)
+                if e.kind() == io::ErrorKind::InvalidData
+                    && e.to_string().contains("missing checksum footer") =>
+            {
+                let mut raw = Vec::new();
+                std::fs::File::open(path)?.read_to_end(&mut raw)?;
+                SageModel::from_bytes(&raw)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -331,7 +511,11 @@ mod tests {
     fn policy_step_produces_valid_mixture() {
         let m = dummy_model(NetConfig::default());
         let mut g = Graph::new();
-        let x = g.input(Array::from_vec(2, m.cfg.input_dim(), vec![0.1; 2 * m.cfg.input_dim()]));
+        let x = g.input(Array::from_vec(
+            2,
+            m.cfg.input_dim(),
+            vec![0.1; 2 * m.cfg.input_dim()],
+        ));
         let h = m.policy.initial_hidden(&mut g, 2);
         let (nodes, h1) = m.policy.step(&mut g, &m.store, x, h);
         assert_eq!(g.value(h1).shape(), (2, m.cfg.gru));
@@ -343,9 +527,18 @@ mod tests {
     #[test]
     fn ablation_configs_build() {
         for cfg in [
-            NetConfig { gru: 0, ..NetConfig::default() },
-            NetConfig { enc2: 0, ..NetConfig::default() },
-            NetConfig { gmm_k: 1, ..NetConfig::default() },
+            NetConfig {
+                gru: 0,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                enc2: 0,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                gmm_k: 1,
+                ..NetConfig::default()
+            },
             NetConfig::default().with_mask(FeatureMask::NoMinMax),
             NetConfig::default().with_mask(FeatureMask::NoRttVar),
             NetConfig::default().with_mask(FeatureMask::NoLossInflight),
@@ -369,7 +562,11 @@ mod tests {
         let mut store = ParamStore::new();
         let critic = CriticNet::new(&mut store, "q", cfg, &mut rng);
         let mut g = Graph::new();
-        let s = g.input(Array::from_vec(2, cfg.input_dim(), vec![0.3; 2 * cfg.input_dim()]));
+        let s = g.input(Array::from_vec(
+            2,
+            cfg.input_dim(),
+            vec![0.3; 2 * cfg.input_dim()],
+        ));
         let a = g.input(Array::from_vec(2, 1, vec![0.0, 0.5]));
         let logits = critic.logits(&mut g, &store, s, a);
         let q = critic.expected_q(g.value(logits));
@@ -385,6 +582,21 @@ mod tests {
         assert_eq!(m2.cfg, m.cfg);
         assert_eq!(m2.store.get(0).data, m.store.get(0).data);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn recovers_legacy_file_with_dropped_length_byte() {
+        // Some seed artefacts lost one byte inside the u64 header-length
+        // field; the loader re-anchors on the JSON header and the SAGEPRM1
+        // parameter magic instead of giving up.
+        let m = dummy_model(NetConfig::default());
+        let mut bytes = m.to_bytes().unwrap();
+        assert_ne!(bytes[8], 0, "test needs a non-zero low length byte");
+        bytes.remove(8);
+        let m2 = SageModel::from_bytes(&bytes).unwrap();
+        assert_eq!(m2.cfg, m.cfg);
+        assert_eq!(m2.norm_mean, m.norm_mean);
+        assert_eq!(m2.store.get(0).data, m.store.get(0).data);
     }
 
     #[test]

@@ -33,7 +33,13 @@ pub struct OnlineRlTrainer {
 }
 
 impl OnlineRlTrainer {
-    pub fn new(cfg: CrrConfig, gr_cfg: GrConfig, norm_mean: Vec<f64>, norm_std: Vec<f64>, on_policy: bool) -> Self {
+    pub fn new(
+        cfg: CrrConfig,
+        gr_cfg: GrConfig,
+        norm_mean: Vec<f64>,
+        norm_std: Vec<f64>,
+        on_policy: bool,
+    ) -> Self {
         OnlineRlTrainer {
             trainer: CrrTrainer::with_norm(cfg, norm_mean, norm_std),
             replay: Pool::new(),
@@ -57,8 +63,19 @@ impl OnlineRlTrainer {
             let env = self.rng.choose(envs).clone();
             // Snapshot the current model for acting.
             let model = self.snapshot_model();
-            let cca = SagePolicy::new(Arc::new(model), self.gr_cfg, self.rng.next_u64(), ActionMode::Sample);
-            let res = rollout(&env, "online", Box::new(cca), self.gr_cfg, self.rng.next_u64());
+            let cca = SagePolicy::new(
+                Arc::new(model),
+                self.gr_cfg,
+                self.rng.next_u64(),
+                ActionMode::Sample,
+            );
+            let res = rollout(
+                &env,
+                "online",
+                Box::new(cca),
+                self.gr_cfg,
+                self.rng.next_u64(),
+            );
             self.replay.trajectories.push(res.traj);
             while self.replay.trajectories.len() > self.capacity {
                 self.replay.trajectories.remove(0);

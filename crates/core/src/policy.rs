@@ -40,7 +40,11 @@ pub struct SagePolicy {
 
 impl SagePolicy {
     pub fn new(model: Arc<SageModel>, gr_cfg: GrConfig, seed: u64, mode: ActionMode) -> Self {
-        let hidden_dim = if model.cfg.gru > 0 { model.cfg.gru } else { model.cfg.enc1 };
+        let hidden_dim = if model.cfg.gru > 0 {
+            model.cfg.gru
+        } else {
+            model.cfg.enc1
+        };
         SagePolicy {
             model,
             gr: GrUnit::new(gr_cfg, RewardParams::default()),
@@ -126,14 +130,32 @@ mod tests {
     use sage_transport::{FlowConfig, SimConfig, Simulation};
 
     fn tiny_model() -> Arc<SageModel> {
-        let cfg = NetConfig { enc1: 8, gru: 8, enc2: 8, fc: 8, residual_blocks: 1, critic_hidden: 8, ..NetConfig::default() };
-        Arc::new(SageModel::new(cfg, vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 3))
+        let cfg = NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 8,
+            ..NetConfig::default()
+        };
+        Arc::new(SageModel::new(
+            cfg,
+            vec![0.0; STATE_DIM],
+            vec![1.0; STATE_DIM],
+            3,
+        ))
     }
 
     #[test]
     fn untrained_policy_survives_a_simulation() {
         let model = tiny_model();
-        let cfg = SimConfig::new(LinkModel::Constant { mbps: 12.0 }, 100_000, 20.0, from_secs(3.0));
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            100_000,
+            20.0,
+            from_secs(3.0),
+        );
         let cca = SagePolicy::new(model, GrConfig::default(), 1, ActionMode::Sample);
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
         let stats = sim.run(&mut NullMonitor).remove(0);
@@ -146,7 +168,12 @@ mod tests {
     fn deterministic_mode_is_reproducible() {
         let model = tiny_model();
         let run = |model: Arc<SageModel>| {
-            let cfg = SimConfig::new(LinkModel::Constant { mbps: 12.0 }, 100_000, 20.0, from_secs(2.0));
+            let cfg = SimConfig::new(
+                LinkModel::Constant { mbps: 12.0 },
+                100_000,
+                20.0,
+                from_secs(2.0),
+            );
             let cca = SagePolicy::new(model, GrConfig::default(), 9, ActionMode::Deterministic);
             let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
             sim.run(&mut NullMonitor).remove(0).delivered_bytes

@@ -29,7 +29,12 @@ fn tiny(mask: FeatureMask, gru: usize, gmm_k: usize) -> NetConfig {
 }
 
 fn deploy(model: Arc<SageModel>) -> u64 {
-    let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, 240_000, 40.0, from_secs(3.0));
+    let cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 24.0 },
+        240_000,
+        40.0,
+        from_secs(3.0),
+    );
     let cca = SagePolicy::new(model, GrConfig::default(), 3, ActionMode::Sample);
     let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
     sim.run(&mut NullMonitor).remove(0).delivered_bytes
@@ -45,20 +50,42 @@ fn every_ablated_architecture_deploys() {
         (FeatureMask::Full, 0, 3), // no GRU
         (FeatureMask::Full, 8, 1), // no GMM
     ] {
-        let model = Arc::new(SageModel::new(tiny(mask, gru, k), vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 5));
-        assert!(deploy(model) > 0, "ablation {mask:?} gru={gru} k={k} failed to move data");
+        let model = Arc::new(SageModel::new(
+            tiny(mask, gru, k),
+            vec![0.0; STATE_DIM],
+            vec![1.0; STATE_DIM],
+            5,
+        ));
+        assert!(
+            deploy(model) > 0,
+            "ablation {mask:?} gru={gru} k={k} failed to move data"
+        );
     }
 }
 
 #[test]
 fn hybrid_policy_deploys_and_respects_cubic_scale() {
-    let model = Arc::new(SageModel::new(tiny(FeatureMask::Full, 8, 3), vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 5));
-    let cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, 240_000, 40.0, from_secs(5.0));
+    let model = Arc::new(SageModel::new(
+        tiny(FeatureMask::Full, 8, 3),
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        5,
+    ));
+    let cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 24.0 },
+        240_000,
+        40.0,
+        from_secs(5.0),
+    );
     let cca = HybridPolicy::new(model, GrConfig::default(), 3, ActionMode::Deterministic);
     let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
     let stats = sim.run(&mut NullMonitor).remove(0);
     // Untrained multiplier stays near 1: behaves roughly like Cubic alone.
-    assert!(stats.avg_goodput_mbps > 12.0, "hybrid thr {}", stats.avg_goodput_mbps);
+    assert!(
+        stats.avg_goodput_mbps > 12.0,
+        "hybrid thr {}",
+        stats.avg_goodput_mbps
+    );
 }
 
 /// Build a synthetic "always grow 5%" expert pool and verify BC clones it.
@@ -106,7 +133,12 @@ fn bc_clones_a_consistent_expert() {
     for i in 1..100u64 {
         cca.on_tick(i * 10_000_000, &view);
     }
-    assert!(cca.cwnd_pkts() > w0 * 2.0, "cloned 5%-growth expert should grow: {} -> {}", w0, cca.cwnd_pkts());
+    assert!(
+        cca.cwnd_pkts() > w0 * 2.0,
+        "cloned 5%-growth expert should grow: {} -> {}",
+        w0,
+        cca.cwnd_pkts()
+    );
 }
 
 fn dummy_view(cwnd: f64) -> sage_transport::SocketView {

@@ -17,9 +17,12 @@ pub struct LeagueEntry {
 
 /// Rank schemes by winning rate. `margin` is the winner tolerance (0.10 for
 /// the default 10% rule, 0.05 for Appendix D.2's tighter margin).
+/// Scores contending in one (environment, interval) cell.
+type CellEntries = Vec<(String, f64, ScoreKind)>;
+
 pub fn rank_league(scores: &[RunScore], margin: f64) -> Vec<LeagueEntry> {
     // env -> interval -> (scheme, score, kind)
-    let mut cells: BTreeMap<(String, usize), Vec<(String, f64, ScoreKind)>> = BTreeMap::new();
+    let mut cells: BTreeMap<(String, usize), CellEntries> = BTreeMap::new();
     for rs in scores {
         for (i, &s) in rs.intervals.iter().enumerate() {
             cells
@@ -34,7 +37,10 @@ pub fn rank_league(scores: &[RunScore], margin: f64) -> Vec<LeagueEntry> {
         let kind = entries[0].2;
         let winners: Vec<&String> = match kind {
             ScoreKind::Power => {
-                let best = entries.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max);
+                let best = entries
+                    .iter()
+                    .map(|e| e.1)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 entries
                     .iter()
                     .filter(|e| e.1 >= best * (1.0 - margin) && best > 0.0)
@@ -47,7 +53,11 @@ pub fn rank_league(scores: &[RunScore], margin: f64) -> Vec<LeagueEntry> {
                 // small absolute tolerance so a perfect 0.0 does not make the
                 // margin empty.
                 let tol = best * (1.0 + margin) + 0.05;
-                entries.iter().filter(|e| e.1 <= tol).map(|e| &e.0).collect()
+                entries
+                    .iter()
+                    .filter(|e| e.1 <= tol)
+                    .map(|e| &e.0)
+                    .collect()
             }
         };
         for (scheme, _, _) in entries {
@@ -78,7 +88,12 @@ mod tests {
     use super::*;
 
     fn rs(scheme: &str, env: &str, kind: ScoreKind, intervals: Vec<f64>) -> RunScore {
-        RunScore { scheme: scheme.into(), env_id: env.into(), kind, intervals }
+        RunScore {
+            scheme: scheme.into(),
+            env_id: env.into(),
+            kind,
+            intervals,
+        }
     }
 
     #[test]

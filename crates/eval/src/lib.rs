@@ -5,10 +5,12 @@
 pub mod league;
 pub mod runner;
 pub mod score;
+pub mod set3;
 pub mod similarity;
 pub mod tsne;
 
 pub use league::{rank_league, LeagueEntry};
 pub use runner::{run_contenders, Contender, RunRecord};
 pub use score::{interval_scores, RunScore, ScoreKind};
+pub use set3::{run_set3, scenario_grid, summarise, FaultScenario, Set3Entry, Set3Summary};
 pub use similarity::{cosine_distance, cosine_similarity, transition_vectors, DistanceIndex};

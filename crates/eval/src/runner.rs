@@ -18,9 +18,17 @@ pub enum Contender {
     /// A heuristic from `sage-heuristics` by name.
     Heuristic(&'static str),
     /// A learned model deployed through the Execution block.
-    Model { name: &'static str, model: Arc<SageModel>, gr_cfg: GrConfig },
+    Model {
+        name: &'static str,
+        model: Arc<SageModel>,
+        gr_cfg: GrConfig,
+    },
     /// An Orca-like hybrid (Cubic x learned multiplier).
-    Hybrid { name: &'static str, model: Arc<SageModel>, gr_cfg: GrConfig },
+    Hybrid {
+        name: &'static str,
+        model: Arc<SageModel>,
+        gr_cfg: GrConfig,
+    },
     /// The BDP oracle (Indigo's teacher).
     Oracle,
 }
@@ -39,11 +47,19 @@ impl Contender {
     pub fn build(&self, env: &EnvSpec, seed: u64) -> Box<dyn CongestionControl> {
         match self {
             Contender::Heuristic(n) => build(n, seed).unwrap_or_else(|| panic!("unknown {n}")),
-            Contender::Model { name, model, gr_cfg } => Box::new(
+            Contender::Model {
+                name,
+                model,
+                gr_cfg,
+            } => Box::new(
                 SagePolicy::new(model.clone(), *gr_cfg, seed, ActionMode::Deterministic)
                     .with_name(name),
             ),
-            Contender::Hybrid { name, model, gr_cfg } => Box::new(
+            Contender::Hybrid {
+                name,
+                model,
+                gr_cfg,
+            } => Box::new(
                 HybridPolicy::new(model.clone(), *gr_cfg, seed, ActionMode::Deterministic)
                     .with_name(name),
             ),
@@ -83,7 +99,13 @@ pub fn run_contenders(
                 SetKind::SetI => ScoreKind::Power,
                 SetKind::SetII => ScoreKind::Friendliness,
             };
-            let intervals = interval_scores(&res.traj.thr, &res.traj.owd, kind, alpha, env.fair_share_bps());
+            let intervals = interval_scores(
+                &res.traj.thr,
+                &res.traj.owd,
+                kind,
+                alpha,
+                env.fair_share_bps(),
+            );
             out.push(RunRecord {
                 scheme: c.name().to_string(),
                 env_id: env.id.clone(),

@@ -45,8 +45,7 @@ pub fn interval_scores(
     for k in 0..INTERVALS {
         let lo = k * n / INTERVALS;
         let hi = ((k + 1) * n / INTERVALS).max(lo + 1).min(n);
-        let thr: f64 =
-            thr_bps[lo..hi].iter().map(|&x| x as f64).sum::<f64>() / (hi - lo) as f64;
+        let thr: f64 = thr_bps[lo..hi].iter().map(|&x| x as f64).sum::<f64>() / (hi - lo) as f64;
         let delays: Vec<f64> = owd_s[lo..hi]
             .iter()
             .filter(|&&d| d > 0.0)
@@ -91,8 +90,8 @@ mod tests {
     #[test]
     fn power_penalises_delay_linearly() {
         let thr = vec![24e6f32; 40];
-        let fast = interval_scores(&thr, &vec![0.02f32; 40], ScoreKind::Power, 2.0, 0.0);
-        let slow = interval_scores(&thr, &vec![0.04f32; 40], ScoreKind::Power, 2.0, 0.0);
+        let fast = interval_scores(&thr, &[0.02f32; 40], ScoreKind::Power, 2.0, 0.0);
+        let slow = interval_scores(&thr, &[0.04f32; 40], ScoreKind::Power, 2.0, 0.0);
         assert!((fast[0] / slow[0] - 2.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,354 @@
+//! Set III: the adversarial evaluation suite.
+//!
+//! Set I measures throughput/delay and Set II TCP-friendliness — both over
+//! clean links. Set III asks the robustness question instead: what happens
+//! to each scheme when the network misbehaves? Every contender runs through
+//! a grid of fault scenarios (burst loss, corruption, reordering,
+//! duplication, blackouts, link flaps, jitter spikes, ACK compression) and
+//! is scored on survival and on degradation relative to its own clean-link
+//! baseline, so schemes are compared on *robustness*, not raw speed.
+
+use crate::runner::Contender;
+use sage_collector::{rollout, EnvSpec, SetKind};
+use sage_gr::GrConfig;
+use sage_netsim::aqm::AqmKind;
+use sage_netsim::faults::{FaultPlan, FlapPlan, GilbertElliott};
+use sage_netsim::link::LinkModel;
+use sage_netsim::time::{from_secs, MILLIS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One named fault configuration of the Set III grid.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    pub id: &'static str,
+    pub plan: FaultPlan,
+}
+
+/// The scenario identifier of the clean baseline every degradation is
+/// measured against.
+pub const CLEAN: &str = "clean";
+
+/// The Set III fault-scenario grid. The first entry is always the clean
+/// baseline.
+pub fn scenario_grid() -> Vec<FaultScenario> {
+    vec![
+        FaultScenario {
+            id: CLEAN,
+            plan: FaultPlan::none(),
+        },
+        FaultScenario {
+            id: "burst-mild",
+            plan: FaultPlan {
+                burst_loss: Some(GilbertElliott::mild()),
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "burst-harsh",
+            plan: FaultPlan {
+                burst_loss: Some(GilbertElliott::harsh()),
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "corrupt",
+            plan: FaultPlan {
+                corrupt_prob: 0.01,
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "reorder",
+            plan: FaultPlan {
+                reorder_prob: 0.02,
+                reorder_delay_min: 2 * MILLIS,
+                reorder_delay_max: 12 * MILLIS,
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "duplicate",
+            plan: FaultPlan {
+                duplicate_prob: 0.02,
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "blackout",
+            plan: FaultPlan {
+                blackouts: vec![(from_secs(3.0), from_secs(4.0))],
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "flaps",
+            plan: FaultPlan {
+                flaps: Some(FlapPlan {
+                    up_mean_s: 1.5,
+                    down_mean_s: 0.1,
+                }),
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "jitter",
+            plan: FaultPlan {
+                jitter_spike_prob: 0.01,
+                jitter_spike_max: 30 * MILLIS,
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "ack-compress",
+            plan: FaultPlan {
+                ack_compression: 2 * MILLIS,
+                ..FaultPlan::default()
+            },
+        },
+        FaultScenario {
+            id: "kitchen-sink",
+            plan: FaultPlan {
+                burst_loss: Some(GilbertElliott::mild()),
+                corrupt_prob: 0.002,
+                reorder_prob: 0.01,
+                reorder_delay_min: 2 * MILLIS,
+                reorder_delay_max: 10 * MILLIS,
+                duplicate_prob: 0.005,
+                flaps: Some(FlapPlan {
+                    up_mean_s: 3.0,
+                    down_mean_s: 0.08,
+                }),
+                jitter_spike_prob: 0.005,
+                jitter_spike_max: 20 * MILLIS,
+                ack_compression: MILLIS,
+                ..FaultPlan::default()
+            },
+        },
+    ]
+}
+
+/// The Set III bottleneck: one mid-grid environment (48 Mbit/s, 40 ms,
+/// 2 x BDP) with the scenario's fault plan attached.
+pub fn set3_env(scenario: &FaultScenario, duration_secs: f64) -> EnvSpec {
+    let mbps = 48.0;
+    let rtt_ms = 40.0;
+    let bdp = (mbps * 1e6 / 8.0 * rtt_ms / 1e3) as u64;
+    EnvSpec {
+        id: format!("s3-{}", scenario.id),
+        set: SetKind::SetI,
+        link: LinkModel::Constant { mbps },
+        rtt_ms,
+        buffer_bytes: bdp * 2,
+        aqm: AqmKind::TailDrop,
+        random_loss: 0.0,
+        duration: from_secs(duration_secs),
+        competing_cubic: 0,
+        test_flow_start: 0,
+        capacity_mbps: mbps,
+        seed: 3,
+        faults: scenario.plan.clone(),
+    }
+}
+
+/// One contender x scenario result of the adversarial grid.
+#[derive(Debug, Clone)]
+pub struct Set3Entry {
+    pub scheme: String,
+    pub scenario: &'static str,
+    /// The run finished without panicking and delivered at least one packet.
+    pub survived: bool,
+    pub goodput_mbps: f64,
+    pub avg_owd_ms: f64,
+    /// Goodput drop vs the scheme's own clean baseline, percent (0 = none).
+    pub degradation_pct: f64,
+    /// Delay inflation vs the clean baseline (1.0 = unchanged).
+    pub delay_inflation: f64,
+    /// Retransmitted fraction of all transmissions, percent.
+    pub retx_overhead_pct: f64,
+    /// Abort-and-restart events of the flow under test.
+    pub restarts: u64,
+    pub lost_pkts: u64,
+}
+
+/// Run every contender through the full scenario grid. Returns one entry per
+/// contender x scenario (the clean baseline included, with 0 degradation).
+/// A contender that panics inside a scenario is recorded as not surviving
+/// rather than aborting the suite.
+pub fn run_set3(
+    contenders: &[Contender],
+    scenarios: &[FaultScenario],
+    duration_secs: f64,
+    seed: u64,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<Set3Entry> {
+    let total = contenders.len() * scenarios.len();
+    let mut out = Vec::with_capacity(total);
+    let mut done = 0;
+    for c in contenders {
+        let mut clean_goodput = f64::NAN;
+        let mut clean_owd = f64::NAN;
+        for sc in scenarios {
+            let env = set3_env(sc, duration_secs);
+            let name = c.name();
+            let gr = gr_of(c);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let cca = c.build(&env, seed);
+                rollout(&env, name, cca, gr, seed)
+            }));
+            let entry = match run {
+                Ok(res) => {
+                    let s = &res.stats;
+                    if sc.id == CLEAN {
+                        clean_goodput = s.avg_goodput_mbps;
+                        clean_owd = s.avg_owd_ms;
+                    }
+                    let degradation_pct = if clean_goodput > 0.0 {
+                        ((clean_goodput - s.avg_goodput_mbps) / clean_goodput * 100.0).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    let delay_inflation = if clean_owd > 0.0 && s.avg_owd_ms > 0.0 {
+                        s.avg_owd_ms / clean_owd
+                    } else {
+                        1.0
+                    };
+                    let transmissions = s.sent_pkts + s.retx_pkts;
+                    Set3Entry {
+                        scheme: name.to_string(),
+                        scenario: sc.id,
+                        survived: s.delivered_bytes > 0,
+                        goodput_mbps: s.avg_goodput_mbps,
+                        avg_owd_ms: s.avg_owd_ms,
+                        degradation_pct,
+                        delay_inflation,
+                        retx_overhead_pct: if transmissions > 0 {
+                            s.retx_pkts as f64 / transmissions as f64 * 100.0
+                        } else {
+                            0.0
+                        },
+                        restarts: s.restarts,
+                        lost_pkts: s.lost_pkts,
+                    }
+                }
+                Err(_) => Set3Entry {
+                    scheme: name.to_string(),
+                    scenario: sc.id,
+                    survived: false,
+                    goodput_mbps: 0.0,
+                    avg_owd_ms: 0.0,
+                    degradation_pct: 100.0,
+                    delay_inflation: 1.0,
+                    retx_overhead_pct: 0.0,
+                    restarts: 0,
+                    lost_pkts: 0,
+                },
+            };
+            out.push(entry);
+            done += 1;
+            progress(done, total);
+        }
+    }
+    out
+}
+
+fn gr_of(c: &Contender) -> GrConfig {
+    match c {
+        Contender::Model { gr_cfg, .. } | Contender::Hybrid { gr_cfg, .. } => *gr_cfg,
+        _ => GrConfig::default(),
+    }
+}
+
+/// Per-scheme summary over the fault scenarios (clean excluded): survival
+/// count, worst-case and mean degradation.
+#[derive(Debug, Clone)]
+pub struct Set3Summary {
+    pub scheme: String,
+    pub scenarios: usize,
+    pub survived: usize,
+    pub mean_degradation_pct: f64,
+    pub worst_degradation_pct: f64,
+    pub mean_retx_overhead_pct: f64,
+    pub restarts: u64,
+}
+
+/// Summarise entries into one row per scheme, sorted by mean degradation
+/// (most robust first).
+pub fn summarise(entries: &[Set3Entry]) -> Vec<Set3Summary> {
+    let mut schemes: Vec<String> = entries.iter().map(|e| e.scheme.clone()).collect();
+    schemes.sort();
+    schemes.dedup();
+    let mut out: Vec<Set3Summary> = schemes
+        .into_iter()
+        .map(|scheme| {
+            let faulty: Vec<&Set3Entry> = entries
+                .iter()
+                .filter(|e| e.scheme == scheme && e.scenario != CLEAN)
+                .collect();
+            let n = faulty.len().max(1) as f64;
+            Set3Summary {
+                scenarios: faulty.len(),
+                survived: faulty.iter().filter(|e| e.survived).count(),
+                mean_degradation_pct: faulty.iter().map(|e| e.degradation_pct).sum::<f64>() / n,
+                worst_degradation_pct: faulty.iter().map(|e| e.degradation_pct).fold(0.0, f64::max),
+                mean_retx_overhead_pct: faulty.iter().map(|e| e.retx_overhead_pct).sum::<f64>() / n,
+                restarts: faulty.iter().map(|e| e.restarts).sum(),
+                scheme,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.survived
+            .cmp(&a.survived)
+            .then(a.mean_degradation_pct.total_cmp(&b.mean_degradation_pct))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_clean_baseline_first_and_unique_ids() {
+        let g = scenario_grid();
+        assert_eq!(g[0].id, CLEAN);
+        assert!(g[0].plan.is_none());
+        assert!(g.len() >= 10, "grid should cover the fault families");
+        let mut ids: Vec<&str> = g.iter().map(|s| s.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(g.iter().skip(1).all(|s| !s.plan.is_none()));
+    }
+
+    #[test]
+    fn set3_runs_heuristics_through_faults() {
+        // A small slice of the grid to keep the test fast: clean + two
+        // fault scenarios, two schemes.
+        let scenarios: Vec<FaultScenario> = scenario_grid()
+            .into_iter()
+            .filter(|s| matches!(s.id, CLEAN | "burst-mild" | "blackout"))
+            .collect();
+        let contenders = vec![Contender::Heuristic("cubic"), Contender::Heuristic("vegas")];
+        let entries = run_set3(&contenders, &scenarios, 6.0, 3, |_, _| {});
+        assert_eq!(entries.len(), 6);
+        assert!(
+            entries.iter().all(|e| e.survived),
+            "all schemes must survive: {entries:?}"
+        );
+        // Clean baselines carry zero degradation by construction.
+        for e in entries.iter().filter(|e| e.scenario == CLEAN) {
+            assert_eq!(e.degradation_pct, 0.0);
+            assert!(e.goodput_mbps > 1.0, "{e:?}");
+        }
+        // A one-second blackout in a six-second run must cost throughput.
+        for e in entries.iter().filter(|e| e.scenario == "blackout") {
+            assert!(e.degradation_pct > 5.0, "blackout barely hurt {e:?}");
+        }
+        let summary = summarise(&entries);
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].scenarios, 2);
+        assert_eq!(summary[0].survived, 2);
+    }
+}

@@ -80,7 +80,10 @@ impl DistanceIndex {
 
     /// Distance of every transition of a trajectory.
     pub fn distances(&self, t: &Trajectory) -> Vec<f64> {
-        transition_vectors(t).iter().map(|u| self.distance(u)).collect()
+        transition_vectors(t)
+            .iter()
+            .map(|u| self.distance(u))
+            .collect()
     }
 }
 
@@ -94,7 +97,10 @@ pub fn similarity_index(a: &Trajectory, b: &Trajectory) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|i| cosine_similarity(&ua[i], &ub[i])).sum::<f64>() / n as f64
+    (0..n)
+        .map(|i| cosine_similarity(&ua[i], &ub[i]))
+        .sum::<f64>()
+        / n as f64
 }
 
 #[cfg(test)]

@@ -15,7 +15,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        TsneConfig { perplexity: 20.0, iterations: 400, learning_rate: 100.0, seed: 1 }
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            seed: 1,
+        }
     }
 }
 
@@ -69,7 +74,11 @@ pub fn tsne(points: &[Vec<f64>], cfg: TsneConfig) -> Vec<(f64, f64)> {
             }
             if h > target_h {
                 lo = beta;
-                beta = if hi < 1e19 { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi < 1e19 {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -158,7 +167,11 @@ mod tests {
                 labels.push(ci);
             }
         }
-        let cfg = TsneConfig { perplexity: 10.0, iterations: 300, ..Default::default() };
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 300,
+            ..Default::default()
+        };
         let y = tsne(&points, cfg);
         // Mean intra-cluster distance must be far below inter-cluster.
         let mut intra = (0.0, 0usize);
@@ -186,6 +199,9 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(tsne(&[], TsneConfig::default()).is_empty());
-        assert_eq!(tsne(&[vec![1.0, 2.0]], TsneConfig::default()), vec![(0.0, 0.0)]);
+        assert_eq!(
+            tsne(&[vec![1.0, 2.0]], TsneConfig::default()),
+            vec![(0.0, 0.0)]
+        );
     }
 }

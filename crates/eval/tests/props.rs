@@ -1,52 +1,70 @@
-//! Property-based tests for scores, leagues and similarity metrics.
+//! Property-style tests for scores, leagues and similarity metrics, driven
+//! by the workspace's own deterministic RNG (no external property-testing
+//! framework: the build must work offline).
 
-use proptest::prelude::*;
 use sage_eval::league::rank_league;
 use sage_eval::score::{interval_scores, RunScore, ScoreKind, INTERVALS};
 use sage_eval::similarity::{cosine_distance, cosine_similarity};
+use sage_util::Rng;
 
-proptest! {
-    #[test]
-    fn cosine_similarity_bounded(
-        u in prop::collection::vec(-10.0f64..10.0, 5),
-        v in prop::collection::vec(-10.0f64..10.0, 5),
-    ) {
+#[test]
+fn cosine_similarity_bounded() {
+    let mut rng = Rng::new(0xEE77);
+    for _ in 0..200 {
+        let u: Vec<f64> = (0..5).map(|_| rng.range(-10.0, 10.0)).collect();
+        let v: Vec<f64> = (0..5).map(|_| rng.range(-10.0, 10.0)).collect();
         let s = cosine_similarity(&u, &v);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
         let d = cosine_distance(&u, &v);
-        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d));
+        assert!((-1e-9..=2.0 + 1e-9).contains(&d));
     }
+}
 
-    #[test]
-    fn league_rates_bounded_and_cells_consistent(
-        scores in prop::collection::vec(0.1f64..100.0, 8),
-    ) {
+#[test]
+fn league_rates_bounded_and_cells_consistent() {
+    let mut rng = Rng::new(0xFF88);
+    for _ in 0..200 {
         // Two schemes, one env, four intervals each.
+        let scores: Vec<f64> = (0..8).map(|_| rng.range(0.1, 100.0)).collect();
         let rs = vec![
-            RunScore { scheme: "a".into(), env_id: "e".into(), kind: ScoreKind::Power, intervals: scores[..4].to_vec() },
-            RunScore { scheme: "b".into(), env_id: "e".into(), kind: ScoreKind::Power, intervals: scores[4..].to_vec() },
+            RunScore {
+                scheme: "a".into(),
+                env_id: "e".into(),
+                kind: ScoreKind::Power,
+                intervals: scores[..4].to_vec(),
+            },
+            RunScore {
+                scheme: "b".into(),
+                env_id: "e".into(),
+                kind: ScoreKind::Power,
+                intervals: scores[4..].to_vec(),
+            },
         ];
         let t = rank_league(&rs, 0.10);
-        prop_assert_eq!(t.len(), 2);
+        assert_eq!(t.len(), 2);
         for e in &t {
-            prop_assert!((0.0..=1.0).contains(&e.winning_rate));
-            prop_assert_eq!(e.cells, 4);
+            assert!((0.0..=1.0).contains(&e.winning_rate));
+            assert_eq!(e.cells, 4);
         }
         // Every interval has at least one winner.
         let total_wins: usize = t.iter().map(|e| e.wins).sum();
-        prop_assert!(total_wins >= 4);
+        assert!(total_wins >= 4);
     }
+}
 
-    #[test]
-    fn interval_scores_nonnegative(
-        thr in prop::collection::vec(0.0f32..2e8, 4..200),
-        owd in prop::collection::vec(0.0f32..0.5, 4..200),
-    ) {
+#[test]
+fn interval_scores_nonnegative() {
+    let mut rng = Rng::new(0x1099);
+    for _ in 0..100 {
+        let nt = 4 + rng.below(196);
+        let no = 4 + rng.below(196);
+        let thr: Vec<f32> = (0..nt).map(|_| rng.range(0.0, 2e8) as f32).collect();
+        let owd: Vec<f32> = (0..no).map(|_| rng.range(0.0, 0.5) as f32).collect();
         let n = thr.len().min(owd.len());
         let s = interval_scores(&thr[..n], &owd[..n], ScoreKind::Power, 2.0, 0.0);
-        prop_assert_eq!(s.len(), INTERVALS);
-        prop_assert!(s.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        assert_eq!(s.len(), INTERVALS);
+        assert!(s.iter().all(|&x| x >= 0.0 && x.is_finite()));
         let f = interval_scores(&thr[..n], &owd[..n], ScoreKind::Friendliness, 2.0, 12e6);
-        prop_assert!(f.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        assert!(f.iter().all(|&x| x >= 0.0 && x.is_finite()));
     }
 }

@@ -22,21 +22,35 @@ pub struct RewardParams {
 
 impl Default for RewardParams {
     fn default() -> Self {
-        RewardParams { xi: 2.0, kappa: 2.0, rate_scale: 1.0e8 }
+        RewardParams {
+            xi: 2.0,
+            kappa: 2.0,
+            rate_scale: 1.0e8,
+        }
     }
 }
 
 impl RewardParams {
     /// Normalise by a known link capacity (the collector's usual setting).
     pub fn for_capacity(mbps: f64) -> Self {
-        RewardParams { xi: 2.0, kappa: 2.0, rate_scale: mbps * 1e6 }
+        RewardParams {
+            xi: 2.0,
+            kappa: 2.0,
+            rate_scale: mbps * 1e6,
+        }
     }
 }
 
 /// Eq. 1: `R1 = (r - xi*l)^kappa / d`, with `r` and `l` normalised by
 /// `rate_scale` and `d` by the minimum RTT. Clamped to [0, ...] so a heavily
 /// lossy interval cannot produce a complex/negative power.
-pub fn reward_power(p: &RewardParams, delivery_bps: f64, loss_bps: f64, mean_owd_s: f64, min_rtt_s: f64) -> f64 {
+pub fn reward_power(
+    p: &RewardParams,
+    delivery_bps: f64,
+    loss_bps: f64,
+    mean_owd_s: f64,
+    min_rtt_s: f64,
+) -> f64 {
     let r = delivery_bps / p.rate_scale;
     let l = loss_bps / p.rate_scale;
     let base = (r - p.xi * l).max(0.0);

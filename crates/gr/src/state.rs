@@ -9,27 +9,74 @@ pub const STATE_DIM: usize = 69;
 
 /// Human-readable names of the 69 inputs, in Table 1 order (index 0 = row 1).
 pub const STATE_NAMES: [&str; STATE_DIM] = [
-    "srtt", "rttvar", "thr", "ca_state",
-    "rtt_s.avg", "rtt_s.min", "rtt_s.max",
-    "rtt_m.avg", "rtt_m.min", "rtt_m.max",
-    "rtt_l.avg", "rtt_l.min", "rtt_l.max",
-    "thr_s.avg", "thr_s.min", "thr_s.max",
-    "thr_m.avg", "thr_m.min", "thr_m.max",
-    "thr_l.avg", "thr_l.min", "thr_l.max",
-    "rtt_rate_s.avg", "rtt_rate_s.min", "rtt_rate_s.max",
-    "rtt_rate_m.avg", "rtt_rate_m.min", "rtt_rate_m.max",
-    "rtt_rate_l.avg", "rtt_rate_l.min", "rtt_rate_l.max",
-    "rtt_var_s.avg", "rtt_var_s.min", "rtt_var_s.max",
-    "rtt_var_m.avg", "rtt_var_m.min", "rtt_var_m.max",
-    "rtt_var_l.avg", "rtt_var_l.min", "rtt_var_l.max",
-    "inflight_s.avg", "inflight_s.min", "inflight_s.max",
-    "inflight_m.avg", "inflight_m.min", "inflight_m.max",
-    "inflight_l.avg", "inflight_l.min", "inflight_l.max",
-    "lost_s.avg", "lost_s.min", "lost_s.max",
-    "lost_m.avg", "lost_m.min", "lost_m.max",
-    "lost_l.avg", "lost_l.min", "lost_l.max",
-    "time_delta", "rtt_rate", "loss_db", "acked_rate", "dr_ratio",
-    "bdp_cwnd", "dr", "cwnd_unacked_rate", "dr_max", "dr_max_ratio",
+    "srtt",
+    "rttvar",
+    "thr",
+    "ca_state",
+    "rtt_s.avg",
+    "rtt_s.min",
+    "rtt_s.max",
+    "rtt_m.avg",
+    "rtt_m.min",
+    "rtt_m.max",
+    "rtt_l.avg",
+    "rtt_l.min",
+    "rtt_l.max",
+    "thr_s.avg",
+    "thr_s.min",
+    "thr_s.max",
+    "thr_m.avg",
+    "thr_m.min",
+    "thr_m.max",
+    "thr_l.avg",
+    "thr_l.min",
+    "thr_l.max",
+    "rtt_rate_s.avg",
+    "rtt_rate_s.min",
+    "rtt_rate_s.max",
+    "rtt_rate_m.avg",
+    "rtt_rate_m.min",
+    "rtt_rate_m.max",
+    "rtt_rate_l.avg",
+    "rtt_rate_l.min",
+    "rtt_rate_l.max",
+    "rtt_var_s.avg",
+    "rtt_var_s.min",
+    "rtt_var_s.max",
+    "rtt_var_m.avg",
+    "rtt_var_m.min",
+    "rtt_var_m.max",
+    "rtt_var_l.avg",
+    "rtt_var_l.min",
+    "rtt_var_l.max",
+    "inflight_s.avg",
+    "inflight_s.min",
+    "inflight_s.max",
+    "inflight_m.avg",
+    "inflight_m.min",
+    "inflight_m.max",
+    "inflight_l.avg",
+    "inflight_l.min",
+    "inflight_l.max",
+    "lost_s.avg",
+    "lost_s.min",
+    "lost_s.max",
+    "lost_m.avg",
+    "lost_m.min",
+    "lost_m.max",
+    "lost_l.avg",
+    "lost_l.min",
+    "lost_l.max",
+    "time_delta",
+    "rtt_rate",
+    "loss_db",
+    "acked_rate",
+    "dr_ratio",
+    "bdp_cwnd",
+    "dr",
+    "cwnd_unacked_rate",
+    "dr_max",
+    "dr_max_ratio",
     "pre_act",
 ];
 
@@ -50,14 +97,22 @@ pub struct GrConfig {
 impl Default for GrConfig {
     /// The paper's §7.4 default mix: Small=10, Medium=200, Large=1000 ticks.
     fn default() -> Self {
-        GrConfig { small: 10, medium: 200, large: 1000 }
+        GrConfig {
+            small: 10,
+            medium: 200,
+            large: 1000,
+        }
     }
 }
 
 impl GrConfig {
     /// Uniform granularity (for the Sage-s/m/l study of Fig. 14/16).
     pub fn uniform(n: usize) -> Self {
-        GrConfig { small: n, medium: n, large: n }
+        GrConfig {
+            small: n,
+            medium: n,
+            large: n,
+        }
     }
 }
 
@@ -185,11 +240,17 @@ impl GrUnit {
         self.lost_w.emit(&mut s);
         // Rows 59-69: instantaneous derived signals.
         let dt = (view.now.saturating_sub(self.prev_time)) as f64 / 1e9;
-        let time_delta = if view.min_rtt > 0.0 { dt / view.min_rtt } else { 0.0 };
+        let time_delta = if view.min_rtt > 0.0 {
+            dt / view.min_rtt
+        } else {
+            0.0
+        };
         s.push(time_delta.min(100.0)); // 59 time_delta
         s.push(rtt_rate); // 60 rtt_rate
         s.push(lost_bytes / dt.max(1e-9) / RATE_SCALE * 8.0 * BYTES_SCALE); // 61 loss_db (bit/s scaled)
-        let acked_delta = view.delivered_bytes_total.saturating_sub(self.prev_delivered_bytes);
+        let acked_delta = view
+            .delivered_bytes_total
+            .saturating_sub(self.prev_delivered_bytes);
         let acked_rate = acked_delta as f64 * 8.0 / dt.max(1e-9) / RATE_SCALE;
         s.push(acked_rate); // 62 acked_rate
         let dr_ratio = if self.prev_dr > 0.0 && view.delivery_rate_bps > 0.0 {
@@ -199,7 +260,11 @@ impl GrUnit {
         };
         s.push(dr_ratio.min(100.0)); // 63 dr_ratio
         let bdp = view.bdp_pkts();
-        let bdp_cwnd = if view.cwnd_pkts > 0.0 { bdp / view.cwnd_pkts } else { 0.0 };
+        let bdp_cwnd = if view.cwnd_pkts > 0.0 {
+            bdp / view.cwnd_pkts
+        } else {
+            0.0
+        };
         s.push(bdp_cwnd.min(100.0)); // 64 bdp_cwnd
         s.push(view.delivery_rate_bps / RATE_SCALE); // 65 dr
         let unacked_rate = if view.sent_bytes_total > 0 {
@@ -225,8 +290,13 @@ impl GrUnit {
         } else {
             1.0
         };
-        let r1 = crate::reward::reward_power(&self.reward, tick.goodput_bps,
-            tick.lost_bytes_delta as f64 * 8.0 / dt.max(1e-9), tick.mean_owd, view.min_rtt);
+        let r1 = crate::reward::reward_power(
+            &self.reward,
+            tick.goodput_bps,
+            tick.lost_bytes_delta as f64 * 8.0 / dt.max(1e-9),
+            tick.mean_owd,
+            view.min_rtt,
+        );
 
         self.prev_cwnd = tick.cwnd_pkts;
         self.prev_action = action;
@@ -236,7 +306,12 @@ impl GrUnit {
         self.prev_delivered_bytes = view.delivered_bytes_total;
         self.prev_dr_max = view.max_delivery_rate_bps;
 
-        GrStep { state: s, action, reward_power: r1, delivery_bps: tick.goodput_bps }
+        GrStep {
+            state: s,
+            action,
+            reward_power: r1,
+            delivery_bps: tick.goodput_bps,
+        }
     }
 }
 
@@ -310,7 +385,14 @@ mod tests {
 
     #[test]
     fn windows_track_signal_changes() {
-        let mut gr = GrUnit::new(GrConfig { small: 2, medium: 4, large: 8 }, RewardParams::default());
+        let mut gr = GrUnit::new(
+            GrConfig {
+                small: 2,
+                medium: 4,
+                large: 8,
+            },
+            RewardParams::default(),
+        );
         let mut v = view(10_000_000, 10.0);
         for i in 1..=8u64 {
             v.now = i * 10_000_000;
@@ -339,7 +421,10 @@ mod tests {
         let mut gr = GrUnit::new(GrConfig::default(), RewardParams::default());
         for i in 1..=50u64 {
             let step = gr.on_tick(&view(i * 10_000_000, 10.0), &tick(i * 10_000_000, 10.0));
-            assert!(step.state.iter().all(|x| x.is_finite()), "non-finite at tick {i}");
+            assert!(
+                step.state.iter().all(|x| x.is_finite()),
+                "non-finite at tick {i}"
+            );
         }
     }
 }

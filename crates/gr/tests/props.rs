@@ -1,10 +1,14 @@
-//! Property-based tests for the General Representation unit.
+//! Property-style tests for the General Representation unit, driven by the
+//! workspace's own deterministic RNG (no external property-testing framework:
+//! the build must work offline).
 
-use proptest::prelude::*;
-use sage_gr::{reward_friendliness, reward_power, FeatureMask, GrConfig, GrUnit, RewardParams, STATE_DIM};
+use sage_gr::{
+    reward_friendliness, reward_power, FeatureMask, GrConfig, GrUnit, RewardParams, STATE_DIM,
+};
 use sage_transport::cc::CaState;
 use sage_transport::sim::TickRecord;
 use sage_transport::SocketView;
+use sage_util::Rng;
 
 fn view(now: u64, srtt: f64, rate: f64, cwnd: f64) -> SocketView {
     SocketView {
@@ -31,51 +35,71 @@ fn view(now: u64, srtt: f64, rate: f64, cwnd: f64) -> SocketView {
     }
 }
 
-proptest! {
-    #[test]
-    fn state_always_finite_and_sized(
-        srtt in 0.001f64..1.0,
-        rate in 0.0f64..2e8,
-        cwnds in prop::collection::vec(2.0f64..1000.0, 1..50),
-    ) {
+#[test]
+fn state_always_finite_and_sized() {
+    let mut rng = Rng::new(0xBB44);
+    for _ in 0..50 {
+        let srtt = rng.range(0.001, 1.0);
+        let rate = rng.range(0.0, 2e8);
+        let n = 1 + rng.below(49);
+        let cwnds: Vec<f64> = (0..n).map(|_| rng.range(2.0, 1000.0)).collect();
         let mut gr = GrUnit::new(GrConfig::default(), RewardParams::default());
         for (i, &c) in cwnds.iter().enumerate() {
             let now = (i as u64 + 1) * 10_000_000;
             let v = view(now, srtt, rate, c);
-            let t = TickRecord { now, goodput_bps: rate, mean_owd: srtt / 2.0, lost_bytes_delta: 0, cwnd_pkts: c };
+            let t = TickRecord {
+                now,
+                goodput_bps: rate,
+                mean_owd: srtt / 2.0,
+                lost_bytes_delta: 0,
+                cwnd_pkts: c,
+            };
             let step = gr.on_tick(&v, &t);
-            prop_assert_eq!(step.state.len(), STATE_DIM);
-            prop_assert!(step.state.iter().all(|x| x.is_finite()));
-            prop_assert!(step.action.is_finite() && step.action > 0.0);
-            prop_assert!(step.reward_power.is_finite() && step.reward_power >= 0.0);
+            assert_eq!(step.state.len(), STATE_DIM);
+            assert!(step.state.iter().all(|x| x.is_finite()));
+            assert!(step.action.is_finite() && step.action > 0.0);
+            assert!(step.reward_power.is_finite() && step.reward_power >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn friendliness_bounded_and_peaked(r in 0.0f64..1e8, fr in 1e3f64..1e8) {
+#[test]
+fn friendliness_bounded_and_peaked() {
+    let mut rng = Rng::new(0xCC55);
+    for _ in 0..200 {
+        let r = rng.range(0.0, 1e8);
+        let fr = rng.range(1e3, 1e8);
         let v = reward_friendliness(r, fr);
-        prop_assert!((0.0..=1.0).contains(&v));
-        prop_assert!(v <= reward_friendliness(fr, fr) + 1e-12);
+        assert!((0.0..=1.0).contains(&v));
+        assert!(v <= reward_friendliness(fr, fr) + 1e-12);
     }
+}
 
-    #[test]
-    fn power_monotone_in_rate(
-        r1 in 0.0f64..5e7,
-        extra in 1.0f64..5e7,
-        d in 0.001f64..0.5,
-    ) {
+#[test]
+fn power_monotone_in_rate() {
+    let mut rng = Rng::new(0xDD66);
+    for _ in 0..200 {
+        let r1 = rng.range(0.0, 5e7);
+        let extra = rng.range(1.0, 5e7);
+        let d = rng.range(0.001, 0.5);
         let p = RewardParams::for_capacity(100.0);
         let low = reward_power(&p, r1, 0.0, d, 0.04);
         let high = reward_power(&p, r1 + extra, 0.0, d, 0.04);
-        prop_assert!(high >= low);
+        assert!(high >= low);
     }
+}
 
-    #[test]
-    fn masks_are_sorted_unique_subsets(mask_id in 0usize..4) {
-        let mask = [FeatureMask::Full, FeatureMask::NoMinMax, FeatureMask::NoRttVar, FeatureMask::NoLossInflight][mask_id];
+#[test]
+fn masks_are_sorted_unique_subsets() {
+    for mask in [
+        FeatureMask::Full,
+        FeatureMask::NoMinMax,
+        FeatureMask::NoRttVar,
+        FeatureMask::NoLossInflight,
+    ] {
         let idx = mask.indices();
-        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(idx.iter().all(|&i| i < STATE_DIM));
-        prop_assert_eq!(idx.len(), mask.dim());
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < STATE_DIM));
+        assert_eq!(idx.len(), mask.dim());
     }
 }

@@ -232,7 +232,11 @@ mod tests {
             b.on_tick(i * 10 * MILLIS, &v);
         }
         assert_eq!(b.state, State::ProbeBw);
-        assert!((b.cwnd_pkts() - 160.0).abs() < 10.0, "cwnd {}", b.cwnd_pkts());
+        assert!(
+            (b.cwnd_pkts() - 160.0).abs() < 10.0,
+            "cwnd {}",
+            b.cwnd_pkts()
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct Bic {
 
 impl Bic {
     pub fn new() -> Self {
-        Bic { cwnd: INIT_CWND, ssthresh: f64::INFINITY, w_max: 0.0 }
+        Bic {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+        }
     }
 
     /// Per-RTT increment from the binary-search rule.
@@ -125,9 +129,17 @@ mod tests {
 
     #[test]
     fn increment_is_clamped() {
-        let b = Bic { cwnd: 10.0, ssthresh: 1.0, w_max: 10_000.0 };
+        let b = Bic {
+            cwnd: 10.0,
+            ssthresh: 1.0,
+            w_max: 10_000.0,
+        };
         assert!(b.increment() <= S_MAX);
-        let b2 = Bic { cwnd: 9_999.0, ssthresh: 1.0, w_max: 10_000.0 };
+        let b2 = Bic {
+            cwnd: 9_999.0,
+            ssthresh: 1.0,
+            w_max: 10_000.0,
+        };
         assert!(b2.increment() >= S_MIN);
     }
 }

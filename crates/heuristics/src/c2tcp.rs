@@ -19,7 +19,10 @@ pub struct C2tcp {
 
 impl C2tcp {
     pub fn new() -> Self {
-        C2tcp { inner: Cubic::new(), brake: 1.0 }
+        C2tcp {
+            inner: Cubic::new(),
+            brake: 1.0,
+        }
     }
 }
 

@@ -84,8 +84,7 @@ impl CongestionControl for Cubic {
         }
         // TCP-friendly region (RFC 8312 §4.2).
         self.acked_in_epoch += ack.newly_acked_pkts as f64;
-        self.w_est = self.w_est
-            + 3.0 * (1.0 - BETA) / (1.0 + BETA) * ack.newly_acked_pkts as f64 / self.cwnd;
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * ack.newly_acked_pkts as f64 / self.cwnd;
         if self.w_est > self.cwnd {
             self.cwnd = self.w_est;
         }
@@ -142,7 +141,12 @@ mod tests {
             ev.now = i * 10 * MILLIS;
             c.on_ack(&ev, &view(c.cwnd_pkts()));
         }
-        assert!(c.cwnd_pkts() <= before * 1.05, "cwnd {} vs w_max {}", c.cwnd_pkts(), before);
+        assert!(
+            c.cwnd_pkts() <= before * 1.05,
+            "cwnd {} vs w_max {}",
+            c.cwnd_pkts(),
+            before
+        );
         assert!(c.cwnd_pkts() > before * BETA, "should have grown");
     }
 

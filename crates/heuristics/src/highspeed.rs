@@ -38,7 +38,10 @@ pub struct HighSpeed {
 
 impl HighSpeed {
     pub fn new() -> Self {
-        HighSpeed { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+        HighSpeed {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+        }
     }
 }
 
@@ -118,7 +121,11 @@ mod tests {
         h.cwnd = 10_000.0;
         h.ssthresh = 1.0;
         h.on_congestion_event(0, &view(10_000.0));
-        assert!(h.cwnd_pkts() > 6_000.0, "large windows lose < 40%: {}", h.cwnd_pkts());
+        assert!(
+            h.cwnd_pkts() > 6_000.0,
+            "large windows lose < 40%: {}",
+            h.cwnd_pkts()
+        );
     }
 
     #[test]

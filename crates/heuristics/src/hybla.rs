@@ -15,7 +15,10 @@ pub struct Hybla {
 
 impl Hybla {
     pub fn new() -> Self {
-        Hybla { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+        Hybla {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+        }
     }
 
     fn rho(sock: &SocketView) -> f64 {
@@ -86,7 +89,10 @@ mod tests {
             short.on_ack(&ack(1), &vs);
             long.on_ack(&ack(1), &vl);
         }
-        assert!(long.cwnd_pkts() > short.cwnd_pkts(), "rho compensation missing");
+        assert!(
+            long.cwnd_pkts() > short.cwnd_pkts(),
+            "rho compensation missing"
+        );
     }
 
     #[test]

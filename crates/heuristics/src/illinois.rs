@@ -19,7 +19,11 @@ pub struct Illinois {
 
 impl Illinois {
     pub fn new() -> Self {
-        Illinois { cwnd: INIT_CWND, ssthresh: f64::INFINITY, max_delay: 0.0 }
+        Illinois {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            max_delay: 0.0,
+        }
     }
 
     /// Average queuing delay da and the derived alpha (per-RTT increase).

@@ -12,7 +12,10 @@ pub struct NewReno {
 
 impl NewReno {
     pub fn new() -> Self {
-        NewReno { cwnd: INIT_CWND, ssthresh: f64::INFINITY }
+        NewReno {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+        }
     }
 }
 

@@ -6,8 +6,19 @@ use sage_transport::CongestionControl;
 
 /// The 13 kernel schemes forming Sage's pool of policies (paper §5).
 pub const POOL_SCHEMES: [&str; 13] = [
-    "westwood", "cubic", "vegas", "yeah", "bbr2", "newreno", "illinois",
-    "veno", "highspeed", "cdg", "htcp", "bic", "hybla",
+    "westwood",
+    "cubic",
+    "vegas",
+    "yeah",
+    "bbr2",
+    "newreno",
+    "illinois",
+    "veno",
+    "highspeed",
+    "cdg",
+    "htcp",
+    "bic",
+    "hybla",
 ];
 
 /// The delay-based league of §6.3 (Sage is added by the caller).

@@ -97,7 +97,11 @@ mod tests {
         }
         s.on_tick(0, &v);
         // 24 Mbps * 100 ms / 8 / 1500 = 200 packets (minus deviation margin).
-        assert!(s.cwnd_pkts() > 100.0 && s.cwnd_pkts() <= 210.0, "cwnd {}", s.cwnd_pkts());
+        assert!(
+            s.cwnd_pkts() > 100.0 && s.cwnd_pkts() <= 210.0,
+            "cwnd {}",
+            s.cwnd_pkts()
+        );
     }
 
     #[test]
@@ -113,6 +117,9 @@ mod tests {
         }
         steady.on_tick(0, &v);
         bursty.on_tick(0, &v);
-        assert!(bursty.cwnd_pkts() < steady.cwnd_pkts(), "variance should shrink window");
+        assert!(
+            bursty.cwnd_pkts() < steady.cwnd_pkts(),
+            "variance should shrink window"
+        );
     }
 }

@@ -48,7 +48,11 @@ impl CongestionControl for Vegas {
             return;
         }
         let base = sock.min_rtt.max(1e-6);
-        let rtt = if self.round_min_rtt.is_finite() { self.round_min_rtt } else { sock.srtt.max(base) };
+        let rtt = if self.round_min_rtt.is_finite() {
+            self.round_min_rtt
+        } else {
+            sock.srtt.max(base)
+        };
         self.round_min_rtt = f64::INFINITY;
         if rtt <= 0.0 {
             return;

@@ -16,7 +16,11 @@ pub struct Veno {
 
 impl Veno {
     pub fn new() -> Self {
-        Veno { cwnd: INIT_CWND, ssthresh: f64::INFINITY, hold: false }
+        Veno {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            hold: false,
+        }
     }
 
     fn backlog(&self, sock: &SocketView) -> f64 {

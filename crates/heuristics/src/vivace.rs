@@ -87,7 +87,11 @@ impl CongestionControl for Vivace {
         if dt <= 0.0 {
             return;
         }
-        let rtt_grad = if self.prev_rtt > 0.0 { (sock.srtt - self.prev_rtt) / dt } else { 0.0 };
+        let rtt_grad = if self.prev_rtt > 0.0 {
+            (sock.srtt - self.prev_rtt) / dt
+        } else {
+            0.0
+        };
         let lost_delta = sock.lost_pkts_total.saturating_sub(self.prev_lost);
         let sent_est = (self.rate_bps * dt / 8.0 / self.mss as f64).max(1.0);
         let loss_frac = (lost_delta as f64 / sent_est).min(1.0);
@@ -188,7 +192,12 @@ mod tests {
         for i in 1..200u64 {
             v.on_tick(i * 10 * MILLIS, &sock);
         }
-        assert!(v.rate_bps > r0, "rate should ascend: {} -> {}", r0, v.rate_bps);
+        assert!(
+            v.rate_bps > r0,
+            "rate should ascend: {} -> {}",
+            r0,
+            v.rate_bps
+        );
     }
 
     #[test]

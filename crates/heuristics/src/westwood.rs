@@ -16,7 +16,11 @@ pub struct Westwood {
 
 impl Westwood {
     pub fn new() -> Self {
-        Westwood { cwnd: INIT_CWND, ssthresh: f64::INFINITY, bwe: Ewma::new(0.1) }
+        Westwood {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            bwe: Ewma::new(0.1),
+        }
     }
 
     fn bdp_pkts(&self, sock: &SocketView) -> f64 {
@@ -86,7 +90,11 @@ mod tests {
         w.cwnd = 100.0;
         w.on_congestion_event(0, &v);
         let bdp = 12e6 * 0.040 / 8.0 / 1500.0;
-        assert!((w.ssthresh_pkts() - bdp).abs() < 2.0, "ssthresh {} bdp {bdp}", w.ssthresh_pkts());
+        assert!(
+            (w.ssthresh_pkts() - bdp).abs() < 2.0,
+            "ssthresh {} bdp {bdp}",
+            w.ssthresh_pkts()
+        );
         assert!(w.cwnd_pkts() <= w.ssthresh_pkts() + 1e-9);
     }
 

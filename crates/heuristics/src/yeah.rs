@@ -138,7 +138,11 @@ mod tests {
         let before = y.cwnd_pkts();
         round(&mut y, 0.040, 0.040, &mut d);
         // STCP: ~2% per ack * 100 acks = much more than Reno's +1.
-        assert!(y.cwnd_pkts() - before > 1.5, "grew {}", y.cwnd_pkts() - before);
+        assert!(
+            y.cwnd_pkts() - before > 1.5,
+            "grew {}",
+            y.cwnd_pkts() - before
+        );
     }
 
     #[test]

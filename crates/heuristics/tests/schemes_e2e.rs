@@ -72,7 +72,11 @@ fn delay_based_schemes_keep_queues_short() {
 fn loss_based_schemes_fill_deep_buffers() {
     let cubic = run("cubic", 24.0, 40.0, 8.0, 20.0);
     // One-way propagation is 20 ms; Cubic should queue well beyond that.
-    assert!(cubic.avg_owd_ms > 40.0, "cubic owd {:.1} ms", cubic.avg_owd_ms);
+    assert!(
+        cubic.avg_owd_ms > 40.0,
+        "cubic owd {:.1} ms",
+        cubic.avg_owd_ms
+    );
     assert!(cubic.avg_goodput_mbps > 20.0);
 }
 
@@ -169,7 +173,11 @@ fn vegas_starves_against_cubic_ledbat_yields() {
 fn schemes_track_step_capacity_changes() {
     for name in ["cubic", "bbr2", "yeah"] {
         let cfg = SimConfig::new(
-            LinkModel::Step { before_mbps: 24.0, after_mbps: 96.0, at: from_secs(10.0) },
+            LinkModel::Step {
+                before_mbps: 24.0,
+                after_mbps: 96.0,
+                at: from_secs(10.0),
+            },
             1_000_000,
             20.0,
             from_secs(20.0),

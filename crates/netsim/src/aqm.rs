@@ -158,7 +158,11 @@ impl Aqm for CoDel {
                 if !self.dropping {
                     if now >= fat {
                         self.dropping = true;
-                        self.drop_count = if self.drop_count > 2 { self.drop_count - 2 } else { 1 };
+                        self.drop_count = if self.drop_count > 2 {
+                            self.drop_count - 2
+                        } else {
+                            1
+                        };
                         self.drop_next = self.control_law(now);
                         return DequeueVerdict::Drop;
                     }
@@ -278,8 +282,9 @@ impl Aqm for BoundedDelay {
     }
 }
 
-/// Serializable AQM selector for environment specs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// AQM selector for environment specs (string-codable via [`AqmKind::name`]
+/// and [`AqmKind::from_name`] for JSON artefacts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AqmKind {
     TailDrop,
     HeadDrop,
@@ -309,6 +314,18 @@ impl AqmKind {
             AqmKind::BoundedDelay => "BoDe",
         }
     }
+
+    /// Inverse of [`AqmKind::name`].
+    pub fn from_name(s: &str) -> Option<AqmKind> {
+        match s {
+            "TDrop" => Some(AqmKind::TailDrop),
+            "HDrop" => Some(AqmKind::HeadDrop),
+            "CoDel" => Some(AqmKind::CoDel),
+            "PIE" => Some(AqmKind::Pie),
+            "BoDe" => Some(AqmKind::BoundedDelay),
+            _ => None,
+        }
+    }
 }
 
 /// Suppress unused warning for MICROS re-export consistency.
@@ -319,7 +336,12 @@ mod tests {
     use super::*;
 
     fn view(bytes: u64, packets: usize, cap: u64) -> QueueView {
-        QueueView { bytes, packets, capacity_bytes: cap, link_bps: 12e6 }
+        QueueView {
+            bytes,
+            packets,
+            capacity_bytes: cap,
+            link_bps: 12e6,
+        }
     }
 
     fn pkt() -> Packet {
@@ -329,26 +351,50 @@ mod tests {
     #[test]
     fn tail_drop_respects_capacity() {
         let mut t = TailDrop;
-        assert_eq!(t.on_enqueue(0, &view(0, 0, 3000), &pkt()), EnqueueVerdict::Accept);
-        assert_eq!(t.on_enqueue(0, &view(1500, 1, 3000), &pkt()), EnqueueVerdict::Accept);
-        assert_eq!(t.on_enqueue(0, &view(3000, 2, 3000), &pkt()), EnqueueVerdict::DropTail);
+        assert_eq!(
+            t.on_enqueue(0, &view(0, 0, 3000), &pkt()),
+            EnqueueVerdict::Accept
+        );
+        assert_eq!(
+            t.on_enqueue(0, &view(1500, 1, 3000), &pkt()),
+            EnqueueVerdict::Accept
+        );
+        assert_eq!(
+            t.on_enqueue(0, &view(3000, 2, 3000), &pkt()),
+            EnqueueVerdict::DropTail
+        );
     }
 
     #[test]
     fn head_drop_evicts_head_on_overflow() {
         let mut h = HeadDrop;
-        assert_eq!(h.on_enqueue(0, &view(3000, 2, 3000), &pkt()), EnqueueVerdict::DropHead);
-        assert_eq!(h.on_enqueue(0, &view(0, 0, 3000), &pkt()), EnqueueVerdict::Accept);
+        assert_eq!(
+            h.on_enqueue(0, &view(3000, 2, 3000), &pkt()),
+            EnqueueVerdict::DropHead
+        );
+        assert_eq!(
+            h.on_enqueue(0, &view(0, 0, 3000), &pkt()),
+            EnqueueVerdict::Accept
+        );
     }
 
     #[test]
     fn codel_tolerates_short_spikes() {
         let mut c = CoDel::default();
         // Sojourn above target but for less than one interval: deliver.
-        assert_eq!(c.on_dequeue(0, 10 * MILLIS, &pkt()), DequeueVerdict::Deliver);
-        assert_eq!(c.on_dequeue(50 * MILLIS, 10 * MILLIS, &pkt()), DequeueVerdict::Deliver);
+        assert_eq!(
+            c.on_dequeue(0, 10 * MILLIS, &pkt()),
+            DequeueVerdict::Deliver
+        );
+        assert_eq!(
+            c.on_dequeue(50 * MILLIS, 10 * MILLIS, &pkt()),
+            DequeueVerdict::Deliver
+        );
         // Below target resets the state.
-        assert_eq!(c.on_dequeue(60 * MILLIS, MILLIS, &pkt()), DequeueVerdict::Deliver);
+        assert_eq!(
+            c.on_dequeue(60 * MILLIS, MILLIS, &pkt()),
+            DequeueVerdict::Deliver
+        );
     }
 
     #[test]
@@ -376,20 +422,35 @@ mod tests {
                 drops += 1;
             }
         }
-        assert!(drops > 10, "PIE should drop under sustained overload, got {drops}");
+        assert!(
+            drops > 10,
+            "PIE should drop under sustained overload, got {drops}"
+        );
     }
 
     #[test]
     fn bode_bounds_delay() {
         let mut b = BoundedDelay { bound: 10 * MILLIS };
         // 60 KB at 12 Mbps is 40 ms of delay: over bound.
-        assert_eq!(b.on_enqueue(0, &view(60_000, 40, 1_000_000), &pkt()), EnqueueVerdict::DropTail);
-        assert_eq!(b.on_enqueue(0, &view(1500, 1, 1_000_000), &pkt()), EnqueueVerdict::Accept);
+        assert_eq!(
+            b.on_enqueue(0, &view(60_000, 40, 1_000_000), &pkt()),
+            EnqueueVerdict::DropTail
+        );
+        assert_eq!(
+            b.on_enqueue(0, &view(1500, 1, 1_000_000), &pkt()),
+            EnqueueVerdict::Accept
+        );
     }
 
     #[test]
     fn kind_builds_all() {
-        for k in [AqmKind::TailDrop, AqmKind::HeadDrop, AqmKind::CoDel, AqmKind::Pie, AqmKind::BoundedDelay] {
+        for k in [
+            AqmKind::TailDrop,
+            AqmKind::HeadDrop,
+            AqmKind::CoDel,
+            AqmKind::Pie,
+            AqmKind::BoundedDelay,
+        ] {
             let a = k.build(1);
             assert_eq!(a.name(), k.name());
         }

@@ -14,7 +14,7 @@ use crate::time::{Nanos, SECONDS};
 use sage_util::Rng;
 
 /// Which real-world regime to imitate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InternetProfile {
     /// US-continental paths: short RTT, stable wired capacity.
     IntraContinental,

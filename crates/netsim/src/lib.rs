@@ -16,6 +16,7 @@
 
 pub mod aqm;
 pub mod engine;
+pub mod faults;
 pub mod internet;
 pub mod link;
 pub mod packet;
@@ -24,7 +25,10 @@ pub mod time;
 
 pub use aqm::{Aqm, AqmKind};
 pub use engine::EventQueue;
+pub use faults::{
+    DropCause, FaultInjector, FaultPlan, FaultStats, FlapPlan, ForwardVerdict, GilbertElliott,
+};
 pub use link::LinkModel;
 pub use packet::Packet;
 pub use queue::{BottleneckPath, EnqueueOutcome};
-pub use time::{Nanos, MILLIS, MICROS, SECONDS};
+pub use time::{Nanos, MICROS, MILLIS, SECONDS};

@@ -14,13 +14,21 @@ pub enum LinkModel {
     /// Fixed capacity in Mbit/s.
     Constant { mbps: f64 },
     /// Capacity switches from `before_mbps` to `after_mbps` at time `at`.
-    Step { before_mbps: f64, after_mbps: f64, at: Nanos },
+    Step {
+        before_mbps: f64,
+        after_mbps: f64,
+        at: Nanos,
+    },
     /// `points[i] = (t_i, mbps_i)`: rate `mbps_i` applies from `t_i` until
     /// `t_{i+1}` (the last rate applies forever). `points[0].0` must be 0.
     Piecewise { points: Vec<(Nanos, f64)> },
     /// A repeating trace: rate `mbps[k]` applies during the k-th interval of
     /// length `interval`. Wraps around at the end (like Mahimahi trace replay).
-    Trace { interval: Nanos, mbps: Vec<f64>, repeat: bool },
+    Trace {
+        interval: Nanos,
+        mbps: Vec<f64>,
+        repeat: bool,
+    },
 }
 
 impl LinkModel {
@@ -28,7 +36,11 @@ impl LinkModel {
     pub fn rate_bps(&self, t: Nanos) -> f64 {
         match self {
             LinkModel::Constant { mbps } => mbps * 1e6,
-            LinkModel::Step { before_mbps, after_mbps, at } => {
+            LinkModel::Step {
+                before_mbps,
+                after_mbps,
+                at,
+            } => {
                 if t < *at {
                     before_mbps * 1e6
                 } else {
@@ -46,12 +58,20 @@ impl LinkModel {
                 }
                 rate * 1e6
             }
-            LinkModel::Trace { interval, mbps, repeat } => {
+            LinkModel::Trace {
+                interval,
+                mbps,
+                repeat,
+            } => {
                 if mbps.is_empty() {
                     return 0.0;
                 }
                 let idx = (t / interval) as usize;
-                let idx = if *repeat { idx % mbps.len() } else { idx.min(mbps.len() - 1) };
+                let idx = if *repeat {
+                    idx % mbps.len()
+                } else {
+                    idx.min(mbps.len() - 1)
+                };
                 mbps[idx] * 1e6
             }
         }
@@ -69,10 +89,12 @@ impl LinkModel {
                     None
                 }
             }
-            LinkModel::Piecewise { points } => {
-                points.iter().map(|p| p.0).find(|&s| s > t)
-            }
-            LinkModel::Trace { interval, mbps, repeat } => {
+            LinkModel::Piecewise { points } => points.iter().map(|p| p.0).find(|&s| s > t),
+            LinkModel::Trace {
+                interval,
+                mbps,
+                repeat,
+            } => {
                 if mbps.is_empty() {
                     return None;
                 }
@@ -163,7 +185,11 @@ pub fn cellular_trace(
         rate = (rate * shock * reversion).clamp(min_mbps, max_mbps);
         out.push(rate);
     }
-    LinkModel::Trace { interval, mbps: out, repeat: true }
+    LinkModel::Trace {
+        interval,
+        mbps: out,
+        repeat: true,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +207,11 @@ mod tests {
 
     #[test]
     fn step_rate_switches() {
-        let l = LinkModel::Step { before_mbps: 24.0, after_mbps: 96.0, at: SECONDS };
+        let l = LinkModel::Step {
+            before_mbps: 24.0,
+            after_mbps: 96.0,
+            at: SECONDS,
+        };
         assert_eq!(l.rate_bps(0), 24e6);
         assert_eq!(l.rate_bps(SECONDS), 96e6);
     }
@@ -190,7 +220,11 @@ mod tests {
     fn finish_time_crosses_step_boundary() {
         // 10 Mbps then 20 Mbps at t=1ms. Start at 0 with 30_000 bits:
         // first ms serves 10_000 bits, remaining 20_000 at 20 Mbps = 1 ms.
-        let l = LinkModel::Step { before_mbps: 10.0, after_mbps: 20.0, at: MILLIS };
+        let l = LinkModel::Step {
+            before_mbps: 10.0,
+            after_mbps: 20.0,
+            at: MILLIS,
+        };
         assert_eq!(l.finish_time(0, 30_000.0), 2 * MILLIS);
     }
 
@@ -206,7 +240,11 @@ mod tests {
 
     #[test]
     fn trace_repeats() {
-        let l = LinkModel::Trace { interval: MILLIS, mbps: vec![1.0, 2.0], repeat: true };
+        let l = LinkModel::Trace {
+            interval: MILLIS,
+            mbps: vec![1.0, 2.0],
+            repeat: true,
+        };
         assert_eq!(l.rate_bps(0), 1e6);
         assert_eq!(l.rate_bps(MILLIS), 2e6);
         assert_eq!(l.rate_bps(2 * MILLIS), 1e6);
@@ -214,7 +252,11 @@ mod tests {
 
     #[test]
     fn trace_non_repeat_holds_last() {
-        let l = LinkModel::Trace { interval: MILLIS, mbps: vec![1.0, 2.0], repeat: false };
+        let l = LinkModel::Trace {
+            interval: MILLIS,
+            mbps: vec![1.0, 2.0],
+            repeat: false,
+        };
         assert_eq!(l.rate_bps(10 * MILLIS), 2e6);
     }
 
@@ -244,7 +286,11 @@ mod tests {
 
     #[test]
     fn mean_mbps_of_step_averages() {
-        let l = LinkModel::Step { before_mbps: 10.0, after_mbps: 30.0, at: SECONDS };
+        let l = LinkModel::Step {
+            before_mbps: 10.0,
+            after_mbps: 30.0,
+            at: SECONDS,
+        };
         let m = l.mean_mbps(2 * SECONDS);
         assert!((m - 20.0).abs() < 0.5, "mean {m}");
     }

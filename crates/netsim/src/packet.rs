@@ -23,6 +23,12 @@ pub struct Packet {
 
 impl Packet {
     pub fn new(flow: FlowId, seq: u64, bytes: u32, sent_at: Nanos) -> Self {
-        Packet { flow, seq, bytes, sent_at, retransmit: false }
+        Packet {
+            flow,
+            seq,
+            bytes,
+            sent_at,
+            retransmit: false,
+        }
     }
 }

@@ -52,7 +52,13 @@ pub struct BottleneckPath {
 }
 
 impl BottleneckPath {
-    pub fn new(link: LinkModel, capacity_bytes: u64, aqm: Box<dyn Aqm>, random_loss: f64, seed: u64) -> Self {
+    pub fn new(
+        link: LinkModel,
+        capacity_bytes: u64,
+        aqm: Box<dyn Aqm>,
+        random_loss: f64,
+        seed: u64,
+    ) -> Self {
         BottleneckPath {
             link,
             aqm,
@@ -170,7 +176,11 @@ impl BottleneckPath {
         debug_assert!(now >= finish, "complete() called before finish time");
         self.total_delivered += 1;
         self.try_start_service(now);
-        Some(Departure { at: finish, pkt, sojourn })
+        Some(Departure {
+            at: finish,
+            pkt,
+            sojourn,
+        })
     }
 
     /// Drain packets dropped since the last call (for loss accounting).
@@ -186,7 +196,13 @@ mod tests {
     use crate::time::MILLIS;
 
     fn path(mbps: f64, cap: u64) -> BottleneckPath {
-        BottleneckPath::new(LinkModel::Constant { mbps }, cap, Box::new(TailDrop), 0.0, 1)
+        BottleneckPath::new(
+            LinkModel::Constant { mbps },
+            cap,
+            Box::new(TailDrop),
+            0.0,
+            1,
+        )
     }
 
     fn pkt(seq: u64) -> Packet {

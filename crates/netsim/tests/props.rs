@@ -1,39 +1,50 @@
-//! Property-based tests for link models, the event queue and the bottleneck
-//! path.
+//! Property-style tests for link models, the event queue and the bottleneck
+//! path, driven by the workspace's own deterministic RNG (no external
+//! property-testing framework: the build must work offline).
 
-use proptest::prelude::*;
 use sage_netsim::aqm::TailDrop;
 use sage_netsim::engine::EventQueue;
 use sage_netsim::link::LinkModel;
 use sage_netsim::packet::Packet;
 use sage_netsim::queue::{BottleneckPath, EnqueueOutcome};
 use sage_netsim::time::SECONDS;
+use sage_util::Rng;
 
-proptest! {
-    #[test]
-    fn finish_time_monotone_in_bits(
-        mbps in 1.0f64..200.0,
-        start in 0u64..SECONDS,
-        bits_a in 1.0f64..1e6,
-        bits_b in 1.0f64..1e6,
-    ) {
+#[test]
+fn finish_time_monotone_in_bits() {
+    let mut rng = Rng::new(0x66FF);
+    for _ in 0..200 {
+        let mbps = rng.range(1.0, 200.0);
+        let start = rng.next_u64() % SECONDS;
+        let bits_a = rng.range(1.0, 1e6);
+        let bits_b = rng.range(1.0, 1e6);
         let l = LinkModel::Constant { mbps };
-        let (small, large) = if bits_a <= bits_b { (bits_a, bits_b) } else { (bits_b, bits_a) };
-        prop_assert!(l.finish_time(start, small) <= l.finish_time(start, large));
-        prop_assert!(l.finish_time(start, small) > start);
+        let (small, large) = if bits_a <= bits_b {
+            (bits_a, bits_b)
+        } else {
+            (bits_b, bits_a)
+        };
+        assert!(l.finish_time(start, small) <= l.finish_time(start, large));
+        assert!(l.finish_time(start, small) > start);
     }
+}
 
-    #[test]
-    fn step_rate_integral_conserved(
-        before in 1.0f64..100.0,
-        after in 1.0f64..100.0,
-        at_ms in 1u64..1000,
-        bits in 1e3f64..1e7,
-    ) {
-        // Serving `bits` across the step boundary must take exactly as long
-        // as integrating the two-rate profile predicts.
+#[test]
+fn step_rate_integral_conserved() {
+    // Serving `bits` across the step boundary must take exactly as long
+    // as integrating the two-rate profile predicts.
+    let mut rng = Rng::new(0x7700);
+    for _ in 0..200 {
+        let before = rng.range(1.0, 100.0);
+        let after = rng.range(1.0, 100.0);
+        let at_ms = 1 + rng.below(999) as u64;
+        let bits = rng.range(1e3, 1e7);
         let at = at_ms * 1_000_000;
-        let l = LinkModel::Step { before_mbps: before, after_mbps: after, at };
+        let l = LinkModel::Step {
+            before_mbps: before,
+            after_mbps: after,
+            at,
+        };
         let f = l.finish_time(0, bits);
         let first_phase_bits = before * 1e6 * (at as f64 / SECONDS as f64);
         let expected = if bits <= first_phase_bits {
@@ -42,28 +53,37 @@ proptest! {
             at as f64 / SECONDS as f64 + (bits - first_phase_bits) / (after * 1e6)
         };
         let actual = f as f64 / SECONDS as f64;
-        prop_assert!((actual - expected).abs() < 1e-6, "actual {actual} expected {expected}");
+        assert!(
+            (actual - expected).abs() < 1e-6,
+            "actual {actual} expected {expected}"
+        );
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted(events in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn event_queue_pops_sorted() {
+    let mut rng = Rng::new(0x8811);
+    for _ in 0..50 {
+        let n = 1 + rng.below(199);
         let mut q = EventQueue::new();
-        for (i, &t) in events.iter().enumerate() {
-            q.schedule(t, i);
+        for i in 0..n {
+            q.schedule(rng.next_u64() % 1_000_000, i);
         }
         let mut last = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
     }
+}
 
-    #[test]
-    fn path_conserves_packets(
-        mbps in 1.0f64..100.0,
-        cap_pkts in 1u64..64,
-        n in 1usize..200,
-    ) {
+#[test]
+fn path_conserves_packets() {
+    let mut rng = Rng::new(0x9922);
+    for _ in 0..50 {
+        let mbps = rng.range(1.0, 100.0);
+        let cap_pkts = 1 + rng.below(63) as u64;
+        let n = 1 + rng.below(199);
         let mut p = BottleneckPath::new(
             LinkModel::Constant { mbps },
             cap_pkts * 1500,
@@ -84,9 +104,9 @@ proptest! {
             p.complete(t);
             delivered += 1;
         }
-        prop_assert_eq!(accepted + dropped, n as u64);
-        prop_assert_eq!(delivered, accepted);
-        prop_assert_eq!(p.total_dropped, dropped);
-        prop_assert_eq!(p.backlog_packets(), 0);
+        assert_eq!(accepted + dropped, n as u64);
+        assert_eq!(delivered, accepted);
+        assert_eq!(p.total_dropped, dropped);
+        assert_eq!(p.backlog_packets(), 0);
     }
 }

@@ -16,7 +16,14 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: 40.0, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 40.0,
+            t: 0,
+        }
     }
 
     /// Apply one update from the gradients accumulated in `store`, then zero

@@ -10,7 +10,11 @@ pub struct Array {
 
 impl Array {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Array { rows, cols, data: vec![0.0; rows * cols] }
+        Array {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
@@ -20,12 +24,20 @@ impl Array {
 
     /// A 1 x n row vector.
     pub fn row(data: Vec<f64>) -> Self {
-        Array { rows: 1, cols: data.len(), data }
+        Array {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
     }
 
     /// A scalar 1 x 1.
     pub fn scalar(x: f64) -> Self {
-        Array { rows: 1, cols: 1, data: vec![x] }
+        Array {
+            rows: 1,
+            cols: 1,
+            data: vec![x],
+        }
     }
 
     #[inline]

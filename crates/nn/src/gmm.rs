@@ -3,7 +3,6 @@
 //! action. The mixture "mitigates the chance of converging to a single
 //! arbitrary CC heuristic".
 
-
 use crate::graph::{log_sum_exp, Graph, NodeId};
 use crate::layers::Linear;
 use crate::params::ParamStore;
@@ -32,7 +31,13 @@ pub struct GmmNodes {
 }
 
 impl GmmHead {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, components: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        components: usize,
+        rng: &mut Rng,
+    ) -> Self {
         GmmHead {
             mean: Linear::new(store, &format!("{name}.mean"), in_dim, components, rng),
             log_std: Linear::new(store, &format!("{name}.logstd"), in_dim, components, rng),
@@ -52,7 +57,11 @@ impl GmmHead {
         let scaled = g.scale(t, half_range);
         let log_stds = g.add_const(scaled, mid);
         let logits = self.logit.fwd(g, store, x);
-        GmmNodes { means, log_stds, logits }
+        GmmNodes {
+            means,
+            log_stds,
+            logits,
+        }
     }
 
     /// Log-probability node of actions `[n,1]` under the mixture.
@@ -116,7 +125,7 @@ impl GmmParams {
 /// Utility: log-density of a scalar under given mixture params (inference
 /// side; mirrors the graph op).
 pub fn gmm_log_density(p: &GmmParams, a: f64) -> f64 {
-    const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+    const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_8;
     let joint: Vec<f64> = (0..p.means.len())
         .map(|c| {
             let sigma = p.log_stds[c].exp();
@@ -152,7 +161,11 @@ mod tests {
         let mut store = ParamStore::new();
         let head = GmmHead::new(&mut store, "h", 4, 3, &mut rng);
         let mut g = Graph::new();
-        let x = g.input(Array::from_vec(2, 4, vec![0.5, -0.2, 0.1, 0.9, -1.0, 0.3, 0.2, -0.4]));
+        let x = g.input(Array::from_vec(
+            2,
+            4,
+            vec![0.5, -0.2, 0.1, 0.9, -1.0, 0.3, 0.2, -0.4],
+        ));
         let nodes = head.fwd(&mut g, &store, x);
         for r in 0..2 {
             let p = GmmParams::from_nodes(&g, nodes, r);

@@ -32,12 +32,25 @@ enum Op {
     ConcatCols(NodeId, NodeId),
     SliceCols(NodeId, usize, usize),
     /// Row-wise layer normalisation with gain/bias [1,d].
-    LayerNorm { x: NodeId, gain: NodeId, bias: NodeId, eps: f64 },
+    LayerNorm {
+        x: NodeId,
+        gain: NodeId,
+        bias: NodeId,
+        eps: f64,
+    },
     /// Log-probability of a scalar action under a Gaussian mixture.
     /// means/log_stds/logits are `[n,K]`; action is a leaf `[n,1]`; out `[n,1]`.
-    GmmLogProb { means: NodeId, log_stds: NodeId, logits: NodeId, action: NodeId },
+    GmmLogProb {
+        means: NodeId,
+        log_stds: NodeId,
+        logits: NodeId,
+        action: NodeId,
+    },
     /// Per-row cross-entropy of softmax(logits) against target probs `[n,A] -> [n,1]`.
-    SoftmaxCE { logits: NodeId, target: NodeId },
+    SoftmaxCE {
+        logits: NodeId,
+        target: NodeId,
+    },
 }
 
 struct Node {
@@ -138,7 +151,9 @@ impl Graph {
 
     /// Leaky ReLU with the given negative slope.
     pub fn lrelu(&mut self, a: NodeId, slope: f64) -> NodeId {
-        let v = self.nodes[a].val.map(|x| if x >= 0.0 { x } else { slope * x });
+        let v = self.nodes[a]
+            .val
+            .map(|x| if x >= 0.0 { x } else { slope * x });
         self.push(v, Op::LRelu(a, slope))
     }
 
@@ -201,8 +216,8 @@ impl Graph {
             let mu = row.iter().sum::<f64>() / d as f64;
             let var = row.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / d as f64;
             let sd = (var + eps).sqrt();
-            for c in 0..d {
-                let xhat = (row[c] - mu) / sd;
+            for (c, &x) in row.iter().enumerate() {
+                let xhat = (x - mu) / sd;
                 *out.at_mut(r, c) = g.at(0, c) * xhat + b.at(0, c);
             }
         }
@@ -212,7 +227,13 @@ impl Graph {
     /// Log-probability of scalar actions under a Gaussian mixture whose
     /// parameters are per-row: `means`/`log_stds`/`logits` are `[n,K]`;
     /// `action` is `[n,1]`. Returns `[n,1]`.
-    pub fn gmm_log_prob(&mut self, means: NodeId, log_stds: NodeId, logits: NodeId, action: NodeId) -> NodeId {
+    pub fn gmm_log_prob(
+        &mut self,
+        means: NodeId,
+        log_stds: NodeId,
+        logits: NodeId,
+        action: NodeId,
+    ) -> NodeId {
         let (mv, sv, wv, av) = (
             &self.nodes[means].val,
             &self.nodes[log_stds].val,
@@ -233,7 +254,15 @@ impl Graph {
             )
             .0;
         }
-        self.push(out, Op::GmmLogProb { means, log_stds, logits, action })
+        self.push(
+            out,
+            Op::GmmLogProb {
+                means,
+                log_stds,
+                logits,
+                action,
+            },
+        )
     }
 
     /// Cross-entropy per row of softmax(logits) against target probabilities.
@@ -246,8 +275,8 @@ impl Graph {
             let row = &lv.data[r * a..(r + 1) * a];
             let lse = log_sum_exp(row);
             let mut ce = 0.0;
-            for c in 0..a {
-                let logp = row[c] - lse;
+            for (c, &l) in row.iter().enumerate() {
+                let logp = l - lse;
                 ce -= tv.at(r, c) * logp;
             }
             out.data[r] = ce;
@@ -282,14 +311,14 @@ impl Graph {
         grads
     }
 
-    fn accumulate(grads: &mut Vec<Option<Array>>, id: NodeId, g: Array) {
+    fn accumulate(grads: &mut [Option<Array>], id: NodeId, g: Array) {
         match &mut grads[id] {
             Some(existing) => existing.add_assign(&g),
             slot @ None => *slot = Some(g),
         }
     }
 
-    fn backprop_node(&self, i: NodeId, g: &Array, grads: &mut Vec<Option<Array>>) {
+    fn backprop_node(&self, i: NodeId, g: &Array, grads: &mut [Option<Array>]) {
         match &self.nodes[i].op {
             Op::Leaf | Op::Param(_) => {}
             Op::MatMul(a, b) => {
@@ -419,7 +448,12 @@ impl Graph {
                 Self::accumulate(grads, *gain, dgain);
                 Self::accumulate(grads, *bias, dbias);
             }
-            Op::GmmLogProb { means, log_stds, logits, action } => {
+            Op::GmmLogProb {
+                means,
+                log_stds,
+                logits,
+                action,
+            } => {
                 let mv = &self.nodes[*means].val;
                 let sv = &self.nodes[*log_stds].val;
                 let wv = &self.nodes[*logits].val;
@@ -460,8 +494,8 @@ impl Graph {
                     let lse = log_sum_exp(row);
                     // Sum of target probs (usually 1, but be exact).
                     let tsum: f64 = (0..a).map(|c| tv.at(r, c)).sum();
-                    for c in 0..a {
-                        let p = (row[c] - lse).exp();
+                    for (c, &l) in row.iter().enumerate() {
+                        let p = (l - lse).exp();
                         *dl.at_mut(r, c) = gr * (tsum * p - tv.at(r, c));
                     }
                 }
@@ -480,11 +514,16 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
 }
 
-const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_8;
 
 /// Log-density of the mixture at `a`, plus component responsibilities and
 /// softmax weights (for gradients).
-fn gmm_row_logp(means: &[f64], log_stds: &[f64], logits: &[f64], a: f64) -> (f64, Vec<f64>, Vec<f64>) {
+fn gmm_row_logp(
+    means: &[f64],
+    log_stds: &[f64],
+    logits: &[f64],
+    a: f64,
+) -> (f64, Vec<f64>, Vec<f64>) {
     let k = means.len();
     let logw_norm = log_sum_exp(logits);
     let mut joint = vec![0.0; k];
@@ -522,6 +561,10 @@ mod tests {
         let auto_grads: Vec<Vec<f64>> = store.params.iter().map(|p| p.grad.data.clone()).collect();
 
         let h = 1e-6;
+        // Index loops: each element of `store.params` is mutated in place for
+        // the finite-difference probe while `auto_grads` is read at the same
+        // (pi, ei) position; iterators cannot hold both borrows.
+        #[allow(clippy::needless_range_loop)]
         for pi in 0..store.params.len() {
             for ei in 0..store.params[pi].value.data.len() {
                 let orig = store.params[pi].value.data[ei];
@@ -549,9 +592,13 @@ mod tests {
     }
 
     fn x_input(g: &mut Graph) -> NodeId {
-        g.input(Array::from_vec(3, 4, vec![
-            0.5, -1.0, 2.0, 0.1, -0.3, 0.8, -1.5, 0.6, 1.2, -0.7, 0.4, -0.2,
-        ]))
+        g.input(Array::from_vec(
+            3,
+            4,
+            vec![
+                0.5, -1.0, 2.0, 0.1, -0.3, 0.8, -1.5, 0.6, 1.2, -0.7, 0.4, -0.2,
+            ],
+        ))
     }
 
     #[test]
@@ -666,9 +713,13 @@ mod tests {
                 let x = x_input(g);
                 let wa = g.param(s, w);
                 let logits = g.matmul(x, wa);
-                let target = g.input(Array::from_vec(3, 5, vec![
-                    0.1, 0.2, 0.3, 0.2, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.0, 0.0,
-                ]));
+                let target = g.input(Array::from_vec(
+                    3,
+                    5,
+                    vec![
+                        0.1, 0.2, 0.3, 0.2, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.0, 0.0,
+                    ],
+                ));
                 let ce = g.softmax_cross_entropy(logits, target);
                 g.mean(ce)
             },
@@ -679,7 +730,10 @@ mod tests {
     #[test]
     fn log_sum_exp_stable() {
         assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2f64.ln())).abs() < 1e-9);
-        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -16,7 +16,13 @@ pub struct Linear {
 }
 
 impl Linear {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         Linear {
             w: store.glorot(&format!("{name}.w"), in_dim, out_dim, rng),
             b: store.zeros(&format!("{name}.b"), 1, out_dim),
@@ -72,7 +78,13 @@ pub struct GruCell {
 }
 
 impl GruCell {
-    pub fn new(store: &mut ParamStore, name: &str, input_dim: usize, hidden_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         GruCell {
             wz: store.glorot(&format!("{name}.wz"), input_dim, hidden_dim, rng),
             uz: store.glorot(&format!("{name}.uz"), hidden_dim, hidden_dim, rng),
@@ -189,7 +201,11 @@ mod tests {
         let mut store = ParamStore::new();
         let cell = GruCell::new(&mut store, "gru", 2, 4, &mut rng);
         // Force z ~ 0 via a hugely negative update bias: h' ~ h.
-        store.params[cell.bz].value.data.iter_mut().for_each(|b| *b = -50.0);
+        store.params[cell.bz]
+            .value
+            .data
+            .iter_mut()
+            .for_each(|b| *b = -50.0);
         let mut g = Graph::new();
         let x = g.input(Array::from_vec(1, 2, vec![1.0, -1.0]));
         let h0 = g.input(Array::from_vec(1, 4, vec![0.3, -0.2, 0.1, 0.9]));
@@ -205,7 +221,11 @@ mod tests {
         let mut store = ParamStore::new();
         let rb = ResidualBlock::new(&mut store, "rb", 6, &mut rng);
         // Zero the second FC: output must equal input exactly.
-        store.params[rb.fc2.w].value.data.iter_mut().for_each(|w| *w = 0.0);
+        store.params[rb.fc2.w]
+            .value
+            .data
+            .iter_mut()
+            .for_each(|w| *w = 0.0);
         let mut g = Graph::new();
         let x = g.input(Array::from_vec(2, 6, vec![0.1; 12]));
         let y = rb.fwd(&mut g, &store, x);
@@ -230,7 +250,12 @@ mod tests {
         let y = head.fwd(&mut g, &store, h);
         let loss = g.mean(y);
         g.backward(loss, &mut store);
-        let wz_grad: f64 = store.params[cell.wz].grad.data.iter().map(|x| x.abs()).sum();
+        let wz_grad: f64 = store.params[cell.wz]
+            .grad
+            .data
+            .iter()
+            .map(|x| x.abs())
+            .sum();
         assert!(wz_grad > 0.0, "gradient must flow through time");
     }
 }

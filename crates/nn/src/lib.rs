@@ -11,8 +11,8 @@
 
 pub mod adam;
 pub mod array;
-pub mod graph;
 pub mod gmm;
+pub mod graph;
 pub mod layers;
 pub mod params;
 

@@ -74,7 +74,11 @@ impl ParamStore {
     /// Copy values from another store (shapes must match) — used for target
     /// networks.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.params.len(), other.params.len(), "param count mismatch");
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "param count mismatch"
+        );
         for (dst, src) in self.params.iter_mut().zip(&other.params) {
             assert_eq!(dst.value.shape(), src.value.shape(), "{} shape", dst.name);
             dst.value.data.copy_from_slice(&src.value.data);
@@ -118,22 +122,39 @@ impl ParamStore {
         r.read_exact(&mut u)?;
         let n = u64::from_le_bytes(u) as usize;
         if n != self.params.len() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "param count mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "param count mismatch",
+            ));
         }
         for p in &mut self.params {
             r.read_exact(&mut u)?;
             let name_len = u64::from_le_bytes(u) as usize;
+            // Validate before allocating: a corrupted stream must produce a
+            // clean error, not an out-of-memory abort.
+            if name_len != p.name.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "param name mismatch",
+                ));
+            }
             let mut name = vec![0u8; name_len];
             r.read_exact(&mut name)?;
             if name != p.name.as_bytes() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "param name mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "param name mismatch",
+                ));
             }
             r.read_exact(&mut u)?;
             let rows = u64::from_le_bytes(u) as usize;
             r.read_exact(&mut u)?;
             let cols = u64::from_le_bytes(u) as usize;
             if (rows, cols) != p.value.shape() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "param shape mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "param shape mismatch",
+                ));
             }
             let mut b = [0u8; 8];
             for x in &mut p.value.data {

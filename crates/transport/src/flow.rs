@@ -75,6 +75,14 @@ pub struct Flow {
     prev_rate_bps: f64,
     pub rto_deadline: Option<Nanos>,
     rto_backoff: u32,
+    /// RTOs fired since the last forward progress. When this reaches
+    /// `max_consecutive_rtos` the connection is presumed dead and the flow
+    /// aborts and cleanly restarts instead of backing off forever.
+    consecutive_rtos: u32,
+    /// Abort-and-restart threshold (Linux's `tcp_retries2` analogue).
+    pub max_consecutive_rtos: u32,
+    /// How many times this flow aborted and restarted after repeated RTOs.
+    pub restarts_total: u64,
 
     // --- Cumulative sender counters ---
     pub sent_pkts_total: u64,
@@ -96,7 +104,12 @@ pub struct Flow {
 }
 
 impl Flow {
-    pub fn new(id: FlowId, cca: Box<dyn CongestionControl>, start: Nanos, stop: Option<Nanos>) -> Self {
+    pub fn new(
+        id: FlowId,
+        cca: Box<dyn CongestionControl>,
+        start: Nanos,
+        stop: Option<Nanos>,
+    ) -> Self {
         Flow {
             id,
             cca,
@@ -121,6 +134,9 @@ impl Flow {
             prev_rate_bps: 0.0,
             rto_deadline: None,
             rto_backoff: 0,
+            consecutive_rtos: 0,
+            max_consecutive_rtos: 8,
+            restarts_total: 0,
             sent_pkts_total: 0,
             sent_bytes_total: 0,
             lost_pkts_total: 0,
@@ -288,6 +304,7 @@ impl Flow {
             // behaviour); without this a loss storm can push the timer past
             // the life of the connection.
             self.rto_backoff = 0;
+            self.consecutive_rtos = 0;
 
             if let Some(s) = rtt_sample {
                 self.prev_rtt = self.rtt.latest();
@@ -346,11 +363,8 @@ impl Flow {
         } else {
             // --- Duplicate ACK ---
             self.dupacks += 1;
-            match self.ca_state {
-                CaState::Open => {
-                    self.ca_state = CaState::Disorder;
-                }
-                _ => {}
+            if self.ca_state == CaState::Open {
+                self.ca_state = CaState::Disorder;
             }
             if self.dupacks == 3 && matches!(self.ca_state, CaState::Open | CaState::Disorder) {
                 // Enter fast recovery.
@@ -408,6 +422,14 @@ impl Flow {
             self.rto_deadline = None;
             return None;
         }
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos >= self.max_consecutive_rtos {
+            // The path is presumed dead (e.g. a long blackout): abort the
+            // connection and restart it cleanly rather than doubling the
+            // timer forever against a black hole.
+            self.abort_and_restart(now);
+            return None;
+        }
         self.ca_state = CaState::Loss;
         self.recovery_high = self.next_seq;
         self.dupacks = 0;
@@ -432,6 +454,42 @@ impl Flow {
         let deadline = now + self.rto_scaled();
         self.rto_deadline = Some(deadline);
         Some(deadline)
+    }
+
+    /// Abort a presumed-dead connection and restart it in place: everything
+    /// still outstanding is written off as lost, the scoreboard and receiver
+    /// reassembly state are discarded, the RTT estimator and CCA re-initialise
+    /// and the flow resumes sending fresh data from `next_seq` (the sequence
+    /// space is never reused, so old in-flight copies can only show up as
+    /// harmless duplicates).
+    fn abort_and_restart(&mut self, now: Nanos) {
+        // Count only packets not already written off by go-back-N marking.
+        let written_off = self
+            .outstanding
+            .values()
+            .filter(|m| !m.sacked && !m.lost)
+            .count() as u64;
+        self.lost_pkts_total += written_off;
+        self.lost_bytes_total += written_off * MSS as u64;
+        self.outstanding.clear();
+        self.retransmit_queue.clear();
+        self.n_sacked = 0;
+        self.n_lost = 0;
+        self.dupacks = 0;
+        self.snd_una = self.next_seq;
+        self.highest_sacked = self.next_seq;
+        self.loss_scan_floor = self.next_seq;
+        self.recovery_high = self.next_seq;
+        // Receiver side resynchronises to the restarted sequence stream.
+        self.rcv_nxt = self.next_seq;
+        self.ooo.clear();
+        self.ca_state = CaState::Open;
+        self.rto_backoff = 0;
+        self.consecutive_rtos = 0;
+        self.rto_deadline = None;
+        self.rtt = RttEstimator::new();
+        self.cca.init(now, MSS);
+        self.restarts_total += 1;
     }
 
     fn rto_scaled(&self) -> Nanos {
@@ -554,7 +612,16 @@ mod tests {
     }
 
     fn flow(cwnd: f64) -> Flow {
-        let mut f = Flow::new(0, Box::new(FixedWindow { cwnd, congestion_events: 0, rtos: 0 }), 0, None);
+        let mut f = Flow::new(
+            0,
+            Box::new(FixedWindow {
+                cwnd,
+                congestion_events: 0,
+                rtos: 0,
+            }),
+            0,
+            None,
+        );
         f.active = true;
         f
     }
@@ -614,11 +681,18 @@ mod tests {
         // Packet 5 is genuinely still in flight: the partial ACK must NOT
         // spuriously retransmit it (SACK evidence rule).
         assert_eq!(f.ca_state, CaState::Recovery);
-        assert!(!f.has_retransmit(), "no spurious retransmit without SACK evidence");
+        assert!(
+            !f.has_retransmit(),
+            "no spurious retransmit without SACK evidence"
+        );
         let ack5 = f.on_data(13 * MILLIS, packets[5]);
         assert_eq!(ack5.ack_seq, 6);
         f.on_ack(13 * MILLIS, ack5);
-        assert_eq!(f.ca_state, CaState::Open, "recovery exits once all pre-loss data acked");
+        assert_eq!(
+            f.ca_state,
+            CaState::Open,
+            "recovery exits once all pre-loss data acked"
+        );
     }
 
     #[test]
@@ -702,6 +776,70 @@ mod tests {
         let bytes_after_first = f.rcv_bytes_total;
         f.on_data(2 * MILLIS, p);
         assert_eq!(f.rcv_bytes_total, bytes_after_first);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_caps_and_resets() {
+        let mut f = flow(4.0);
+        f.max_consecutive_rtos = 100; // keep the abort path out of this test
+        f.make_packet(0);
+        f.ensure_rto(0);
+        let base = f.rto_scaled();
+        assert!(base > 0);
+        let mut now = 0;
+        let mut prev = 0;
+        for i in 1..=8u32 {
+            now = f.rto_deadline.unwrap();
+            f.on_rto(now);
+            let cur = f.rto_scaled();
+            if i <= 5 {
+                assert_eq!(cur, base << i, "backoff {i} must double");
+                assert!(cur > prev, "backoff must grow monotonically");
+            } else {
+                assert_eq!(cur, base << 5, "backoff capped at 32x");
+            }
+            prev = cur;
+        }
+        // Fresh cumulative ACK resets the backoff entirely.
+        let rtx = f.make_packet(now);
+        assert!(rtx.retransmit);
+        let ack = f.on_data(now + MILLIS, rtx);
+        f.on_ack(now + 2 * MILLIS, ack);
+        assert_eq!(f.rto_scaled(), base, "forward progress must reset backoff");
+    }
+
+    #[test]
+    fn repeated_rtos_abort_and_restart_flow() {
+        let mut f = flow(4.0);
+        f.max_consecutive_rtos = 3;
+        for _ in 0..4 {
+            f.make_packet(0);
+        }
+        f.ensure_rto(0);
+        // Two RTOs back off; the third hits the cap and restarts the flow.
+        for _ in 0..2 {
+            let d = f.rto_deadline.unwrap();
+            assert!(f.on_rto(d).is_some());
+        }
+        assert_eq!(f.restarts_total, 0);
+        let d = f.rto_deadline.unwrap();
+        assert!(f.on_rto(d).is_none(), "restart cancels the timer");
+        assert_eq!(f.restarts_total, 1);
+        assert_eq!(f.pipe_pkts(), 0);
+        assert_eq!(
+            f.snd_una(),
+            f.next_seq(),
+            "written off everything outstanding"
+        );
+        assert_eq!(f.lost_pkts_total, 4);
+        assert_eq!(f.ca_state, CaState::Open);
+        // The flow keeps working after the restart: new data flows end to end.
+        let p = f.make_packet(SECONDS);
+        assert!(!p.retransmit, "restart discards the retransmit queue");
+        let ack = f.on_data(SECONDS + MILLIS, p);
+        f.on_ack(SECONDS + 2 * MILLIS, ack);
+        assert_eq!(f.snd_una(), f.next_seq());
+        assert_eq!(f.pipe_pkts(), 0);
     }
 
     #[test]

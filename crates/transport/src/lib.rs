@@ -25,7 +25,8 @@ pub mod rtt;
 pub mod sim;
 
 pub use cc::{AckEvent, CaState, CongestionControl, SocketView};
-pub use sim::{FlowConfig, FlowStats, Simulation, SimConfig, TickRecord};
+pub use flow::Flow;
+pub use sim::{FlowConfig, FlowStats, SimConfig, Simulation, TickRecord};
 
 /// Default maximum segment size used throughout the reproduction (bytes on
 /// the wire; we do not model header overhead separately).

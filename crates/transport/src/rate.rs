@@ -49,7 +49,11 @@ impl RateSampler {
     pub fn snapshot(&self, now: Nanos) -> RateSnapshot {
         RateSnapshot {
             delivered_bytes: self.delivered_bytes,
-            at: if self.delivered_at == 0 { now } else { self.delivered_at },
+            at: if self.delivered_at == 0 {
+                now
+            } else {
+                self.delivered_at
+            },
         }
     }
 
@@ -114,7 +118,11 @@ mod tests {
                 s.on_delivered(i * MILLIS, 1500, snap);
             }
         }
-        assert!((s.latest_bps() - 12e6).abs() / 12e6 < 0.05, "rate {}", s.latest_bps());
+        assert!(
+            (s.latest_bps() - 12e6).abs() / 12e6 < 0.05,
+            "rate {}",
+            s.latest_bps()
+        );
     }
 
     #[test]

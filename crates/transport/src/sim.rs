@@ -5,6 +5,7 @@ use crate::cc::{CongestionControl, SocketView};
 use crate::flow::{Ack, Flow};
 use sage_netsim::aqm::AqmKind;
 use sage_netsim::engine::EventQueue;
+use sage_netsim::faults::{FaultInjector, FaultPlan, FaultStats, ForwardVerdict};
 use sage_netsim::link::LinkModel;
 use sage_netsim::packet::{FlowId, Packet};
 use sage_netsim::queue::{BottleneckPath, EnqueueOutcome};
@@ -29,6 +30,10 @@ pub struct SimConfig {
     /// timing noise; breaks the deterministic phase-lock that synchronised
     /// flows would otherwise exhibit over a DropTail queue). Default 200 us.
     pub ack_jitter: Nanos,
+    /// Adversarial fault injection (burst loss, corruption, reordering,
+    /// duplication, blackouts, jitter spikes, ACK compression). The default
+    /// plan injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -43,7 +48,14 @@ impl SimConfig {
             seed: 1,
             monitor_interval: 10 * MILLIS,
             ack_jitter: 200_000,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Same configuration with a fault plan attached.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -56,11 +68,19 @@ pub struct FlowConfig {
 
 impl FlowConfig {
     pub fn at_start(cca: Box<dyn CongestionControl>) -> Self {
-        FlowConfig { cca, start: 0, stop: None }
+        FlowConfig {
+            cca,
+            start: 0,
+            stop: None,
+        }
     }
 
     pub fn starting_at(cca: Box<dyn CongestionControl>, start: Nanos) -> Self {
-        FlowConfig { cca, start, stop: None }
+        FlowConfig {
+            cca,
+            start,
+            stop: None,
+        }
     }
 }
 
@@ -94,6 +114,8 @@ pub struct FlowStats {
     pub lost_pkts: u64,
     pub retx_pkts: u64,
     pub sent_pkts: u64,
+    /// Times the flow aborted and cleanly restarted after consecutive RTOs.
+    pub restarts: u64,
     /// Active sending duration, seconds.
     pub active_secs: f64,
 }
@@ -147,6 +169,9 @@ pub struct Simulation {
     /// Per-flow sum/count of srtt over ticks (for FlowStats).
     srtt_sum: Vec<f64>,
     srtt_cnt: Vec<u64>,
+    /// Adversarial fault injection on the forward and ACK paths. Owns its own
+    /// RNG stream so fault draws never perturb the other random streams.
+    faults: FaultInjector,
 }
 
 impl Simulation {
@@ -172,6 +197,7 @@ impl Simulation {
             flows.push(f);
         }
         events.schedule(cfg.monitor_interval, Ev::Tick);
+        let faults = FaultInjector::new(cfg.faults.clone(), cfg_seed);
         let n = flows.len();
         Simulation {
             cfg,
@@ -187,6 +213,7 @@ impl Simulation {
             rng: sage_util::Rng::new(cfg_seed ^ 0xACE1),
             srtt_sum: vec![0.0; n],
             srtt_cnt: vec![0; n],
+            faults,
         }
     }
 
@@ -201,8 +228,24 @@ impl Simulation {
                 Ev::PathComplete(expected) => {
                     if self.path.next_completion() == Some(expected) {
                         if let Some(dep) = self.path.complete(self.now) {
-                            self.events
-                                .schedule(dep.at + self.fwd_owd, Ev::DataArrive(dep.pkt));
+                            match self.faults.on_forward(dep.at) {
+                                ForwardVerdict::Drop(_) => {
+                                    // Lost on the wire: surfaces to the
+                                    // sender as a missing ACK.
+                                }
+                                ForwardVerdict::Deliver {
+                                    extra_delay,
+                                    duplicate,
+                                    dup_gap,
+                                } => {
+                                    let arrive = dep.at + self.fwd_owd + extra_delay;
+                                    self.events.schedule(arrive, Ev::DataArrive(dep.pkt));
+                                    if duplicate {
+                                        self.events
+                                            .schedule(arrive + dup_gap, Ev::DataArrive(dep.pkt));
+                                    }
+                                }
+                            }
                         }
                         self.schedule_path_completion();
                     }
@@ -215,8 +258,10 @@ impl Simulation {
                     } else {
                         0
                     };
-                    self.events
-                        .schedule(self.now + self.ret_owd + jitter, Ev::AckArrive(ack));
+                    let nominal = self.now + self.ret_owd + jitter;
+                    if let Some(release) = self.faults.on_ack(self.now, nominal) {
+                        self.events.schedule(release, Ev::AckArrive(ack));
+                    }
                 }
                 Ev::AckArrive(ack) => {
                     let idx = ack.flow as usize;
@@ -229,7 +274,7 @@ impl Simulation {
                 Ev::Rto(fid) => {
                     let idx = fid as usize;
                     let deadline = self.flows[idx].rto_deadline;
-                    if deadline == Some(self.now) || deadline.map_or(false, |d| d <= self.now) {
+                    if deadline.is_some_and(|d| d <= self.now) {
                         if let Some(next) = self.flows[idx].on_rto(self.now) {
                             self.events.schedule(next, Ev::Rto(fid));
                         }
@@ -371,6 +416,7 @@ impl Simulation {
                 lost_pkts: f.lost_pkts_total,
                 retx_pkts: f.retx_pkts_total,
                 sent_pkts: f.sent_pkts_total,
+                restarts: f.restarts_total,
                 active_secs: active,
             });
         }
@@ -380,6 +426,11 @@ impl Simulation {
     /// Total packets dropped at the bottleneck.
     pub fn path_drops(&self) -> u64 {
         self.path.total_dropped
+    }
+
+    /// Counters of everything the fault injector did during the run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
     }
 
     /// Access a flow (for inspection in tests and figures).
@@ -401,7 +452,10 @@ mod tests {
     }
     impl MiniReno {
         fn new() -> Self {
-            MiniReno { cwnd: crate::INIT_CWND, ssthresh: f64::INFINITY }
+            MiniReno {
+                cwnd: crate::INIT_CWND,
+                ssthresh: f64::INFINITY,
+            }
         }
     }
     impl CongestionControl for MiniReno {
@@ -453,7 +507,11 @@ mod tests {
             "expected near-full utilisation, got {} Mbps",
             s.avg_goodput_mbps
         );
-        assert!(s.avg_owd_ms >= 10.0, "one-way delay below propagation? {}", s.avg_owd_ms);
+        assert!(
+            s.avg_owd_ms >= 10.0,
+            "one-way delay below propagation? {}",
+            s.avg_owd_ms
+        );
     }
 
     #[test]
@@ -466,7 +524,11 @@ mod tests {
     fn losses_occur_with_tiny_buffer() {
         let s = run_one(24.0, 20.0, 0.25, 10.0);
         assert!(s.lost_pkts > 0, "tiny buffer must cause losses");
-        assert!(s.avg_goodput_mbps > 5.0, "still makes progress: {}", s.avg_goodput_mbps);
+        assert!(
+            s.avg_goodput_mbps > 5.0,
+            "still makes progress: {}",
+            s.avg_goodput_mbps
+        );
     }
 
     #[test]
@@ -517,7 +579,11 @@ mod tests {
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
         let stats = sim.run(&mut NullMonitor);
         // Average must exceed the low phase alone.
-        assert!(stats[0].avg_goodput_mbps > 20.0, "got {}", stats[0].avg_goodput_mbps);
+        assert!(
+            stats[0].avg_goodput_mbps > 20.0,
+            "got {}",
+            stats[0].avg_goodput_mbps
+        );
     }
 
     #[test]
@@ -591,7 +657,10 @@ mod tests {
             sage_netsim::time::from_secs(10.0),
         );
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
-        let mut w = StateWatch { saw_recovery: false, back_open: false };
+        let mut w = StateWatch {
+            saw_recovery: false,
+            back_open: false,
+        };
         sim.run(&mut w);
         assert!(w.saw_recovery, "expected fast recovery under small buffer");
         assert!(w.back_open, "expected recovery to complete");

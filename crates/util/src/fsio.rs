@@ -1,0 +1,205 @@
+//! Crash-safe artefact I/O: atomic writes and checksum-verified reads.
+//!
+//! Pools and models are written once and read many times, often by a later
+//! process; a crash mid-write must never leave a file that parses into a
+//! garbage state. Writers here go through a temp file + fsync + atomic
+//! rename, and every payload carries a trailing checksum footer so that
+//! truncation and bit corruption are detected deterministically on load.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Footer magic. The footer is `MAGIC || payload_len: u64 LE || crc32: u32 LE`.
+pub const FOOTER_MAGIC: &[u8; 8] = b"SAGECRC1";
+
+/// Total footer size in bytes.
+pub const FOOTER_LEN: usize = 8 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table built on demand; the artefacts are MBs, so the table cost
+    // is negligible and keeps this dependency-free.
+    let mut table = [0u32; 256];
+    for (i, e) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *e = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Append the checksum footer to a payload.
+pub fn append_footer(payload: &mut Vec<u8>) {
+    let len = payload.len() as u64;
+    let crc = crc32(payload);
+    payload.extend_from_slice(FOOTER_MAGIC);
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Split a footered buffer into its payload, verifying length and checksum.
+/// Rejects truncated, extended, and bit-flipped files with a clear error.
+pub fn verify_footer(buf: &[u8]) -> io::Result<&[u8]> {
+    if buf.len() < FOOTER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "file truncated: {} bytes is shorter than the checksum footer",
+                buf.len()
+            ),
+        ));
+    }
+    let (payload, footer) = buf.split_at(buf.len() - FOOTER_LEN);
+    if &footer[..8] != FOOTER_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "missing checksum footer (file truncated mid-write or from an incompatible version)",
+        ));
+    }
+    let stored_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+    if stored_len != payload.len() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "length mismatch: footer says {stored_len} bytes, file holds {}",
+                payload.len()
+            ),
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(footer[16..20].try_into().unwrap());
+    let actual = crc32(payload);
+    if stored_crc != actual {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"),
+        ));
+    }
+    Ok(payload)
+}
+
+/// Atomically replace `path` with `bytes`: write to a sibling temp file,
+/// fsync it, rename over the target, then fsync the directory so the rename
+/// itself survives a crash. Readers never observe a partial file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension(format!(
+        "{}.tmp~",
+        path.extension().and_then(|e| e.to_str()).unwrap_or("bin")
+    ));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(d) = dir {
+        // Directory fsync is best-effort: not all filesystems support it.
+        if let Ok(dh) = fs::File::open(d) {
+            let _ = dh.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically write `payload` with a checksum footer appended.
+pub fn atomic_write_checksummed(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    buf.extend_from_slice(payload);
+    append_footer(&mut buf);
+    atomic_write(path, &buf)
+}
+
+/// Read a footered file, verify, and return the payload.
+pub fn read_checksummed(path: &Path) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    let payload = verify_footer(&buf)?;
+    let n = payload.len();
+    buf.truncate(n);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let mut buf = b"hello world".to_vec();
+        append_footer(&mut buf);
+        assert_eq!(verify_footer(&buf).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn footer_rejects_every_truncation() {
+        let mut buf = b"payload bytes".to_vec();
+        append_footer(&mut buf);
+        for n in 0..buf.len() {
+            assert!(
+                verify_footer(&buf[..n]).is_err(),
+                "truncation at {n} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_rejects_bit_flip() {
+        let mut buf = b"some payload".to_vec();
+        append_footer(&mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(verify_footer(&bad).is_err(), "bit flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn atomic_write_read_round_trip() {
+        let path = std::env::temp_dir().join("sage_fsio_rt.bin");
+        atomic_write_checksummed(&path, b"abc123").unwrap();
+        assert_eq!(read_checksummed(&path).unwrap(), b"abc123");
+        // Overwrite is atomic too.
+        atomic_write_checksummed(&path, b"second").unwrap();
+        assert_eq!(read_checksummed(&path).unwrap(), b"second");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_temp_file_left_behind() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sage_fsio_tmpcheck.bin");
+        atomic_write_checksummed(&path, b"x").unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .contains("sage_fsio_tmpcheck.bin.")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -6,10 +6,14 @@
 //! own xoshiro256++ instead of the `rand` crate so that simulation results are
 //! reproducible byte-for-byte across dependency upgrades.
 
+pub mod fsio;
+pub mod json;
 pub mod ring;
 pub mod rng;
 pub mod stats;
 
+pub use fsio::{atomic_write, atomic_write_checksummed, crc32, read_checksummed};
+pub use json::{Json, JsonError};
 pub use ring::RingWindow;
 pub use rng::Rng;
 pub use stats::{mean, percentile, stddev, Ewma, OnlineStats};

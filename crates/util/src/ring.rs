@@ -15,7 +15,13 @@ pub struct RingWindow {
 impl RingWindow {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        RingWindow { buf: vec![0.0; capacity], capacity, head: 0, len: 0, sum: 0.0 }
+        RingWindow {
+            buf: vec![0.0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            sum: 0.0,
+        }
     }
 
     /// Push a sample, evicting the oldest once full.
@@ -53,12 +59,16 @@ impl RingWindow {
 
     /// Minimum of the samples currently in the window (0.0 when empty).
     pub fn min(&self) -> f64 {
-        self.iter().fold(f64::INFINITY, f64::min).min_empty(self.len)
+        self.iter()
+            .fold(f64::INFINITY, f64::min)
+            .min_empty(self.len)
     }
 
     /// Maximum of the samples currently in the window (0.0 when empty).
     pub fn max(&self) -> f64 {
-        self.iter().fold(f64::NEG_INFINITY, f64::max).max_empty(self.len)
+        self.iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_empty(self.len)
     }
 
     /// Most recently pushed sample.

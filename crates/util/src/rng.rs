@@ -37,7 +37,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, spare_normal: None }
+        Rng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derive an independent child generator; `stream` distinguishes children

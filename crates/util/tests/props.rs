@@ -1,40 +1,66 @@
-//! Property-based tests for the statistics and windowing primitives.
+//! Property-style tests for the statistics and windowing primitives, driven
+//! by the workspace's own deterministic RNG (no external property-testing
+//! framework: the build must work offline).
 
-use proptest::prelude::*;
 use sage_util::{mean, percentile, stddev, OnlineStats, RingWindow, Rng};
 
-proptest! {
-    #[test]
-    fn percentile_within_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+/// Random vector of `len` elements in `[lo, hi)`.
+fn vec_in(rng: &mut Rng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.range(lo, hi)).collect()
+}
+
+#[test]
+fn percentile_within_min_max() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..200 {
+        let len = 1 + rng.below(199);
+        let xs = vec_in(&mut rng, len, -1e6, 1e6);
+        let p = rng.range(0.0, 100.0);
         let v = percentile(&xs, p);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!(
+            v >= lo - 1e-9 && v <= hi + 1e-9,
+            "p{p} of {len} elems out of range"
+        );
     }
+}
 
-    #[test]
-    fn percentile_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+#[test]
+fn percentile_is_monotone() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..200 {
+        let len = 2 + rng.below(98);
+        let xs = vec_in(&mut rng, len, -1e3, 1e3);
         let p25 = percentile(&xs, 25.0);
         let p50 = percentile(&xs, 50.0);
         let p75 = percentile(&xs, 75.0);
-        prop_assert!(p25 <= p50 + 1e-12 && p50 <= p75 + 1e-12);
+        assert!(p25 <= p50 + 1e-12 && p50 <= p75 + 1e-12);
     }
+}
 
-    #[test]
-    fn online_stats_match_batch(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+#[test]
+fn online_stats_match_batch() {
+    let mut rng = Rng::new(0xCAFE);
+    for _ in 0..100 {
+        let len = 2 + rng.below(198);
+        let xs = vec_in(&mut rng, len, -1e3, 1e3);
         let mut o = OnlineStats::new();
         for &x in &xs {
             o.push(x);
         }
-        prop_assert!((o.mean() - mean(&xs)).abs() < 1e-6);
-        prop_assert!((o.variance().sqrt() - stddev(&xs)).abs() < 1e-6);
+        assert!((o.mean() - mean(&xs)).abs() < 1e-6);
+        assert!((o.variance().sqrt() - stddev(&xs)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn ring_window_matches_naive(
-        cap in 1usize..20,
-        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
-    ) {
+#[test]
+fn ring_window_matches_naive() {
+    let mut rng = Rng::new(0xD00D);
+    for _ in 0..50 {
+        let cap = 1 + rng.below(19);
+        let len = 1 + rng.below(99);
+        let xs = vec_in(&mut rng, len, -1e3, 1e3);
         let mut w = RingWindow::new(cap);
         for (i, &x) in xs.iter().enumerate() {
             w.push(x);
@@ -42,26 +68,35 @@ proptest! {
             let naive_mean = live.iter().sum::<f64>() / live.len() as f64;
             let naive_min = live.iter().cloned().fold(f64::INFINITY, f64::min);
             let naive_max = live.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!((w.mean() - naive_mean).abs() < 1e-6);
-            prop_assert!((w.min() - naive_min).abs() < 1e-12);
-            prop_assert!((w.max() - naive_max).abs() < 1e-12);
+            assert!((w.mean() - naive_mean).abs() < 1e-6);
+            assert!((w.min() - naive_min).abs() < 1e-12);
+            assert!((w.max() - naive_max).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn rng_below_in_range(seed in any::<u64>(), n in 1usize..1000) {
-        let mut r = Rng::new(seed);
+#[test]
+fn rng_below_in_range() {
+    let mut seeder = Rng::new(0xF00);
+    for _ in 0..50 {
+        let mut r = Rng::new(seeder.next_u64());
+        let n = 1 + seeder.below(999);
         for _ in 0..50 {
-            prop_assert!(r.below(n) < n);
+            assert!(r.below(n) < n);
         }
     }
+}
 
-    #[test]
-    fn rng_range_in_bounds(seed in any::<u64>(), lo in -1e6f64..0.0, hi in 1.0f64..1e6) {
-        let mut r = Rng::new(seed);
+#[test]
+fn rng_range_in_bounds() {
+    let mut seeder = Rng::new(0xBEEF);
+    for _ in 0..50 {
+        let mut r = Rng::new(seeder.next_u64());
+        let lo = -seeder.range(0.0, 1e6) - 1.0;
+        let hi = seeder.range(1.0, 1e6);
         for _ in 0..50 {
             let x = r.range(lo, hi);
-            prop_assert!(x >= lo && x < hi);
+            assert!(x >= lo && x < hi);
         }
     }
 }

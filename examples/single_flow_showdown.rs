@@ -7,15 +7,21 @@
 //! ```
 
 use sage::collector::training_envs;
+use sage::collector::SetKind;
 use sage::eval::league::rank_league;
 use sage::eval::runner::{run_contenders, scores_of_set, Contender};
-use sage::collector::SetKind;
 
 fn main() {
     let envs = training_envs(8, 0, 10.0, 7);
-    let contenders: Vec<Contender> =
-        sage::heuristics::pool_names().into_iter().map(Contender::Heuristic).collect();
-    println!("running {} schemes x {} environments...", contenders.len(), envs.len());
+    let contenders: Vec<Contender> = sage::heuristics::pool_names()
+        .into_iter()
+        .map(Contender::Heuristic)
+        .collect();
+    println!(
+        "running {} schemes x {} environments...",
+        contenders.len(),
+        envs.len()
+    );
     let records = run_contenders(&contenders, &envs, 2.0, 7, |done, total| {
         if done % 26 == 0 {
             println!("  {done}/{total}");
@@ -24,6 +30,12 @@ fn main() {
     let table = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);
     println!("\nSet I league (margin 10%):");
     for e in table {
-        println!("  {:10} {:6.2}%  ({} wins / {} cells)", e.scheme, e.winning_rate * 100.0, e.wins, e.cells);
+        println!(
+            "  {:10} {:6.2}%  ({} wins / {} cells)",
+            e.scheme,
+            e.winning_rate * 100.0,
+            e.wins,
+            e.cells
+        );
     }
 }

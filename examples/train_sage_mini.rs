@@ -7,12 +7,12 @@
 //! cargo run --release --example train_sage_mini
 //! ```
 
+use sage::collector::SetKind;
 use sage::collector::{collect_pool, training_envs};
 use sage::core::policy::{ActionMode, SagePolicy};
 use sage::core::{CrrConfig, CrrTrainer, NetConfig};
 use sage::eval::league::rank_league;
 use sage::eval::runner::{run_contenders, scores_of_set, Contender};
-use sage::collector::SetKind;
 use sage::gr::GrConfig;
 use std::sync::Arc;
 
@@ -20,13 +20,29 @@ fn main() {
     // 1. Policy Collector: 6 environments x 5 schemes, once, before training.
     let envs = training_envs(4, 2, 8.0, 42);
     let schemes = ["cubic", "vegas", "bbr2", "westwood", "yeah"];
-    println!("collecting pool ({} envs x {} schemes)...", envs.len(), schemes.len());
+    println!(
+        "collecting pool ({} envs x {} schemes)...",
+        envs.len(),
+        schemes.len()
+    );
     let pool = collect_pool(&envs, &schemes, GrConfig::default(), 42, |_, _| {});
-    println!("  {} trajectories, {} transitions", pool.trajectories.len(), pool.total_steps());
+    println!(
+        "  {} trajectories, {} transitions",
+        pool.trajectories.len(),
+        pool.total_steps()
+    );
 
     // 2. Core Learning: offline CRR; no environment access from here on.
     let cfg = CrrConfig {
-        net: NetConfig { enc1: 16, gru: 16, enc2: 16, fc: 16, residual_blocks: 1, critic_hidden: 32, ..NetConfig::default() },
+        net: NetConfig {
+            enc1: 16,
+            gru: 16,
+            enc2: 16,
+            fc: 16,
+            residual_blocks: 1,
+            critic_hidden: 32,
+            ..NetConfig::default()
+        },
         batch: 8,
         unroll: 8,
         seed: 42,
@@ -36,14 +52,23 @@ fn main() {
     println!("training 1500 offline gradient steps...");
     trainer.train(&pool, 1500, |i, m| {
         if (i + 1) % 500 == 0 {
-            println!("  step {}: policy loss {:.3}, critic loss {:.3}", i + 1, m.policy_loss, m.critic_loss);
+            println!(
+                "  step {}: policy loss {:.3}, critic loss {:.3}",
+                i + 1,
+                m.policy_loss,
+                m.critic_loss
+            );
         }
     });
     let model = Arc::new(trainer.into_model());
 
     // 3. Execution: the learned policy as a CongestionControl, in a league.
     let mut contenders: Vec<Contender> = schemes.into_iter().map(Contender::Heuristic).collect();
-    contenders.push(Contender::Model { name: "sage-mini", model: model.clone(), gr_cfg: GrConfig::default() });
+    contenders.push(Contender::Model {
+        name: "sage-mini",
+        model: model.clone(),
+        gr_cfg: GrConfig::default(),
+    });
     let records = run_contenders(&contenders, &envs, 2.0, 42, |_, _| {});
     for (set, label) in [(SetKind::SetI, "Set I"), (SetKind::SetII, "Set II")] {
         let table = rank_league(&scores_of_set(&records, set), 0.10);

@@ -38,4 +38,5 @@ run fig18 cargo run --release -q -p sage-bench --bin fig18_fairness
 run fig15 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig15_diversity
 run fig12 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig12_ablation
 run fig14 env SAGE_SET1=12 SAGE_SET2=6 cargo run --release -q -p sage-bench --bin fig14_granularity
+run set3 env SAGE_SECS=10 cargo run --release -q -p sage-bench --bin set3_adversarial
 echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Offline CI gate: formatting, lints, and the tier-1 build/test cycle.
+# Everything here runs without network access.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "ALL CHECKS PASSED"

@@ -31,7 +31,13 @@ fn tiny_net() -> NetConfig {
 #[test]
 fn pool_round_trips_through_disk() {
     let envs = training_envs(2, 1, 3.0, 3);
-    let pool = collect_pool(&envs, &["cubic", "vegas"], GrConfig::default(), 3, |_, _| {});
+    let pool = collect_pool(
+        &envs,
+        &["cubic", "vegas"],
+        GrConfig::default(),
+        3,
+        |_, _| {},
+    );
     let path = std::env::temp_dir().join("sage_it_pool.bin");
     pool.save_file(&path).unwrap();
     let loaded = Pool::load_file(&path).unwrap();
@@ -44,17 +50,34 @@ fn pool_round_trips_through_disk() {
 fn full_pipeline_trains_and_deploys() {
     // Collect.
     let envs = training_envs(3, 1, 5.0, 11);
-    let pool = collect_pool(&envs, &["cubic", "vegas", "bbr2"], GrConfig::default(), 11, |_, _| {});
+    let pool = collect_pool(
+        &envs,
+        &["cubic", "vegas", "bbr2"],
+        GrConfig::default(),
+        11,
+        |_, _| {},
+    );
     assert!(pool.total_steps() > 1000);
 
     // Train (few steps: we only verify the plumbing, not quality).
-    let cfg = CrrConfig { net: tiny_net(), batch: 4, unroll: 4, seed: 11, ..CrrConfig::default() };
+    let cfg = CrrConfig {
+        net: tiny_net(),
+        batch: 4,
+        unroll: 4,
+        seed: 11,
+        ..CrrConfig::default()
+    };
     let mut trainer = CrrTrainer::new(cfg, &pool);
     trainer.train(&pool, 30, |_, _| {});
     let model = Arc::new(trainer.into_model());
 
     // Deploy in a fresh environment; must transfer data.
-    let sim_cfg = SimConfig::new(LinkModel::Constant { mbps: 24.0 }, 240_000, 40.0, from_secs(4.0));
+    let sim_cfg = SimConfig::new(
+        LinkModel::Constant { mbps: 24.0 },
+        240_000,
+        40.0,
+        from_secs(4.0),
+    );
     let cca = SagePolicy::new(model.clone(), GrConfig::default(), 2, ActionMode::Sample);
     let mut sim = Simulation::new(sim_cfg, vec![FlowConfig::at_start(Box::new(cca))]);
     let stats = sim.run(&mut NullMonitor).remove(0);
@@ -63,7 +86,11 @@ fn full_pipeline_trains_and_deploys() {
     // League the model against its teachers.
     let contenders = vec![
         Contender::Heuristic("cubic"),
-        Contender::Model { name: "mini", model, gr_cfg: GrConfig::default() },
+        Contender::Model {
+            name: "mini",
+            model,
+            gr_cfg: GrConfig::default(),
+        },
     ];
     let records = run_contenders(&contenders, &envs, 2.0, 11, |_, _| {});
     let table = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);
@@ -74,7 +101,14 @@ fn full_pipeline_trains_and_deploys() {
 fn model_persists_and_reloads_identically() {
     let envs = training_envs(1, 0, 3.0, 5);
     let pool = collect_pool(&envs, &["cubic"], GrConfig::default(), 5, |_, _| {});
-    let cfg = CrrConfig { net: tiny_net(), batch: 4, unroll: 4, bc_only: true, seed: 5, ..CrrConfig::default() };
+    let cfg = CrrConfig {
+        net: tiny_net(),
+        batch: 4,
+        unroll: 4,
+        bc_only: true,
+        seed: 5,
+        ..CrrConfig::default()
+    };
     let mut trainer = CrrTrainer::new(cfg, &pool);
     trainer.train(&pool, 10, |_, _| {});
     let path = std::env::temp_dir().join("sage_it_model.bin");
@@ -83,7 +117,12 @@ fn model_persists_and_reloads_identically() {
     assert_eq!(loaded.cfg, trainer.model().cfg);
     // Deterministic deployment of the two must agree exactly.
     let run = |m: Arc<sage::core::SageModel>| {
-        let cfg = SimConfig::new(LinkModel::Constant { mbps: 12.0 }, 120_000, 20.0, from_secs(2.0));
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            120_000,
+            20.0,
+            from_secs(2.0),
+        );
         let cca = SagePolicy::new(m, GrConfig::default(), 1, ActionMode::Deterministic);
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca))]);
         sim.run(&mut NullMonitor).remove(0).delivered_bytes
@@ -110,7 +149,13 @@ fn gr_trajectories_match_state_dim_everywhere() {
 #[test]
 fn distance_index_separates_pool_members_from_novel_schemes() {
     let envs = training_envs(2, 0, 4.0, 9);
-    let pool = collect_pool(&envs, &["vegas", "cubic"], GrConfig::default(), 9, |_, _| {});
+    let pool = collect_pool(
+        &envs,
+        &["vegas", "cubic"],
+        GrConfig::default(),
+        9,
+        |_, _| {},
+    );
     let idx = DistanceIndex::new(&pool.trajectories, 10_000, 9);
     // Re-running a pool scheme gives near-zero distances.
     let rerun = collect_pool(&envs[..1], &["vegas"], GrConfig::default(), 9, |_, _| {});
