@@ -1,0 +1,142 @@
+//! Serial-vs-parallel wall-clock comparison for the three parallelised hot
+//! loops (pool collection, CRR training, league evaluation), with a hard
+//! digest-equality check: at every thread count the pool bytes, the trained
+//! model bytes and the league rankings must be identical. Exits non-zero on
+//! any mismatch, so `scripts/check.sh` can use it as a determinism gate.
+//!
+//! Scale knobs: `SAGE_SECS` (env duration, default 5 s), `SAGE_STEPS`
+//! (training steps, default 20). Note this container may expose a single
+//! core (`available_parallelism` = 1); digests are verified unconditionally,
+//! but wall-clock speedup is only meaningful — and only reported as such —
+//! when real cores back the extra threads.
+
+use sage_bench::envvar;
+use sage_collector::{collect_pool_with_threads, training_envs, Pool};
+use sage_core::{CrrConfig, CrrTrainer, NetConfig};
+use sage_eval::{rank_league, run_contenders_with_threads, scores_of_set, Contender};
+use sage_gr::GrConfig;
+use sage_util::crc32;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn pool_digest(pool: &Pool) -> u32 {
+    let mut bytes = Vec::new();
+    pool.save(&mut bytes).expect("pool serialises");
+    crc32(&bytes)
+}
+
+struct Timed<T> {
+    label: &'static str,
+    secs: Vec<f64>,
+    digests: Vec<T>,
+}
+
+impl<T: std::fmt::Debug + PartialEq> Timed<T> {
+    fn run(label: &'static str, mut f: impl FnMut(usize) -> T) -> Self {
+        let mut secs = Vec::new();
+        let mut digests = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let t0 = Instant::now();
+            digests.push(f(threads));
+            secs.push(t0.elapsed().as_secs_f64());
+        }
+        Timed {
+            label,
+            secs,
+            digests,
+        }
+    }
+
+    /// Print the row; returns false if any digest differs from serial.
+    fn report(&self) -> bool {
+        let ok = self.digests.iter().all(|d| *d == self.digests[0]);
+        let base = self.secs[0];
+        let cells: Vec<String> = THREAD_COUNTS
+            .iter()
+            .zip(&self.secs)
+            .map(|(n, s)| format!("T{n} {s:.3}s ({:.2}x)", base / s))
+            .collect();
+        println!(
+            "{:<12} {}  digests {}",
+            self.label,
+            cells.join("  "),
+            if ok { "identical" } else { "MISMATCH" }
+        );
+        if !ok {
+            eprintln!("  {:?}", self.digests);
+        }
+        ok
+    }
+}
+
+fn main() {
+    let secs = envvar("SAGE_SECS", 5) as f64;
+    let steps = envvar("SAGE_STEPS", 20) as u64;
+    let envs = training_envs(2, 1, secs, 77);
+    let schemes = ["cubic", "vegas", "newreno"];
+
+    let collect = Timed::run("collect", |threads| {
+        let pool =
+            collect_pool_with_threads(&envs, &schemes, GrConfig::default(), 9, threads, |_, _| {});
+        pool_digest(&pool)
+    });
+
+    let pool = collect_pool_with_threads(&envs, &schemes, GrConfig::default(), 9, 0, |_, _| {});
+    let train = Timed::run("train", |threads| {
+        let cfg = CrrConfig {
+            net: NetConfig {
+                enc1: 8,
+                gru: 8,
+                enc2: 8,
+                fc: 8,
+                residual_blocks: 1,
+                critic_hidden: 16,
+                atoms: 11,
+                ..NetConfig::default()
+            },
+            batch: 8,
+            unroll: 4,
+            seed: 5,
+            threads,
+            ..CrrConfig::default()
+        };
+        let mut tr = CrrTrainer::new(cfg, &pool);
+        for _ in 0..steps {
+            tr.train_step(&pool);
+        }
+        crc32(&tr.model().to_bytes().expect("model serialises"))
+    });
+
+    let league = Timed::run("league", |threads| {
+        let contenders = vec![
+            Contender::Heuristic("cubic"),
+            Contender::Heuristic("vegas"),
+            Contender::Oracle,
+        ];
+        let records = run_contenders_with_threads(&contenders, &envs, 2.0, 3, threads, |_, _| {});
+        let table = rank_league(
+            &scores_of_set(&records, sage_collector::SetKind::SetI),
+            0.10,
+        );
+        table
+            .iter()
+            .map(|e| format!("{} {:.6}", e.scheme, e.winning_rate))
+            .collect::<Vec<_>>()
+            .join("|")
+    });
+
+    println!();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available cores: {cores}");
+    if cores == 1 {
+        println!("single-core host: speedup columns reflect scheduling overhead only");
+    }
+    let ok = [collect.report(), train.report(), league.report()];
+    if ok.iter().all(|&x| x) {
+        println!("all digests identical across thread counts");
+    } else {
+        eprintln!("DETERMINISM VIOLATION: digests differ across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -95,29 +95,48 @@ pub fn rollout(
     }
 }
 
-/// Collect the full pool: every scheme through every environment.
-/// `progress` is called after each rollout with (done, total).
+/// Collect the full pool: every scheme through every environment, using the
+/// process-wide worker count (`SAGE_THREADS`, default: available
+/// parallelism). `progress` is called after each rollout with (done, total).
 pub fn collect_pool(
     envs: &[EnvSpec],
     schemes: &[&str],
     gr_cfg: GrConfig,
     seed: u64,
-    mut progress: impl FnMut(usize, usize),
+    progress: impl FnMut(usize, usize) + Send,
+) -> Pool {
+    collect_pool_with_threads(envs, schemes, gr_cfg, seed, 0, progress)
+}
+
+/// [`collect_pool`] with an explicit worker count (`0` = the configured
+/// default, `1` = the exact serial legacy path).
+///
+/// Determinism contract: every (environment, scheme) cell is an independent
+/// task whose seeds are pure functions of the master seed and the cell —
+/// never of execution order — and the reduction is ordered, so the returned
+/// pool is byte-identical at every thread count.
+pub fn collect_pool_with_threads(
+    envs: &[EnvSpec],
+    schemes: &[&str],
+    gr_cfg: GrConfig,
+    seed: u64,
+    threads: usize,
+    mut progress: impl FnMut(usize, usize) + Send,
 ) -> Pool {
     let total = envs.len() * schemes.len();
-    let mut pool = Pool::new();
-    let mut done = 0;
-    for env in envs {
-        for (si, scheme) in schemes.iter().enumerate() {
-            let cca = build(scheme, seed.wrapping_add(si as u64))
-                .unwrap_or_else(|| panic!("unknown scheme {scheme}"));
-            let res = rollout(env, scheme, cca, gr_cfg, seed);
-            pool.trajectories.push(res.traj);
-            done += 1;
-            progress(done, total);
-        }
-    }
-    pool
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let progress = std::sync::Mutex::new(&mut progress);
+    let trajectories = sage_util::par_map_range(threads, total, |task| {
+        let (ei, si) = (task / schemes.len(), task % schemes.len());
+        let (env, scheme) = (&envs[ei], schemes[si]);
+        let cca = build(scheme, seed.wrapping_add(si as u64))
+            .unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+        let res = rollout(env, scheme, cca, gr_cfg, seed);
+        let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (progress.lock().unwrap())(n, total);
+        res.traj
+    });
+    Pool { trajectories }
 }
 
 #[cfg(test)]

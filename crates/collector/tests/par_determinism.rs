@@ -1,0 +1,52 @@
+//! Differential test for the parallel collection path: the pool produced at
+//! 1, 2 and 4 worker threads must be byte-identical (CRC32 over the
+//! serialised `SAGEPOOL` image), and identical to the legacy serial path.
+
+use sage_collector::{collect_pool_with_threads, training_envs, Pool};
+use sage_gr::GrConfig;
+use sage_util::crc32;
+
+fn pool_crc(pool: &Pool) -> u32 {
+    let mut bytes = Vec::new();
+    pool.save(&mut bytes).expect("pool serialises");
+    crc32(&bytes)
+}
+
+#[test]
+fn pool_bytes_identical_at_every_thread_count() {
+    let envs = training_envs(2, 1, 2.0, 11);
+    let schemes = ["cubic", "vegas"];
+    let crcs: Vec<u32> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let pool = collect_pool_with_threads(
+                &envs,
+                &schemes,
+                GrConfig::default(),
+                5,
+                threads,
+                |_, _| {},
+            );
+            pool_crc(&pool)
+        })
+        .collect();
+    assert_eq!(crcs[0], crcs[1], "2 threads diverged from serial");
+    assert_eq!(crcs[0], crcs[2], "4 threads diverged from serial");
+}
+
+#[test]
+fn parallel_progress_reports_every_task_once() {
+    let envs = training_envs(2, 1, 2.0, 11);
+    let schemes = ["cubic", "vegas"];
+    let mut calls = Vec::new();
+    collect_pool_with_threads(&envs, &schemes, GrConfig::default(), 5, 4, |done, total| {
+        calls.push((done, total));
+    });
+    let total = envs.len() * schemes.len();
+    assert_eq!(calls.len(), total);
+    // Completion counts are each reported exactly once (any order).
+    let mut dones: Vec<usize> = calls.iter().map(|&(d, _)| d).collect();
+    dones.sort_unstable();
+    assert_eq!(dones, (1..=total).collect::<Vec<_>>());
+    assert!(calls.iter().all(|&(_, t)| t == total));
+}

@@ -46,6 +46,11 @@ pub struct CrrConfig {
     /// Number of policy samples for the advantage baseline (m in Eq. 6).
     pub adv_samples: usize,
     pub seed: u64,
+    /// Worker threads for per-sample gradient computation (`0` = the
+    /// process-wide default from `SAGE_THREADS`, `1` = serial). The batch is
+    /// always decomposed per sample and reduced in sample order, so the
+    /// updated parameters are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for CrrConfig {
@@ -63,6 +68,7 @@ impl Default for CrrConfig {
             bc_only: false,
             adv_samples: 4,
             seed: 1,
+            threads: 0,
         }
     }
 }
@@ -314,30 +320,50 @@ impl CrrTrainer {
                 }
             }
 
-            // Online critic CE loss at (s_t, a_t).
-            let mut g = Graph::new();
-            let mut flat_s = Array::zeros(l * b, self.cfg.net.input_dim());
-            let mut flat_a = Array::zeros(l * b, 1);
-            for t in 0..l {
-                for bi in 0..b {
-                    let r = t * b + bi;
-                    for c in 0..self.cfg.net.input_dim() {
-                        *flat_s.at_mut(r, c) = states[t].at(bi, c);
+            // Online critic CE loss at (s_t, a_t): each batch sample is an
+            // independent feed-forward graph over its l rows, so the
+            // gradients can be computed in parallel. The per-sample loss is
+            // the mean over the sample's rows scaled by 1/b, which sums to
+            // the batch mean; the reduction below runs in sample order, so
+            // the update is identical at every thread count.
+            let d = self.cfg.net.input_dim();
+            let atoms_n = atoms;
+            let (critic, critic_store) = (&self.critic, &self.critic_store);
+            let per_sample = sage_util::par_map_range(self.cfg.threads, b, |bi| {
+                let mut g = Graph::new();
+                let mut s = Array::zeros(l, d);
+                let mut a = Array::zeros(l, 1);
+                let mut tp = Array::zeros(l, atoms_n);
+                for t in 0..l {
+                    for c in 0..d {
+                        *s.at_mut(t, c) = states[t].at(bi, c);
                     }
-                    flat_a.data[r] = actions[t][bi];
+                    a.data[t] = actions[t][bi];
+                    for j in 0..atoms_n {
+                        *tp.at_mut(t, j) = target_probs.at(t * b + bi, j);
+                    }
+                }
+                let sn = g.input(s);
+                let an = g.input(a);
+                let logits = critic.logits(&mut g, critic_store, sn, an);
+                let q_rows = critic.expected_q(g.value(logits));
+                let target = g.input(tp);
+                let ce = g.softmax_cross_entropy(logits, target);
+                let loss = g.mean(ce);
+                let loss_val = g.value(loss).data[0];
+                let scaled = g.scale(loss, 1.0 / b as f64);
+                (loss_val, q_rows, g.param_grads(scaled))
+            });
+            self.critic_store.zero_grads();
+            let mut q_sum = 0.0;
+            for (loss_bi, q_rows, grads) in per_sample {
+                metrics.critic_loss += loss_bi / b as f64;
+                q_sum += q_rows.iter().sum::<f64>();
+                for (pid, grad) in grads {
+                    self.critic_store.params[pid].grad.add_assign(&grad);
                 }
             }
-            let sn = g.input(flat_s);
-            let an = g.input(flat_a);
-            let logits = self.critic.logits(&mut g, &self.critic_store, sn, an);
-            let q_now = self.critic.expected_q(g.value(logits));
-            metrics.mean_q = q_now.iter().sum::<f64>() / q_now.len() as f64;
-            let target = g.input(target_probs);
-            let ce = g.softmax_cross_entropy(logits, target);
-            let loss = g.mean(ce);
-            metrics.critic_loss = g.value(loss).data[0];
-            self.critic_store.zero_grads();
-            g.backward(loss, &mut self.critic_store);
+            metrics.mean_q = q_sum / (l * b) as f64;
             self.critic_opt.step(&mut self.critic_store);
         }
 
@@ -350,30 +376,47 @@ impl CrrTrainer {
         };
         metrics.mean_weight = weights.iter().flatten().sum::<f64>() / (l * b) as f64;
 
-        let mut g = Graph::new();
-        let mut h = self.model.policy.initial_hidden(&mut g, b);
-        let mut weighted_nlls: Vec<sage_nn::NodeId> = Vec::with_capacity(l);
-        for t in 0..l {
-            let x = g.input(states[t].clone());
-            let (nodes, h1) = self.model.policy.step(&mut g, &self.model.store, x, h);
-            h = h1;
-            let a = g.input(Array::from_vec(b, 1, actions[t].clone()));
-            let logp = self.model.policy.log_prob(&mut g, nodes, a);
-            let w = g.input(Array::from_vec(b, 1, weights[t].clone()));
-            let wl = g.mul(w, logp);
-            let neg = g.scale(wl, -1.0);
-            weighted_nlls.push(neg);
-        }
-        // Mean over all (t, b).
-        let mut acc = weighted_nlls[0];
-        for &n in &weighted_nlls[1..] {
-            acc = g.add(acc, n);
-        }
-        let acc = g.scale(acc, 1.0 / l as f64);
-        let loss = g.mean(acc);
-        metrics.policy_loss = g.value(loss).data[0];
+        // Each sample is its own l-step unroll (the GRU hidden state never
+        // crosses samples), so per-sample graphs of batch 1 carry the full
+        // recurrent gradient. Loss per sample: mean weighted NLL over its l
+        // steps, scaled by 1/b — summed in sample order these reproduce the
+        // batch mean at every thread count.
+        let d = self.cfg.net.input_dim();
+        let (policy, store) = (&self.model.policy, &self.model.store);
+        let per_sample = sage_util::par_map_range(self.cfg.threads, b, |bi| {
+            let mut g = Graph::new();
+            let mut h = policy.initial_hidden(&mut g, 1);
+            let mut acc: Option<sage_nn::NodeId> = None;
+            for t in 0..l {
+                let mut row = Array::zeros(1, d);
+                for c in 0..d {
+                    *row.at_mut(0, c) = states[t].at(bi, c);
+                }
+                let x = g.input(row);
+                let (nodes, h1) = policy.step(&mut g, store, x, h);
+                h = h1;
+                let a = g.input(Array::from_vec(1, 1, vec![actions[t][bi]]));
+                let logp = policy.log_prob(&mut g, nodes, a);
+                let w = g.input(Array::from_vec(1, 1, vec![weights[t][bi]]));
+                let wl = g.mul(w, logp);
+                let neg = g.scale(wl, -1.0);
+                acc = Some(match acc {
+                    Some(prev) => g.add(prev, neg),
+                    None => neg,
+                });
+            }
+            let loss = g.scale(acc.expect("unroll >= 1"), 1.0 / l as f64);
+            let loss_val = g.value(loss).data[0];
+            let scaled = g.scale(loss, 1.0 / b as f64);
+            (loss_val, g.param_grads(scaled))
+        });
         self.model.store.zero_grads();
-        g.backward(loss, &mut self.model.store);
+        for (loss_bi, grads) in per_sample {
+            metrics.policy_loss += loss_bi / b as f64;
+            for (pid, grad) in grads {
+                self.model.store.params[pid].grad.add_assign(&grad);
+            }
+        }
         self.policy_opt.step(&mut self.model.store);
 
         self.steps_done += 1;

@@ -1,0 +1,96 @@
+//! Golden regression test: a fixed-seed miniature training run (tiny net,
+//! two Set I environments) must reproduce the checked-in loss trajectory
+//! bit-for-bit and the exact final policy digest. Any change to the
+//! simulator, the collector, the autodiff engine, the optimiser or the CRR
+//! trainer that alters numerics shows up here first.
+//!
+//! When a numeric change is *intentional*, regenerate the golden file with:
+//!
+//! ```text
+//! SAGE_REGEN_GOLDEN=1 cargo test -p sage-core --test golden_train
+//! ```
+//!
+//! and commit the updated `tests/golden/train_tiny.txt` alongside the change.
+
+use sage_collector::{collect_pool, training_envs};
+use sage_core::{CrrConfig, CrrTrainer, NetConfig};
+use sage_gr::GrConfig;
+use sage_util::crc32;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const STEPS: usize = 8;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/train_tiny.txt")
+}
+
+/// The miniature run: deterministic pool from two Set I + one Set II env,
+/// tiny network, 8 CRR gradient steps.
+fn run() -> String {
+    let envs = training_envs(2, 1, 2.0, 13);
+    let pool = collect_pool(
+        &envs,
+        &["cubic", "vegas"],
+        GrConfig::default(),
+        4,
+        |_, _| {},
+    );
+    let cfg = CrrConfig {
+        net: NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 16,
+            atoms: 11,
+            ..NetConfig::default()
+        },
+        batch: 8,
+        unroll: 4,
+        seed: 17,
+        ..CrrConfig::default()
+    };
+    let mut tr = CrrTrainer::new(cfg, &pool);
+    // Loss values are recorded as raw f64 bits (hex): the contract is exact
+    // reproduction, not approximate similarity.
+    let mut out = String::new();
+    for step in 0..STEPS {
+        let m = tr.train_step(&pool);
+        writeln!(
+            out,
+            "step {step} policy {:016x} critic {:016x}",
+            m.policy_loss.to_bits(),
+            m.critic_loss.to_bits()
+        )
+        .unwrap();
+    }
+    let digest = crc32(&tr.model().to_bytes().expect("model serialises"));
+    writeln!(out, "model_crc32 {digest:08x}").unwrap();
+    out
+}
+
+#[test]
+fn miniature_training_run_matches_golden() {
+    let got = run();
+    let path = golden_path();
+    if std::env::var("SAGE_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             SAGE_REGEN_GOLDEN=1 cargo test -p sage-core --test golden_train",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "golden mismatch: if the numeric change is intentional, regenerate \
+         with SAGE_REGEN_GOLDEN=1 cargo test -p sage-core --test golden_train"
+    );
+}

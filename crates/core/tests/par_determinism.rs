@@ -1,0 +1,93 @@
+//! Differential test for parallel CRR training: gradient steps must update
+//! the parameters bit-identically at every thread count (per-sample
+//! decomposition + ordered reduction).
+
+use sage_collector::{Pool, Trajectory};
+use sage_core::{CrrConfig, CrrTrainer, NetConfig};
+use sage_gr::STATE_DIM;
+use sage_util::Rng;
+
+fn synthetic_pool(seed: u64) -> Pool {
+    let mut rng = Rng::new(seed);
+    let mut pool = Pool::new();
+    for k in 0..4 {
+        let steps = 80;
+        let mut t = Trajectory {
+            scheme: format!("s{k}"),
+            env_id: format!("env{k}"),
+            set2: false,
+            fair_share_bps: 1.0,
+            ..Default::default()
+        };
+        for i in 0..steps {
+            let mut state = vec![0.0f32; STATE_DIM];
+            state[0] = if (i / 4) % 2 == 0 { 1.0 } else { -1.0 };
+            state[1] = rng.range(-0.2, 0.2) as f32;
+            t.states.extend(state);
+            t.actions.push(rng.range(0.8, 1.2) as f32);
+            t.r1.push(rng.range(0.0, 1.0) as f32);
+            t.r2.push(0.0);
+            t.thr.push(1e6);
+            t.owd.push(0.02);
+            t.cwnd.push(10.0);
+        }
+        pool.trajectories.push(t);
+    }
+    pool
+}
+
+fn cfg(threads: usize) -> CrrConfig {
+    CrrConfig {
+        net: NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 16,
+            atoms: 11,
+            ..NetConfig::default()
+        },
+        batch: 8,
+        unroll: 4,
+        seed: 5,
+        threads,
+        ..CrrConfig::default()
+    }
+}
+
+fn model_bytes_after(pool: &Pool, threads: usize, steps: usize) -> Vec<u8> {
+    let mut tr = CrrTrainer::new(cfg(threads), pool);
+    for _ in 0..steps {
+        tr.train_step(pool);
+    }
+    tr.model().to_bytes().expect("model serialises")
+}
+
+#[test]
+fn crr_steps_are_bit_identical_across_thread_counts() {
+    let pool = synthetic_pool(3);
+    let serial = model_bytes_after(&pool, 1, 3);
+    for threads in [2, 4] {
+        let par = model_bytes_after(&pool, threads, 3);
+        assert_eq!(
+            serial, par,
+            "{threads}-thread training diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn crr_metrics_are_identical_across_thread_counts() {
+    let pool = synthetic_pool(9);
+    let mut serial = CrrTrainer::new(cfg(1), &pool);
+    let mut parallel = CrrTrainer::new(cfg(4), &pool);
+    for _ in 0..3 {
+        let a = serial.train_step(&pool);
+        let b = parallel.train_step(&pool);
+        assert_eq!(a.policy_loss.to_bits(), b.policy_loss.to_bits());
+        assert_eq!(a.critic_loss.to_bits(), b.critic_loss.to_bits());
+        assert_eq!(a.mean_q.to_bits(), b.mean_q.to_bits());
+        assert_eq!(a.mean_weight.to_bits(), b.mean_weight.to_bits());
+    }
+}

@@ -80,51 +80,68 @@ pub struct RunRecord {
 }
 
 /// Run every contender through every environment; `alpha` is the Power
-/// exponent (2 by default, 3 for Tables 2/3).
+/// exponent (2 by default, 3 for Tables 2/3). Runs on the process-wide
+/// worker count (`SAGE_THREADS`, default: available parallelism).
 pub fn run_contenders(
     contenders: &[Contender],
     envs: &[EnvSpec],
     alpha: f64,
     seed: u64,
-    mut progress: impl FnMut(usize, usize),
+    progress: impl FnMut(usize, usize) + Send,
+) -> Vec<RunRecord> {
+    run_contenders_with_threads(contenders, envs, alpha, seed, 0, progress)
+}
+
+/// [`run_contenders`] with an explicit worker count (`0` = the configured
+/// default, `1` = the exact serial legacy path). Every (environment,
+/// contender) cell is an independent deterministic task and the reduction is
+/// ordered, so records — and therefore league rankings — are identical at
+/// every thread count.
+pub fn run_contenders_with_threads(
+    contenders: &[Contender],
+    envs: &[EnvSpec],
+    alpha: f64,
+    seed: u64,
+    threads: usize,
+    mut progress: impl FnMut(usize, usize) + Send,
 ) -> Vec<RunRecord> {
     let total = contenders.len() * envs.len();
-    let mut out = Vec::with_capacity(total);
-    let mut done = 0;
-    for env in envs {
-        for c in contenders {
-            let cca = c.build(env, seed);
-            let res = rollout(env, c.name(), cca, gr_of(c), seed);
-            let kind = match env.set {
-                SetKind::SetI => ScoreKind::Power,
-                SetKind::SetII => ScoreKind::Friendliness,
-            };
-            let intervals = interval_scores(
-                &res.traj.thr,
-                &res.traj.owd,
-                kind,
-                alpha,
-                env.fair_share_bps(),
-            );
-            out.push(RunRecord {
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let progress = std::sync::Mutex::new(&mut progress);
+    sage_util::par_map_range(threads, total, |task| {
+        let (ei, ci) = (task / contenders.len(), task % contenders.len());
+        let (env, c) = (&envs[ei], &contenders[ci]);
+        let cca = c.build(env, seed);
+        let res = rollout(env, c.name(), cca, gr_of(c), seed);
+        let kind = match env.set {
+            SetKind::SetI => ScoreKind::Power,
+            SetKind::SetII => ScoreKind::Friendliness,
+        };
+        let intervals = interval_scores(
+            &res.traj.thr,
+            &res.traj.owd,
+            kind,
+            alpha,
+            env.fair_share_bps(),
+        );
+        let record = RunRecord {
+            scheme: c.name().to_string(),
+            env_id: env.id.clone(),
+            set: env.set,
+            score: RunScore {
                 scheme: c.name().to_string(),
                 env_id: env.id.clone(),
-                set: env.set,
-                score: RunScore {
-                    scheme: c.name().to_string(),
-                    env_id: env.id.clone(),
-                    kind,
-                    intervals,
-                },
-                traj: res.traj,
-                stats: res.stats,
-                all_stats: res.all_stats,
-            });
-            done += 1;
-            progress(done, total);
-        }
-    }
-    out
+                kind,
+                intervals,
+            },
+            traj: res.traj,
+            stats: res.stats,
+            all_stats: res.all_stats,
+        };
+        let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (progress.lock().unwrap())(n, total);
+        record
+    })
 }
 
 fn gr_of(c: &Contender) -> GrConfig {

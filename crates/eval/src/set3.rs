@@ -179,15 +179,32 @@ pub fn run_set3(
     scenarios: &[FaultScenario],
     duration_secs: f64,
     seed: u64,
-    mut progress: impl FnMut(usize, usize),
+    progress: impl FnMut(usize, usize) + Send,
+) -> Vec<Set3Entry> {
+    run_set3_with_threads(contenders, scenarios, duration_secs, seed, 0, progress)
+}
+
+/// [`run_set3`] with an explicit worker count (`0` = the configured default,
+/// `1` = serial). The contender x scenario rollouts run in parallel with an
+/// ordered reduction; degradation against each contender's clean baseline is
+/// derived in a serial pass afterwards, so entries are identical at every
+/// thread count.
+pub fn run_set3_with_threads(
+    contenders: &[Contender],
+    scenarios: &[FaultScenario],
+    duration_secs: f64,
+    seed: u64,
+    threads: usize,
+    mut progress: impl FnMut(usize, usize) + Send,
 ) -> Vec<Set3Entry> {
     let total = contenders.len() * scenarios.len();
-    let mut out = Vec::with_capacity(total);
-    let mut done = 0;
-    for c in contenders {
-        let mut clean_goodput = f64::NAN;
-        let mut clean_owd = f64::NAN;
-        for sc in scenarios {
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let progress = std::sync::Mutex::new(&mut progress);
+    // Phase 1 (parallel): raw rollouts. `None` = the contender panicked.
+    let raw: Vec<Option<sage_transport::FlowStats>> =
+        sage_util::par_map_range(threads, total, |task| {
+            let (ci, si) = (task / scenarios.len(), task % scenarios.len());
+            let (c, sc) = (&contenders[ci], &scenarios[si]);
             let env = set3_env(sc, duration_secs);
             let name = c.name();
             let gr = gr_of(c);
@@ -195,9 +212,20 @@ pub fn run_set3(
                 let cca = c.build(&env, seed);
                 rollout(&env, name, cca, gr, seed)
             }));
-            let entry = match run {
-                Ok(res) => {
-                    let s = &res.stats;
+            let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (progress.lock().unwrap())(n, total);
+            run.ok().map(|res| res.stats)
+        });
+    // Phase 2 (serial): score each run against its contender's clean
+    // baseline, in the original contender-major order.
+    let mut out = Vec::with_capacity(total);
+    for (ci, c) in contenders.iter().enumerate() {
+        let mut clean_goodput = f64::NAN;
+        let mut clean_owd = f64::NAN;
+        for (si, sc) in scenarios.iter().enumerate() {
+            let name = c.name();
+            let entry = match &raw[ci * scenarios.len() + si] {
+                Some(s) => {
                     if sc.id == CLEAN {
                         clean_goodput = s.avg_goodput_mbps;
                         clean_owd = s.avg_owd_ms;
@@ -230,7 +258,7 @@ pub fn run_set3(
                         lost_pkts: s.lost_pkts,
                     }
                 }
-                Err(_) => Set3Entry {
+                None => Set3Entry {
                     scheme: name.to_string(),
                     scenario: sc.id,
                     survived: false,
@@ -244,8 +272,6 @@ pub fn run_set3(
                 },
             };
             out.push(entry);
-            done += 1;
-            progress(done, total);
         }
     }
     out

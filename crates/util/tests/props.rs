@@ -2,7 +2,8 @@
 //! by the workspace's own deterministic RNG (no external property-testing
 //! framework: the build must work offline).
 
-use sage_util::{mean, percentile, stddev, OnlineStats, RingWindow, Rng};
+use sage_util::prop::ensure;
+use sage_util::{forall, mean, percentile, stddev, OnlineStats, PropConfig, RingWindow, Rng};
 
 /// Random vector of `len` elements in `[lo, hi)`.
 fn vec_in(rng: &mut Rng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
@@ -73,6 +74,99 @@ fn ring_window_matches_naive() {
             assert!((w.max() - naive_max).abs() < 1e-12);
         }
     }
+}
+
+/// FIFO/capacity invariant: after any push sequence, the window holds
+/// exactly the last `min(len, cap)` samples in push order — nothing else.
+#[test]
+fn prop_ring_window_is_fifo_with_bounded_capacity() {
+    forall("ring FIFO/capacity", PropConfig::new(150, 0x51D0), |rng| {
+        let cap = 1 + rng.below(31);
+        let n = rng.below(120);
+        let xs: Vec<f64> = (0..n).map(|_| rng.range(-1e6, 1e6)).collect();
+        let mut w = RingWindow::new(cap);
+        for &x in &xs {
+            w.push(x);
+        }
+        ensure(w.capacity() == cap, || "capacity changed".into())?;
+        ensure(w.len() == n.min(cap), || {
+            format!("len {} != min({n}, {cap})", w.len())
+        })?;
+        let live: Vec<f64> = w.iter().collect();
+        let expect = &xs[n.saturating_sub(cap)..];
+        ensure(live == expect, || {
+            format!("window {live:?} != last-{cap} suffix {expect:?}")
+        })?;
+        ensure(w.last() == xs.last().copied(), || "last() mismatch".into())
+    });
+}
+
+/// Stream-split independence: streams split from the same master are
+/// deterministic, distinct across stream ids, and uncorrelated (no collisions
+/// in a short prefix, which for 64-bit outputs has negligible false-failure
+/// probability).
+#[test]
+fn prop_rng_stream_split_independence() {
+    forall("rng stream split", PropConfig::new(60, 0x57EA), |rng| {
+        let master = rng.next_u64();
+        let a_id = rng.below(1000) as u64;
+        let b_id = a_id + 1 + rng.below(1000) as u64;
+        let mut a = Rng::stream(master, a_id);
+        let mut a2 = Rng::stream(master, a_id);
+        let mut b = Rng::stream(master, b_id);
+        let mut collisions = 0;
+        for _ in 0..64 {
+            let x = a.next_u64();
+            ensure(x == a2.next_u64(), || {
+                "same (master, stream) must replay identically".into()
+            })?;
+            if x == b.next_u64() {
+                collisions += 1;
+            }
+        }
+        ensure(collisions == 0, || {
+            format!("streams {a_id} and {b_id} of {master:#x} collided {collisions} times")
+        })
+    });
+}
+
+/// Numerical identities: Var(x) = E[x^2] - E[x]^2 (population form; the
+/// accumulator reports the sample form, so Bessel's factor (n-1)/n bridges
+/// them), mean/stddev shift-invariance, and percentile endpoints hitting
+/// min/max — checked between the batch helpers and the online accumulator.
+#[test]
+fn prop_stats_numerical_identities() {
+    forall("stats identities", PropConfig::new(120, 0x57A7), |rng| {
+        let n = 2 + rng.below(198);
+        let xs: Vec<f64> = (0..n).map(|_| rng.range(-1e3, 1e3)).collect();
+        let m = mean(&xs);
+        let ex2 = xs.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        let pop_var = o.variance() * (n - 1) as f64 / n as f64;
+        ensure(
+            (pop_var - (ex2 - m * m)).abs() < 1e-6 * (1.0 + ex2.abs()),
+            || format!("E[x^2]-E[x]^2 = {} but variance = {pop_var}", ex2 - m * m),
+        )?;
+        // Shift invariance: adding a constant moves the mean, not the spread.
+        let c = rng.range(-500.0, 500.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        ensure((mean(&shifted) - (m + c)).abs() < 1e-6, || {
+            "mean not shift-equivariant".into()
+        })?;
+        ensure((stddev(&shifted) - stddev(&xs)).abs() < 1e-6, || {
+            "stddev not shift-invariant".into()
+        })?;
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        ensure(percentile(&xs, 0.0) == lo, || "p0 != min".into())?;
+        ensure(percentile(&xs, 100.0) == hi, || "p100 != max".into())?;
+        ensure((o.min(), o.max()) == (lo, hi), || {
+            "online min/max != batch min/max".into()
+        })
+    });
 }
 
 #[test]

@@ -13,7 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
-echo "== tier-1: cargo test -q =="
-cargo test -q
+# The test suite runs twice — serial and 4 workers — so any scheduling
+# nondeterminism in the parallel hot loops fails the gate, not just the
+# dedicated differential tests.
+echo "== tier-1: cargo test -q (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q
+
+echo "== tier-1: cargo test -q (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q
+
+# Hard determinism gate: pool bytes, trained-model bytes and league rankings
+# must be identical at 1/2/4 threads (exits non-zero on any digest mismatch).
+echo "== par_speedup digest gate =="
+SAGE_SECS=3 SAGE_STEPS=10 ./target/release/par_speedup
 
 echo "ALL CHECKS PASSED"
