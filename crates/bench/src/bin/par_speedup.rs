@@ -9,13 +9,16 @@
 //! core (`available_parallelism` = 1); digests are verified unconditionally,
 //! but wall-clock speedup is only meaningful — and only reported as such —
 //! when real cores back the extra threads.
+//!
+//! Writes `artifacts/results/BENCH_par_speedup.json` with the per-loop
+//! timings, speedups and digest-identity flags.
 
-use sage_bench::envvar;
+use sage_bench::{artifacts_dir, envvar};
 use sage_collector::{collect_pool_with_threads, training_envs, Pool};
 use sage_core::{CrrConfig, CrrTrainer, NetConfig};
 use sage_eval::{rank_league, run_contenders_with_threads, scores_of_set, Contender};
 use sage_gr::GrConfig;
-use sage_util::crc32;
+use sage_util::{crc32, Json};
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -67,6 +70,31 @@ impl<T: std::fmt::Debug + PartialEq> Timed<T> {
             eprintln!("  {:?}", self.digests);
         }
         ok
+    }
+
+    /// JSON row: thread counts, wall-clock seconds, speedups over serial,
+    /// and the digest-identity verdict.
+    fn json(&self) -> Json {
+        let base = self.secs[0];
+        Json::obj(vec![
+            ("loop", Json::str(self.label)),
+            (
+                "threads",
+                Json::Arr(THREAD_COUNTS.iter().map(|&n| Json::Num(n as f64)).collect()),
+            ),
+            (
+                "secs",
+                Json::Arr(self.secs.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            (
+                "speedup",
+                Json::Arr(self.secs.iter().map(|&s| Json::Num(base / s)).collect()),
+            ),
+            (
+                "digests_identical",
+                Json::Bool(self.digests.iter().all(|d| *d == self.digests[0])),
+            ),
+        ])
     }
 }
 
@@ -133,6 +161,25 @@ fn main() {
         println!("single-core host: speedup columns reflect scheduling overhead only");
     }
     let ok = [collect.report(), train.report(), league.report()];
+
+    let json = Json::obj(vec![
+        ("suite", Json::str("par_speedup")),
+        ("cores", Json::Num(cores as f64)),
+        ("secs", Json::Num(secs)),
+        ("steps", Json::Num(steps as f64)),
+        (
+            "loops",
+            Json::Arr(vec![collect.json(), train.json(), league.json()]),
+        ),
+        ("digests_identical", Json::Bool(ok.iter().all(|&x| x))),
+    ]);
+    let dir = artifacts_dir().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_par_speedup.json");
+    sage_util::fsio::atomic_write(&path, json.to_string().as_bytes())
+        .expect("write par_speedup report");
+    println!("report: {}", path.display());
+
     if ok.iter().all(|&x| x) {
         println!("all digests identical across thread counts");
     } else {

@@ -23,4 +23,4 @@ pub mod policy;
 
 pub use crr::{CrrConfig, CrrTrainer};
 pub use model::{NetConfig, SageModel};
-pub use policy::SagePolicy;
+pub use policy::{ActionMode, SagePolicy, MAX_CWND};

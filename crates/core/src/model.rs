@@ -2,7 +2,7 @@
 //! distributional critic and model (de)serialisation.
 
 use sage_gr::FeatureMask;
-use sage_nn::gmm::{GmmHead, GmmNodes, GmmParams};
+use sage_nn::gmm::{GmmBatch, GmmHead, GmmNodes, GmmParams};
 use sage_nn::graph::{Graph, NodeId};
 use sage_nn::layers::{GruCell, LayerNorm, Linear, ResidualBlock};
 use sage_nn::{Array, ParamStore};
@@ -263,6 +263,38 @@ impl PolicyNet {
         }
         let nodes = self.head.fwd(g, store, z);
         (nodes, new_h, z)
+    }
+
+    /// Graph-free batched timestep: consumes `x` `[B,D]` and hidden `[B,H]`,
+    /// returns the mixture batch and the new hidden `[B,H]`.
+    ///
+    /// Bit-identical to running [`PolicyNet::step`] on the same rows: every
+    /// op in `sage_nn::infer` is row-independent and evaluates in the same
+    /// element order as its graph counterpart, so the serving runtime can
+    /// fold many flows into one matrix-matrix pass without perturbing a
+    /// single action (`crates/serve` tests pin this).
+    pub fn step_infer(&self, store: &ParamStore, x: &Array, h: &Array) -> (GmmBatch, Array) {
+        use sage_nn::infer;
+        let e = infer::lrelu(&self.enc1a.infer(store, x), 0.01);
+        let e = infer::lrelu(&self.enc1b.infer(store, &e), 0.01);
+        let (feat, new_h) = match &self.gru {
+            Some(cell) => {
+                let h1 = cell.infer_step(store, &e, h);
+                (h1.clone(), h1)
+            }
+            None => (e, h.clone()),
+        };
+        let n = infer::lrelu(&self.post_ln.infer(store, &feat), 0.01);
+        let t = match &self.enc2 {
+            Some(enc) => infer::tanh(&enc.infer(store, &n)),
+            None => n,
+        };
+        debug_assert_eq!(t.cols, self.trunk_in);
+        let mut z = self.fc.infer(store, &t);
+        for rb in &self.res {
+            z = rb.infer(store, &z);
+        }
+        (self.head.infer(store, &z), new_h)
     }
 
     /// Mixture parameters for row `r` of a step output.

@@ -12,8 +12,9 @@ use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWN
 use sage_util::Rng;
 use std::sync::Arc;
 
-/// Upper bound on the enforced congestion window (packets).
-const MAX_CWND: f64 = 40_000.0;
+/// Upper bound on the enforced congestion window (packets). Public so the
+/// serving runtime (`crates/serve`) applies the identical clamp.
+pub const MAX_CWND: f64 = 40_000.0;
 
 /// How the policy turns its mixture into an action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,130 @@
+//! Property tests pinning the serving-path contract: the graph-free batched
+//! forward (`PolicyNet::step_infer`) is bit-identical to per-flow sequential
+//! inference — both the single-row graph forward used by `SagePolicy` and
+//! single-row `step_infer` calls — for random flow counts, hidden states and
+//! observation vectors.
+
+use sage_core::model::{NetConfig, SageModel};
+use sage_gr::STATE_DIM;
+use sage_nn::{Array, Graph};
+use sage_util::prop::{forall, PropConfig};
+use sage_util::Rng;
+
+fn random_model(rng: &mut Rng) -> SageModel {
+    let cfg = NetConfig {
+        enc1: 8 + (rng.next_u64() % 3) as usize * 4,
+        gru: 8,
+        enc2: 8,
+        fc: 12,
+        residual_blocks: 1 + (rng.next_u64() % 2) as usize,
+        gmm_k: 2 + (rng.next_u64() % 2) as usize,
+        ..NetConfig::default()
+    };
+    SageModel::new(
+        cfg,
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        rng.next_u64(),
+    )
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn batched_forward_bit_identical_to_per_flow_graph() {
+    forall(
+        "step_infer == per-row Graph step",
+        PropConfig::new(25, 0x5E7E),
+        |rng| {
+            let model = random_model(rng);
+            let d = model.cfg.input_dim();
+            let hd = model.cfg.gru;
+            let b = 1 + (rng.next_u64() % 24) as usize;
+            let x = Array::from_vec(b, d, (0..b * d).map(|_| rng.range(-4.0, 4.0)).collect());
+            let h = Array::from_vec(b, hd, (0..b * hd).map(|_| rng.range(-1.0, 1.0)).collect());
+
+            let (mix, h1) = model.policy.step_infer(&model.store, &x, &h);
+
+            for r in 0..b {
+                let xrow = Array::row(x.data[r * d..(r + 1) * d].to_vec());
+                let hrow = Array::row(h.data[r * hd..(r + 1) * hd].to_vec());
+
+                // Reference 1: the per-flow graph path (what SagePolicy runs).
+                let mut g = Graph::new();
+                let xn = g.input(xrow.clone());
+                let hn = g.input(hrow.clone());
+                let (nodes, hout) = model.policy.step(&mut g, &model.store, xn, hn);
+                let want_mix = model.policy.mixture(&g, nodes, 0);
+                let got_mix = mix.row(r);
+                if bits(&want_mix.means) != bits(&got_mix.means)
+                    || bits(&want_mix.log_stds) != bits(&got_mix.log_stds)
+                    || bits(&want_mix.weights) != bits(&got_mix.weights)
+                {
+                    return Err(format!("mixture row {r} of {b} diverged from graph"));
+                }
+                let want_h = &g.value(hout).data;
+                let got_h = &h1.data[r * hd..(r + 1) * hd];
+                if bits(want_h) != bits(got_h) {
+                    return Err(format!("hidden row {r} of {b} diverged from graph"));
+                }
+
+                // Reference 2: sequential (batch-of-one) step_infer.
+                let (mix1, h1one) = model.policy.step_infer(&model.store, &xrow, &hrow);
+                let seq_mix = mix1.row(0);
+                if bits(&seq_mix.means) != bits(&got_mix.means)
+                    || bits(&seq_mix.weights) != bits(&got_mix.weights)
+                {
+                    return Err(format!("row {r}: batch-of-one differs from batch-of-{b}"));
+                }
+                if bits(&h1one.data) != bits(got_h) {
+                    return Err(format!("row {r}: batch-of-one hidden differs"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ablation_topologies_also_match() {
+    // The no-GRU and no-Encoder ablations take different step paths; the
+    // infer mirror must follow them exactly too.
+    for cfg in [
+        NetConfig {
+            gru: 0,
+            enc1: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            ..NetConfig::default()
+        },
+        NetConfig {
+            enc2: 0,
+            enc1: 8,
+            gru: 8,
+            fc: 8,
+            residual_blocks: 1,
+            ..NetConfig::default()
+        },
+    ] {
+        let model = SageModel::new(cfg, vec![0.0; STATE_DIM], vec![1.0; STATE_DIM], 9);
+        let d = cfg.input_dim();
+        let hd = if cfg.gru > 0 { cfg.gru } else { cfg.enc1 };
+        let x = Array::from_vec(2, d, (0..2 * d).map(|i| (i as f64) * 0.01 - 0.3).collect());
+        let h = Array::zeros(2, hd);
+        let (mix, _) = model.policy.step_infer(&model.store, &x, &h);
+        for r in 0..2 {
+            let mut g = Graph::new();
+            let xn = g.input(Array::row(x.data[r * d..(r + 1) * d].to_vec()));
+            let hn = g.input(Array::row(h.data[r * hd..(r + 1) * hd].to_vec()));
+            let (nodes, _) = model.policy.step(&mut g, &model.store, xn, hn);
+            let want = model.policy.mixture(&g, nodes, 0);
+            let got = mix.row(r);
+            assert_eq!(bits(&want.means), bits(&got.means));
+            assert_eq!(bits(&want.log_stds), bits(&got.log_stds));
+            assert_eq!(bits(&want.weights), bits(&got.weights));
+        }
+    }
+}

@@ -13,7 +13,7 @@ pub use league::{rank_league, LeagueEntry};
 pub use runner::{
     run_contenders, run_contenders_with_threads, scores_of_set, Contender, RunRecord,
 };
-pub use score::{interval_scores, RunScore, ScoreKind};
+pub use score::{interval_scores, jain_fairness, RunScore, ScoreKind};
 pub use set3::{
     run_set3, run_set3_with_threads, scenario_grid, summarise, FaultScenario, Set3Entry,
     Set3Summary,

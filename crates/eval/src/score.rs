@@ -71,9 +71,41 @@ pub fn interval_scores(
     out
 }
 
+/// Jain's fairness index over per-flow allocations (e.g. mean goodputs):
+/// `(Σx)² / (n·Σx²)`. Ranges from `1/n` (one flow hogs everything) to `1.0`
+/// (perfectly equal shares). Used by the many-flow serving scenarios to
+/// grade how fairly N batch-served learned flows split a shared bottleneck.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|&x| x * x).sum();
+    if sum_sq == 0.0 {
+        // All-zero allocations are trivially equal.
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jain_index_bounds_and_known_values() {
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging: index = 1/n.
+        assert!((jain_fairness(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // 2:1 split of two flows: (3)^2 / (2*5) = 0.9.
+        assert!((jain_fairness(&[2.0, 1.0]) - 0.9).abs() < 1e-12);
+        // Scale invariance.
+        assert!(
+            (jain_fairness(&[2.0, 1.0, 4.0]) - jain_fairness(&[20.0, 10.0, 40.0])).abs() < 1e-12
+        );
+    }
 
     #[test]
     fn power_rewards_throughput_quadratically_at_alpha2() {

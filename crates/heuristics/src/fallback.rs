@@ -1,0 +1,187 @@
+//! Tick-driven AIMD fallback for the serving runtime.
+//!
+//! When a serve batch blows its deadline budget, the runtime degrades the
+//! affected flows to a heuristic (ISSUE: graceful degradation). The pool
+//! schemes are ACK-clocked, but the runtime only sees monitor-tick
+//! observations — so the fallback must act purely on `on_tick` views. This
+//! is a deliberately simple tick-clocked AIMD: multiplicative decrease on a
+//! fresh loss (at most once per RTT-worth of ticks), slow-start doubling
+//! below `ssthresh`, additive increase of one packet per RTT above it.
+
+use sage_netsim::time::Nanos;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+
+/// Ticks are 10 ms by default; a 40 ms RTT spans ~4 ticks. The decrease
+/// cooldown uses the measured srtt when available and this floor otherwise.
+const TICK_S: f64 = 0.010;
+
+pub struct TickAimd {
+    cwnd: f64,
+    ssthresh: f64,
+    prev_lost_bytes: u64,
+    /// Ticks remaining before another multiplicative decrease is allowed.
+    cooldown: u32,
+}
+
+impl TickAimd {
+    pub fn new() -> Self {
+        TickAimd {
+            cwnd: INIT_CWND,
+            ssthresh: f64::INFINITY,
+            prev_lost_bytes: 0,
+            cooldown: 0,
+        }
+    }
+}
+
+impl Default for TickAimd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for TickAimd {
+    fn name(&self) -> &'static str {
+        "tick-aimd"
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, _sock: &SocketView) {
+        // Tick-clocked by design: the serving runtime has no ACK stream.
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        // Loss is detected from the tick view's loss counter instead.
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn on_tick(&mut self, _now: Nanos, sock: &SocketView) {
+        let lost_delta = sock.lost_bytes_total.saturating_sub(self.prev_lost_bytes);
+        self.prev_lost_bytes = sock.lost_bytes_total;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        }
+        if lost_delta > 0 {
+            if self.cooldown == 0 {
+                self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+                self.cwnd = self.ssthresh;
+                // One decrease per RTT-worth of ticks (a loss burst is one
+                // congestion event, not many).
+                let rtt_s = if sock.srtt > 0.0 {
+                    sock.srtt
+                } else {
+                    4.0 * TICK_S
+                };
+                self.cooldown = (rtt_s / TICK_S).ceil() as u32;
+            }
+            return;
+        }
+        let rtt_s = if sock.srtt > 0.0 {
+            sock.srtt
+        } else {
+            4.0 * TICK_S
+        };
+        let ticks_per_rtt = (rtt_s / TICK_S).max(1.0);
+        if self.cwnd < self.ssthresh {
+            // Slow start: double per RTT.
+            self.cwnd += self.cwnd / ticks_per_rtt;
+            if self.cwnd >= self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance: +1 packet per RTT.
+            self.cwnd += 1.0 / ticks_per_rtt;
+        }
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh_pkts(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_netsim::link::LinkModel;
+    use sage_netsim::time::from_secs;
+    use sage_transport::sim::NullMonitor;
+    use sage_transport::{FlowConfig, SimConfig, Simulation};
+
+    fn view_with(lost: u64, srtt: f64) -> SocketView {
+        SocketView {
+            now: 0,
+            mss: 1500,
+            srtt,
+            rttvar: 0.0,
+            latest_rtt: srtt,
+            prev_rtt: srtt,
+            min_rtt: srtt,
+            inflight_pkts: 0.0,
+            inflight_bytes: 0,
+            delivery_rate_bps: 0.0,
+            prev_delivery_rate_bps: 0.0,
+            max_delivery_rate_bps: 0.0,
+            prev_max_delivery_rate_bps: 0.0,
+            ca_state: sage_transport::CaState::Open,
+            delivered_bytes_total: 0,
+            sent_bytes_total: 0,
+            lost_bytes_total: lost,
+            lost_pkts_total: 0,
+            cwnd_pkts: 10.0,
+            ssthresh_pkts: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn grows_without_loss_and_backs_off_on_loss() {
+        let mut cca = TickAimd::new();
+        let start = cca.cwnd_pkts();
+        for _ in 0..20 {
+            cca.on_tick(0, &view_with(0, 0.04));
+        }
+        let grown = cca.cwnd_pkts();
+        assert!(grown > start, "no growth: {grown}");
+        cca.on_tick(0, &view_with(3000, 0.04));
+        assert!(cca.cwnd_pkts() < grown, "no backoff");
+    }
+
+    #[test]
+    fn loss_burst_triggers_single_decrease() {
+        let mut cca = TickAimd::new();
+        for _ in 0..40 {
+            cca.on_tick(0, &view_with(0, 0.04));
+        }
+        let before = cca.cwnd_pkts();
+        // Losses on consecutive ticks within one RTT: one halving only.
+        cca.on_tick(0, &view_with(1500, 0.04));
+        let after_first = cca.cwnd_pkts();
+        cca.on_tick(0, &view_with(3000, 0.04));
+        cca.on_tick(0, &view_with(4500, 0.04));
+        assert!((cca.cwnd_pkts() - after_first).abs() < 1e-9);
+        assert!(after_first >= before / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn survives_a_simulation_and_fills_some_pipe() {
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            100_000,
+            20.0,
+            from_secs(5.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(TickAimd::new()))]);
+        let stats = sim.run(&mut NullMonitor).remove(0);
+        assert!(
+            stats.avg_goodput_mbps > 4.0,
+            "tick-driven AIMD too timid: {} Mbps",
+            stats.avg_goodput_mbps
+        );
+    }
+}

@@ -22,6 +22,7 @@ pub mod c2tcp;
 pub mod cdg;
 pub mod copa;
 pub mod cubic;
+pub mod fallback;
 pub mod highspeed;
 pub mod htcp;
 pub mod hybla;

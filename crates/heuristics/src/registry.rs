@@ -53,6 +53,7 @@ pub fn build(name: &str, seed: u64) -> Option<Box<dyn CongestionControl>> {
         "c2tcp" => Box::new(c2tcp::C2tcp::new()),
         "sprout" => Box::new(sprout::Sprout::new()),
         "vivace" => Box::new(vivace::Vivace::new()),
+        "tick-aimd" => Box::new(fallback::TickAimd::new()),
         _ => return None,
     })
 }

@@ -21,6 +21,7 @@ pub mod internet;
 pub mod link;
 pub mod packet;
 pub mod queue;
+pub mod scenario;
 pub mod time;
 
 pub use aqm::{Aqm, AqmKind};
@@ -31,4 +32,5 @@ pub use faults::{
 pub use link::LinkModel;
 pub use packet::Packet;
 pub use queue::{BottleneckPath, EnqueueOutcome};
+pub use scenario::ManyFlowScenario;
 pub use time::{Nanos, MICROS, MILLIS, SECONDS};

@@ -68,6 +68,53 @@ impl GmmHead {
     pub fn log_prob(&self, g: &mut Graph, nodes: GmmNodes, action: NodeId) -> NodeId {
         g.gmm_log_prob(nodes.means, nodes.log_stds, nodes.logits, action)
     }
+
+    /// Graph-free forward, bit-identical to [`GmmHead::fwd`] row by row
+    /// (see [`crate::infer`]). Returns the raw `[B,K]` mixture parameter
+    /// matrices; extract a flow's mixture with [`GmmBatch::row`].
+    pub fn infer(&self, store: &ParamStore, x: &crate::array::Array) -> GmmBatch {
+        use crate::infer;
+        let means = self.mean.infer(store, x);
+        let raw = self.log_std.infer(store, x);
+        let t = infer::tanh(&raw);
+        let half_range = (LOG_STD_MAX - LOG_STD_MIN) / 2.0;
+        let mid = (LOG_STD_MAX + LOG_STD_MIN) / 2.0;
+        let log_stds = infer::add_const(&infer::scale(&t, half_range), mid);
+        let logits = self.logit.infer(store, x);
+        GmmBatch {
+            means,
+            log_stds,
+            logits,
+        }
+    }
+}
+
+/// Batched (plain-array) mixture parameters from a graph-free forward:
+/// row `r` holds flow r's K-component mixture.
+#[derive(Debug, Clone)]
+pub struct GmmBatch {
+    pub means: crate::array::Array,
+    pub log_stds: crate::array::Array,
+    pub logits: crate::array::Array,
+}
+
+impl GmmBatch {
+    pub fn rows(&self) -> usize {
+        self.means.rows
+    }
+
+    /// Extract row `r` as sampling-ready [`GmmParams`] — same math as
+    /// [`GmmParams::from_nodes`].
+    pub fn row(&self, r: usize) -> GmmParams {
+        let k = self.means.cols;
+        let logits: Vec<f64> = (0..k).map(|c| self.logits.at(r, c)).collect();
+        let lse = log_sum_exp(&logits);
+        GmmParams {
+            means: (0..k).map(|c| self.means.at(r, c)).collect(),
+            log_stds: (0..k).map(|c| self.log_stds.at(r, c)).collect(),
+            weights: logits.iter().map(|&l| (l - lse).exp()).collect(),
+        }
+    }
 }
 
 /// Extracted (plain) mixture parameters for one row, for inference-time

@@ -1,0 +1,359 @@
+//! Graph-free forward kernels for the serving runtime.
+//!
+//! Training goes through [`crate::graph::Graph`], which clones every
+//! parameter matrix into the tape and allocates ~60 nodes per forward —
+//! fine for gradients, wasteful for serving. The helpers here compute the
+//! same forward math directly on [`Array`]s.
+//!
+//! **Bit-identity contract**: every op mirrors its `graph.rs` counterpart
+//! element-for-element, in the same evaluation order. All ops are
+//! row-independent, so a batched forward over B rows equals B single-row
+//! graph forwards bit-for-bit. The matmul has a runtime-dispatched SIMD
+//! path (AVX-512F / AVX2) that preserves scalar semantics: separate
+//! multiply and add per element (no FMA — fusing would change rounding),
+//! vector lanes spread across output columns `j`, the inner `p` loop kept
+//! sequential, and the same skip-zero shortcut as [`Array::matmul`].
+
+use crate::array::Array;
+use std::sync::OnceLock;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn kernel() -> Kernel {
+    static KERNEL: OnceLock<Kernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return Kernel::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Kernel::Avx2;
+            }
+        }
+        Kernel::Scalar
+    })
+}
+
+/// `a (m x k) * b (k x n)`, bit-identical to [`Array::matmul`].
+pub fn matmul(a: &Array, b: &Array) -> Array {
+    assert_eq!(a.cols, b.rows, "matmul inner dims");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Array::zeros(m, n);
+    match kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx512 => unsafe { matmul_avx512(&a.data, &b.data, &mut out.data, m, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { matmul_avx2(&a.data, &b.data, &mut out.data, m, k, n) },
+        Kernel::Scalar => matmul_scalar(&a.data, &b.data, &mut out.data, m, k, n),
+    }
+    out
+}
+
+fn matmul_scalar(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+// The SIMD kernels tile output columns into register-resident accumulator
+// blocks (4 vectors, then 1 vector, then a scalar tail). Keeping the
+// accumulators in registers across the whole `p` loop removes the
+// store-to-load forwarding chain a read-modify-write output row would
+// create — which is the difference between ~1.3x and ~4x over scalar on
+// these small matrices. Every output element still accumulates over `p` in
+// increasing order from 0.0 with separate mul/add and the skip-zero
+// shortcut, so results stay bit-identical to [`Array::matmul`].
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_avx512(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let orow = out.as_mut_ptr().add(i * n);
+        let mut j = 0usize;
+        while j + 32 <= n {
+            let mut acc0 = _mm512_setzero_pd();
+            let mut acc1 = _mm512_setzero_pd();
+            let mut acc2 = _mm512_setzero_pd();
+            let mut acc3 = _mm512_setzero_pd();
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                let vs = _mm512_set1_pd(av);
+                let bp = b.as_ptr().add(p * n + j);
+                acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(vs, _mm512_loadu_pd(bp)));
+                acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(vs, _mm512_loadu_pd(bp.add(8))));
+                acc2 = _mm512_add_pd(acc2, _mm512_mul_pd(vs, _mm512_loadu_pd(bp.add(16))));
+                acc3 = _mm512_add_pd(acc3, _mm512_mul_pd(vs, _mm512_loadu_pd(bp.add(24))));
+            }
+            _mm512_storeu_pd(orow.add(j), acc0);
+            _mm512_storeu_pd(orow.add(j + 8), acc1);
+            _mm512_storeu_pd(orow.add(j + 16), acc2);
+            _mm512_storeu_pd(orow.add(j + 24), acc3);
+            j += 32;
+        }
+        while j + 8 <= n {
+            let mut acc = _mm512_setzero_pd();
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                let vs = _mm512_set1_pd(av);
+                acc = _mm512_add_pd(
+                    acc,
+                    _mm512_mul_pd(vs, _mm512_loadu_pd(b.as_ptr().add(p * n + j))),
+                );
+            }
+            _mm512_storeu_pd(orow.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut s = 0.0;
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                s += av * *b.as_ptr().add(p * n + j);
+            }
+            *orow.add(j) = s;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_avx2(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let orow = out.as_mut_ptr().add(i * n);
+        let mut j = 0usize;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut acc2 = _mm256_setzero_pd();
+            let mut acc3 = _mm256_setzero_pd();
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                let vs = _mm256_set1_pd(av);
+                let bp = b.as_ptr().add(p * n + j);
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(vs, _mm256_loadu_pd(bp)));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(vs, _mm256_loadu_pd(bp.add(4))));
+                acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(vs, _mm256_loadu_pd(bp.add(8))));
+                acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(vs, _mm256_loadu_pd(bp.add(12))));
+            }
+            _mm256_storeu_pd(orow.add(j), acc0);
+            _mm256_storeu_pd(orow.add(j + 4), acc1);
+            _mm256_storeu_pd(orow.add(j + 8), acc2);
+            _mm256_storeu_pd(orow.add(j + 12), acc3);
+            j += 16;
+        }
+        while j + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                let vs = _mm256_set1_pd(av);
+                acc = _mm256_add_pd(
+                    acc,
+                    _mm256_mul_pd(vs, _mm256_loadu_pd(b.as_ptr().add(p * n + j))),
+                );
+            }
+            _mm256_storeu_pd(orow.add(j), acc);
+            j += 4;
+        }
+        while j < n {
+            let mut s = 0.0;
+            for p in 0..k {
+                let av = *arow.add(p);
+                if av == 0.0 {
+                    continue;
+                }
+                s += av * *b.as_ptr().add(p * n + j);
+            }
+            *orow.add(j) = s;
+            j += 1;
+        }
+    }
+}
+
+/// Broadcast-add a `[1,d]` bias row to every row (mirrors `Graph::add_row`).
+pub fn add_row(x: &Array, bias: &Array) -> Array {
+    assert_eq!(bias.rows, 1);
+    assert_eq!(x.cols, bias.cols);
+    let mut out = x.clone();
+    for r in 0..out.rows {
+        for c in 0..out.cols {
+            *out.at_mut(r, c) += bias.at(0, c);
+        }
+    }
+    out
+}
+
+/// Elementwise sum (mirrors `Graph::add`).
+pub fn add(a: &Array, b: &Array) -> Array {
+    a.zip(b, |x, y| x + y)
+}
+
+/// Elementwise product (mirrors `Graph::mul`).
+pub fn mul(a: &Array, b: &Array) -> Array {
+    a.zip(b, |x, y| x * y)
+}
+
+/// Scalar multiply (mirrors `Graph::scale`).
+pub fn scale(a: &Array, k: f64) -> Array {
+    a.map(|x| x * k)
+}
+
+/// Scalar offset (mirrors `Graph::add_const`).
+pub fn add_const(a: &Array, k: f64) -> Array {
+    a.map(|x| x + k)
+}
+
+/// Elementwise tanh (mirrors `Graph::tanh`).
+pub fn tanh(a: &Array) -> Array {
+    a.map(f64::tanh)
+}
+
+/// Elementwise logistic sigmoid (mirrors `Graph::sigmoid`).
+pub fn sigmoid(a: &Array) -> Array {
+    a.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Leaky ReLU (mirrors `Graph::lrelu`).
+pub fn lrelu(a: &Array, slope: f64) -> Array {
+    a.map(|x| if x >= 0.0 { x } else { slope * x })
+}
+
+/// Row-wise layer normalisation (mirrors `Graph::layer_norm`).
+pub fn layer_norm(x: &Array, gain: &Array, bias: &Array) -> Array {
+    let eps = 1e-5;
+    let d = x.cols;
+    let mut out = Array::zeros(x.rows, d);
+    for r in 0..x.rows {
+        let row = &x.data[r * d..(r + 1) * d];
+        let mu = row.iter().sum::<f64>() / d as f64;
+        let var = row.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / d as f64;
+        let sd = (var + eps).sqrt();
+        for (c, &x) in row.iter().enumerate() {
+            let xhat = (x - mu) / sd;
+            *out.at_mut(r, c) = gain.at(0, c) * xhat + bias.at(0, c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use sage_util::prop::{forall, PropConfig};
+    use sage_util::Rng;
+
+    fn random_array(rng: &mut Rng, rows: usize, cols: usize) -> Array {
+        // Mix in exact zeros so the skip-zero shortcut is exercised.
+        let data = (0..rows * cols)
+            .map(|_| {
+                if rng.next_u64().is_multiple_of(8) {
+                    0.0
+                } else {
+                    rng.range(-2.0, 2.0)
+                }
+            })
+            .collect();
+        Array::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn simd_matmul_bit_identical_to_array_matmul() {
+        forall(
+            "infer::matmul == Array::matmul",
+            PropConfig::default(),
+            |rng| {
+                let m = 1 + (rng.next_u64() % 12) as usize;
+                let k = 1 + (rng.next_u64() % 20) as usize;
+                let n = 1 + (rng.next_u64() % 20) as usize;
+                let a = random_array(rng, m, k);
+                let b = random_array(rng, k, n);
+                let got = matmul(&a, &b);
+                let want = a.matmul(&b);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    if g.to_bits() != w.to_bits() {
+                        return Err(format!("{g} != {w} at {m}x{k}x{n}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    fn assert_bits_eq(want: &Array, got: &Array) {
+        assert_eq!(want.shape(), got.shape());
+        let wb: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wb, gb);
+    }
+
+    #[test]
+    fn elementwise_ops_match_graph() {
+        let mut rng = Rng::new(11);
+        let x = random_array(&mut rng, 3, 7);
+        let y = random_array(&mut rng, 3, 7);
+        let bias = random_array(&mut rng, 1, 7);
+        let gain = random_array(&mut rng, 1, 7);
+
+        let mut g = Graph::new();
+        let xn = g.input(x.clone());
+        let yn = g.input(y.clone());
+        let bn = g.input(bias.clone());
+        let gn = g.input(gain.clone());
+
+        let node = g.add(xn, yn);
+        assert_bits_eq(g.value(node), &add(&x, &y));
+        let node = g.mul(xn, yn);
+        assert_bits_eq(g.value(node), &mul(&x, &y));
+        let node = g.add_row(xn, bn);
+        assert_bits_eq(g.value(node), &add_row(&x, &bias));
+        let node = g.scale(xn, -1.7);
+        assert_bits_eq(g.value(node), &scale(&x, -1.7));
+        let node = g.add_const(xn, 0.3);
+        assert_bits_eq(g.value(node), &add_const(&x, 0.3));
+        let node = g.tanh(xn);
+        assert_bits_eq(g.value(node), &tanh(&x));
+        let node = g.sigmoid(xn);
+        assert_bits_eq(g.value(node), &sigmoid(&x));
+        let node = g.lrelu(xn, 0.01);
+        assert_bits_eq(g.value(node), &lrelu(&x, 0.01));
+        let node = g.layer_norm(xn, gn, bn);
+        assert_bits_eq(g.value(node), &layer_norm(&x, &gain, &bias));
+    }
+}

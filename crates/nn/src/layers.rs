@@ -2,7 +2,9 @@
 //! LayerNorm, GRU cell, and the pre-norm residual block of Sage's policy
 //! network (Fig. 6).
 
+use crate::array::Array;
 use crate::graph::{Graph, NodeId};
+use crate::infer;
 use crate::params::{ParamId, ParamStore};
 use sage_util::Rng;
 
@@ -37,6 +39,13 @@ impl Linear {
         let h = g.matmul(x, w);
         g.add_row(h, b)
     }
+
+    /// Graph-free forward, bit-identical to [`Linear::fwd`] (see
+    /// [`crate::infer`]).
+    pub fn infer(&self, store: &ParamStore, x: &Array) -> Array {
+        let h = infer::matmul(x, store.get(self.w));
+        infer::add_row(&h, store.get(self.b))
+    }
 }
 
 /// Learned layer normalisation.
@@ -58,6 +67,11 @@ impl LayerNorm {
         let gain = g.param(store, self.gain);
         let bias = g.param(store, self.bias);
         g.layer_norm(x, gain, bias)
+    }
+
+    /// Graph-free forward, bit-identical to [`LayerNorm::fwd`].
+    pub fn infer(&self, store: &ParamStore, x: &Array) -> Array {
+        infer::layer_norm(x, store.get(self.gain), store.get(self.bias))
     }
 }
 
@@ -137,6 +151,32 @@ impl GruCell {
         let new = g.mul(z, c);
         g.add(keep, new)
     }
+
+    /// Graph-free recurrence step, bit-identical to [`GruCell::step`]:
+    /// every intermediate is computed in the same op order so batched
+    /// serving reproduces the training-time forward exactly.
+    pub fn infer_step(&self, store: &ParamStore, x: &Array, h: &Array) -> Array {
+        let xz = infer::matmul(x, store.get(self.wz));
+        let hz = infer::matmul(h, store.get(self.uz));
+        let z_in = infer::add_row(&infer::add(&xz, &hz), store.get(self.bz));
+        let z = infer::sigmoid(&z_in);
+
+        let xr = infer::matmul(x, store.get(self.wr));
+        let hr = infer::matmul(h, store.get(self.ur));
+        let r_in = infer::add_row(&infer::add(&xr, &hr), store.get(self.br));
+        let r = infer::sigmoid(&r_in);
+
+        let xh = infer::matmul(x, store.get(self.wh));
+        let rh = infer::mul(&r, h);
+        let hh = infer::matmul(&rh, store.get(self.uh));
+        let c_in = infer::add_row(&infer::add(&xh, &hh), store.get(self.bh));
+        let c = infer::tanh(&c_in);
+
+        let one_minus_z = infer::add_const(&infer::scale(&z, -1.0), 1.0);
+        let keep = infer::mul(&one_minus_z, h);
+        let new = infer::mul(&z, &c);
+        infer::add(&keep, &new)
+    }
 }
 
 /// Pre-norm residual block: y = x + FC2(lrelu(LN(FC1(x)))).
@@ -162,6 +202,15 @@ impl ResidualBlock {
         let h = g.lrelu(h, 0.01);
         let h = self.fc2.fwd(g, store, h);
         g.add(x, h)
+    }
+
+    /// Graph-free forward, bit-identical to [`ResidualBlock::fwd`].
+    pub fn infer(&self, store: &ParamStore, x: &Array) -> Array {
+        let n = self.ln.infer(store, x);
+        let h = self.fc1.infer(store, &n);
+        let h = infer::lrelu(&h, 0.01);
+        let h = self.fc2.infer(store, &h);
+        infer::add(x, &h)
     }
 }
 
@@ -232,6 +281,48 @@ mod tests {
         for (a, b) in g.value(y).iter().zip(g.value(x).iter()) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn infer_paths_bit_identical_to_graph_forward() {
+        use sage_util::prop::{forall, PropConfig};
+        forall(
+            "layer infer == graph fwd",
+            PropConfig::new(40, 0xF0),
+            |rng| {
+                let b = 1 + (rng.next_u64() % 9) as usize;
+                let din = 1 + (rng.next_u64() % 12) as usize;
+                let dh = 1 + (rng.next_u64() % 12) as usize;
+                let mut store = ParamStore::new();
+                let lin = Linear::new(&mut store, "l", din, dh, rng);
+                let cell = GruCell::new(&mut store, "g", din, dh, rng);
+                let rb = ResidualBlock::new(&mut store, "r", din, rng);
+                let x =
+                    Array::from_vec(b, din, (0..b * din).map(|_| rng.range(-3.0, 3.0)).collect());
+                let h = Array::from_vec(b, dh, (0..b * dh).map(|_| rng.range(-1.0, 1.0)).collect());
+
+                let mut g = Graph::new();
+                let xn = g.input(x.clone());
+                let hn = g.input(h.clone());
+                let want_lin = lin.fwd(&mut g, &store, xn);
+                let want_gru = cell.step(&mut g, &store, xn, hn);
+                let want_rb = rb.fwd(&mut g, &store, xn);
+
+                let checks = [
+                    (g.value(want_lin), lin.infer(&store, &x)),
+                    (g.value(want_gru), cell.infer_step(&store, &x, &h)),
+                    (g.value(want_rb), rb.infer(&store, &x)),
+                ];
+                for (want, got) in checks {
+                    for (w, o) in want.iter().zip(got.iter()) {
+                        if w.to_bits() != o.to_bits() {
+                            return Err(format!("{w} != {o} (b={b}, din={din}, dh={dh})"));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod adam;
 pub mod array;
 pub mod gmm;
 pub mod graph;
+pub mod infer;
 pub mod layers;
 pub mod params;
 

@@ -1,0 +1,441 @@
+//! The serving runtime: batch every due flow into one matrix forward.
+//!
+//! Per tick the runtime (1) expires the timer wheel, (2) pulls each due
+//! flow's observation, (3) folds the fresh ones into a `[B, D]` input and
+//! `[B, H]` hidden matrix and runs a **single** batched graph-free forward
+//! ([`PolicyNet::step_infer`]), then (4) applies the per-row mixtures as
+//! cwnd-ratio actions — exactly the math of [`sage_core::SagePolicy::on_tick`],
+//! row for row, bit for bit.
+//!
+//! Two serving modes exist so the equivalence is checkable: `Batched` (the
+//! production path) and `SequentialGraph` (one autodiff graph per flow, the
+//! legacy per-flow path). Tests and `serve_bench` pin that both produce
+//! identical digests; the bench reports how much faster the batched path is.
+//!
+//! Determinism: all control flow is keyed on tick counts, never wall-clock.
+//! The batch is split into fixed 32-row chunks mapped by
+//! [`sage_util::par_map_range`] (ordered reduction), so the flow-table
+//! digest is byte-identical at any `SAGE_THREADS`. Wall-clock only feeds
+//! [`ServeStats`], which no digest reads.
+
+use crate::table::{FlowEntry, FlowKey, FlowTable};
+use crate::wheel::TimerWheel;
+use sage_core::model::{SageModel, ACTION_SCALE, LOG_ACTION_MAX, LOG_ACTION_MIN};
+use sage_core::{ActionMode, MAX_CWND};
+use sage_gr::{GrConfig, GrUnit, RewardParams};
+use sage_nn::gmm::GmmParams;
+use sage_nn::{Array, Graph};
+use sage_transport::sim::TickRecord;
+use sage_transport::{SocketView, INIT_CWND, MIN_CWND};
+use sage_util::{par_map_range, Fnv64, Rng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fixed batch chunk: parallel workers each take whole 32-row chunks, so
+/// the per-row arithmetic (row-independent by construction) is identical at
+/// every thread count.
+const CHUNK_ROWS: usize = 32;
+
+/// How the runtime evaluates the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One batched graph-free forward per tick (production path).
+    Batched,
+    /// One autodiff graph per flow per tick (the legacy per-flow path,
+    /// kept as the equivalence/speedup baseline).
+    SequentialGraph,
+}
+
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission cap; beyond it `admit` rejects.
+    pub max_flows: usize,
+    /// Deadline budget: at most this many policy rows per tick. Flows past
+    /// the budget are deferred to the next tick (and eventually degraded).
+    pub max_batch: usize,
+    /// A flow whose action slipped more than this many ticks past its due
+    /// tick degrades to the heuristic fallback for that action.
+    pub staleness_ticks: u64,
+    /// Evict a flow after this many consecutive due ticks without an
+    /// observation (the connection is gone).
+    pub evict_after_misses: u32,
+    /// Worker threads for batched inference; 0 = `SAGE_THREADS`.
+    pub threads: usize,
+    pub mode: ServeMode,
+    pub action: ActionMode,
+    /// Heuristic the runtime degrades to (a `sage_heuristics` registry name
+    /// that must act on ticks alone, e.g. `tick-aimd`).
+    pub fallback: &'static str,
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_flows: 1024,
+            max_batch: 512,
+            staleness_ticks: 4,
+            evict_after_misses: 16,
+            threads: 0,
+            mode: ServeMode::Batched,
+            action: ActionMode::Sample,
+            fallback: "tick-aimd",
+            seed: 1,
+        }
+    }
+}
+
+/// Serving counters and wall-clock timings. Timings are reporting-only and
+/// never feed a digest.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    pub ticks: u64,
+    pub batches: u64,
+    pub nn_actions: u64,
+    pub fallback_actions: u64,
+    pub deferred: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub evicted: u64,
+    /// Wall-clock nanoseconds inside policy inference (both modes).
+    pub infer_nanos: u64,
+    /// Wall-clock latency of each per-tick inference call, nanoseconds.
+    pub batch_latency_ns: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Policy actions per second of inference wall-clock.
+    pub fn actions_per_sec(&self) -> f64 {
+        if self.infer_nanos == 0 {
+            return 0.0;
+        }
+        self.nn_actions as f64 / (self.infer_nanos as f64 / 1e9)
+    }
+
+    /// Latency percentile (0..=100) over per-tick inference calls, ns.
+    pub fn latency_ns_percentile(&self, p: f64) -> u64 {
+        if self.batch_latency_ns.is_empty() {
+            return 0;
+        }
+        let mut v = self.batch_latency_ns.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+/// One action decided on a tick, to be applied to the flow's transport.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeAction {
+    pub key: FlowKey,
+    /// Congestion window to enforce, packets.
+    pub cwnd: f64,
+    /// True when the heuristic fallback (not the policy) decided.
+    pub fallback: bool,
+}
+
+pub struct ServeRuntime {
+    model: Arc<SageModel>,
+    gr_cfg: GrConfig,
+    cfg: ServeConfig,
+    table: FlowTable,
+    wheel: TimerWheel,
+    actions_digest: Fnv64,
+    hidden_dim: usize,
+    input_dim: usize,
+    pub stats: ServeStats,
+}
+
+impl ServeRuntime {
+    pub fn new(model: Arc<SageModel>, gr_cfg: GrConfig, cfg: ServeConfig) -> Self {
+        let hidden_dim = if model.cfg.gru > 0 {
+            model.cfg.gru
+        } else {
+            model.cfg.enc1
+        };
+        let input_dim = model.cfg.input_dim();
+        ServeRuntime {
+            model,
+            gr_cfg,
+            cfg,
+            table: FlowTable::new(),
+            wheel: TimerWheel::new(64),
+            actions_digest: Fnv64::new(),
+            hidden_dim,
+            input_dim,
+            stats: ServeStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    pub fn flows(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn contains(&self, key: FlowKey) -> bool {
+        self.table.contains(key)
+    }
+
+    pub fn cwnd_of(&self, key: FlowKey) -> Option<f64> {
+        self.table
+            .slot_of(key)
+            .and_then(|s| self.table.get(s))
+            .map(|e| e.cwnd)
+    }
+
+    /// Admit a flow; its first action is due at `now_tick`. Returns false
+    /// when the key is taken or the table is full.
+    pub fn admit(&mut self, key: FlowKey, now_tick: u64, interval_ticks: u64) -> bool {
+        if self.table.len() >= self.cfg.max_flows || self.table.contains(key) {
+            self.stats.rejected += 1;
+            return false;
+        }
+        let interval_ticks = interval_ticks.max(1);
+        let fallback = sage_heuristics::build(self.cfg.fallback, self.cfg.seed ^ key)
+            .unwrap_or_else(|| panic!("unknown fallback scheme {:?}", self.cfg.fallback));
+        let entry = FlowEntry {
+            key,
+            gr: GrUnit::new(self.gr_cfg, RewardParams::default()),
+            hidden: vec![0.0; self.hidden_dim],
+            cwnd: INIT_CWND,
+            // Same stream construction as `SagePolicy::new`, keyed per flow.
+            rng: Rng::new(self.cfg.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5A6E),
+            fallback,
+            prev_lost_bytes: 0,
+            next_due: now_tick,
+            interval_ticks,
+            missed_obs: 0,
+            nn_actions: 0,
+            fallback_actions: 0,
+        };
+        let slot = self.table.insert(entry).expect("key checked above");
+        self.wheel.schedule(now_tick, slot, key);
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Remove a flow. Its pending timer (if any) is disarmed lazily: the
+    /// wheel entry carries `(slot, key)` and expired entries are checked
+    /// against the table before use.
+    pub fn evict(&mut self, key: FlowKey) -> bool {
+        if self.table.remove(key).is_some() {
+            self.stats.evicted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fingerprint of the full serving state: flow table (slab order) plus
+    /// the running digest of every action ever emitted. Byte-identical at
+    /// any `SAGE_THREADS` and across `ServeMode`s.
+    pub fn digest(&self) -> u64 {
+        let mut h = self.actions_digest;
+        h.write_u64(self.table.digest());
+        h.finish()
+    }
+
+    /// Serve one tick: expire due flows, observe them through `observe`
+    /// (return `None` when the flow has no view, e.g. the connection died),
+    /// batch-infer, and return the decided actions in slab order.
+    pub fn on_tick(
+        &mut self,
+        now_tick: u64,
+        observe: &mut dyn FnMut(FlowKey) -> Option<SocketView>,
+    ) -> Vec<ServeAction> {
+        self.stats.ticks += 1;
+        let mut expired = self.wheel.expire(now_tick);
+        // Drop stale timers of evicted (possibly slot-reused) flows.
+        expired.retain(|&(slot, key)| self.table.get(slot).is_some_and(|e| e.key == key));
+
+        let mut actions = Vec::new();
+        let mut batch_slots: Vec<usize> = Vec::new();
+        let mut x = Vec::new();
+        for (slot, key) in expired {
+            let Some(view) = observe(key) else {
+                let e = self.table.get_mut(slot).expect("retained above");
+                e.missed_obs += 1;
+                if e.missed_obs >= self.cfg.evict_after_misses {
+                    self.table.remove(key);
+                    self.stats.evicted += 1;
+                } else {
+                    let due = now_tick + e.interval_ticks;
+                    e.next_due = due;
+                    self.wheel.schedule(due, slot, key);
+                }
+                continue;
+            };
+            let staleness_ticks = self.cfg.staleness_ticks;
+            let e = self.table.get_mut(slot).expect("retained above");
+            e.missed_obs = 0;
+            // Keep the fallback warm on every observed tick so a takeover
+            // starts from current loss/srtt state, not a cold window.
+            e.fallback.on_tick(view.now, &view);
+            if now_tick.saturating_sub(e.next_due) > staleness_ticks {
+                // Graceful degradation: this action comes from the
+                // heuristic, deterministically (tick counts only).
+                e.cwnd = e.fallback.cwnd_pkts().clamp(MIN_CWND, MAX_CWND);
+                e.fallback_actions += 1;
+                self.stats.fallback_actions += 1;
+                self.actions_digest.write_u64(key);
+                self.actions_digest.write_f64(e.cwnd);
+                self.actions_digest.write_u64(1);
+                actions.push(ServeAction {
+                    key,
+                    cwnd: e.cwnd,
+                    fallback: true,
+                });
+                let due = now_tick + e.interval_ticks;
+                e.next_due = due;
+                self.wheel.schedule(due, slot, key);
+                continue;
+            }
+            if batch_slots.len() >= self.cfg.max_batch {
+                // Deadline budget exhausted: push the remainder to the next
+                // tick without resetting `next_due`, so a flow that keeps
+                // slipping crosses the staleness deadline and degrades.
+                self.stats.deferred += 1;
+                self.wheel.schedule(now_tick + 1, slot, key);
+                continue;
+            }
+            // Fresh: run the GR unit and stage the policy input row.
+            let lost_delta = view.lost_bytes_total.saturating_sub(e.prev_lost_bytes);
+            e.prev_lost_bytes = view.lost_bytes_total;
+            let tick = TickRecord {
+                now: view.now,
+                goodput_bps: view.delivery_rate_bps,
+                mean_owd: 0.0,
+                lost_bytes_delta: lost_delta,
+                cwnd_pkts: e.cwnd,
+            };
+            let step = e.gr.on_tick(&view, &tick);
+            let row = self.model.prepare_input(&step.state);
+            debug_assert_eq!(row.len(), self.input_dim);
+            x.extend_from_slice(&row);
+            batch_slots.push(slot);
+        }
+
+        if batch_slots.is_empty() {
+            return actions;
+        }
+        let b = batch_slots.len();
+        let xs = Array {
+            rows: b,
+            cols: self.input_dim,
+            data: x,
+        };
+        let mut hdata = Vec::with_capacity(b * self.hidden_dim);
+        for &slot in &batch_slots {
+            hdata.extend_from_slice(&self.table.get(slot).expect("staged").hidden);
+        }
+        let hs = Array {
+            rows: b,
+            cols: self.hidden_dim,
+            data: hdata,
+        };
+
+        let t0 = Instant::now();
+        let (mixes, new_h) = match self.cfg.mode {
+            ServeMode::Batched => self.infer_batched(&xs, &hs),
+            ServeMode::SequentialGraph => self.infer_sequential(&xs, &hs),
+        };
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.infer_nanos += dt;
+        self.stats.batch_latency_ns.push(dt);
+        self.stats.batches += 1;
+
+        for (r, &slot) in batch_slots.iter().enumerate() {
+            let e = self.table.get_mut(slot).expect("staged");
+            e.hidden
+                .copy_from_slice(&new_h.data[r * self.hidden_dim..(r + 1) * self.hidden_dim]);
+            let raw = match self.cfg.action {
+                ActionMode::Sample => mixes[r].sample(&mut e.rng),
+                ActionMode::Deterministic => mixes[r].mean(),
+            };
+            let log_ratio = (raw * ACTION_SCALE).clamp(LOG_ACTION_MIN, LOG_ACTION_MAX);
+            e.cwnd = (e.cwnd * log_ratio.exp()).clamp(MIN_CWND, MAX_CWND);
+            e.nn_actions += 1;
+            self.stats.nn_actions += 1;
+            self.actions_digest.write_u64(e.key);
+            self.actions_digest.write_f64(e.cwnd);
+            self.actions_digest.write_u64(0);
+            actions.push(ServeAction {
+                key: e.key,
+                cwnd: e.cwnd,
+                fallback: false,
+            });
+            let due = now_tick + e.interval_ticks;
+            e.next_due = due;
+            self.wheel.schedule(due, slot, e.key);
+        }
+        actions
+    }
+
+    /// Batched graph-free forward, split into fixed 32-row chunks mapped in
+    /// index order — bit-identical at every thread count and to the
+    /// whole-batch (or per-row) evaluation, since every op is
+    /// row-independent.
+    fn infer_batched(&self, xs: &Array, hs: &Array) -> (Vec<GmmParams>, Array) {
+        let b = xs.rows;
+        let chunks = b.div_ceil(CHUNK_ROWS);
+        let model = &self.model;
+        let results = par_map_range(self.cfg.threads, chunks, |c| {
+            let lo = c * CHUNK_ROWS;
+            let hi = (lo + CHUNK_ROWS).min(b);
+            let xc = Array {
+                rows: hi - lo,
+                cols: xs.cols,
+                data: xs.data[lo * xs.cols..hi * xs.cols].to_vec(),
+            };
+            let hc = Array {
+                rows: hi - lo,
+                cols: hs.cols,
+                data: hs.data[lo * hs.cols..hi * hs.cols].to_vec(),
+            };
+            model.policy.step_infer(&model.store, &xc, &hc)
+        });
+        let mut mixes = Vec::with_capacity(b);
+        let mut h_out = Vec::with_capacity(b * self.hidden_dim);
+        for (batch, h) in results {
+            for r in 0..batch.rows() {
+                mixes.push(batch.row(r));
+            }
+            h_out.extend_from_slice(&h.data);
+        }
+        (
+            mixes,
+            Array {
+                rows: b,
+                cols: self.hidden_dim,
+                data: h_out,
+            },
+        )
+    }
+
+    /// The legacy path: one autodiff graph per flow (what `SagePolicy`
+    /// does). Kept as the equivalence baseline for tests and `serve_bench`.
+    fn infer_sequential(&self, xs: &Array, hs: &Array) -> (Vec<GmmParams>, Array) {
+        let b = xs.rows;
+        let mut mixes = Vec::with_capacity(b);
+        let mut h_out = Vec::with_capacity(b * self.hidden_dim);
+        for r in 0..b {
+            let mut g = Graph::new();
+            let xin = g.input(Array::row(xs.data[r * xs.cols..(r + 1) * xs.cols].to_vec()));
+            let hin = g.input(Array::row(hs.data[r * hs.cols..(r + 1) * hs.cols].to_vec()));
+            let (nodes, hout) = self.model.policy.step(&mut g, &self.model.store, xin, hin);
+            h_out.extend_from_slice(&g.value(hout).data);
+            mixes.push(self.model.policy.mixture(&g, nodes, 0));
+        }
+        (
+            mixes,
+            Array {
+                rows: b,
+                cols: self.hidden_dim,
+                data: h_out,
+            },
+        )
+    }
+}

@@ -7,6 +7,8 @@
 //! records through socket APIs.
 
 use sage_netsim::time::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Socket congestion-avoidance state, as exposed to the GR unit
 /// (`ca_state` row of Table 1).
@@ -145,9 +147,90 @@ pub trait CongestionControl: Send {
     }
 }
 
+/// A congestion-window cell shared between the transport and an external
+/// controller (the batched serving runtime). Stores the f64 bit pattern in
+/// an `AtomicU64` because [`CongestionControl`] implementations must be
+/// `Send`; ordering is `Relaxed` — the simulation is single-threaded per
+/// event, the atomic is only for type-level soundness.
+#[derive(Debug, Clone)]
+pub struct SharedCwnd(Arc<AtomicU64>);
+
+impl SharedCwnd {
+    pub fn new(initial: f64) -> Self {
+        SharedCwnd(Arc::new(AtomicU64::new(initial.to_bits())))
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A congestion controller whose window is decided out-of-band: the serving
+/// runtime (`crates/serve`) writes actions into the [`SharedCwnd`] cell on
+/// its batch clock, while the transport keeps local safety behaviour (RTO
+/// collapse) — mirroring how `SagePolicy` halves on timeout.
+pub struct RemoteCwnd {
+    cwnd: SharedCwnd,
+    name: &'static str,
+}
+
+impl RemoteCwnd {
+    /// Build the controller plus the cell handle the remote side writes.
+    pub fn new(name: &'static str) -> (Self, SharedCwnd) {
+        let cell = SharedCwnd::new(crate::INIT_CWND);
+        (
+            RemoteCwnd {
+                cwnd: cell.clone(),
+                name,
+            },
+            cell,
+        )
+    }
+}
+
+impl CongestionControl for RemoteCwnd {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, _sock: &SocketView) {
+        // The remote policy acts on its own clock, not per-ACK.
+    }
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {
+        // Loss reaches the remote policy through the observed state.
+    }
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd.set((self.cwnd.get() * 0.5).max(crate::MIN_CWND));
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd.get()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_cwnd_round_trips_values() {
+        let (mut cca, cell) = RemoteCwnd::new("served");
+        assert_eq!(cca.cwnd_pkts(), crate::INIT_CWND);
+        cell.set(123.75);
+        assert_eq!(cca.cwnd_pkts(), 123.75);
+        let view = dummy_view();
+        cca.on_rto(0, &view);
+        assert_eq!(cell.get(), 61.875);
+        cell.set(crate::MIN_CWND);
+        cca.on_rto(0, &view);
+        assert_eq!(cell.get(), crate::MIN_CWND, "RTO clamps at MIN_CWND");
+    }
 
     #[test]
     fn ca_state_encoding_matches_linux() {

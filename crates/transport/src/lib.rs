@@ -24,9 +24,9 @@ pub mod rate;
 pub mod rtt;
 pub mod sim;
 
-pub use cc::{AckEvent, CaState, CongestionControl, SocketView};
+pub use cc::{AckEvent, CaState, CongestionControl, RemoteCwnd, SharedCwnd, SocketView};
 pub use flow::Flow;
-pub use sim::{FlowConfig, FlowStats, SimConfig, Simulation, TickRecord};
+pub use sim::{BatchCc, BatchObs, FlowConfig, FlowStats, SimConfig, Simulation, TickRecord};
 
 /// Default maximum segment size used throughout the reproduction (bytes on
 /// the wire; we do not model header overhead separately).

@@ -64,6 +64,11 @@ pub struct FlowConfig {
     pub cca: Box<dyn CongestionControl>,
     pub start: Nanos,
     pub stop: Option<Nanos>,
+    /// Managed by the batch controller of [`Simulation::run_batched`]: the
+    /// flow's tick observation is collected into the controller's batch
+    /// instead of driving `cca.on_tick` (the cca is typically a
+    /// [`crate::cc::RemoteCwnd`] shell).
+    pub batched: bool,
 }
 
 impl FlowConfig {
@@ -72,6 +77,7 @@ impl FlowConfig {
             cca,
             start: 0,
             stop: None,
+            batched: false,
         }
     }
 
@@ -80,7 +86,14 @@ impl FlowConfig {
             cca,
             start,
             stop: None,
+            batched: false,
         }
+    }
+
+    /// Mark the flow as batch-controlled.
+    pub fn batched(mut self) -> Self {
+        self.batched = true;
+        self
     }
 }
 
@@ -131,6 +144,21 @@ impl Monitor for NullMonitor {
     fn on_tick(&mut self, _flow_idx: usize, _view: &SocketView, _tick: &TickRecord) {}
 }
 
+/// One flow's pre-action observation within a batched monitor tick.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchObs {
+    pub flow_idx: usize,
+    pub view: SocketView,
+}
+
+/// A controller serving many flows at once. Each monitor tick it receives
+/// the pre-action views of every active batch-managed flow (in flow-index
+/// order — deterministic) and applies actions by writing the
+/// [`crate::cc::SharedCwnd`] cells it holds.
+pub trait BatchCc {
+    fn on_batch_tick(&mut self, now: Nanos, obs: &[BatchObs]);
+}
+
 enum Ev {
     /// The bottleneck finished serving a packet (lazily validated).
     PathComplete(Nanos),
@@ -154,6 +182,8 @@ pub struct Simulation {
     cfg: SimConfig,
     path: BottleneckPath,
     flows: Vec<Flow>,
+    /// Per-flow: managed by the batch controller (see [`FlowConfig::batched`]).
+    batched: Vec<bool>,
     events: EventQueue<Ev>,
     now: Nanos,
     fwd_owd: Nanos,
@@ -186,6 +216,7 @@ impl Simulation {
         let half = from_ms(cfg.rtt_ms / 2.0);
         let cfg_seed = cfg.seed;
         let mut flows = Vec::new();
+        let mut batched = Vec::new();
         let mut events = EventQueue::new();
         for (i, fc) in flow_cfgs.into_iter().enumerate() {
             let id = i as FlowId;
@@ -195,6 +226,7 @@ impl Simulation {
                 events.schedule(stop, Ev::FlowStop(id));
             }
             flows.push(f);
+            batched.push(fc.batched);
         }
         events.schedule(cfg.monitor_interval, Ev::Tick);
         let faults = FaultInjector::new(cfg.faults.clone(), cfg_seed);
@@ -203,6 +235,7 @@ impl Simulation {
             cfg,
             path,
             flows,
+            batched,
             events,
             now: 0,
             fwd_owd: half,
@@ -219,6 +252,27 @@ impl Simulation {
 
     /// Run to completion, invoking `monitor` once per active flow per tick.
     pub fn run(&mut self, monitor: &mut dyn Monitor) -> Vec<FlowStats> {
+        self.run_inner(monitor, &mut None)
+    }
+
+    /// Like [`Simulation::run`], but flows marked [`FlowConfig::batched`]
+    /// are served by `ctrl`: each tick their pre-action views are collected
+    /// and handed to `ctrl.on_batch_tick` in one call (phase 1), then the
+    /// per-flow tick accounting runs with the post-action windows (phase 2).
+    pub fn run_batched(
+        &mut self,
+        monitor: &mut dyn Monitor,
+        ctrl: &mut dyn BatchCc,
+    ) -> Vec<FlowStats> {
+        let mut ctrl = Some(ctrl);
+        self.run_inner(monitor, &mut ctrl)
+    }
+
+    fn run_inner(
+        &mut self,
+        monitor: &mut dyn Monitor,
+        ctrl: &mut Option<&mut dyn BatchCc>,
+    ) -> Vec<FlowStats> {
         while let Some((t, ev)) = self.events.pop() {
             if t > self.cfg.duration {
                 break;
@@ -282,7 +336,7 @@ impl Simulation {
                     }
                 }
                 Ev::Tick => {
-                    self.do_tick(monitor);
+                    self.do_tick(monitor, ctrl);
                     self.events
                         .schedule(self.now + self.cfg.monitor_interval, Ev::Tick);
                 }
@@ -307,10 +361,17 @@ impl Simulation {
         self.collect_stats()
     }
 
-    fn do_tick(&mut self, monitor: &mut dyn Monitor) {
+    fn do_tick(&mut self, monitor: &mut dyn Monitor, ctrl: &mut Option<&mut dyn BatchCc>) {
         let interval_s = self.cfg.monitor_interval as f64 / SECONDS as f64;
+        let mut collected: Vec<usize> = Vec::new();
         for idx in 0..self.flows.len() {
             if !self.flows[idx].active {
+                continue;
+            }
+            if self.batched[idx] && ctrl.is_some() {
+                // Phase 1 of the batched tick: collect now, act once on the
+                // whole batch below.
+                collected.push(idx);
                 continue;
             }
             let now = self.now;
@@ -319,26 +380,49 @@ impl Simulation {
                 let f = &mut self.flows[idx];
                 f.cca.on_tick(now, &view);
             }
-            // Rebuild the view after the CCA tick so monitors observe the
-            // post-action cwnd (the GR unit records the action's effect).
-            let view = self.flows[idx].socket_view(now);
-            let (bytes, owd) = self.flows[idx].take_tick();
-            let lost_total = self.flows[idx].lost_bytes_total;
-            let lost_delta = lost_total.saturating_sub(self.prev_lost_bytes[idx]);
-            self.prev_lost_bytes[idx] = lost_total;
-            let tick = TickRecord {
-                now,
-                goodput_bps: bytes as f64 * 8.0 / interval_s,
-                mean_owd: owd,
-                lost_bytes_delta: lost_delta,
-                cwnd_pkts: view.cwnd_pkts,
-            };
-            self.srtt_sum[idx] += view.srtt;
-            self.srtt_cnt[idx] += 1;
-            monitor.on_tick(idx, &view, &tick);
-            // Window may have changed (tick-driven CCAs); try sending.
-            self.try_send(idx);
+            self.finish_tick(idx, interval_s, monitor);
         }
+        if collected.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let obs: Vec<BatchObs> = collected
+            .iter()
+            .map(|&idx| BatchObs {
+                flow_idx: idx,
+                view: self.flows[idx].socket_view(now),
+            })
+            .collect();
+        if let Some(c) = ctrl.as_mut() {
+            c.on_batch_tick(now, &obs);
+        }
+        for &idx in &collected {
+            self.finish_tick(idx, interval_s, monitor);
+        }
+    }
+
+    /// Phase 2 of a monitor tick for one flow: rebuild the view after the
+    /// action so monitors observe the post-action cwnd (the GR unit records
+    /// the action's effect), account tick statistics, and try sending.
+    fn finish_tick(&mut self, idx: usize, interval_s: f64, monitor: &mut dyn Monitor) {
+        let now = self.now;
+        let view = self.flows[idx].socket_view(now);
+        let (bytes, owd) = self.flows[idx].take_tick();
+        let lost_total = self.flows[idx].lost_bytes_total;
+        let lost_delta = lost_total.saturating_sub(self.prev_lost_bytes[idx]);
+        self.prev_lost_bytes[idx] = lost_total;
+        let tick = TickRecord {
+            now,
+            goodput_bps: bytes as f64 * 8.0 / interval_s,
+            mean_owd: owd,
+            lost_bytes_delta: lost_delta,
+            cwnd_pkts: view.cwnd_pkts,
+        };
+        self.srtt_sum[idx] += view.srtt;
+        self.srtt_cnt[idx] += 1;
+        monitor.on_tick(idx, &view, &tick);
+        // Window may have changed (tick-driven CCAs); try sending.
+        self.try_send(idx);
     }
 
     /// Transmit as many packets as the window and pacing gate allow.
@@ -625,6 +709,88 @@ mod tests {
         let stats = sim.run(&mut NullMonitor);
         assert!((stats[0].active_secs - 2.0).abs() < 1e-6);
         assert!(stats[0].delivered_bytes > 0);
+    }
+
+    #[test]
+    fn batched_controller_equals_inline_cca() {
+        // A batch controller that applies fixed-increment AIMD through the
+        // SharedCwnd cell must reproduce the exact run of the same logic
+        // implemented as an inline tick-driven CCA.
+        struct FixedGrow {
+            cwnd: f64,
+        }
+        impl CongestionControl for FixedGrow {
+            fn name(&self) -> &'static str {
+                "fixed-grow"
+            }
+            fn on_ack(&mut self, _a: &AckEvent, _s: &SocketView) {}
+            fn on_congestion_event(&mut self, _now: Nanos, _s: &SocketView) {}
+            fn on_rto(&mut self, _now: Nanos, _s: &SocketView) {
+                self.cwnd = (self.cwnd * 0.5).max(crate::MIN_CWND);
+            }
+            fn on_tick(&mut self, _now: Nanos, _s: &SocketView) {
+                self.cwnd = (self.cwnd + 1.0).min(200.0);
+            }
+            fn cwnd_pkts(&self) -> f64 {
+                self.cwnd
+            }
+        }
+
+        struct BatchGrow {
+            cells: Vec<crate::cc::SharedCwnd>,
+        }
+        impl BatchCc for BatchGrow {
+            fn on_batch_tick(&mut self, _now: Nanos, obs: &[BatchObs]) {
+                for o in obs {
+                    let cell = &self.cells[o.flow_idx];
+                    cell.set((cell.get() + 1.0).min(200.0));
+                }
+            }
+        }
+
+        let mk_cfg = || {
+            SimConfig::new(
+                LinkModel::Constant { mbps: 24.0 },
+                120_000,
+                20.0,
+                sage_netsim::time::from_secs(5.0),
+            )
+        };
+        let mut inline_sim = Simulation::new(
+            mk_cfg(),
+            vec![FlowConfig::at_start(Box::new(FixedGrow {
+                cwnd: crate::INIT_CWND,
+            }))],
+        );
+        let inline = inline_sim.run(&mut NullMonitor).remove(0);
+
+        let (cca, cell) = crate::cc::RemoteCwnd::new("fixed-grow");
+        let mut batched_sim = Simulation::new(
+            mk_cfg(),
+            vec![FlowConfig::at_start(Box::new(cca)).batched()],
+        );
+        let mut ctrl = BatchGrow { cells: vec![cell] };
+        let batched = batched_sim.run_batched(&mut NullMonitor, &mut ctrl);
+        assert_eq!(inline.delivered_bytes, batched[0].delivered_bytes);
+        assert_eq!(inline.lost_pkts, batched[0].lost_pkts);
+        assert_eq!(inline.sent_pkts, batched[0].sent_pkts);
+    }
+
+    #[test]
+    fn batched_flows_need_a_controller_to_move() {
+        // Without run_batched, a batched flow's RemoteCwnd just holds its
+        // initial window — the flow still progresses (windows never close
+        // below MIN_CWND) but slowly; with the flag the controller owns it.
+        let (cca, _cell) = crate::cc::RemoteCwnd::new("served");
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 12.0 },
+            100_000,
+            20.0,
+            sage_netsim::time::from_secs(2.0),
+        );
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca)).batched()]);
+        let stats = sim.run(&mut NullMonitor).remove(0);
+        assert!(stats.delivered_bytes > 0);
     }
 
     #[test]

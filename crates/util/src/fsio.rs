@@ -39,6 +39,52 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// FNV-1a 64-bit hash of a byte slice. Used for state digests (e.g. the
+/// serve-runtime flow table) where a stable, order-sensitive 64-bit
+/// fingerprint is wanted; see [`Fnv64`] for incremental hashing.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Hash the exact bit pattern (distinguishes -0.0 from 0.0 and every
+    /// NaN payload — digests must be byte-faithful to the state).
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Append the checksum footer to a payload.
 pub fn append_footer(payload: &mut Vec<u8>) {
     let len = payload.len() as u64;
@@ -142,6 +188,27 @@ mod tests {
         // Standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv64_incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish(), "digest must be bit-faithful");
     }
 
     #[test]

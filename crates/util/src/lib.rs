@@ -14,7 +14,7 @@ pub mod ring;
 pub mod rng;
 pub mod stats;
 
-pub use fsio::{atomic_write, atomic_write_checksummed, crc32, read_checksummed};
+pub use fsio::{atomic_write, atomic_write_checksummed, crc32, fnv1a64, read_checksummed, Fnv64};
 pub use json::{Json, JsonError};
 pub use par::{configured_threads, par_map, par_map_range, resolve_threads, THREADS_ENV};
 pub use prop::{forall, PropConfig};

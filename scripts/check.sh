@@ -27,4 +27,14 @@ SAGE_THREADS=4 cargo test -q
 echo "== par_speedup digest gate =="
 SAGE_SECS=3 SAGE_STEPS=10 ./target/release/par_speedup
 
+# Serving-runtime smoke: a fixed-seed 64-flow shared-bottleneck scenario whose
+# flow-table/action digest is pinned in crates/serve/tests/golden/. Run at two
+# thread counts so batched inference nondeterminism fails the gate.
+# Regenerate after intentional changes with SAGE_REGEN_GOLDEN=1.
+echo "== serve smoke: 64-flow golden digest (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q -p sage-serve --release --test serve_golden
+
+echo "== serve smoke: 64-flow golden digest (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q -p sage-serve --release --test serve_golden
+
 echo "ALL CHECKS PASSED"

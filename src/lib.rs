@@ -21,6 +21,8 @@
 //! * [`core`] — CRR offline RL, behavioral cloning, online baselines, and
 //!   the deployable `SagePolicy`.
 //! * [`eval`] — scores, winning rates, leagues, Distance/Similarity, t-SNE.
+//! * [`serve`] — batched multi-flow policy serving: slab flow table, timer
+//!   wheel, one matrix forward per tick, heuristic fallback.
 //!
 //! See `examples/quickstart.rs` for a two-minute tour and
 //! `examples/train_sage_mini.rs` for the full pipeline in miniature.
@@ -32,5 +34,6 @@ pub use sage_gr as gr;
 pub use sage_heuristics as heuristics;
 pub use sage_netsim as netsim;
 pub use sage_nn as nn;
+pub use sage_serve as serve;
 pub use sage_transport as transport;
 pub use sage_util as util;
