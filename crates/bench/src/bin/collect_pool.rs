@@ -7,14 +7,15 @@
 //! the partial pool is written periodically so an interrupted run resumes
 //! from the last checkpoint instead of from zero.
 
-use sage_bench::{default_envs, default_gr, envvar, pool_path, pool_schemes, SEED};
+use sage_bench::{default_envs, default_gr, envvar, finish_obs, pool_path, pool_schemes, SEED};
 use sage_collector::{collect_pool_supervised, SuperviseConfig};
+use sage_obs::{obs_info, obs_warn};
 use std::time::Instant;
 
 fn main() {
     let envs = default_envs();
     let schemes = pool_schemes();
-    println!(
+    obs_info!(
         "collecting pool: {} envs x {} schemes ({} rollouts)",
         envs.len(),
         schemes.len(),
@@ -30,7 +31,7 @@ fn main() {
     let (pool, report) =
         collect_pool_supervised(&envs, &schemes, default_gr(), SEED, &sup, |done, total| {
             if done % 50 == 0 || done == total {
-                println!("  {done}/{total} ({:.0} s)", t0.elapsed().as_secs_f64());
+                obs_info!("  {done}/{total} ({:.0} s)", t0.elapsed().as_secs_f64());
             }
         });
     println!(
@@ -44,7 +45,8 @@ fn main() {
         report.checkpoints
     );
     if !report.failed.is_empty() {
-        println!("abandoned cells: {:?}", report.failed);
+        obs_warn!("abandoned cells: {:?}", report.failed);
     }
     println!("wrote {}", pool_path().display());
+    finish_obs("collect");
 }

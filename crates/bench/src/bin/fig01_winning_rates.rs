@@ -15,8 +15,9 @@ fn main() {
     println!("fig01: {} schemes x {} envs", contenders.len(), envs.len());
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 100 == 0 {
-            eprintln!("  {d}/{t}");
+            sage_obs::obs_info!("  {d}/{t}");
         }
     });
     print_league_variants(&records, "Fig.1 heuristics");
+    sage_bench::finish_obs("fig01");
 }

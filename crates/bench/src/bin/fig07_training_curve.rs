@@ -19,12 +19,12 @@ fn main() {
     // once and merge each day's Sage records in (the winner margins are
     // recomputed per merged league).
     let heuristic_records = run_contenders(&heuristics, &envs, 2.0, SEED, |_, _| {});
-    eprintln!("heuristic baseline runs done");
+    sage_obs::obs_info!("heuristic baseline runs done");
     let mut rows = Vec::new();
     for day in 1..=7 {
         let path = model_path(&format!("sage_d{day}"));
         if !path.exists() {
-            eprintln!("(checkpoint {day} missing — run train_sage)");
+            sage_obs::obs_warn!("checkpoint {day} missing — run train_sage");
             continue;
         }
         let model = Arc::new(SageModel::load_file(&path).expect("load ckpt"));
@@ -71,7 +71,7 @@ fn main() {
             format!("{:.2}%", s2 * 100.0),
             format!("{:.2}%", h2 * 100.0),
         ]);
-        eprintln!("day {day} done");
+        sage_obs::obs_info!("day {day} done");
     }
     print_table(
         "Fig.7 Sage winning rate during training",

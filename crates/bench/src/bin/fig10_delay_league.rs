@@ -26,7 +26,7 @@ fn main() {
     );
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 100 == 0 {
-            eprintln!("  {d}/{t}");
+            sage_obs::obs_info!("  {d}/{t}");
         }
     });
     print_league_variants(&records, "Fig.10 delay-based league");

@@ -107,7 +107,7 @@ fn main() {
     let envs = default_envs();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 200 == 0 {
-            eprintln!("  {d}/{t}");
+            sage_obs::obs_info!("  {d}/{t}");
         }
     });
     let mut rows = Vec::new();

@@ -50,7 +50,7 @@ fn main() {
         }
         row.push(best.0.to_string());
         rows.push(row);
-        eprintln!("{} done (most similar: {})", env.id, best.0);
+        sage_obs::obs_info!("{} done (most similar: {})", env.id, best.0);
     }
     print_table(
         "Fig.13 Similarity Index of Sage to pool schemes",

@@ -72,7 +72,7 @@ fn main() {
     let envs = default_envs();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
         if d % 200 == 0 {
-            eprintln!("  {d}/{t}");
+            sage_obs::obs_info!("  {d}/{t}");
         }
     });
     let s1 = rank_league(&scores_of_set(&records, SetKind::SetI), 0.10);

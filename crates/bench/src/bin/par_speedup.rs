@@ -13,11 +13,12 @@
 //! Writes `artifacts/results/BENCH_par_speedup.json` with the per-loop
 //! timings, speedups and digest-identity flags.
 
-use sage_bench::{artifacts_dir, envvar};
+use sage_bench::{envvar, finish_obs, obs_metrics, write_report};
 use sage_collector::{collect_pool_with_threads, training_envs, Pool};
 use sage_core::{CrrConfig, CrrTrainer, NetConfig};
 use sage_eval::{rank_league, run_contenders_with_threads, scores_of_set, Contender};
 use sage_gr::GrConfig;
+use sage_obs::obs_error;
 use sage_util::{crc32, Json};
 use std::time::Instant;
 
@@ -67,7 +68,7 @@ impl<T: std::fmt::Debug + PartialEq> Timed<T> {
             if ok { "identical" } else { "MISMATCH" }
         );
         if !ok {
-            eprintln!("  {:?}", self.digests);
+            obs_error!("digest mismatch in {}: {:?}", self.label, self.digests);
         }
         ok
     }
@@ -172,18 +173,16 @@ fn main() {
             Json::Arr(vec![collect.json(), train.json(), league.json()]),
         ),
         ("digests_identical", Json::Bool(ok.iter().all(|&x| x))),
+        ("metrics", obs_metrics()),
     ]);
-    let dir = artifacts_dir().join("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_par_speedup.json");
-    sage_util::fsio::atomic_write(&path, json.to_string().as_bytes())
-        .expect("write par_speedup report");
+    let path = write_report("BENCH_par_speedup.json", &json);
     println!("report: {}", path.display());
+    finish_obs("par_speedup");
 
     if ok.iter().all(|&x| x) {
         println!("all digests identical across thread counts");
     } else {
-        eprintln!("DETERMINISM VIOLATION: digests differ across thread counts");
+        obs_error!("DETERMINISM VIOLATION: digests differ across thread counts");
         std::process::exit(1);
     }
 }

@@ -19,12 +19,13 @@
 //! Scale knobs: `SAGE_SERVE_TICKS` (sweep ticks per flow count, default
 //! 20), `SAGE_SECS` (scenario seconds, default 5).
 
-use sage_bench::{artifacts_dir, envvar};
+use sage_bench::{envvar, finish_obs, obs_metrics, write_report};
 use sage_core::model::{NetConfig, SageModel};
 use sage_core::ActionMode;
 use sage_eval::jain_fairness;
 use sage_gr::{GrConfig, STATE_DIM};
 use sage_netsim::ManyFlowScenario;
+use sage_obs::obs_error;
 use sage_serve::{run_many_flow, ServeConfig, ServeMode, ServeRuntime};
 use sage_transport::{CaState, SocketView};
 use sage_util::{Json, Rng};
@@ -231,15 +232,14 @@ fn main() {
             ]),
         ),
         ("bitwise_equivalent", Json::Bool(equivalent)),
+        ("metrics", obs_metrics()),
     ]);
-    let dir = artifacts_dir().join("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_serve.json");
-    sage_util::fsio::atomic_write(&path, json.to_string().as_bytes()).expect("write serve report");
+    let path = write_report("BENCH_serve.json", &json);
     println!("\nreport: {}", path.display());
+    finish_obs("serve");
 
     if !equivalent {
-        eprintln!("EQUIVALENCE VIOLATION: batched and sequential paths diverged");
+        obs_error!("EQUIVALENCE VIOLATION: batched and sequential paths diverged");
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 //! baseline, retransmit overhead, and abort-restart counts. The full report
 //! goes to `artifacts/results/set3_adversarial.json` (crash-safe write).
 
-use sage_bench::{artifacts_dir, default_gr, envvar, model_path, pool_schemes, print_table, SEED};
+use sage_bench::{default_gr, envvar, model_path, pool_schemes, print_table, SEED};
 use sage_core::SageModel;
 use sage_eval::runner::Contender;
 use sage_eval::set3::{run_set3, scenario_grid, summarise};
@@ -25,7 +25,7 @@ fn main() {
             model: Arc::new(model),
             gr_cfg: default_gr(),
         }),
-        Err(e) => eprintln!("note: no learned policy in the roster ({e}); heuristics only"),
+        Err(e) => sage_obs::obs_warn!("no learned policy in the roster ({e}); heuristics only"),
     }
     let scenarios = scenario_grid();
     println!(
@@ -35,7 +35,7 @@ fn main() {
     );
     let entries = run_set3(&contenders, &scenarios, secs, SEED, |d, t| {
         if d % 11 == 0 || d == t {
-            eprintln!("  {d}/{t}");
+            sage_obs::obs_info!("  {d}/{t}");
         }
     });
 
@@ -147,10 +147,7 @@ fn main() {
             ),
         ),
     ]);
-    let dir = artifacts_dir().join("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("set3_adversarial.json");
-    sage_util::fsio::atomic_write(&path, report.to_string().as_bytes()).expect("write set3 report");
+    let path = sage_bench::write_report("set3_adversarial.json", &report);
     println!("\nreport: {}", path.display());
 
     let died: Vec<&str> = entries
@@ -161,4 +158,5 @@ fn main() {
     if !died.is_empty() {
         println!("non-surviving cells: {died:?}");
     }
+    sage_bench::finish_obs("set3");
 }

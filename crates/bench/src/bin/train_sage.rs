@@ -2,14 +2,15 @@
 //! Saves periodic checkpoints (`sage_d1`, `sage_d2`, ... — the "training
 //! days" of Fig. 7) and the final model `sage.model`.
 
-use sage_bench::{default_train_cfg, envvar, model_path, pool_path};
+use sage_bench::{default_train_cfg, envvar, finish_obs, model_path, pool_path};
 use sage_collector::Pool;
 use sage_core::CrrTrainer;
+use sage_obs::obs_info;
 use std::time::Instant;
 
 fn main() {
     let pool = Pool::load_file(&pool_path()).expect("run collect_pool first");
-    println!(
+    obs_info!(
         "pool: {} trajectories / {} transitions from {:?}",
         pool.trajectories.len(),
         pool.total_steps(),
@@ -24,7 +25,7 @@ fn main() {
     for i in 0..steps {
         let m = trainer.train_step(&pool);
         if (i + 1) % 200 == 0 {
-            println!(
+            obs_info!(
                 "step {:5}: policy {:.3} critic {:.3} w {:.2} q {:.2} ({:.0} s)",
                 i + 1,
                 m.policy_loss,
@@ -38,7 +39,7 @@ fn main() {
             day += 1;
             let p = model_path(&format!("sage_d{day}"));
             trainer.model().save_file(&p).expect("save ckpt");
-            println!("checkpoint day {day} -> {}", p.display());
+            obs_info!("checkpoint day {day} -> {}", p.display());
         }
     }
     trainer
@@ -46,4 +47,5 @@ fn main() {
         .save_file(&model_path("sage"))
         .expect("save model");
     println!("wrote {}", model_path("sage").display());
+    finish_obs("train");
 }

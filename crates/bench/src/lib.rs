@@ -14,6 +14,45 @@ pub fn artifacts_dir() -> PathBuf {
     p
 }
 
+/// `artifacts/results/`, created on demand — every figure/bench report and
+/// obs export lands here.
+pub fn results_dir() -> PathBuf {
+    let p = artifacts_dir().join("results");
+    std::fs::create_dir_all(&p).ok();
+    p
+}
+
+/// Write a JSON report under `artifacts/results/` through the atomic
+/// temp+rename writer, so a partially written artifact can never be
+/// observed mid-run. Returns the full path.
+pub fn write_report(name: &str, json: &sage_util::Json) -> PathBuf {
+    let path = results_dir().join(name);
+    sage_util::fsio::atomic_write(&path, json.to_string().as_bytes())
+        .unwrap_or_else(|e| panic!("write report {}: {e}", path.display()));
+    path
+}
+
+/// The embedded metrics section every `BENCH_*.json` report carries:
+/// a deterministic snapshot of all registered counters/gauges/histograms.
+pub fn obs_metrics() -> sage_util::Json {
+    sage_obs::snapshot_json()
+}
+
+/// Finish observability for the bench binary `suite`: dump the per-phase
+/// self-profile as `artifacts/results/PROFILE_<suite>.json` and flush any
+/// structured JSONL trace (`SAGE_TRACE_FILE`). Call once at the end of
+/// `main`. A no-op (beyond the trace flush) when obs is disabled.
+pub fn finish_obs(suite: &str) {
+    if sage_obs::enabled() {
+        let path = results_dir().join(format!("PROFILE_{suite}.json"));
+        match sage_obs::write_profile(&path) {
+            Ok(_) => sage_obs::obs_debug!("profile report: {}", path.display()),
+            Err(e) => sage_obs::obs_warn!("profile write failed for {suite}: {e}"),
+        }
+    }
+    sage_obs::flush_trace();
+}
+
 pub fn pool_path() -> PathBuf {
     artifacts_dir().join("pool.bin")
 }

@@ -72,6 +72,7 @@ pub fn rollout(
     gr_cfg: GrConfig,
     seed: u64,
 ) -> RolloutResult {
+    let _prof = sage_obs::scope("collect_rollout");
     let (mut sim, test_idx) = build_sim(env, cca, seed);
     let mut mon = GrMonitor {
         gr: GrUnit::new(gr_cfg, RewardParams::for_capacity(env.capacity_mbps)),
@@ -132,6 +133,8 @@ pub fn collect_pool_with_threads(
         let cca = build(scheme, seed.wrapping_add(si as u64))
             .unwrap_or_else(|| panic!("unknown scheme {scheme}"));
         let res = rollout(env, scheme, cca, gr_cfg, seed);
+        sage_obs::obs_counter!("collect.rollouts").inc();
+        sage_obs::obs_counter!("collect.steps").add(res.traj.len() as u64);
         let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         (progress.lock().unwrap())(n, total);
         res.traj

@@ -134,10 +134,20 @@ pub fn collect_pool_supervised(
                     Ok(_) => {
                         cell_diverged = true;
                         report.retries += 1;
+                        sage_obs::obs_counter!("collect.retries").inc();
+                        sage_obs::obs_warn!(
+                            "rollout diverged (attempt {attempt}): {scheme}@{}",
+                            env.id
+                        );
                     }
                     Err(_) => {
                         cell_panicked = true;
                         report.retries += 1;
+                        sage_obs::obs_counter!("collect.retries").inc();
+                        sage_obs::obs_warn!(
+                            "rollout panicked (attempt {attempt}): {scheme}@{}",
+                            env.id
+                        );
                     }
                 }
             }
@@ -152,7 +162,10 @@ pub fn collect_pool_supervised(
                     pool.trajectories.push(traj);
                     report.completed += 1;
                 }
-                None => report.failed.push(format!("{scheme}@{}", env.id)),
+                None => {
+                    sage_obs::obs_error!("cell abandoned after retries: {scheme}@{}", env.id);
+                    report.failed.push(format!("{scheme}@{}", env.id));
+                }
             }
             done += 1;
             progress(done, total);

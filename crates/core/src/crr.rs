@@ -237,6 +237,8 @@ impl CrrTrainer {
 
     /// One gradient step of policy evaluation + policy improvement.
     pub fn train_step(&mut self, pool: &Pool) -> StepMetrics {
+        let _prof = sage_obs::scope("crr_step");
+        let step_start = sage_obs::enabled().then(std::time::Instant::now);
         let (states, actions, rewards) = match self.sample_batch(pool) {
             Some(x) => x,
             None => return StepMetrics::default(),
@@ -415,6 +417,30 @@ impl CrrTrainer {
             metrics.policy_loss += loss_bi / b as f64;
             for (pid, grad) in grads {
                 self.model.store.params[pid].grad.add_assign(&grad);
+            }
+        }
+        // Observability taps: write-only exports, never read back by the
+        // trainer, and the grad norm is computed only when obs is on (it
+        // costs a pass over every parameter).
+        if sage_obs::enabled() {
+            let grad_sq: f64 = self
+                .model
+                .store
+                .params
+                .iter()
+                .map(|p| p.grad.data.iter().map(|g| g * g).sum::<f64>())
+                .sum();
+            sage_obs::obs_gauge!("train.grad_norm").set(grad_sq.sqrt());
+            sage_obs::obs_gauge!("train.policy_loss").set(metrics.policy_loss);
+            sage_obs::obs_gauge!("train.critic_loss").set(metrics.critic_loss);
+            sage_obs::obs_gauge!("train.mean_q").set(metrics.mean_q);
+            sage_obs::obs_gauge!("train.mean_weight").set(metrics.mean_weight);
+            sage_obs::obs_counter!("train.steps").inc();
+            if let Some(start) = step_start {
+                let secs = start.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    sage_obs::obs_gauge!("train.samples_per_sec").set((l * b) as f64 / secs);
+                }
             }
         }
         self.policy_opt.step(&mut self.model.store);

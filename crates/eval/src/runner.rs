@@ -109,10 +109,12 @@ pub fn run_contenders_with_threads(
     let done = std::sync::atomic::AtomicUsize::new(0);
     let progress = std::sync::Mutex::new(&mut progress);
     sage_util::par_map_range(threads, total, |task| {
+        let _prof = sage_obs::scope("eval_run");
         let (ei, ci) = (task / contenders.len(), task % contenders.len());
         let (env, c) = (&envs[ei], &contenders[ci]);
         let cca = c.build(env, seed);
         let res = rollout(env, c.name(), cca, gr_of(c), seed);
+        sage_obs::obs_counter!("eval.runs").inc();
         let kind = match env.set {
             SetKind::SetI => ScoreKind::Power,
             SetKind::SetII => ScoreKind::Friendliness,

@@ -5,6 +5,7 @@ use crate::aqm::{Aqm, DequeueVerdict, EnqueueVerdict, QueueView};
 use crate::link::LinkModel;
 use crate::packet::Packet;
 use crate::time::Nanos;
+use sage_obs::{obs_counter, obs_hist};
 use sage_util::Rng;
 use std::collections::VecDeque;
 
@@ -102,8 +103,11 @@ impl BottleneckPath {
     /// Offer a packet to the path at time `now`.
     pub fn enqueue(&mut self, now: Nanos, pkt: Packet) -> EnqueueOutcome {
         self.total_enqueued += 1;
+        obs_counter!("netsim.pkts_enqueued").inc();
+        obs_hist!("netsim.queue_depth_pkts").observe(self.buf.len() as u64);
         if self.random_loss > 0.0 && self.rng.chance(self.random_loss) {
             self.total_dropped += 1;
+            obs_counter!("netsim.pkts_dropped").inc();
             self.drops.push_back((now, pkt));
             return EnqueueOutcome::Dropped(pkt);
         }
@@ -117,6 +121,7 @@ impl BottleneckPath {
             }
             EnqueueVerdict::DropTail => {
                 self.total_dropped += 1;
+                obs_counter!("netsim.pkts_dropped").inc();
                 self.drops.push_back((now, pkt));
                 EnqueueOutcome::Dropped(pkt)
             }
@@ -127,10 +132,12 @@ impl BottleneckPath {
                 } else {
                     // Empty queue cannot head-drop; fall back to tail drop.
                     self.total_dropped += 1;
+                    obs_counter!("netsim.pkts_dropped").inc();
                     self.drops.push_back((now, pkt));
                     return EnqueueOutcome::Dropped(pkt);
                 };
                 self.total_dropped += 1;
+                obs_counter!("netsim.pkts_dropped").inc();
                 self.drops.push_back((now, dropped));
                 self.buf.push_back((now, pkt));
                 self.bytes_queued += pkt.bytes as u64;
@@ -152,11 +159,15 @@ impl BottleneckPath {
             match self.aqm.on_dequeue(now, sojourn, &pkt) {
                 DequeueVerdict::Drop => {
                     self.total_dropped += 1;
+                    obs_counter!("netsim.pkts_dropped").inc();
                     self.drops.push_back((now, pkt));
                     continue;
                 }
                 DequeueVerdict::Deliver => {
                     let finish = self.link.finish_time(now, pkt.bytes as f64 * 8.0);
+                    if finish == Nanos::MAX {
+                        obs_counter!("netsim.link_stalls").inc();
+                    }
                     self.in_service = Some((pkt, sojourn, finish));
                     return;
                 }
@@ -175,6 +186,8 @@ impl BottleneckPath {
         let (pkt, sojourn, finish) = self.in_service.take()?;
         debug_assert!(now >= finish, "complete() called before finish time");
         self.total_delivered += 1;
+        obs_counter!("netsim.pkts_delivered").inc();
+        obs_hist!("netsim.sojourn_us").observe(sojourn / 1_000);
         self.try_start_service(now);
         Some(Departure {
             at: finish,

@@ -1,0 +1,173 @@
+//! Log-linear histogram bucketing and mergeable snapshots.
+//!
+//! Each power-of-two range ("octave") is split into [`SUB`] equal linear
+//! sub-buckets (HdrHistogram-style), so relative resolution is bounded by
+//! `1/SUB` everywhere while the whole `u64` range fits in [`NUM_BUCKETS`]
+//! slots. Everything here is integer arithmetic: merging two snapshots is a
+//! bucket-wise add, which is associative and commutative, so any reduction
+//! order — and therefore any thread count — produces the same result.
+
+/// log2 of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 2;
+
+/// Sub-buckets per octave (values `0..SUB` get exact unit buckets).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+pub const NUM_BUCKETS: usize = 63 * SUB as usize;
+
+/// Bucket index of a value. Monotone in `v` and total over `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let base = (msb - 1) * SUB;
+    let offset = (v >> (msb - SUB_BITS as u64)) & (SUB - 1);
+    (base + offset) as usize
+}
+
+/// Inclusive `(lo, hi)` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB {
+        return (i, i);
+    }
+    let msb = i / SUB + 1;
+    let sub = i % SUB;
+    let width = 1u64 << (msb - SUB_BITS as u64);
+    let lo = (1u64 << msb) + sub * width;
+    (lo, lo.wrapping_add(width - 1))
+}
+
+/// A plain (non-atomic) histogram state: the snapshot form of
+/// [`crate::metrics::Histogram`] and the unit the property tests exercise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    /// Wrapping sum of observed values (wrap-around is astronomically far
+    /// for the microsecond/packet quantities recorded here).
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    /// `0` when empty.
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self`. Bucket-wise integer addition: associative
+    /// and commutative, so merge order never matters.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (0..=100) from the buckets: the midpoint of
+    /// the bucket containing the rank, clamped to observed min/max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                let (lo, hi) = bucket_bounds(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_sub() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        // Every bucket's hi + 1 is the next bucket's lo (exhaustive, no gaps).
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between bucket {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_and_bounds_agree_at_edges() {
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_uniform_counts() {
+        let mut h = HistSnapshot::new();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 99);
+        let p50 = h.percentile(50.0);
+        assert!((32..=72).contains(&p50), "p50 {p50}");
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 99);
+    }
+}

@@ -1,0 +1,149 @@
+//! Scoped phase timers aggregated per phase name.
+//!
+//! `let _t = sage_obs::scope("crr_step");` times the enclosing block and
+//! folds the elapsed nanoseconds into a per-phase aggregate (call count,
+//! total, max). [`write_profile`] dumps every aggregate as a
+//! `PROFILE_*.json` report through the atomic writer. When obs is disabled
+//! the guard holds `None` and both construction and drop are no-ops.
+//!
+//! Durations are wall-clock and therefore nondeterministic; they appear
+//! only in profile reports, which no digest covers.
+
+use sage_util::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Default, Clone, Copy)]
+struct PhaseAgg {
+    calls: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn phases() -> &'static Mutex<BTreeMap<&'static str, PhaseAgg>> {
+    static PHASES: OnceLock<Mutex<BTreeMap<&'static str, PhaseAgg>>> = OnceLock::new();
+    PHASES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Times a phase from construction to drop. Created by [`scope`].
+pub struct ScopeTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        let mut map = phases().lock().unwrap();
+        let agg = map.entry(self.name).or_default();
+        agg.calls += 1;
+        agg.total_ns += ns;
+        agg.max_ns = agg.max_ns.max(ns);
+    }
+}
+
+/// Start timing the phase `name`; the returned guard records on drop.
+/// Costs one branch (no clock read) when obs is disabled.
+#[inline]
+pub fn scope(name: &'static str) -> ScopeTimer {
+    ScopeTimer {
+        name,
+        start: crate::enabled().then(Instant::now),
+    }
+}
+
+/// Clear all phase aggregates (tests and repeated in-process runs).
+pub fn reset_profile() {
+    phases().lock().unwrap().clear();
+}
+
+/// Every phase aggregate as JSON:
+/// `{"<phase>": {"calls": n, "total_ms": t, "mean_us": m, "max_us": x}}`,
+/// phases sorted by name.
+pub fn profile_json() -> Json {
+    let map = phases().lock().unwrap();
+    Json::Obj(
+        map.iter()
+            .map(|(name, a)| {
+                let mean_us = if a.calls == 0 {
+                    0.0
+                } else {
+                    a.total_ns as f64 / a.calls as f64 / 1_000.0
+                };
+                (
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("calls", Json::Num(a.calls as f64)),
+                        ("total_ms", Json::Num(a.total_ns as f64 / 1_000_000.0)),
+                        ("mean_us", Json::Num(mean_us)),
+                        ("max_us", Json::Num(a.max_ns as f64 / 1_000.0)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Write the phase aggregates to `path` (a `PROFILE_*.json` report) via an
+/// atomic temp+rename. Returns the serialised JSON.
+pub fn write_profile(path: &Path) -> std::io::Result<String> {
+    let body = Json::obj(vec![("phases", profile_json())]).to_string();
+    sage_util::fsio::atomic_write(path, body.as_bytes())?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_aggregates_calls() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(true);
+        reset_profile();
+        for _ in 0..3 {
+            let _t = scope("test.profile.phase");
+            std::hint::black_box(0u64);
+        }
+        let map = phases().lock().unwrap();
+        let agg = map.get("test.profile.phase").expect("phase recorded");
+        assert_eq!(agg.calls, 3);
+        assert!(agg.max_ns <= agg.total_ns);
+    }
+
+    #[test]
+    fn disabled_scope_records_nothing() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(false);
+        reset_profile();
+        {
+            let _t = scope("test.profile.disabled");
+        }
+        crate::force_enabled(true);
+        assert!(phases()
+            .lock()
+            .unwrap()
+            .get("test.profile.disabled")
+            .is_none());
+    }
+
+    #[test]
+    fn profile_json_shape() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(true);
+        reset_profile();
+        {
+            let _t = scope("test.profile.json");
+        }
+        let j = profile_json().to_string();
+        let parsed = Json::parse(&j).expect("profile JSON parses");
+        let phase = parsed.get("test.profile.json").expect("phase present");
+        assert!(phase.get("calls").is_some());
+        assert!(phase.get("total_ms").is_some());
+        assert!(phase.get("mean_us").is_some());
+        assert!(phase.get("max_us").is_some());
+    }
+}

@@ -191,6 +191,7 @@ impl ServeRuntime {
     pub fn admit(&mut self, key: FlowKey, now_tick: u64, interval_ticks: u64) -> bool {
         if self.table.len() >= self.cfg.max_flows || self.table.contains(key) {
             self.stats.rejected += 1;
+            sage_obs::obs_counter!("serve.rejected").inc();
             return false;
         }
         let interval_ticks = interval_ticks.max(1);
@@ -223,6 +224,7 @@ impl ServeRuntime {
     pub fn evict(&mut self, key: FlowKey) -> bool {
         if self.table.remove(key).is_some() {
             self.stats.evicted += 1;
+            sage_obs::obs_counter!("serve.evictions").inc();
             true
         } else {
             false
@@ -246,6 +248,7 @@ impl ServeRuntime {
         now_tick: u64,
         observe: &mut dyn FnMut(FlowKey) -> Option<SocketView>,
     ) -> Vec<ServeAction> {
+        let _prof = sage_obs::scope("serve_tick");
         self.stats.ticks += 1;
         let mut expired = self.wheel.expire(now_tick);
         // Drop stale timers of evicted (possibly slot-reused) flows.
@@ -261,6 +264,7 @@ impl ServeRuntime {
                 if e.missed_obs >= self.cfg.evict_after_misses {
                     self.table.remove(key);
                     self.stats.evicted += 1;
+                    sage_obs::obs_counter!("serve.evictions").inc();
                 } else {
                     let due = now_tick + e.interval_ticks;
                     e.next_due = due;
@@ -280,6 +284,7 @@ impl ServeRuntime {
                 e.cwnd = e.fallback.cwnd_pkts().clamp(MIN_CWND, MAX_CWND);
                 e.fallback_actions += 1;
                 self.stats.fallback_actions += 1;
+                sage_obs::obs_counter!("serve.fallback_actions").inc();
                 self.actions_digest.write_u64(key);
                 self.actions_digest.write_f64(e.cwnd);
                 self.actions_digest.write_u64(1);
@@ -298,6 +303,7 @@ impl ServeRuntime {
                 // tick without resetting `next_due`, so a flow that keeps
                 // slipping crosses the staleness deadline and degrades.
                 self.stats.deferred += 1;
+                sage_obs::obs_counter!("serve.deferrals").inc();
                 self.wheel.schedule(now_tick + 1, slot, key);
                 continue;
             }
@@ -346,6 +352,8 @@ impl ServeRuntime {
         self.stats.infer_nanos += dt;
         self.stats.batch_latency_ns.push(dt);
         self.stats.batches += 1;
+        sage_obs::obs_hist!("serve.batch_rows").observe(b as u64);
+        sage_obs::obs_hist!("serve.tick_latency_us").observe(dt / 1_000);
 
         for (r, &slot) in batch_slots.iter().enumerate() {
             let e = self.table.get_mut(slot).expect("staged");
@@ -359,6 +367,7 @@ impl ServeRuntime {
             e.cwnd = (e.cwnd * log_ratio.exp()).clamp(MIN_CWND, MAX_CWND);
             e.nn_actions += 1;
             self.stats.nn_actions += 1;
+            sage_obs::obs_counter!("serve.nn_actions").inc();
             self.actions_digest.write_u64(e.key);
             self.actions_digest.write_f64(e.cwnd);
             self.actions_digest.write_u64(0);

@@ -1,0 +1,102 @@
+//! Observability differential: enabling metrics must never perturb results.
+//!
+//! Runs the same fixed-seed 64-flow shared-bottleneck scenario as
+//! `serve_golden` twice in one process — once with obs force-disabled, once
+//! force-enabled — and demands byte-identical action digests, plus agreement
+//! with the checked-in golden digest. `scripts/check.sh` runs this at
+//! `SAGE_THREADS=1` and `SAGE_THREADS=4`, so the combination proves the
+//! digest is invariant in both the metrics switch and the thread count.
+//!
+//! The metrics-enabled run's exported snapshot must also parse back through
+//! `sage_util::Json` and contain the serve/netsim/transport key families the
+//! instrumentation promises.
+
+use sage_core::model::{NetConfig, SageModel};
+use sage_gr::{GrConfig, STATE_DIM};
+use sage_netsim::ManyFlowScenario;
+use sage_serve::{run_many_flow, ServeConfig, ServeMode};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_64flow.txt")
+}
+
+/// The fixed-seed 64-flow scenario of `serve_golden::run`, returning the
+/// action-history digest.
+fn run_digest() -> u64 {
+    let mut sc = ManyFlowScenario::shared_bottleneck(64, 4, 42);
+    sc.secs = 3.0;
+    let cfg = NetConfig {
+        enc1: 8,
+        gru: 8,
+        enc2: 8,
+        fc: 8,
+        residual_blocks: 1,
+        critic_hidden: 8,
+        ..NetConfig::default()
+    };
+    let model = Arc::new(SageModel::new(
+        cfg,
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        7,
+    ));
+    let report = run_many_flow(
+        &sc,
+        model,
+        GrConfig::default(),
+        ServeConfig {
+            mode: ServeMode::Batched,
+            threads: 0, // resolve from SAGE_THREADS: check.sh varies it
+            ..ServeConfig::default()
+        },
+    );
+    report.digest
+}
+
+/// One test (not several) because the obs kill switch is process-global and
+/// the default harness runs tests concurrently.
+#[test]
+fn metrics_on_and_off_produce_identical_digests() {
+    sage_obs::force_enabled(false);
+    let digest_off = run_digest();
+
+    sage_obs::reset_metrics();
+    sage_obs::force_enabled(true);
+    let digest_on = run_digest();
+
+    assert_eq!(
+        digest_off, digest_on,
+        "enabling metrics changed the serve action digest"
+    );
+
+    // Re-assert the checked-in golden digest (first line: `digest <hex>`).
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let want = golden
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("digest "))
+        .map(|h| u64::from_str_radix(h.trim(), 16).expect("golden digest parses"))
+        .expect("golden file starts with a digest line");
+    assert_eq!(
+        digest_on, want,
+        "metrics-enabled digest diverged from the golden file"
+    );
+
+    // The exported snapshot must parse and carry the instrumented families.
+    let snapshot = sage_obs::snapshot_json().to_string();
+    let parsed = sage_util::Json::parse(&snapshot).expect("snapshot JSON parses");
+    let counters = parsed.get("counters").expect("counters section");
+    for key in [
+        "serve.nn_actions",
+        "netsim.pkts_delivered",
+        "netsim.pkts_enqueued",
+    ] {
+        assert!(counters.get(key).is_some(), "missing counter {key}");
+    }
+    let hists = parsed.get("histograms").expect("histograms section");
+    for key in ["serve.batch_rows", "serve.tick_latency_us"] {
+        assert!(hists.get(key).is_some(), "missing histogram {key}");
+    }
+}

@@ -190,6 +190,7 @@ impl Flow {
                 meta.rate_snap = snap;
                 self.n_lost -= 1;
                 self.retx_pkts_total += 1;
+                sage_obs::obs_counter!("transport.retx_pkts").inc();
                 let mut pkt = Packet::new(self.id, seq, meta.bytes, now);
                 pkt.retransmit = true;
                 return pkt;
@@ -423,6 +424,7 @@ impl Flow {
             return None;
         }
         self.consecutive_rtos += 1;
+        sage_obs::obs_counter!("transport.rto_fired").inc();
         if self.consecutive_rtos >= self.max_consecutive_rtos {
             // The path is presumed dead (e.g. a long blackout): abort the
             // connection and restart it cleanly rather than doubling the
@@ -490,6 +492,7 @@ impl Flow {
         self.rtt = RttEstimator::new();
         self.cca.init(now, MSS);
         self.restarts_total += 1;
+        sage_obs::obs_counter!("transport.flow_restarts").inc();
     }
 
     fn rto_scaled(&self) -> Nanos {

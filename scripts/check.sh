@@ -37,4 +37,14 @@ SAGE_THREADS=1 cargo test -q -p sage-serve --release --test serve_golden
 echo "== serve smoke: 64-flow golden digest (SAGE_THREADS=4) =="
 SAGE_THREADS=4 cargo test -q -p sage-serve --release --test serve_golden
 
+# Observability smoke: the 64-flow golden scenario with metrics force-enabled
+# must reproduce the same golden digest as with metrics off, and the exported
+# snapshot must parse via util::json with the expected metric families. Run at
+# two thread counts so per-thread counter sharding nondeterminism fails here.
+echo "== obs smoke: metrics-on golden digest + snapshot (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q -p sage-serve --release --test obs_differential
+
+echo "== obs smoke: metrics-on golden digest + snapshot (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q -p sage-serve --release --test obs_differential
+
 echo "ALL CHECKS PASSED"
