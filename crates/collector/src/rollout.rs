@@ -55,6 +55,7 @@ fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simu
     let mut flows = Vec::new();
     for k in 0..env.competing_cubic {
         flows.push(FlowConfig::starting_at(
+            // lint:allow(P1): "cubic" is a compile-time scheme name that the registry always contains
             build("cubic", seed.wrapping_add(k as u64 + 1)).expect("cubic exists"),
             (k as u64) * 100 * sage_netsim::time::MILLIS,
         ));
@@ -131,12 +132,13 @@ pub fn collect_pool_with_threads(
         let (ei, si) = (task / schemes.len(), task % schemes.len());
         let (env, scheme) = (&envs[ei], schemes[si]);
         let cca = build(scheme, seed.wrapping_add(si as u64))
+            // lint:allow(P1): scheme names come from the static pool list validated against the registry; an unknown name is a programming error
             .unwrap_or_else(|| panic!("unknown scheme {scheme}"));
         let res = rollout(env, scheme, cca, gr_cfg, seed);
         sage_obs::obs_counter!("collect.rollouts").inc();
         sage_obs::obs_counter!("collect.steps").add(res.traj.len() as u64);
         let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        (progress.lock().unwrap())(n, total);
+        (progress.lock().unwrap_or_else(|e| e.into_inner()))(n, total);
         res.traj
     });
     Pool { trajectories }

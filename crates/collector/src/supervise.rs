@@ -123,6 +123,7 @@ pub fn collect_pool_supervised(
                 let roll_seed = seed.wrapping_add(salt);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let cca = build(scheme, build_seed)
+                        // lint:allow(P1): the panic is intentional here — catch_unwind above turns it into a supervised retry, and an unknown scheme name is a programming error
                         .unwrap_or_else(|| panic!("unknown scheme {scheme}"));
                     rollout(env, scheme, cca, gr_cfg, roll_seed)
                 }));

@@ -79,7 +79,9 @@ pub fn rank_league(scores: &[RunScore], margin: f64) -> Vec<LeagueEntry> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.winning_rate.partial_cmp(&a.winning_rate).unwrap());
+    // total_cmp orders identically to partial_cmp on the finite rates
+    // produced above, without a panic path for NaN.
+    out.sort_by(|a, b| b.winning_rate.total_cmp(&a.winning_rate));
     out
 }
 

@@ -46,6 +46,7 @@ impl Contender {
     /// Instantiate the congestion controller for one run.
     pub fn build(&self, env: &EnvSpec, seed: u64) -> Box<dyn CongestionControl> {
         match self {
+            // lint:allow(P1): league contender names are fixed tables checked against the registry; an unknown name is a programming error
             Contender::Heuristic(n) => build(n, seed).unwrap_or_else(|| panic!("unknown {n}")),
             Contender::Model {
                 name,
@@ -141,7 +142,7 @@ pub fn run_contenders_with_threads(
             all_stats: res.all_stats,
         };
         let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        (progress.lock().unwrap())(n, total);
+        (progress.lock().unwrap_or_else(|e| e.into_inner()))(n, total);
         record
     })
 }

@@ -213,7 +213,7 @@ pub fn run_set3_with_threads(
                 rollout(&env, name, cca, gr, seed)
             }));
             let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            (progress.lock().unwrap())(n, total);
+            (progress.lock().unwrap_or_else(|e| e.into_inner()))(n, total);
             run.ok().map(|res| res.stats)
         });
     // Phase 2 (serial): score each run against its contender's clean

@@ -72,7 +72,9 @@ impl CongestionControl for Cubic {
             }
             self.reset_epoch(now);
         }
-        let t = (now - self.epoch_start.unwrap()) as f64 / SECONDS as f64;
+        // `reset_epoch(now)` above guarantees Some; the `now` default is
+        // unreachable and keeps this path panic-free.
+        let t = (now - self.epoch_start.unwrap_or(now)) as f64 / SECONDS as f64;
         let rtt = sock.srtt.max(1e-3);
         // Target window one RTT into the future (RFC 8312 §4.1).
         let target = C * (t + rtt - self.k).powi(3) + self.w_max;

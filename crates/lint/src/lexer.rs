@@ -1,0 +1,341 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! rules.
+//!
+//! The rules in [`crate::rules`] only need to know, per line, which
+//! *identifiers* and *punctuation* appear as real code and what comment
+//! text accompanies them. Everything that could make a naive substring
+//! grep lie — string literals, char literals vs. lifetimes, raw strings,
+//! nested block comments — is consumed here so `"HashMap"` inside a
+//! string or `// uses Instant` inside a comment never reaches a rule.
+//!
+//! This is deliberately not a full Rust lexer: numeric literal suffixes,
+//! float exponents and similar are split into harmless fragments, which
+//! is fine because no rule matches on them.
+
+/// One code token. Comments are not tokens; they land in [`LineInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// Any string literal (normal, raw, byte); contents are discarded.
+    Str,
+    /// A char or byte-char literal; contents are discarded.
+    Char,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A numeric literal fragment.
+    Num,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub line: usize,
+    pub tok: Tok,
+}
+
+/// Per-line facts the rules consume directly.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The line carries at least one code token.
+    pub has_code: bool,
+    /// The first code token on the line is `#` (an attribute line).
+    pub attr_start: bool,
+    /// Comment text present on the line (line comments and every line a
+    /// block comment spans).
+    pub comments: Vec<String>,
+}
+
+/// Lexer output: the token stream plus per-line info (index 0 unused so
+/// that `lines[n]` is source line `n`).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<SpannedTok>,
+    pub lines: Vec<LineInfo>,
+}
+
+impl Lexed {
+    fn line_mut(&mut self, line: usize) -> &mut LineInfo {
+        if self.lines.len() <= line {
+            self.lines.resize_with(line + 1, LineInfo::default);
+        }
+        &mut self.lines[line]
+    }
+
+    fn push(&mut self, line: usize, tok: Tok) {
+        let info = self.line_mut(line);
+        if !info.has_code {
+            info.has_code = true;
+            info.attr_start = tok == Tok::Punct('#');
+        }
+        self.toks.push(SpannedTok { line, tok });
+    }
+
+    fn push_comment(&mut self, line: usize, text: &str) {
+        self.line_mut(line).comments.push(text.to_string());
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenise `src`. Never fails: unterminated constructs consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    out.line_mut(1);
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                out.line_mut(line);
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.push_comment(line, &text);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comment; record its text on every line it
+                // spans so comment-only lines stay visible to the rules.
+                let mut depth = 1usize;
+                let mut seg_start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        let text: String = b[seg_start..i].iter().collect();
+                        out.push_comment(line, &text);
+                        line += 1;
+                        out.line_mut(line);
+                        seg_start = i + 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 1;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let text: String = b[seg_start..i.min(b.len())].iter().collect();
+                out.push_comment(line, &text);
+            }
+            '"' => {
+                i = consume_string(&b, i, &mut line, &mut out);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                    let mut j = i + 2;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'\'') {
+                        out.push(line, Tok::Char);
+                        i = j + 1;
+                    } else {
+                        out.push(line, Tok::Lifetime);
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to the
+                    // closing quote, honouring backslash escapes.
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.push(line, Tok::Char);
+                    i = j + 1;
+                }
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string prefixes lex as one literal token.
+                if let Some(next) = raw_string_start(&b, i) {
+                    out.push(line, Tok::Str);
+                    i = next;
+                    continue;
+                }
+                if (c == 'b') && b.get(i + 1) == Some(&'"') {
+                    i = consume_string(&b, i + 1, &mut line, &mut out);
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                out.push(line, Tok::Ident(ident));
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (is_ident_continue(b[i]) || b[i] == '.') {
+                    // Stop a float's trailing `.` from eating `..` ranges.
+                    if b[i] == '.' && b.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(line, Tok::Num);
+            }
+            c => {
+                out.push(line, Tok::Punct(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If `b[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
+/// consume it and return the index just past the closing delimiter.
+fn raw_string_start(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// Consume a normal string literal starting at the opening quote `b[i]`,
+/// tracking embedded newlines. Returns the index just past the close.
+fn consume_string(b: &[char], i: usize, line: &mut usize, out: &mut Lexed) -> usize {
+    let start_line = *line;
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                out.line_mut(*line);
+                j += 1;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    out.push(start_line, Tok::Str);
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+let a = "HashMap inside a string";
+// HashMap inside a line comment
+/* HashMap inside a /* nested */ block */
+let b = r#"HashMap inside a raw string"#;
+let c = b"HashMap bytes";
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "let"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = lexed.toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_and_comment_capture() {
+        let src = "let a = 1;\n// SAFETY: fine\nunsafe {}\n";
+        let lexed = lex(src);
+        assert!(lexed.lines[2].comments[0].contains("SAFETY:"));
+        assert!(!lexed.lines[2].has_code);
+        let unsafe_tok = lexed
+            .toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unsafe".into()));
+        assert_eq!(unsafe_tok.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn attr_lines_are_flagged() {
+        let src = "#[inline]\nfn f() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.lines[1].attr_start);
+        assert!(!lexed.lines[2].attr_start);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let src = "let q = '\\''; let n = '\\n'; let x = 1;";
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "let").count(), 3);
+    }
+
+    #[test]
+    fn multiline_block_comment_marks_every_line() {
+        let src = "/* one\nSAFETY: two\nthree */\nunsafe {}\n";
+        let lexed = lex(src);
+        assert!(lexed.lines[2].comments[0].contains("SAFETY:"));
+        assert!(lexed.lines[3].comments[0].contains("three"));
+    }
+}

@@ -1,0 +1,207 @@
+//! `sage-lint`: the workspace determinism & safety lint.
+//!
+//! The repo's headline guarantee is exact replay: the same seed yields the
+//! same pool bytes, model bytes, league rankings and serve digests at any
+//! thread count. The golden-digest tests catch a violation only after a
+//! scenario happens to exercise it; this crate rejects the violation at
+//! the source line that introduces it, before it can reach a digest.
+//!
+//! The analyzer is a hand-rolled lexer ([`lexer`]) plus a line-oriented
+//! rule engine ([`rules`]) — zero external dependencies, consistent with
+//! the workspace's offline-build rule. See [`rules`] for the rule table
+//! and the `// lint:allow(RULE): reason` suppression syntax.
+//!
+//! Run it with `cargo run -p sage-lint`; it walks every `crates/*/src`,
+//! `crates/*/tests`, root `src/` and `tests/` file, prints human-readable
+//! findings, and writes `artifacts/results/LINT_report.json` through the
+//! atomic report writer.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze, FileClass, FileOutcome, Finding, Rule, Suppressed};
+
+use sage_util::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint results for a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl WorkspaceReport {
+    /// Per-rule `(unsuppressed, suppressed)` counts, keyed by rule name.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for r in Rule::ALL {
+            counts.insert(r.name(), (0, 0));
+        }
+        for f in &self.findings {
+            if let Some(c) = counts.get_mut(f.rule.name()) {
+                c.0 += 1;
+            }
+        }
+        for s in &self.suppressed {
+            if let Some(c) = counts.get_mut(s.rule.name()) {
+                c.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// The machine-readable report, serialisable via `util::json`.
+    pub fn to_json(&self) -> Json {
+        let finding = |f: &Finding| {
+            Json::obj(vec![
+                ("file", Json::str(f.file.clone())),
+                ("line", Json::Num(f.line as f64)),
+                ("rule", Json::str(f.rule.name())),
+                ("msg", Json::str(f.msg.clone())),
+            ])
+        };
+        let suppressed = |s: &Suppressed| {
+            Json::obj(vec![
+                ("file", Json::str(s.file.clone())),
+                ("line", Json::Num(s.line as f64)),
+                ("rule", Json::str(s.rule.name())),
+                ("reason", Json::str(s.reason.clone())),
+            ])
+        };
+        let rules: BTreeMap<String, Json> = self
+            .rule_counts()
+            .into_iter()
+            .map(|(name, (fired, supp))| {
+                (
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("unsuppressed", Json::Num(fired as f64)),
+                        ("suppressed", Json::Num(supp as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("rules", Json::Obj(rules)),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(finding).collect()),
+            ),
+            (
+                "suppressed",
+                Json::Arr(self.suppressed.iter().map(suppressed).collect()),
+            ),
+        ])
+    }
+}
+
+/// The directories scanned relative to the workspace root: every crate's
+/// `src` and `tests`, plus the root facade crate. Fixture corpora (the
+/// lint's own test inputs) and binary golden directories are skipped.
+fn scan_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut roots = vec![root.join("src"), root.join("tests")];
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for c in entries {
+        roots.push(c.join("src"));
+        roots.push(c.join("tests"));
+    }
+    Ok(roots.into_iter().filter(|p| p.is_dir()).collect())
+}
+
+/// Recursively collect `.rs` files under `dir` in sorted order, skipping
+/// `fixtures/` (intentional rule-trippers) and `golden/` directories.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name == "fixtures" || name == "golden" {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every source file of the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for sub in scan_roots(root)? {
+        collect_rs(&sub, &mut files)?;
+    }
+    let mut report = WorkspaceReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let class = FileClass::from_rel_path(&rel);
+        let outcome = analyze(&rel, &class, &src);
+        report.findings.extend(outcome.findings);
+        report.suppressed.extend(outcome.suppressed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_class_from_paths() {
+        let c = FileClass::from_rel_path("crates/serve/src/runtime.rs");
+        assert_eq!(c.crate_name, "serve");
+        assert!(!c.in_tests_dir && !c.is_util_par);
+        let c = FileClass::from_rel_path("crates/core/tests/golden_train.rs");
+        assert!(c.in_tests_dir);
+        let c = FileClass::from_rel_path("crates/util/src/par.rs");
+        assert!(c.is_util_par);
+        let c = FileClass::from_rel_path("src/lib.rs");
+        assert_eq!(c.crate_name, "sage");
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let mut r = WorkspaceReport {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: Rule::D1,
+            msg: "x".into(),
+        });
+        let text = r.to_json().to_string();
+        let parsed = Json::parse(&text).expect("report JSON must parse");
+        assert_eq!(
+            parsed.get("files_scanned").and_then(|v| v.as_usize()),
+            Some(2)
+        );
+        let d1 = parsed.get("rules").and_then(|r| r.get("D1"));
+        assert_eq!(
+            d1.and_then(|d| d.get("unsuppressed"))
+                .and_then(|v| v.as_usize()),
+            Some(1)
+        );
+    }
+}

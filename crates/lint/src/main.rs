@@ -1,0 +1,85 @@
+//! `sage_lint` binary: lint the workspace, print findings, write the
+//! machine-readable report, exit non-zero on any unsuppressed finding.
+//!
+//! Usage: `cargo run -p sage-lint [workspace-root]` (default: the
+//! workspace this binary was built from).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // CARGO_MANIFEST_DIR = crates/lint → workspace root is two up.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let report = match sage_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "sage-lint: cannot walk workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: {}: {}", f.file, f.line, f.rule, f.msg);
+    }
+
+    // Per-rule counts feed the obs registry so the report's embedded
+    // metrics section matches every other pipeline artifact.
+    let counts = report.rule_counts();
+    for (name, (fired, suppressed)) in &counts {
+        let (fired, suppressed) = (*fired as u64, *suppressed as u64);
+        match *name {
+            "D1" => {
+                sage_obs::obs_counter!("lint.unsuppressed.D1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.D1").add(suppressed);
+            }
+            "D2" => {
+                sage_obs::obs_counter!("lint.unsuppressed.D2").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.D2").add(suppressed);
+            }
+            "D3" => {
+                sage_obs::obs_counter!("lint.unsuppressed.D3").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.D3").add(suppressed);
+            }
+            "U1" => {
+                sage_obs::obs_counter!("lint.unsuppressed.U1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.U1").add(suppressed);
+            }
+            "P1" => {
+                sage_obs::obs_counter!("lint.unsuppressed.P1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.P1").add(suppressed);
+            }
+            _ => {
+                sage_obs::obs_counter!("lint.unsuppressed.A0").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.A0").add(suppressed);
+            }
+        }
+    }
+    sage_obs::obs_counter!("lint.files_scanned").add(report.files_scanned as u64);
+
+    let mut json = report.to_json();
+    if let sage_util::Json::Obj(m) = &mut json {
+        m.insert("metrics".to_string(), sage_bench::obs_metrics());
+    }
+    let path = sage_bench::write_report("LINT_report.json", &json);
+
+    let total: usize = counts.values().map(|c| c.0).sum();
+    let suppressed: usize = counts.values().map(|c| c.1).sum();
+    println!(
+        "sage-lint: {} files, {} unsuppressed finding(s), {} suppressed — report: {}",
+        report.files_scanned,
+        total,
+        suppressed,
+        path.display()
+    );
+    if total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

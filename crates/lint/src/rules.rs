@@ -1,0 +1,592 @@
+//! The rule engine: applies the determinism & safety rules to one lexed
+//! file and resolves `// lint:allow(...)` suppressions.
+//!
+//! | Rule | What it rejects | Why |
+//! |------|-----------------|-----|
+//! | D1 | `HashMap`/`HashSet`/`RandomState` | hash iteration order is seeded per process — replay-breaking |
+//! | D2 | `Instant`/`SystemTime`/`thread::spawn`/`mpsc` outside obs, `util::par`, bench | wall clocks and free-running threads leak scheduling into results |
+//! | D3 | `rand::`, `thread_rng`, `OsRng`, `getrandom`, ... | ambient entropy bypasses the seeded `sage_util::Rng` |
+//! | U1 | `unsafe` without a `// SAFETY:` comment | every unsafe site must state its proof obligations |
+//! | P1 | `unwrap()`/`expect(`/`panic!` in library non-test code | library code propagates errors; panics are for provable invariants only |
+//! | A0 | malformed or unused `lint:allow` | suppressions must carry a reason and actually suppress something |
+//!
+//! Suppression syntax: `// lint:allow(RULE[,RULE...]): reason`. On a line
+//! with code it covers that line; on a comment-only line it covers the
+//! next line that has code. The reason is mandatory.
+
+use crate::lexer::{lex, Lexed, Tok};
+use std::fmt;
+
+/// Rule identifiers. `A0` is the meta-rule about suppressions themselves
+/// and can never be suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    D1,
+    D2,
+    D3,
+    U1,
+    P1,
+    A0,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::U1, Rule::P1, Rule::A0];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::U1 => "U1",
+            Rule::P1 => "P1",
+            Rule::A0 => "A0",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "U1" => Some(Rule::U1),
+            "P1" => Some(Rule::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An unsuppressed rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+/// A violation covered by a `lint:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub reason: String,
+}
+
+/// Result of analysing one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Short crate directory name (`util`, `serve`, `bench`, ... or
+    /// `sage` for the root facade crate).
+    pub crate_name: String,
+    /// File lives under a `tests/` directory (integration tests).
+    pub in_tests_dir: bool,
+    /// The one file allowed to own threads: `crates/util/src/par.rs`.
+    pub is_util_par: bool,
+}
+
+impl FileClass {
+    /// Derive the class from a workspace-relative path such as
+    /// `crates/serve/src/runtime.rs` or `src/lib.rs`.
+    pub fn from_rel_path(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = match parts.first() {
+            Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
+            _ => "sage".to_string(),
+        };
+        FileClass {
+            crate_name,
+            in_tests_dir: parts.contains(&"tests"),
+            is_util_par: rel.ends_with("crates/util/src/par.rs") || rel == "crates/util/src/par.rs",
+        }
+    }
+
+    fn applies(&self, rule: Rule, in_test_region: bool) -> bool {
+        match rule {
+            // Benches are timing tools by nature: exempt from the hash-map
+            // and wall-clock rules (their reports are not digest-covered).
+            Rule::D1 => self.crate_name != "bench",
+            Rule::D2 => self.crate_name != "bench" && self.crate_name != "obs" && !self.is_util_par,
+            // Ambient entropy is never acceptable, benches included.
+            Rule::D3 => true,
+            Rule::U1 => true,
+            // Library non-test code only.
+            Rule::P1 => self.crate_name != "bench" && !self.in_tests_dir && !in_test_region,
+            Rule::A0 => true,
+        }
+    }
+}
+
+/// One parsed `lint:allow` annotation.
+struct Allow {
+    line: usize,
+    target: usize,
+    rules: Vec<Rule>,
+    reason: String,
+    used: bool,
+}
+
+/// Analyse one file's source under the given class.
+pub fn analyze(file: &str, class: &FileClass, src: &str) -> FileOutcome {
+    let lexed = lex(src);
+    let test_regions = test_regions(&lexed);
+    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut out = FileOutcome::default();
+    let mut allows = parse_allows(file, &lexed, &mut out);
+
+    let mut emit = |line: usize, rule: Rule, msg: String, out: &mut FileOutcome| {
+        if !class.applies(rule, in_test(line)) {
+            return;
+        }
+        for a in allows.iter_mut() {
+            if a.target == line && a.rules.contains(&rule) {
+                a.used = true;
+                out.suppressed.push(Suppressed {
+                    file: file.to_string(),
+                    line,
+                    rule,
+                    reason: a.reason.clone(),
+                });
+                return;
+            }
+        }
+        out.findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            msg,
+        });
+    };
+
+    let toks = &lexed.toks;
+    for (i, st) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &st.tok else { continue };
+        let line = st.line;
+        match id.as_str() {
+            "HashMap" | "HashSet" | "RandomState" => emit(
+                line,
+                Rule::D1,
+                format!("`{id}` iterates in per-process seeded order; use BTreeMap/BTreeSet or a slab (D1)"),
+                &mut out,
+            ),
+            "Instant" | "SystemTime" => emit(
+                line,
+                Rule::D2,
+                format!("wall clock `{id}` outside sage-obs/util::par/bench leaks real time into results (D2)"),
+                &mut out,
+            ),
+            "mpsc" => emit(
+                line,
+                Rule::D2,
+                "`mpsc` channels order messages by scheduling; use util::par's ordered reduction (D2)".into(),
+                &mut out,
+            ),
+            "thread" if path_seq(toks, i, &["spawn"]) => emit(
+                line,
+                Rule::D2,
+                "free-running `thread::spawn` escapes the deterministic worker pool (D2)".into(),
+                &mut out,
+            ),
+            "rand" if followed_by_path_sep(toks, i) => emit(
+                line,
+                Rule::D3,
+                "the `rand` crate draws ambient entropy; all RNG flows through sage_util::Rng (D3)".into(),
+                &mut out,
+            ),
+            "thread_rng" | "from_entropy" | "getrandom" | "OsRng" | "StdRng" | "SmallRng" => {
+                emit(
+                    line,
+                    Rule::D3,
+                    format!("`{id}` is ambient entropy; seed a sage_util::Rng instead (D3)"),
+                    &mut out,
+                )
+            }
+            "unsafe" if !safety_comment_covers(&lexed, line) => emit(
+                line,
+                Rule::U1,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines (U1)".into(),
+                &mut out,
+            ),
+            "unwrap" if next_is(toks, i, '(') => emit(
+                line,
+                Rule::P1,
+                "`unwrap()` in library code; propagate a Result or annotate the invariant (P1)".into(),
+                &mut out,
+            ),
+            "expect" if next_is(toks, i, '(') => emit(
+                line,
+                Rule::P1,
+                "`expect()` in library code; propagate a Result or annotate the invariant (P1)".into(),
+                &mut out,
+            ),
+            "panic" if next_is(toks, i, '!') => emit(
+                line,
+                Rule::P1,
+                "`panic!` in library code; return an error or annotate the invariant (P1)".into(),
+                &mut out,
+            ),
+            _ => {}
+        }
+    }
+
+    for a in allows.iter().filter(|a| !a.used) {
+        out.findings.push(Finding {
+            file: file.to_string(),
+            line: a.line,
+            rule: Rule::A0,
+            msg: format!(
+                "unused suppression `lint:allow({})` — nothing on line {} fires it (A0)",
+                a.rules
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                a.target
+            ),
+        });
+    }
+    out.findings.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// `toks[i]` is an identifier; is the token right after it `want`?
+fn next_is(toks: &[crate::lexer::SpannedTok], i: usize, want: char) -> bool {
+    matches!(toks.get(i + 1), Some(t) if t.tok == Tok::Punct(want))
+}
+
+/// Does `toks[i]` start the path `ident :: seg1 :: seg2 ...`?
+fn path_seq(toks: &[crate::lexer::SpannedTok], i: usize, segs: &[&str]) -> bool {
+    let mut j = i + 1;
+    for seg in segs {
+        if !(matches!(toks.get(j), Some(t) if t.tok == Tok::Punct(':'))
+            && matches!(toks.get(j + 1), Some(t) if t.tok == Tok::Punct(':')))
+        {
+            return false;
+        }
+        j += 2;
+        match toks.get(j) {
+            Some(t) if t.tok == Tok::Ident(seg.to_string()) => j += 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Is `toks[i]` followed by `::` (i.e. used as a path root)?
+fn followed_by_path_sep(toks: &[crate::lexer::SpannedTok], i: usize) -> bool {
+    matches!(toks.get(i + 1), Some(t) if t.tok == Tok::Punct(':'))
+        && matches!(toks.get(i + 2), Some(t) if t.tok == Tok::Punct(':'))
+}
+
+/// U1 resolution: a `SAFETY:` comment on the same line, or on the run of
+/// comment-only / attribute lines immediately above it.
+fn safety_comment_covers(lexed: &Lexed, line: usize) -> bool {
+    let has_safety = |l: usize| -> bool {
+        lexed.lines[l]
+            .comments
+            .iter()
+            .any(|c| c.contains("SAFETY:"))
+    };
+    if has_safety(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let info = &lexed.lines[l];
+        if info.has_code && !info.attr_start {
+            return false;
+        }
+        if !info.has_code && info.comments.is_empty() {
+            return false; // blank line breaks the comment run
+        }
+        if has_safety(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Find `#[cfg(test)]`-gated items and return their inclusive line ranges.
+fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.toks;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Some(end_attr) = cfg_test_attr(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let start_line = toks[i].line;
+        // Skip any further attributes on the same item.
+        let mut j = end_attr;
+        while matches!(toks.get(j), Some(t) if t.tok == Tok::Punct('#'))
+            && matches!(toks.get(j + 1), Some(t) if t.tok == Tok::Punct('['))
+        {
+            match matching(toks, j + 1, '[', ']') {
+                Some(k) => j = k + 1,
+                None => break,
+            }
+        }
+        // The gated item ends at its matching `}` or at a `;` before any `{`.
+        let mut k = j;
+        let mut end_line = start_line;
+        while let Some(t) = toks.get(k) {
+            match t.tok {
+                Tok::Punct('{') => {
+                    if let Some(close) = matching(toks, k, '{', '}') {
+                        end_line = toks[close].line;
+                        i = close;
+                    }
+                    break;
+                }
+                Tok::Punct(';') => {
+                    end_line = t.line;
+                    i = k;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        regions.push((start_line, end_line));
+        i += 1;
+    }
+    regions
+}
+
+/// If `toks[i]` opens an attribute whose path is `cfg` and whose argument
+/// list mentions `test`, return the index just past the closing `]`.
+fn cfg_test_attr(toks: &[crate::lexer::SpannedTok], i: usize) -> Option<usize> {
+    if toks.get(i)?.tok != Tok::Punct('#') || toks.get(i + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    if toks.get(i + 2)?.tok != Tok::Ident("cfg".into()) {
+        return None;
+    }
+    let close = matching(toks, i + 1, '[', ']')?;
+    let has_test = toks[i + 2..close]
+        .iter()
+        .any(|t| t.tok == Tok::Ident("test".into()));
+    has_test.then_some(close + 1)
+}
+
+/// Index of the punct matching the opener at `open_idx`, counting nesting.
+fn matching(
+    toks: &[crate::lexer::SpannedTok],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.tok == Tok::Punct(open) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parse every `lint:allow` comment; malformed ones become A0 findings.
+fn parse_allows(file: &str, lexed: &Lexed, out: &mut FileOutcome) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, info) in lexed.lines.iter().enumerate() {
+        for c in &info.comments {
+            // Anchored at the start of the comment so prose that merely
+            // *mentions* `lint:allow(...)` (like this line) never parses
+            // as a suppression.
+            let body = c.trim_start_matches(['/', '!', '*', ' ', '\t']);
+            let Some(rest) = body.strip_prefix("lint:allow") else {
+                continue;
+            };
+            let parsed = parse_allow_body(rest);
+            match parsed {
+                Ok((rules, reason)) => {
+                    let target = if info.has_code {
+                        line
+                    } else {
+                        // Comment-only line: covers the next code line.
+                        (line + 1..lexed.lines.len())
+                            .find(|&l| lexed.lines[l].has_code)
+                            .unwrap_or(line)
+                    };
+                    allows.push(Allow {
+                        line,
+                        target,
+                        rules,
+                        reason,
+                        used: false,
+                    });
+                }
+                Err(why) => out.findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::A0,
+                    msg: format!("malformed suppression: {why} (A0)"),
+                }),
+            }
+        }
+    }
+    allows
+}
+
+/// Parse `(RULE[,RULE...]): reason` after the `lint:allow` keyword.
+fn parse_allow_body(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let rest = rest.trim_start();
+    let Some(inner_end) = rest.find(')') else {
+        return Err("expected `(RULE): reason`".to_string());
+    };
+    let Some(stripped) = rest.strip_prefix('(') else {
+        return Err("expected `(` after lint:allow".to_string());
+    };
+    let inner = &stripped[..inner_end - 1];
+    let mut rules = Vec::new();
+    for part in inner.split(',') {
+        match Rule::parse(part) {
+            Some(r) => rules.push(r),
+            None => return Err(format!("unknown rule `{}`", part.trim())),
+        }
+    }
+    let after = rest[inner_end + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("missing `: reason` — every suppression must say why".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason — every suppression must say why".to_string());
+    }
+    Ok((rules, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_class() -> FileClass {
+        FileClass {
+            crate_name: "core".into(),
+            in_tests_dir: false,
+            is_util_par: false,
+        }
+    }
+
+    fn run(src: &str) -> FileOutcome {
+        analyze("test.rs", &lib_class(), src)
+    }
+
+    #[test]
+    fn d1_fires_on_hash_map() {
+        let out = run("use std::collections::HashMap;\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::D1);
+    }
+
+    #[test]
+    fn d1_exempts_bench() {
+        let class = FileClass {
+            crate_name: "bench".into(),
+            in_tests_dir: false,
+            is_util_par: false,
+        };
+        let out = analyze("b.rs", &class, "use std::collections::HashMap;\n");
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn d2_fires_on_instant_and_spawn() {
+        let out = run("let t = Instant::now();\nstd::thread::spawn(|| {});\n");
+        assert_eq!(out.findings.len(), 2);
+        assert!(out.findings.iter().all(|f| f.rule == Rule::D2));
+    }
+
+    #[test]
+    fn d2_ignores_thread_scope() {
+        let out = run("std::thread::scope(|s| { s.spawn(|| {}); });\n");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn d3_fires_on_rand_path_but_not_rand_variable() {
+        let out = run("let x = rand::random::<u64>();\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::D3);
+        let out = run("let rand = 3; let y = rand + 1;\n");
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn u1_requires_safety_comment() {
+        let out = run("unsafe { core::hint::unreachable_unchecked() }\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::U1);
+        let ok = run("// SAFETY: provably unreachable by the match above\nunsafe { op() }\n");
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn u1_comment_run_skips_attributes() {
+        let src = "// SAFETY: caller upholds alignment\n#[inline]\nunsafe fn f() {}\n";
+        assert!(run(src).findings.is_empty());
+    }
+
+    #[test]
+    fn p1_fires_and_suppression_works() {
+        let out = run("let x = maybe().unwrap();\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::P1);
+        let ok = run(
+            "// lint:allow(P1): value proven Some by the guard above\nlet x = maybe().unwrap();\n",
+        );
+        assert!(ok.findings.is_empty());
+        assert_eq!(ok.suppressed.len(), 1);
+        assert_eq!(ok.suppressed[0].rule, Rule::P1);
+    }
+
+    #[test]
+    fn p1_skips_cfg_test_modules_but_d_rules_do_not() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}\n";
+        assert!(run(src).findings.is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let out = run(src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::D1);
+    }
+
+    #[test]
+    fn a0_fires_on_missing_reason_and_unused_allow() {
+        let out = run("// lint:allow(P1)\nlet x = maybe().unwrap();\n");
+        // Malformed allow does not suppress: one A0 plus the P1 itself.
+        assert_eq!(out.findings.len(), 2);
+        assert!(out.findings.iter().any(|f| f.rule == Rule::A0));
+        assert!(out.findings.iter().any(|f| f.rule == Rule::P1));
+
+        let out = run("// lint:allow(D1): nothing here actually uses a map\nlet x = 1;\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::A0);
+    }
+
+    #[test]
+    fn same_line_suppression_targets_its_own_line() {
+        let out = run("let x = maybe().unwrap(); // lint:allow(P1): guarded above\n");
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+}

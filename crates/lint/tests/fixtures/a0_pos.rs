@@ -1,0 +1,16 @@
+// Fixture: A0 positive — three broken suppressions: a missing reason,
+// an unknown rule name, and an allow that covers no finding.
+pub fn parse(s: &str) -> u32 {
+    // lint:allow(P1)
+    s.parse().unwrap()
+}
+
+pub fn parse2(s: &str) -> u32 {
+    // lint:allow(Q9): no such rule exists
+    s.parse().unwrap()
+}
+
+pub fn clean(x: u32) -> u32 {
+    // lint:allow(D1): nothing on the next line trips D1
+    x + 1
+}

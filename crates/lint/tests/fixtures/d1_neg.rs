@@ -1,0 +1,10 @@
+// Fixture: D1 negative — BTreeMap has a defined iteration order.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

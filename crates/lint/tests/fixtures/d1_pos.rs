@@ -1,0 +1,11 @@
+// Fixture: D1 positive — HashMap/HashSet in a non-bench crate.
+// Not compiled; consumed as text by rules_fixtures.rs.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

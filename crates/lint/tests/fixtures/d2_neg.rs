@@ -1,0 +1,8 @@
+// Fixture: D2 negative — simulated time and the deterministic pool.
+pub fn elapsed(now_ns: u64, start_ns: u64) -> u64 {
+    now_ns.saturating_sub(start_ns)
+}
+
+pub fn fan_out(n: usize) -> Vec<usize> {
+    sage_util::par_map_range(0, n, |i| i * 2)
+}

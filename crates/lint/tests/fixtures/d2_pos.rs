@@ -1,0 +1,12 @@
+// Fixture: D2 positive — ambient wall clock and ad-hoc threading in a
+// non-exempt crate (three findings: Instant, thread::spawn, mpsc).
+use std::sync::mpsc;
+use std::time::Instant;
+
+pub fn race() -> u128 {
+    let t0 = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || tx.send(1u32));
+    let _ = rx.recv();
+    t0.elapsed().as_nanos()
+}

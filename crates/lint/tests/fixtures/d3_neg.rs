@@ -1,0 +1,7 @@
+// Fixture: D3 negative — all randomness flows through the seeded Rng.
+use sage_util::Rng;
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = Rng::new(seed);
+    rng.next_u64() % 6
+}

@@ -1,0 +1,6 @@
+// Fixture: D3 positive — ambient entropy via a rand-style API (two
+// findings: the `rand::` path and `thread_rng`).
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}

@@ -1,0 +1,10 @@
+// Fixture: P1 negative — Result propagation, plus one justified
+// suppression with a reason (counted as suppressed, not as a finding).
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn header_len(buf: &[u8]) -> u32 {
+    // lint:allow(P1): the 4-byte slice is carved by the bounds check above, so the conversion is infallible
+    u32::from_le_bytes(buf[..4].try_into().unwrap())
+}

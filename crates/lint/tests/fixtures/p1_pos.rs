@@ -1,0 +1,19 @@
+// Fixture: P1 positive — unwrap/expect/panic! in library code (three
+// findings), while the #[cfg(test)] module below stays exempt.
+pub fn parse(s: &str) -> u32 {
+    let n: u32 = s.parse().unwrap();
+    let m: u32 = s.parse().expect("digits");
+    if n != m {
+        panic!("impossible");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let n: u32 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

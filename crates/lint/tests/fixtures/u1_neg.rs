@@ -1,0 +1,15 @@
+// Fixture: U1 negative — both accepted SAFETY placements: a comment on
+// the preceding line (walking over attributes) and one on the same line.
+pub fn first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    #[allow(clippy::missing_docs_in_private_items)]
+    unsafe {
+        *xs.get_unchecked(0)
+    }
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    assert!(xs.len() > 1);
+    unsafe { *xs.get_unchecked(1) } // SAFETY: len > 1 checked above.
+}

@@ -1,0 +1,4 @@
+// Fixture: U1 positive — an unsafe block with no SAFETY comment.
+pub fn first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

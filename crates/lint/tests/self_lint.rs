@@ -1,0 +1,71 @@
+//! The workspace self-lint golden: the repo's own sources must carry
+//! zero unsuppressed findings, and every suppression must state a
+//! reason. This is the test-suite twin of the `sage_lint` binary stage
+//! in `scripts/check.sh`.
+
+use sage_util::Json;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/lint → workspace root is two up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let report = sage_lint::lint_workspace(&workspace_root()).expect("workspace walks");
+    let lines: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: {}: {}", f.file, f.line, f.rule, f.msg))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed lint findings:\n{}",
+        lines.join("\n")
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let report = sage_lint::lint_workspace(&workspace_root()).expect("workspace walks");
+    assert!(
+        !report.suppressed.is_empty(),
+        "the workspace is known to carry justified suppressions"
+    );
+    for s in &report.suppressed {
+        assert!(
+            s.reason.trim().len() >= 10,
+            "{}:{}: suppression reason too thin: {:?}",
+            s.file,
+            s.line,
+            s.reason
+        );
+    }
+}
+
+#[test]
+fn report_round_trips_through_util_json() {
+    let report = sage_lint::lint_workspace(&workspace_root()).expect("workspace walks");
+    let text = report.to_json().to_string();
+    let parsed = Json::parse(&text).expect("LINT report must parse via util::json");
+    assert_eq!(
+        parsed.get("files_scanned").and_then(|v| v.as_usize()),
+        Some(report.files_scanned)
+    );
+    let rules = parsed.get("rules").expect("rules section");
+    for r in ["D1", "D2", "D3", "U1", "P1", "A0"] {
+        let entry = rules.get(r).unwrap_or_else(|| panic!("rule {r} missing"));
+        assert_eq!(
+            entry.get("unsuppressed").and_then(|v| v.as_usize()),
+            Some(0),
+            "rule {r} must be clean in the self-lint"
+        );
+    }
+}

@@ -48,8 +48,17 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
     let (m, k, n) = (a.rows, a.cols, b.cols);
     let mut out = Array::zeros(m, n);
     match kernel() {
+        // SAFETY: `kernel()` returned Avx512/Avx2 only after
+        // `is_x86_feature_detected!` confirmed the target feature on this
+        // CPU, satisfying each kernel's #[target_feature] precondition;
+        // the slice-length preconditions (a = m*k, b = k*n, out = m*n)
+        // hold by Array's invariant (data.len() == rows*cols) together
+        // with the dimension checks above, and are re-asserted by the
+        // debug_assert!s at each kernel entry.
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx512 => unsafe { matmul_avx512(&a.data, &b.data, &mut out.data, m, k, n) },
+        // SAFETY: as above — feature presence checked at dispatch,
+        // slice lengths guaranteed by Array's shape invariant.
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => unsafe { matmul_avx2(&a.data, &b.data, &mut out.data, m, k, n) },
         Kernel::Scalar => matmul_scalar(&a.data, &b.data, &mut out.data, m, k, n),
@@ -82,10 +91,23 @@ fn matmul_scalar(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: u
 // increasing order from 0.0 with separate mul/add and the skip-zero
 // shortcut, so results stay bit-identical to [`Array::matmul`].
 
+// SAFETY: callers must ensure (1) the CPU supports AVX-512F (enforced by
+// the `kernel()` dispatch via `is_x86_feature_detected!`) and (2) the
+// slice lengths match the dimensions: a.len() == m*k, b.len() == k*n,
+// out.len() == m*n. Every pointer formed below stays in bounds under (2):
+// `arow.add(p)` reads a[i*k + p] with i < m, p < k; `bp.add(q)` reads
+// b[p*n + j + q] with j + q < n (each unrolled block loads at offsets
+// j..j+32 only while j + 32 <= n); `orow.add(j)` writes out[i*n + j] with
+// j < n. All loads/stores use the unaligned intrinsics (`loadu`/`storeu`),
+// so no alignment precondition beyond f64's natural alignment (guaranteed
+// by the slice type) is required.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn matmul_avx512(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), m * k, "matmul_avx512: lhs length");
+    debug_assert_eq!(b.len(), k * n, "matmul_avx512: rhs length");
+    debug_assert_eq!(out.len(), m * n, "matmul_avx512: out length");
     for i in 0..m {
         let arow = a.as_ptr().add(i * k);
         let orow = out.as_mut_ptr().add(i * n);
@@ -144,10 +166,21 @@ unsafe fn matmul_avx512(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usiz
     }
 }
 
+// SAFETY: callers must ensure (1) the CPU supports AVX2 (enforced by the
+// `kernel()` dispatch via `is_x86_feature_detected!`) and (2) the slice
+// lengths match the dimensions: a.len() == m*k, b.len() == k*n,
+// out.len() == m*n. In-bounds reasoning mirrors `matmul_avx512` with
+// 4-lane vectors: the unrolled block touches b[p*n + j .. p*n + j + 16]
+// only while j + 16 <= n, the single-vector loop while j + 4 <= n, and
+// the scalar tail while j < n. Unaligned intrinsics throughout, so
+// f64-alignment from the slice type suffices.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn matmul_avx2(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), m * k, "matmul_avx2: lhs length");
+    debug_assert_eq!(b.len(), k * n, "matmul_avx2: rhs length");
+    debug_assert_eq!(out.len(), m * n, "matmul_avx2: out length");
     for i in 0..m {
         let arow = a.as_ptr().add(i * k);
         let orow = out.as_mut_ptr().add(i * n);

@@ -127,7 +127,7 @@ pub fn trace_event(level: Level, msg: &str) {
         ("level", Json::str(level.tag())),
         ("msg", Json::str(msg)),
     ]);
-    let mut lines = sink.lines.lock().unwrap();
+    let mut lines = sink.lines.lock().unwrap_or_else(|e| e.into_inner());
     lines.push(rec.to_string());
     // Periodic crash-safety flush: rewrite the whole file atomically so an
     // interrupted run still has a parseable prefix of the trace.
@@ -144,7 +144,11 @@ pub fn trace_event(level: Level, msg: &str) {
 /// binary (or at checkpoints) — partial traces never tear.
 pub fn flush_trace() {
     if let Some(sink) = trace_sink() {
-        let body = sink.lines.lock().unwrap().join("\n");
+        let body = sink
+            .lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .join("\n");
         let _ = sage_util::fsio::atomic_write(&sink.path, body.as_bytes());
     }
 }

@@ -184,34 +184,52 @@ fn registry() -> &'static Registry {
 /// Intern (or fetch) the counter named `name`. Prefer the `obs_counter!`
 /// macro at call sites — it caches the handle and skips this lookup.
 pub fn counter(name: &'static str) -> &'static Counter {
-    let mut map = registry().counters.lock().unwrap();
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Counter::new())))
 }
 
 /// Intern (or fetch) the gauge named `name`.
 pub fn gauge(name: &'static str) -> &'static Gauge {
-    let mut map = registry().gauges.lock().unwrap();
+    let mut map = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
 }
 
 /// Intern (or fetch) the histogram named `name`.
 pub fn histogram(name: &'static str) -> &'static Histogram {
-    let mut map = registry().hists.lock().unwrap();
+    let mut map = registry().hists.lock().unwrap_or_else(|e| e.into_inner());
     map.entry(name)
         .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
 }
 
 /// Zero every registered metric (tests and repeated in-process runs).
 pub fn reset_metrics() {
-    for c in registry().counters.lock().unwrap().values() {
+    for c in registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
         c.reset();
     }
-    for g in registry().gauges.lock().unwrap().values() {
+    for g in registry()
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
         g.reset();
     }
-    for h in registry().hists.lock().unwrap().values() {
+    for h in registry()
+        .hists
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
         h.reset();
     }
 }
@@ -250,21 +268,21 @@ pub fn snapshot_json() -> Json {
     let counters: BTreeMap<String, Json> = registry()
         .counters
         .lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(k, c)| (k.to_string(), Json::Num(c.value() as f64)))
         .collect();
     let gauges: BTreeMap<String, Json> = registry()
         .gauges
         .lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(k, g)| (k.to_string(), Json::Num(g.value())))
         .collect();
     let hists: BTreeMap<String, Json> = registry()
         .hists
         .lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(k, h)| (k.to_string(), hist_json(&h.snapshot())))
         .collect();

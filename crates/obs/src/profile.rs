@@ -37,7 +37,7 @@ impl Drop for ScopeTimer {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let ns = start.elapsed().as_nanos() as u64;
-        let mut map = phases().lock().unwrap();
+        let mut map = phases().lock().unwrap_or_else(|e| e.into_inner());
         let agg = map.entry(self.name).or_default();
         agg.calls += 1;
         agg.total_ns += ns;
@@ -57,14 +57,14 @@ pub fn scope(name: &'static str) -> ScopeTimer {
 
 /// Clear all phase aggregates (tests and repeated in-process runs).
 pub fn reset_profile() {
-    phases().lock().unwrap().clear();
+    phases().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 /// Every phase aggregate as JSON:
 /// `{"<phase>": {"calls": n, "total_ms": t, "mean_us": m, "max_us": x}}`,
 /// phases sorted by name.
 pub fn profile_json() -> Json {
-    let map = phases().lock().unwrap();
+    let map = phases().lock().unwrap_or_else(|e| e.into_inner());
     Json::Obj(
         map.iter()
             .map(|(name, a)| {
@@ -108,7 +108,7 @@ mod tests {
             let _t = scope("test.profile.phase");
             std::hint::black_box(0u64);
         }
-        let map = phases().lock().unwrap();
+        let map = phases().lock().unwrap_or_else(|e| e.into_inner());
         let agg = map.get("test.profile.phase").expect("phase recorded");
         assert_eq!(agg.calls, 3);
         assert!(agg.max_ns <= agg.total_ns);

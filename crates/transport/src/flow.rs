@@ -403,7 +403,12 @@ impl Flow {
             .map(|(&s, _)| s)
             .collect();
         for seq in newly {
-            let meta = self.outstanding.get_mut(&seq).unwrap();
+            // The keys were just collected from this map and nothing was
+            // removed in between, so the lookup cannot miss; stay panic-free
+            // on the hot path regardless.
+            let Some(meta) = self.outstanding.get_mut(&seq) else {
+                continue;
+            };
             meta.lost = true;
             self.n_lost += 1;
             self.lost_pkts_total += 1;

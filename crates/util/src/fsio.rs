@@ -113,6 +113,7 @@ pub fn verify_footer(buf: &[u8]) -> io::Result<&[u8]> {
             "missing checksum footer (file truncated mid-write or from an incompatible version)",
         ));
     }
+    // lint:allow(P1): the 8-byte slice is carved by FOOTER_LEN above, so the array conversion is infallible
     let stored_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
     if stored_len != payload.len() as u64 {
         return Err(io::Error::new(
@@ -123,6 +124,7 @@ pub fn verify_footer(buf: &[u8]) -> io::Result<&[u8]> {
             ),
         ));
     }
+    // lint:allow(P1): the 4-byte slice is carved by FOOTER_LEN above, so the array conversion is infallible
     let stored_crc = u32::from_le_bytes(footer[16..20].try_into().unwrap());
     let actual = crc32(payload);
     if stored_crc != actual {

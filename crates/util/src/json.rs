@@ -354,7 +354,10 @@ impl<'a> Parser<'a> {
         {
             self.i += 1;
         }
-        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| JsonError {
+            msg: "non-utf8 bytes in number".to_string(),
+            offset: start,
+        })?;
         text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
             msg: format!("bad number '{text}'"),
             offset: start,

@@ -98,6 +98,7 @@ where
     }
     out.into_iter()
         .enumerate()
+        // lint:allow(P1): a missing slot means the work-stealing cursor double-skipped an index — a scheduler bug where crashing beats silently corrupting the ordered reduction
         .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
         .collect()
 }

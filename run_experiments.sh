@@ -14,6 +14,7 @@ R=artifacts/results
 # Progress chatter ([INFO]/[DEBUG]) and recoverable oddities ([WARN]) stay in
 # the .err artifact for inspection without tripping the gate.
 FAILED=0
+WARN_SUMMARY=""
 run() {
   local name=$1; shift
   echo "=== $name ($(date +%H:%M:%S)) ==="
@@ -25,6 +26,16 @@ run() {
     grep '^\[ERROR\]' "$R/$name.err" | head -3 | sed 's/^/    /'
     FAILED=$((FAILED + 1))
   fi
+  # [WARN] lines are recoverable oddities (fault-injection retries, fallback
+  # paths); they don't fail the figure, but the summary surfaces the counts
+  # so a warning-storm is visible without grepping every .err file.
+  local warns
+  warns=$(grep -c '^\[WARN\]' "$R/$name.err" 2>/dev/null || true)
+  warns=${warns:-0}
+  if [ "$warns" -gt 0 ]; then
+    echo "  $name: $warns [WARN] line(s)"
+  fi
+  WARN_SUMMARY="$WARN_SUMMARY$name $warns"$'\n'
 }
 
 export SAGE_BASELINE_STEPS=${SAGE_BASELINE_STEPS:-2000}
@@ -51,6 +62,14 @@ run fig15 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bi
 run fig12 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig12_ablation
 run fig14 env SAGE_SET1=12 SAGE_SET2=6 cargo run --release -q -p sage-bench --bin fig14_granularity
 run set3 env SAGE_SECS=10 cargo run --release -q -p sage-bench --bin set3_adversarial
+# Per-figure [WARN] counts: one line per figure with at least one warning,
+# so recoverable oddities are auditable at a glance from the summary.
+echo "=== [WARN] counts per figure ==="
+if printf '%s' "$WARN_SUMMARY" | awk '$2 > 0 { any = 1; printf "  %-16s %s\n", $1, $2 } END { exit !any }'; then
+  :
+else
+  echo "  (none)"
+fi
 if [ "$FAILED" -ne 0 ]; then
   echo "ALL EXPERIMENTS DONE — $FAILED FAILED (grep '^\[ERROR\]' $R/*.err)"
   exit 1

@@ -10,6 +10,13 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Workspace determinism & safety lint: rejects seeded-hash iteration,
+# ambient wall clocks/threads/entropy, undocumented unsafe, and
+# unjustified panics at the source line (see DESIGN.md "Static analysis").
+# Exits non-zero on any unsuppressed finding; writes LINT_report.json.
+echo "== sage-lint (determinism & safety rules) =="
+cargo run --release -q -p sage-lint
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
