@@ -34,6 +34,7 @@ fn profile_envs(profile: InternetProfile, n: usize, secs: f64, seed: u64) -> Vec
                 capacity_mbps: s.link.mean_mbps(from_secs(secs)),
                 seed: seed + i as u64,
                 faults: sage_netsim::faults::FaultPlan::default(),
+                topology: sage_netsim::Topology::single(),
             }
         })
         .collect()

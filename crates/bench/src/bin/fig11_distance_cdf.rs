@@ -37,6 +37,7 @@ fn main() {
         capacity_mbps: 60.0,
         seed: SEED,
         faults: sage_netsim::faults::FaultPlan::default(),
+        topology: sage_netsim::Topology::single(),
     };
     let gr = default_gr();
     let sage_model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));

@@ -31,6 +31,7 @@ fn env(id: &str, link: LinkModel, competing: usize, cap: f64) -> EnvSpec {
         capacity_mbps: cap,
         seed: SEED,
         faults: sage_netsim::faults::FaultPlan::default(),
+        topology: sage_netsim::Topology::single(),
     }
 }
 

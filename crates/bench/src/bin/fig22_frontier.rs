@@ -27,6 +27,7 @@ fn env(id: &str, buf_mult: f64) -> EnvSpec {
         capacity_mbps: 48.0,
         seed: SEED,
         faults: sage_netsim::faults::FaultPlan::default(),
+        topology: sage_netsim::Topology::single(),
     }
 }
 

@@ -48,6 +48,7 @@ fn main() {
             capacity_mbps: 48.0,
             seed: SEED,
             faults: sage_netsim::faults::FaultPlan::default(),
+            topology: sage_netsim::Topology::single(),
         })
         .collect();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |_, _| {});

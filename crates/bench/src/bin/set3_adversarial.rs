@@ -56,13 +56,14 @@ fn main() {
                 format!("{:.2}x", e.delay_inflation),
                 format!("{:.2}%", e.retx_overhead_pct),
                 e.restarts.to_string(),
+                format!("{:.3}", e.fairness),
             ]
         })
         .collect();
     print_table(
         "Set III adversarial grid (per cell)",
         &[
-            "scheme", "scenario", "ok", "mbps", "owd", "degr", "delay", "retx", "restarts",
+            "scheme", "scenario", "ok", "mbps", "owd", "degr", "delay", "retx", "restarts", "jain",
         ],
         &rows,
     );
@@ -119,6 +120,7 @@ fn main() {
                             ("retx_overhead_pct", Json::Num(e.retx_overhead_pct)),
                             ("restarts", Json::Num(e.restarts as f64)),
                             ("lost_pkts", Json::Num(e.lost_pkts as f64)),
+                            ("fairness", Json::Num(e.fairness)),
                         ])
                     })
                     .collect(),

@@ -10,6 +10,7 @@ use sage_netsim::aqm::AqmKind;
 use sage_netsim::faults::FaultPlan;
 use sage_netsim::link::LinkModel;
 use sage_netsim::time::{from_secs, Nanos};
+use sage_netsim::topology::Topology;
 use sage_util::Rng;
 
 /// Which evaluation set an environment belongs to.
@@ -42,6 +43,9 @@ pub struct EnvSpec {
     pub seed: u64,
     /// Adversarial fault injection (Set III); empty for Set I/II.
     pub faults: FaultPlan,
+    /// Hops downstream of the bottleneck (multi-bottleneck scenarios);
+    /// empty for the classic single-bottleneck grids.
+    pub topology: Topology,
 }
 
 impl EnvSpec {
@@ -84,6 +88,7 @@ pub fn set1_flat_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     capacity_mbps: bw,
                     seed: 1,
                     faults: FaultPlan::default(),
+                    topology: Topology::single(),
                 })
             }
         }
@@ -122,6 +127,7 @@ pub fn set1_step_grid(duration_secs: f64) -> Vec<EnvSpec> {
                         capacity_mbps: mean,
                         seed: 1,
                         faults: FaultPlan::default(),
+                        topology: Topology::single(),
                     })
                 }
             }
@@ -151,6 +157,7 @@ pub fn set2_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     capacity_mbps: bw,
                     seed: 2,
                     faults: FaultPlan::default(),
+                    topology: Topology::single(),
                 })
             }
         }

@@ -52,6 +52,7 @@ fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simu
     cfg.random_loss = env.random_loss;
     cfg.seed = seed ^ env.seed;
     cfg.faults = env.faults.clone();
+    cfg.topology = env.topology.clone();
     let mut flows = Vec::new();
     for k in 0..env.competing_cubic {
         flows.push(FlowConfig::starting_at(

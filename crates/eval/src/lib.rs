@@ -2,13 +2,19 @@
 //! and Appendix D, league runners, the cosine Distance/Similarity metrics of
 //! §7.1/§7.2, and a small exact t-SNE for Fig. 16.
 
+pub mod adversary;
 pub mod league;
 pub mod runner;
 pub mod score;
 pub mod set3;
+pub mod set4;
 pub mod similarity;
 pub mod tsne;
 
+pub use adversary::{
+    decode, evaluate_candidate, genome_digest, report_json, search, AdvConfig, AdvOutcome,
+    AdvReport, GENOME_DIM,
+};
 pub use league::{rank_league, LeagueEntry};
 pub use runner::{
     run_contenders, run_contenders_with_threads, scores_of_set, Contender, RunRecord,
@@ -18,4 +24,5 @@ pub use set3::{
     run_set3, run_set3_with_threads, scenario_grid, summarise, FaultScenario, Set3Entry,
     Set3Summary,
 };
+pub use set4::{eval_pinned, pinned_scenarios, PinnedScenario, Set4Tolerance, SET4_SECS};
 pub use similarity::{cosine_distance, cosine_similarity, transition_vectors, DistanceIndex};

@@ -147,6 +147,7 @@ pub fn set3_env(scenario: &FaultScenario, duration_secs: f64) -> EnvSpec {
         capacity_mbps: mbps,
         seed: 3,
         faults: scenario.plan.clone(),
+        topology: sage_netsim::Topology::single(),
     }
 }
 
@@ -168,6 +169,9 @@ pub struct Set3Entry {
     /// Abort-and-restart events of the flow under test.
     pub restarts: u64,
     pub lost_pkts: u64,
+    /// Jain fairness across all flows of the run (trivially 1.0 for the
+    /// single-flow grid; meaningful once scenarios add cross traffic).
+    pub fairness: f64,
 }
 
 /// Run every contender through the full scenario grid. Returns one entry per
@@ -200,8 +204,9 @@ pub fn run_set3_with_threads(
     let total = contenders.len() * scenarios.len();
     let done = std::sync::atomic::AtomicUsize::new(0);
     let progress = std::sync::Mutex::new(&mut progress);
-    // Phase 1 (parallel): raw rollouts. `None` = the contender panicked.
-    let raw: Vec<Option<sage_transport::FlowStats>> =
+    // Phase 1 (parallel): raw rollouts, each reduced to the test flow's
+    // stats plus the all-flow Jain fairness. `None` = the contender panicked.
+    let raw: Vec<Option<(sage_transport::FlowStats, f64)>> =
         sage_util::par_map_range(threads, total, |task| {
             let (ci, si) = (task / scenarios.len(), task % scenarios.len());
             let (c, sc) = (&contenders[ci], &scenarios[si]);
@@ -214,7 +219,10 @@ pub fn run_set3_with_threads(
             }));
             let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             (progress.lock().unwrap_or_else(|e| e.into_inner()))(n, total);
-            run.ok().map(|res| res.stats)
+            run.ok().map(|res| {
+                let goodputs: Vec<f64> = res.all_stats.iter().map(|s| s.avg_goodput_mbps).collect();
+                (res.stats, crate::score::jain_fairness(&goodputs))
+            })
         });
     // Phase 2 (serial): score each run against its contender's clean
     // baseline, in the original contender-major order.
@@ -225,7 +233,7 @@ pub fn run_set3_with_threads(
         for (si, sc) in scenarios.iter().enumerate() {
             let name = c.name();
             let entry = match &raw[ci * scenarios.len() + si] {
-                Some(s) => {
+                Some((s, fairness)) => {
                     if sc.id == CLEAN {
                         clean_goodput = s.avg_goodput_mbps;
                         clean_owd = s.avg_owd_ms;
@@ -256,6 +264,7 @@ pub fn run_set3_with_threads(
                         },
                         restarts: s.restarts,
                         lost_pkts: s.lost_pkts,
+                        fairness: *fairness,
                     }
                 }
                 None => Set3Entry {
@@ -269,6 +278,7 @@ pub fn run_set3_with_threads(
                     retx_overhead_pct: 0.0,
                     restarts: 0,
                     lost_pkts: 0,
+                    fairness: 0.0,
                 },
             };
             out.push(entry);

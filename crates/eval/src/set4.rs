@@ -1,0 +1,176 @@
+//! Set IV: the pinned hardest-scenario regression suite.
+//!
+//! The adversarial search (`adversary`) surfaces the scenarios where the
+//! learned policy loses hardest; the top findings are frozen here as golden
+//! regression cases so any future change that *widens* the gap fails the
+//! gate instead of slipping through. The suite has two parts:
+//!
+//! 1. The pinned adversarial genomes below — re-evaluated against recorded
+//!    regret baselines (`crates/bench/tests/set4_gate.rs`, baselines in
+//!    `crates/bench/tests/golden/set4_baselines.json`).
+//! 2. The 64-flow shared-bottleneck fairness case (the Jain ~0.4 finding
+//!    from the serving benchmarks) — gated in `crates/bench` because the
+//!    serving runtime lives above this crate.
+//!
+//! The genomes were harvested from a `budget=64, secs=6, seed=2023` search
+//! run of `adv_search` (see `artifacts/results/ADV_hardest.json`); they
+//! deliberately span topology depths (1, 2 and 3 hops) rather than taking
+//! the top three of one converged mode.
+
+use crate::adversary::{evaluate_candidate, AdvOutcome, GENOME_DIM};
+use crate::runner::Contender;
+
+/// One frozen adversarial scenario: the genome pins the full environment
+/// (the decode is pure), the id pins its digest.
+#[derive(Debug, Clone)]
+pub struct PinnedScenario {
+    /// `adv-<hex>` id the genome decoded to when harvested (sanity-checked
+    /// by the gate: a decode change invalidates the baselines).
+    pub id: &'static str,
+    /// Why this scenario is pinned.
+    pub note: &'static str,
+    pub genome: [f64; GENOME_DIM],
+}
+
+/// Rollout length the pinned baselines were recorded at. Changing this
+/// invalidates `set4_baselines.json`.
+pub const SET4_SECS: f64 = 6.0;
+
+/// The frozen Set IV adversarial scenarios.
+pub fn pinned_scenarios() -> Vec<PinnedScenario> {
+    vec![
+        PinnedScenario {
+            id: "adv-467a5511a3",
+            note: "hardest found: 2 downstream hops + capacity step-down, \
+                   burst/blackout/flaps/jitter/reorder/ack-compress, 3 cross flows",
+            genome: [
+                0.9249847554532961,
+                0.3190958960475542,
+                0.39032988933483836,
+                0.41592947383289514,
+                0.893496774088435,
+                0.34563963426919975,
+                0.7522426575719109,
+                0.711112365693614,
+                0.29100611376347385,
+                0.8155367533679679,
+                0.16402919513078595,
+                0.164889781261796,
+                0.9666422929609222,
+                0.8067681438195105,
+                0.622940411410937,
+                0.45167881200338156,
+                0.6523102592926576,
+                0.24844466182110314,
+            ],
+        },
+        PinnedScenario {
+            id: "adv-8e5145fbb3",
+            note: "single-bottleneck variant: capacity step-up under \
+                   burst/blackout/flaps/jitter/reorder, 3 cross flows",
+            genome: [
+                0.9249847554532961,
+                0.3190958960475542,
+                0.39032988933483836,
+                0.60866596806023,
+                0.32205491748004034,
+                0.6853290290007762,
+                0.7522426575719109,
+                0.20952515569222796,
+                0.29100611376347385,
+                0.8155367533679679,
+                0.16402919513078595,
+                9.085440181055837e-5,
+                0.9666422929609222,
+                0.8067681438195105,
+                0.622940411410937,
+                0.3222851196611761,
+                0.6523102592926576,
+                0.24844466182110314,
+            ],
+        },
+        PinnedScenario {
+            id: "adv-3838860722",
+            note: "deepest chain: 3 hops tightening downstream, long blackout, \
+                   burst/flaps/reorder, 3 cross flows",
+            genome: [
+                0.8840848980860585,
+                0.5145420769081627,
+                0.8941532371246859,
+                0.3217973625627787,
+                0.2438711745230866,
+                0.49807263797204393,
+                0.1443577064596513,
+                0.32519479990217426,
+                0.9701152188242029,
+                0.5317632219891081,
+                0.25200434897298496,
+                0.04475420631610205,
+                0.42868635635090324,
+                0.03488046213649565,
+                0.6433134911891465,
+                0.9484568592656478,
+                0.9772755771861135,
+                0.6424322283431323,
+            ],
+        },
+    ]
+}
+
+/// Regression tolerances: a pinned scenario fails the gate when its regret
+/// rises more than `regret_abs` above the recorded baseline, or (for the
+/// fairness case) Jain drops more than `fairness_abs` below it.
+#[derive(Debug, Clone, Copy)]
+pub struct Set4Tolerance {
+    pub regret_abs: f64,
+    pub fairness_abs: f64,
+}
+
+impl Default for Set4Tolerance {
+    fn default() -> Self {
+        Set4Tolerance {
+            regret_abs: 0.10,
+            fairness_abs: 0.05,
+        }
+    }
+}
+
+/// Re-evaluate every pinned scenario for `target` against `roster`.
+/// Deterministic at every thread count (the underlying evaluation is; the
+/// fan-out is an ordered `par_map_range`).
+pub fn eval_pinned(
+    target: &Contender,
+    roster: &[Contender],
+    seed: u64,
+    threads: usize,
+) -> Vec<AdvOutcome> {
+    let pinned = pinned_scenarios();
+    sage_util::par_map_range(threads, pinned.len(), |i| {
+        evaluate_candidate(&pinned[i].genome, target, roster, SET4_SECS, 2.0, seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::decode;
+
+    #[test]
+    fn pinned_ids_match_their_genomes() {
+        // The id is the genome digest: if decode or the digest changes, the
+        // recorded baselines no longer describe these scenarios.
+        for p in pinned_scenarios() {
+            let env = decode(&p.genome, SET4_SECS);
+            assert_eq!(env.id, p.id, "pinned id drifted for {}", p.note);
+        }
+    }
+
+    #[test]
+    fn pinned_scenarios_span_topology_depths() {
+        let hops: Vec<usize> = pinned_scenarios()
+            .iter()
+            .map(|p| decode(&p.genome, SET4_SECS).topology.hops())
+            .collect();
+        assert!(hops.contains(&1) && hops.contains(&2) && hops.contains(&3));
+    }
+}

@@ -23,6 +23,7 @@ pub mod packet;
 pub mod queue;
 pub mod scenario;
 pub mod time;
+pub mod topology;
 
 pub use aqm::{Aqm, AqmKind};
 pub use engine::EventQueue;
@@ -34,3 +35,4 @@ pub use packet::Packet;
 pub use queue::{BottleneckPath, EnqueueOutcome};
 pub use scenario::ManyFlowScenario;
 pub use time::{Nanos, MICROS, MILLIS, SECONDS};
+pub use topology::{HopSpec, Topology};

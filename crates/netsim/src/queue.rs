@@ -95,6 +95,13 @@ impl BottleneckPath {
         self.buf.len()
     }
 
+    /// Packets currently occupying the link (0 or 1) — needed for per-hop
+    /// conservation accounting: `enqueued == dropped + delivered + backlog +
+    /// in_service` must hold at every instant.
+    pub fn in_service_packets(&self) -> usize {
+        usize::from(self.in_service.is_some())
+    }
+
     /// The link model (read-only).
     pub fn link(&self) -> &LinkModel {
         &self.link

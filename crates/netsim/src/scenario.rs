@@ -9,6 +9,7 @@
 
 use crate::link::LinkModel;
 use crate::time::{from_secs, Nanos};
+use crate::topology::Topology;
 use sage_util::Rng;
 
 /// A shared-bottleneck many-flow scenario: N learned + M cross-traffic
@@ -33,6 +34,9 @@ pub struct ManyFlowScenario {
     /// same DropTail queue.
     pub stagger_secs: f64,
     pub seed: u64,
+    /// Hops downstream of the shared bottleneck (empty = classic
+    /// single-bottleneck scenario; see [`Topology`]).
+    pub topology: Topology,
 }
 
 impl ManyFlowScenario {
@@ -46,7 +50,31 @@ impl ManyFlowScenario {
             secs: 10.0,
             stagger_secs: 1.0,
             seed,
+            topology: Topology::single(),
         }
+    }
+
+    /// A parking-lot variant: the shared bottleneck followed by `n_extra`
+    /// downstream hops whose capacity tightens geometrically (`ratio` per
+    /// hop, each with its own buffer and queue). Multi-hop contention is
+    /// exactly the regime where the 64-flow single-bottleneck run already
+    /// showed fairness collapse — this gives the search room to widen it.
+    pub fn parking_lot(
+        n_learned: usize,
+        m_cross: usize,
+        n_extra: usize,
+        ratio: f64,
+        seed: u64,
+    ) -> Self {
+        let mut sc = Self::shared_bottleneck(n_learned, m_cross, seed);
+        sc.topology = Topology::parking_lot(
+            sc.total_mbps(),
+            n_extra,
+            ratio,
+            sc.buffer_bytes(),
+            2.0, // per-hop propagation, ms
+        );
+        sc
     }
 
     pub fn total_flows(&self) -> usize {
@@ -89,8 +117,13 @@ impl ManyFlowScenario {
     }
 
     pub fn label(&self) -> String {
+        let hops = if self.topology.is_single() {
+            String::new()
+        } else {
+            format!("-hops{}", self.topology.hops())
+        };
         format!(
-            "manyflow-n{}-m{}-{}mbpf-{}ms-seed{}",
+            "manyflow-n{}-m{}-{}mbpf-{}ms{hops}-seed{}",
             self.n_learned, self.m_cross, self.mbps_per_flow, self.rtt_ms, self.seed
         )
     }

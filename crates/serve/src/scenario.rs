@@ -84,6 +84,7 @@ pub fn run_many_flow(
 ) -> ManyFlowReport {
     let mut sim_cfg = SimConfig::new(sc.link(), sc.buffer_bytes(), sc.rtt_ms, sc.duration());
     sim_cfg.seed = sc.seed;
+    sim_cfg.topology = sc.topology.clone();
     let interval = sim_cfg.monitor_interval;
     let starts = sc.start_times();
 

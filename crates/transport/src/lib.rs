@@ -26,7 +26,9 @@ pub mod sim;
 
 pub use cc::{AckEvent, CaState, CongestionControl, RemoteCwnd, SharedCwnd, SocketView};
 pub use flow::Flow;
-pub use sim::{BatchCc, BatchObs, FlowConfig, FlowStats, SimConfig, Simulation, TickRecord};
+pub use sim::{
+    BatchCc, BatchObs, FlowConfig, FlowStats, HopCounters, SimConfig, Simulation, TickRecord,
+};
 
 /// Default maximum segment size used throughout the reproduction (bytes on
 /// the wire; we do not model header overhead separately).

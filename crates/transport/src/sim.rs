@@ -10,7 +10,8 @@ use sage_netsim::link::LinkModel;
 use sage_netsim::packet::{FlowId, Packet};
 use sage_netsim::queue::{BottleneckPath, EnqueueOutcome};
 use sage_netsim::time::{from_ms, Nanos, MILLIS, SECONDS};
-use sage_util::percentile;
+use sage_netsim::topology::Topology;
+use sage_util::{percentile, Rng};
 
 /// Network-level configuration of a run.
 pub struct SimConfig {
@@ -34,6 +35,11 @@ pub struct SimConfig {
     /// duplication, blackouts, jitter spikes, ACK compression). The default
     /// plan injects nothing.
     pub faults: FaultPlan,
+    /// Hops downstream of the primary bottleneck. Empty (the default) is the
+    /// classic single-bottleneck path, bit-identical to the pre-topology
+    /// simulator. Each extra hop owns a queue + link + AQM + fault injector;
+    /// its propagation delay adds to the forward path on top of `rtt_ms`.
+    pub topology: Topology,
 }
 
 impl SimConfig {
@@ -49,12 +55,19 @@ impl SimConfig {
             monitor_interval: 10 * MILLIS,
             ack_jitter: 200_000,
             faults: FaultPlan::default(),
+            topology: Topology::single(),
         }
     }
 
     /// Same configuration with a fault plan attached.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Same configuration with downstream hops attached.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -160,8 +173,11 @@ pub trait BatchCc {
 }
 
 enum Ev {
-    /// The bottleneck finished serving a packet (lazily validated).
-    PathComplete(Nanos),
+    /// Hop `h` finished serving a packet (lazily validated against the
+    /// hop's current in-service finish time).
+    HopComplete(u32, Nanos),
+    /// Data packet reaches hop `h`'s queue after inter-hop propagation.
+    HopArrive(u32, Packet),
     /// Data packet reaches the receiver.
     DataArrive(Packet),
     /// ACK reaches the sender.
@@ -177,10 +193,32 @@ enum Ev {
     PacedSend(FlowId),
 }
 
-/// A complete single-bottleneck simulation.
+/// Per-hop cumulative counters, for conservation accounting and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopCounters {
+    pub enqueued: u64,
+    pub dropped: u64,
+    pub delivered: u64,
+    /// Packets still buffered at the instant of the snapshot.
+    pub backlog_packets: usize,
+    /// Packets occupying the hop's link (0 or 1).
+    pub in_service_packets: usize,
+}
+
+/// A complete multi-hop path simulation (a single bottleneck by default).
 pub struct Simulation {
     cfg: SimConfig,
-    path: BottleneckPath,
+    /// The path's hop chain: hop 0 is the primary bottleneck from the
+    /// config; downstream hops come from [`SimConfig::topology`].
+    hops: Vec<BottleneckPath>,
+    /// Per-hop fault injectors. Hop 0's is driven by `cfg.faults` and also
+    /// owns the ACK return path (ACKs bypass downstream queues — they are
+    /// small — but downstream blackouts still drop the data packets that
+    /// would have generated them).
+    hop_faults: Vec<FaultInjector>,
+    /// Propagation delay crossed before entering each hop's queue (index 0
+    /// is unused: the sender feeds hop 0 directly).
+    hop_prop: Vec<Nanos>,
     flows: Vec<Flow>,
     /// Per-flow: managed by the batch controller (see [`FlowConfig::batched`]).
     batched: Vec<bool>,
@@ -199,20 +237,37 @@ pub struct Simulation {
     /// Per-flow sum/count of srtt over ticks (for FlowStats).
     srtt_sum: Vec<f64>,
     srtt_cnt: Vec<u64>,
-    /// Adversarial fault injection on the forward and ACK paths. Owns its own
-    /// RNG stream so fault draws never perturb the other random streams.
-    faults: FaultInjector,
 }
 
 impl Simulation {
     pub fn new(cfg: SimConfig, flow_cfgs: Vec<FlowConfig>) -> Self {
-        let path = BottleneckPath::new(
+        // Hop 0 keeps the exact legacy seeds so single-bottleneck runs stay
+        // byte-identical to the pre-topology simulator; downstream hops draw
+        // independent streams split statelessly from the run seed.
+        let mut hops = vec![BottleneckPath::new(
             cfg.link.clone(),
             cfg.buffer_bytes,
             cfg.aqm.build(cfg.seed),
             cfg.random_loss,
             cfg.seed,
-        );
+        )];
+        let mut hop_faults = vec![FaultInjector::new(cfg.faults.clone(), cfg.seed)];
+        let mut hop_prop: Vec<Nanos> = vec![0];
+        for (i, hop) in cfg.topology.extra_hops.iter().enumerate() {
+            let hop_seed = Rng::stream_seed(cfg.seed, 0xB09A_0000 + i as u64 + 1);
+            hops.push(BottleneckPath::new(
+                hop.link.clone(),
+                hop.buffer_bytes,
+                hop.aqm.build(hop_seed),
+                0.0,
+                hop_seed,
+            ));
+            hop_faults.push(FaultInjector::new(
+                hop.faults.clone(),
+                Rng::stream_seed(cfg.seed, 0xFA57_0000 + i as u64 + 1),
+            ));
+            hop_prop.push(from_ms(hop.prop_ms));
+        }
         let half = from_ms(cfg.rtt_ms / 2.0);
         let cfg_seed = cfg.seed;
         let mut flows = Vec::new();
@@ -229,11 +284,12 @@ impl Simulation {
             batched.push(fc.batched);
         }
         events.schedule(cfg.monitor_interval, Ev::Tick);
-        let faults = FaultInjector::new(cfg.faults.clone(), cfg_seed);
         let n = flows.len();
         Simulation {
             cfg,
-            path,
+            hops,
+            hop_faults,
+            hop_prop,
             flows,
             batched,
             events,
@@ -246,7 +302,6 @@ impl Simulation {
             rng: sage_util::Rng::new(cfg_seed ^ 0xACE1),
             srtt_sum: vec![0.0; n],
             srtt_cnt: vec![0; n],
-            faults,
         }
     }
 
@@ -279,10 +334,11 @@ impl Simulation {
             }
             self.now = t;
             match ev {
-                Ev::PathComplete(expected) => {
-                    if self.path.next_completion() == Some(expected) {
-                        if let Some(dep) = self.path.complete(self.now) {
-                            match self.faults.on_forward(dep.at) {
+                Ev::HopComplete(h, expected) => {
+                    let h = h as usize;
+                    if self.hops[h].next_completion() == Some(expected) {
+                        if let Some(dep) = self.hops[h].complete(self.now) {
+                            match self.hop_faults[h].on_forward(dep.at) {
                                 ForwardVerdict::Drop(_) => {
                                     // Lost on the wire: surfaces to the
                                     // sender as a missing ACK.
@@ -292,17 +348,40 @@ impl Simulation {
                                     duplicate,
                                     dup_gap,
                                 } => {
-                                    let arrive = dep.at + self.fwd_owd + extra_delay;
-                                    self.events.schedule(arrive, Ev::DataArrive(dep.pkt));
-                                    if duplicate {
-                                        self.events
-                                            .schedule(arrive + dup_gap, Ev::DataArrive(dep.pkt));
+                                    if h + 1 < self.hops.len() {
+                                        // Next hop's queue, after the
+                                        // inter-hop propagation delay.
+                                        let arrive = dep.at + self.hop_prop[h + 1] + extra_delay;
+                                        let nh = (h + 1) as u32;
+                                        self.events.schedule(arrive, Ev::HopArrive(nh, dep.pkt));
+                                        if duplicate {
+                                            self.events.schedule(
+                                                arrive + dup_gap,
+                                                Ev::HopArrive(nh, dep.pkt),
+                                            );
+                                        }
+                                    } else {
+                                        let arrive = dep.at + self.fwd_owd + extra_delay;
+                                        self.events.schedule(arrive, Ev::DataArrive(dep.pkt));
+                                        if duplicate {
+                                            self.events.schedule(
+                                                arrive + dup_gap,
+                                                Ev::DataArrive(dep.pkt),
+                                            );
+                                        }
                                     }
                                 }
                             }
                         }
-                        self.schedule_path_completion();
+                        self.schedule_hop_completion(h);
                     }
+                }
+                Ev::HopArrive(h, pkt) => {
+                    let h = h as usize;
+                    // Drops at a downstream hop surface to the sender as
+                    // missing ACKs, exactly like hop-0 drops.
+                    let _ = self.hops[h].enqueue(self.now, pkt);
+                    self.schedule_hop_completion(h);
                 }
                 Ev::DataArrive(pkt) => {
                     let idx = pkt.flow as usize;
@@ -313,7 +392,7 @@ impl Simulation {
                         0
                     };
                     let nominal = self.now + self.ret_owd + jitter;
-                    if let Some(release) = self.faults.on_ack(self.now, nominal) {
+                    if let Some(release) = self.hop_faults[0].on_ack(self.now, nominal) {
                         self.events.schedule(release, Ev::AckArrive(ack));
                     }
                 }
@@ -459,19 +538,19 @@ impl Simulation {
             if let Some(d) = f.ensure_rto(now) {
                 self.events.schedule(d, Ev::Rto(idx as FlowId));
             }
-            match self.path.enqueue(now, pkt) {
+            match self.hops[0].enqueue(now, pkt) {
                 EnqueueOutcome::Queued | EnqueueOutcome::Dropped(_) => {
                     // Drops surface to the sender through missing ACKs; the
                     // path records them for its own statistics either way.
                 }
             }
-            self.schedule_path_completion();
+            self.schedule_hop_completion(0);
         }
     }
 
-    fn schedule_path_completion(&mut self) {
-        if let Some(t) = self.path.next_completion() {
-            self.events.schedule(t, Ev::PathComplete(t));
+    fn schedule_hop_completion(&mut self, hop: usize) {
+        if let Some(t) = self.hops[hop].next_completion() {
+            self.events.schedule(t, Ev::HopComplete(hop as u32, t));
         }
     }
 
@@ -507,14 +586,40 @@ impl Simulation {
         out
     }
 
-    /// Total packets dropped at the bottleneck.
+    /// Total packets dropped at queues, summed over every hop.
     pub fn path_drops(&self) -> u64 {
-        self.path.total_dropped
+        self.hops.iter().map(|h| h.total_dropped).sum()
     }
 
-    /// Counters of everything the fault injector did during the run.
+    /// Counters of everything hop 0's fault injector did during the run.
     pub fn fault_stats(&self) -> FaultStats {
-        self.faults.stats
+        self.hop_faults[0].stats
+    }
+
+    /// Per-hop fault-injector counters, hop order.
+    pub fn hop_fault_stats(&self) -> Vec<FaultStats> {
+        self.hop_faults.iter().map(|f| f.stats).collect()
+    }
+
+    /// Per-hop queue counters, hop order. The conservation invariant
+    /// `enqueued == dropped + delivered + backlog + in_service` holds for
+    /// every hop at every instant the event loop is quiescent.
+    pub fn hop_counters(&self) -> Vec<HopCounters> {
+        self.hops
+            .iter()
+            .map(|h| HopCounters {
+                enqueued: h.total_enqueued,
+                dropped: h.total_dropped,
+                delivered: h.total_delivered,
+                backlog_packets: h.backlog_packets(),
+                in_service_packets: h.in_service_packets(),
+            })
+            .collect()
+    }
+
+    /// Number of hops on the forward path (1 = single bottleneck).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
     }
 
     /// Access a flow (for inspection in tests and figures).
@@ -791,6 +896,53 @@ mod tests {
         let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(cca)).batched()]);
         let stats = sim.run(&mut NullMonitor).remove(0);
         assert!(stats.delivered_bytes > 0);
+    }
+
+    #[test]
+    fn parking_lot_downstream_hop_becomes_the_bottleneck() {
+        // 48 Mbit/s first hop feeding a 12 Mbit/s second hop: goodput is
+        // capped by the tighter downstream hop, and its queue does the
+        // dropping.
+        let bdp = (48.0 * 1e6 / 8.0 * 20.0 / 1e3) as u64;
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 48.0 },
+            bdp * 2,
+            20.0,
+            sage_netsim::time::from_secs(10.0),
+        )
+        .with_topology(sage_netsim::Topology {
+            extra_hops: vec![sage_netsim::HopSpec::constant(12.0, bdp / 2, 2.0)],
+        });
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        let stats = sim.run(&mut NullMonitor).remove(0);
+        assert_eq!(sim.hop_count(), 2);
+        assert!(
+            stats.avg_goodput_mbps > 8.0 && stats.avg_goodput_mbps < 13.0,
+            "goodput should track the 12 Mbit/s downstream hop, got {}",
+            stats.avg_goodput_mbps
+        );
+        let hops = sim.hop_counters();
+        assert!(hops[1].dropped > 0, "tight downstream hop must drop");
+        // Everything hop 1 saw was delivered by hop 0 (minus hop-0 fault
+        // drops, of which there are none here).
+        assert!(hops[1].enqueued <= hops[0].delivered);
+    }
+
+    #[test]
+    fn single_hop_unchanged_by_empty_topology() {
+        let base = run_one(24.0, 30.0, 1.0, 5.0);
+        let cfg = SimConfig::new(
+            LinkModel::Constant { mbps: 24.0 },
+            ((24.0 * 1e6 / 8.0 * 30.0 / 1e3) as u64).max(3000),
+            30.0,
+            sage_netsim::time::from_secs(5.0),
+        )
+        .with_topology(sage_netsim::Topology::single());
+        let mut sim = Simulation::new(cfg, vec![FlowConfig::at_start(Box::new(MiniReno::new()))]);
+        let s = sim.run(&mut NullMonitor).remove(0);
+        assert_eq!(base.delivered_bytes, s.delivered_bytes);
+        assert_eq!(base.lost_pkts, s.lost_pkts);
+        assert_eq!(base.sent_pkts, s.sent_pkts);
     }
 
     #[test]

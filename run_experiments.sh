@@ -62,6 +62,13 @@ run fig15 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bi
 run fig12 env SAGE_SET1=14 SAGE_SET2=7 cargo run --release -q -p sage-bench --bin fig12_ablation
 run fig14 env SAGE_SET1=12 SAGE_SET2=6 cargo run --release -q -p sage-bench --bin fig14_granularity
 run set3 env SAGE_SECS=10 cargo run --release -q -p sage-bench --bin set3_adversarial
+run adv env SAGE_ADV_BUDGET=64 cargo run --release -q -p sage-bench --bin adv_search
+# Surface the three hardest adversarial scenarios in the run summary: these
+# are the scenarios where the learned policy trails the heuristics most.
+if grep -q '^HARD\[' "$R/adv.txt" 2>/dev/null; then
+  echo "=== hardest adversarial scenarios (top 3) ==="
+  grep '^HARD\[' "$R/adv.txt" | sed 's/^/  /'
+fi
 # Per-figure [WARN] counts: one line per figure with at least one warning,
 # so recoverable oddities are auditable at a glance from the summary.
 echo "=== [WARN] counts per figure ==="

@@ -54,4 +54,26 @@ SAGE_THREADS=1 cargo test -q -p sage-serve --release --test obs_differential
 echo "== obs smoke: metrics-on golden digest + snapshot (SAGE_THREADS=4) =="
 SAGE_THREADS=4 cargo test -q -p sage-serve --release --test obs_differential
 
+# Adversarial-search smoke: an 8-candidate search must produce byte-identical
+# ranked reports at two thread counts (proposal is serial, evaluation is an
+# ordered fan-out). The full committed report is artifacts/results/
+# ADV_hardest.json; the smoke writes throwaway files and compares them.
+echo "== adversarial search smoke: 8 candidates, digest at SAGE_THREADS=1 vs 4 =="
+SAGE_ADV_BUDGET=8 SAGE_SECS=2 SAGE_ADV_OUT=ADV_smoke_t1.json SAGE_THREADS=1 \
+  ./target/release/adv_search > /dev/null
+SAGE_ADV_BUDGET=8 SAGE_SECS=2 SAGE_ADV_OUT=ADV_smoke_t4.json SAGE_THREADS=4 \
+  ./target/release/adv_search > /dev/null
+cmp artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
+  || { echo "FAIL: adversarial report differs across thread counts"; exit 1; }
+rm -f artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json
+
+# Set IV golden gate: the pinned hardest scenarios (adversarial genomes +
+# the 64-flow fairness case) must stay within tolerance of the recorded
+# baselines. Regenerate after intentional changes with SAGE_REGEN_GOLDEN=1.
+echo "== Set IV golden gate: pinned hardest scenarios (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q -p sage-bench --release --test set4_gate
+
+echo "== Set IV golden gate: pinned hardest scenarios (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q -p sage-bench --release --test set4_gate
+
 echo "ALL CHECKS PASSED"
