@@ -1,0 +1,111 @@
+//! The unified evaluation matrix: every scenario family (Set I/II grids,
+//! Set III faults, synthetic Internet paths, pinned Set IV adversarial
+//! genomes, multi-bottleneck topologies, intra-scheme fairness) x every
+//! roster scheme x seeds, executed as one declarative `MatrixSpec` through
+//! the deterministic worker pool. Emits a single atomic
+//! `artifacts/results/EVAL_matrix.json` with per-cell metrics and
+//! per-scenario scheme rankings — byte-identical at every `SAGE_THREADS`,
+//! which `scripts/check.sh` verifies by diffing two runs.
+//!
+//! Scale knobs (environment variables):
+//! `SAGE_MATRIX_SET1` / `SAGE_MATRIX_SET2` — Set I/II scenario counts;
+//! `SAGE_MATRIX_INET` — Internet paths per profile;
+//! `SAGE_MATRIX_SECS` — rollout seconds for the non-fairness families;
+//! `SAGE_MATRIX_FAULTS` — comma-separated fault-grid ids (default: all);
+//! `SAGE_MATRIX_FAIR_FLOWS` — fairness-scenario flow count (0 disables);
+//! `SAGE_MATRIX_FAIR_SECS` — fairness-scenario seconds;
+//! `SAGE_MATRIX_OUT` — report file name (default `EVAL_matrix.json`).
+
+use sage_bench::{default_gr, envvar, model_path, print_table, write_report, SEED};
+use sage_core::SageModel;
+use sage_eval::matrix::{matrix_json, rankings, run_matrix, MatrixScale, MatrixSpec};
+use sage_eval::runner::Contender;
+use sage_eval::scenario_grid;
+use std::sync::Arc;
+
+fn main() {
+    let scale = MatrixScale {
+        set1: envvar("SAGE_MATRIX_SET1", 6),
+        set2: envvar("SAGE_MATRIX_SET2", 3),
+        fault_ids: std::env::var("SAGE_MATRIX_FAULTS").ok().map(|list| {
+            scenario_grid()
+                .iter()
+                .map(|s| s.id)
+                .filter(|id| list.split(',').any(|w| w.trim() == *id))
+                .collect()
+        }),
+        internet: envvar("SAGE_MATRIX_INET", 2),
+        // 12 s: long enough for slow-ramping learned policies to leave the
+        // startup phase (the full figs run 15 s; the smoke runs 3 s).
+        secs: envvar("SAGE_MATRIX_SECS", 12) as f64,
+        fairness_flows: envvar("SAGE_MATRIX_FAIR_FLOWS", 4),
+        fairness_secs: envvar("SAGE_MATRIX_FAIR_SECS", 24) as f64,
+        fairness_stagger_secs: 5.0,
+        seed: SEED,
+    };
+    let mut schemes: Vec<Contender> = [
+        "cubic", "bbr2", "vegas", "westwood", "yeah", "copa", "illinois", "newreno",
+    ]
+    .map(Contender::Heuristic)
+    .to_vec();
+    match SageModel::load_file(&model_path("sage")) {
+        Ok(model) => schemes.push(Contender::Model {
+            name: "sage",
+            model: Arc::new(model),
+            gr_cfg: default_gr(),
+        }),
+        Err(e) => sage_obs::obs_warn!("no learned policy in the roster ({e}); heuristics only"),
+    }
+    let spec = MatrixSpec {
+        schemes,
+        scenarios: sage_eval::standard_scenarios(&scale),
+        seeds: vec![SEED],
+        alpha: 2.0,
+        threads: 0,
+    };
+    let total = spec.schemes.len() * spec.scenarios.len() * spec.seeds.len();
+    println!(
+        "eval_matrix: {} schemes x {} scenarios x {} seeds = {} cells",
+        spec.schemes.len(),
+        spec.scenarios.len(),
+        spec.seeds.len(),
+        total
+    );
+    let report = run_matrix(&spec, |d, t| {
+        if d % 25 == 0 || d == t {
+            sage_obs::obs_info!("  {d}/{t}");
+        }
+    });
+
+    let ranks = rankings(&report.cells);
+    let rows: Vec<Vec<String>> = ranks
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.family.name().to_string(),
+                r.order.join(" > "),
+            ]
+        })
+        .collect();
+    print_table(
+        "Evaluation matrix: per-scenario scheme rankings (best first)",
+        &["scenario", "family", "ranking"],
+        &rows,
+    );
+
+    let dead: Vec<String> = report
+        .cells
+        .iter()
+        .filter(|c| !c.survived)
+        .map(|c| format!("{}/{}", c.scheme, c.scenario))
+        .collect();
+    if !dead.is_empty() {
+        println!("non-surviving cells: {dead:?}");
+    }
+
+    let out = std::env::var("SAGE_MATRIX_OUT").unwrap_or_else(|_| "EVAL_matrix.json".to_string());
+    let path = write_report(&out, &matrix_json(&spec, &report));
+    println!("report: {} (digest {:016x})", path.display(), report.digest);
+    sage_bench::finish_obs("eval_matrix");
+}

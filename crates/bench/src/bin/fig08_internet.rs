@@ -35,6 +35,8 @@ fn profile_envs(profile: InternetProfile, n: usize, secs: f64, seed: u64) -> Vec
                 seed: seed + i as u64,
                 faults: sage_netsim::faults::FaultPlan::default(),
                 topology: sage_netsim::Topology::single(),
+                self_flows: 1,
+                self_stagger: 0,
             }
         })
         .collect()

@@ -1,10 +1,15 @@
 //! Figure 9 (and Fig. 20 margin-5% + Table 3 alpha=3 variants): the league
 //! of ML-based designs — Sage vs BC variants, OnlineRL, Aurora-like,
 //! Indigo(v2)-like and Orca(v2)-like hybrids.
+//!
+//! A thin view over the evaluation matrix: the contender roster and the
+//! canonical Set I/II environments form a [`MatrixSpec`]; the league tables
+//! are printed straight from the cells.
 
-use sage_bench::{default_envs, default_gr, model_path, print_league_variants, SEED};
+use sage_bench::{default_envs, default_gr, model_path, print_league_from_cells, SEED};
 use sage_core::SageModel;
-use sage_eval::runner::{run_contenders, Contender};
+use sage_eval::matrix::{run_matrix, MatrixSpec, ScenarioSpec};
+use sage_eval::runner::Contender;
 use std::sync::Arc;
 
 fn load(name: &'static str) -> Arc<SageModel> {
@@ -75,16 +80,25 @@ fn main() {
         },
         Contender::Heuristic("vivace"),
     ];
-    let envs = default_envs();
+    let spec = MatrixSpec {
+        scenarios: default_envs()
+            .into_iter()
+            .map(ScenarioSpec::from_env)
+            .collect(),
+        schemes: contenders,
+        seeds: vec![SEED],
+        alpha: 2.0,
+        threads: 0,
+    };
     println!(
         "fig09: {} contenders x {} envs",
-        contenders.len(),
-        envs.len()
+        spec.schemes.len(),
+        spec.scenarios.len()
     );
-    let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
+    let report = run_matrix(&spec, |d, t| {
         if d % 100 == 0 {
             sage_obs::obs_info!("  {d}/{t}");
         }
     });
-    print_league_variants(&records, "Fig.9 ML-based league");
+    print_league_from_cells(&report.cells, "Fig.9 ML-based league");
 }

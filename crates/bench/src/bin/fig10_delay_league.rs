@@ -1,10 +1,13 @@
 //! Figure 10 (and Fig. 21 margin-5% + Table 2 alpha=3 variants): the league
 //! of delay-based designs — Sage vs BBR2, Copa, C2TCP, LEDBAT, Vegas,
 //! Sprout.
+//!
+//! A thin view over the evaluation matrix (see `fig09_ml_league`).
 
-use sage_bench::{default_envs, default_gr, model_path, print_league_variants, SEED};
+use sage_bench::{default_envs, default_gr, model_path, print_league_from_cells, SEED};
 use sage_core::SageModel;
-use sage_eval::runner::{run_contenders, Contender};
+use sage_eval::matrix::{run_matrix, MatrixSpec, ScenarioSpec};
+use sage_eval::runner::Contender;
 use std::sync::Arc;
 
 fn main() {
@@ -18,16 +21,25 @@ fn main() {
         model,
         gr_cfg: default_gr(),
     });
-    let envs = default_envs();
+    let spec = MatrixSpec {
+        scenarios: default_envs()
+            .into_iter()
+            .map(ScenarioSpec::from_env)
+            .collect(),
+        schemes: contenders,
+        seeds: vec![SEED],
+        alpha: 2.0,
+        threads: 0,
+    };
     println!(
         "fig10: {} contenders x {} envs",
-        contenders.len(),
-        envs.len()
+        spec.schemes.len(),
+        spec.scenarios.len()
     );
-    let records = run_contenders(&contenders, &envs, 2.0, SEED, |d, t| {
+    let report = run_matrix(&spec, |d, t| {
         if d % 100 == 0 {
             sage_obs::obs_info!("  {d}/{t}");
         }
     });
-    print_league_variants(&records, "Fig.10 delay-based league");
+    print_league_from_cells(&report.cells, "Fig.10 delay-based league");
 }

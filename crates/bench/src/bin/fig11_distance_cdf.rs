@@ -38,6 +38,8 @@ fn main() {
         seed: SEED,
         faults: sage_netsim::faults::FaultPlan::default(),
         topology: sage_netsim::Topology::single(),
+        self_flows: 1,
+        self_stagger: 0,
     };
     let gr = default_gr();
     let sage_model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));

@@ -1,124 +1,63 @@
 //! Figures 18 & 27 (§7.7): fairness among flows of the same scheme. Every
-//! 25 s another flow of the same scheme joins a shared bottleneck; the figure
-//! shows per-flow throughput over time. Fig. 18 is Sage; Fig. 27 repeats the
-//! experiment for other schemes.
+//! 25 s another flow of the same scheme joins a shared bottleneck; Fig. 18
+//! is Sage, Fig. 27 repeats the experiment for other schemes.
+//!
+//! A thin view over the evaluation matrix: the shared-bottleneck setting is
+//! the declarative `fairness` scenario (`EnvSpec::self_flows` staggered
+//! joins through the factory-based `rollout_with`), so every scheme's cell
+//! carries the per-flow mean goodputs and the Jain index directly.
 
 use sage_bench::{default_gr, model_path, print_table, SEED};
-use sage_core::policy::{ActionMode, SagePolicy};
 use sage_core::SageModel;
-use sage_heuristics::build;
-use sage_netsim::link::LinkModel;
-use sage_netsim::time::from_secs;
-use sage_transport::sim::{Monitor, TickRecord};
-use sage_transport::{CongestionControl, FlowConfig, SimConfig, Simulation, SocketView};
+use sage_eval::matrix::{run_matrix, scenario_fairness, MatrixSpec};
+use sage_eval::runner::Contender;
 use std::sync::Arc;
-
-struct ThroughputTrace {
-    /// `[flow][tick]` goodput Mbps, 1 s buckets.
-    per_flow: Vec<Vec<f64>>,
-    counts: Vec<Vec<u32>>,
-}
-
-impl Monitor for ThroughputTrace {
-    fn on_tick(&mut self, flow_idx: usize, _v: &SocketView, t: &TickRecord) {
-        let sec = (t.now / 1_000_000_000) as usize;
-        let row = &mut self.per_flow[flow_idx];
-        if row.len() <= sec {
-            row.resize(sec + 1, 0.0);
-            self.counts[flow_idx].resize(sec + 1, 0);
-        }
-        row[sec] += t.goodput_bps / 1e6;
-        self.counts[flow_idx][sec] += 1;
-    }
-}
-
-fn run_fairness(
-    name: &str,
-    mk: &dyn Fn(u64) -> Box<dyn CongestionControl>,
-) -> (Vec<Vec<f64>>, f64) {
-    // Returns per-flow mean goodput per second (Mbps) and the Jain index.
-    let n_flows = 4;
-    let total = from_secs(120.0);
-    let mut cfg = SimConfig::new(LinkModel::Constant { mbps: 72.0 }, 360_000, 40.0, total);
-    cfg.seed = SEED;
-    let flows = (0..n_flows)
-        .map(|k| FlowConfig::starting_at(mk(SEED + k as u64), from_secs(25.0 * k as f64)))
-        .collect();
-    let mut sim = Simulation::new(cfg, flows);
-    let mut mon = ThroughputTrace {
-        per_flow: vec![Vec::new(); n_flows],
-        counts: vec![Vec::new(); n_flows],
-    };
-    let stats = sim.run(&mut mon);
-    // Normalise bucket sums to means.
-    for (f, row) in mon.per_flow.iter_mut().enumerate() {
-        for (sec, v) in row.iter_mut().enumerate() {
-            let c = mon.counts[f].get(sec).copied().unwrap_or(0);
-            if c > 0 {
-                *v /= c as f64;
-            }
-        }
-    }
-    // Jain fairness over the final 20 s (all flows active).
-    let last: Vec<f64> = stats.iter().map(|s| s.avg_goodput_mbps).collect();
-    let _ = last;
-    let mut finals = Vec::new();
-    for row in &mon.per_flow {
-        let xs: Vec<f64> = row.iter().rev().take(20).copied().collect();
-        finals.push(sage_util::mean(&xs));
-    }
-    let sum: f64 = finals.iter().sum();
-    let sumsq: f64 = finals.iter().map(|x| x * x).sum();
-    let jain = if sumsq > 0.0 {
-        sum * sum / (finals.len() as f64 * sumsq)
-    } else {
-        0.0
-    };
-    println!(
-        "{name}: final per-flow Mbps {:?}, Jain {:.3}",
-        finals
-            .iter()
-            .map(|x| (x * 10.0).round() / 10.0)
-            .collect::<Vec<_>>(),
-        jain
-    );
-    (mon.per_flow, jain)
-}
 
 fn main() {
     let model = Arc::new(SageModel::load_file(&model_path("sage")).expect("train first"));
-    let gr = default_gr();
-    let mut rows = Vec::new();
-    let make_sage = |seed: u64| -> Box<dyn CongestionControl> {
-        Box::new(SagePolicy::new(
-            model.clone(),
-            gr,
-            seed,
-            ActionMode::Deterministic,
-        ))
+    let mut schemes = vec![Contender::Model {
+        name: "sage",
+        model,
+        gr_cfg: default_gr(),
+    }];
+    schemes.extend(
+        [
+            "cubic", "bbr2", "vegas", "yeah", "westwood", "copa", "vivace",
+        ]
+        .map(Contender::Heuristic),
+    );
+    let spec = MatrixSpec {
+        schemes,
+        scenarios: vec![scenario_fairness(4, 120.0, 25.0)],
+        seeds: vec![SEED],
+        alpha: 2.0,
+        threads: 0,
     };
-    let (trace, jain) = run_fairness("sage", &make_sage);
-    rows.push(vec!["sage".to_string(), format!("{jain:.3}")]);
-    println!("\n== Fig.18 Sage per-flow throughput (Mbps, 5 s buckets) ==");
-    for sec in (0..120).step_by(5) {
-        let vals: Vec<String> = trace
-            .iter()
-            .map(|row| format!("{:.1}", row.get(sec).copied().unwrap_or(0.0)))
-            .collect();
-        println!("t={sec:3}s\t{}", vals.join("\t"));
-    }
+    println!(
+        "fig18: {} schemes x 4 staggered self flows, 120 s",
+        spec.schemes.len()
+    );
+    let report = run_matrix(&spec, |_, _| {});
 
-    // Fig. 27: other schemes in the same setting.
-    for scheme in [
-        "cubic", "bbr2", "vegas", "yeah", "westwood", "copa", "vivace",
-    ] {
-        let mk = |seed: u64| -> Box<dyn CongestionControl> { build(scheme, seed).unwrap() };
-        let (_, jain) = run_fairness(scheme, &mk);
-        rows.push(vec![scheme.to_string(), format!("{jain:.3}")]);
-    }
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scheme.clone(),
+                c.flow_goodputs
+                    .iter()
+                    .map(|g| format!("{g:.1}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                format!("{:.3}", c.fairness),
+            ]
+        })
+        .collect();
     print_table(
-        "Fig.18/27 Jain fairness index (4 same-scheme flows)",
-        &["scheme", "Jain"],
+        "Fig.18/27 Jain fairness index (4 same-scheme flows, mean Mbps per flow)",
+        &["scheme", "per-flow mbps", "Jain"],
         &rows,
     );
+    sage_bench::finish_obs("fig18");
 }

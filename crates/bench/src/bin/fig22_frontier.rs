@@ -28,6 +28,8 @@ fn env(id: &str, buf_mult: f64) -> EnvSpec {
         seed: SEED,
         faults: sage_netsim::faults::FaultPlan::default(),
         topology: sage_netsim::Topology::single(),
+        self_flows: 1,
+        self_stagger: 0,
     }
 }
 

@@ -49,6 +49,8 @@ fn main() {
             seed: SEED,
             faults: sage_netsim::faults::FaultPlan::default(),
             topology: sage_netsim::Topology::single(),
+            self_flows: 1,
+            self_stagger: 0,
         })
         .collect();
     let records = run_contenders(&contenders, &envs, 2.0, SEED, |_, _| {});

@@ -5,6 +5,10 @@
 //! once — and reports per-scheme survival, degradation vs its own clean
 //! baseline, retransmit overhead, and abort-restart counts. The full report
 //! goes to `artifacts/results/set3_adversarial.json` (crash-safe write).
+//!
+//! A thin view over the evaluation matrix: `run_set3` executes the grid as
+//! a `MatrixSpec` through `run_matrix` and derives the degradation entries
+//! from the cells (`sage_eval::entries_from_cells`).
 
 use sage_bench::{default_gr, envvar, model_path, pool_schemes, print_table, SEED};
 use sage_core::SageModel;

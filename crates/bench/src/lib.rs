@@ -173,6 +173,48 @@ pub fn print_league_variants(records: &[sage_eval::runner::RunRecord], label: &s
     }
 }
 
+/// [`print_league_variants`] over evaluation-matrix cells: league tables at
+/// both winning margins for the Set I/II families, plus the alpha=3 Set I
+/// variant carried by the cells. Scores are identical to the record-based
+/// path (same rollouts, same interval scoring), so figures migrated onto
+/// the matrix print the same tables.
+pub fn print_league_from_cells(cells: &[sage_eval::MatrixCell], label: &str) {
+    use sage_eval::league::rank_league;
+    use sage_eval::matrix::{league_scores, Family};
+
+    for (family, set_label) in [(Family::SetI, "Set I"), (Family::SetII, "Set II")] {
+        let scores = league_scores(cells, family, false);
+        if scores.is_empty() {
+            continue;
+        }
+        for margin in [0.10, 0.05] {
+            let table = rank_league(&scores, margin);
+            let rows: Vec<Vec<String>> = table
+                .iter()
+                .map(|e| vec![e.scheme.clone(), format!("{:.2}%", e.winning_rate * 100.0)])
+                .collect();
+            print_table(
+                &format!("{label} — {set_label}, margin {:.0}%", margin * 100.0),
+                &["scheme", "winning rate"],
+                &rows,
+            );
+        }
+        // alpha = 3 variant of the Power score (Tables 2/3).
+        if family == Family::SetI {
+            let table = rank_league(&league_scores(cells, family, true), 0.10);
+            let rows: Vec<Vec<String>> = table
+                .iter()
+                .map(|e| vec![e.scheme.clone(), format!("{:.2}%", e.winning_rate * 100.0)])
+                .collect();
+            print_table(
+                &format!("{label} — Set I, alpha=3 (r^3/d), margin 10%"),
+                &["scheme", "winning rate"],
+                &rows,
+            );
+        }
+    }
+}
+
 /// Downsample a per-tick series to roughly `n` points of (seconds, value)
 /// for time-series figures.
 pub fn series(ticks: &[f32], tick_secs: f64, n: usize) -> Vec<(f64, f64)> {

@@ -46,6 +46,14 @@ pub struct EnvSpec {
     /// Hops downstream of the bottleneck (multi-bottleneck scenarios);
     /// empty for the classic single-bottleneck grids.
     pub topology: Topology,
+    /// Total flows of the scheme under test sharing the bottleneck
+    /// (intra-scheme fairness scenarios, Fig. 18). `0` and `1` both mean the
+    /// classic single test flow; additional flows join staggered by
+    /// [`EnvSpec::self_stagger`] after `test_flow_start` and need the
+    /// factory-based [`crate::rollout_with`] entry point.
+    pub self_flows: usize,
+    /// Start-time stagger between successive self flows.
+    pub self_stagger: Nanos,
 }
 
 impl EnvSpec {
@@ -89,6 +97,8 @@ pub fn set1_flat_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     seed: 1,
                     faults: FaultPlan::default(),
                     topology: Topology::single(),
+                    self_flows: 1,
+                    self_stagger: 0,
                 })
             }
         }
@@ -128,6 +138,8 @@ pub fn set1_step_grid(duration_secs: f64) -> Vec<EnvSpec> {
                         seed: 1,
                         faults: FaultPlan::default(),
                         topology: Topology::single(),
+                        self_flows: 1,
+                        self_stagger: 0,
                     })
                 }
             }
@@ -158,6 +170,8 @@ pub fn set2_grid(duration_secs: f64) -> Vec<EnvSpec> {
                     seed: 2,
                     faults: FaultPlan::default(),
                     topology: Topology::single(),
+                    self_flows: 1,
+                    self_stagger: 0,
                 })
             }
         }

@@ -45,8 +45,14 @@ impl Monitor for GrMonitor {
 }
 
 /// Build the simulation for an environment: competing Cubic flows first
-/// (staggered by 100 ms), then the flow under test.
-fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simulation, usize) {
+/// (staggered by 100 ms), then the flow under test, then any additional
+/// same-scheme flows (`EnvSpec::self_flows`) staggered by
+/// `EnvSpec::self_stagger`. `ccas[0]` is the flow under test.
+fn build_sim(
+    env: &EnvSpec,
+    ccas: Vec<Box<dyn CongestionControl>>,
+    seed: u64,
+) -> (Simulation, usize) {
     let mut cfg = SimConfig::new(env.link.clone(), env.buffer_bytes, env.rtt_ms, env.duration);
     cfg.aqm = env.aqm;
     cfg.random_loss = env.random_loss;
@@ -62,11 +68,19 @@ fn build_sim(env: &EnvSpec, cca: Box<dyn CongestionControl>, seed: u64) -> (Simu
         ));
     }
     let test_idx = flows.len();
-    flows.push(FlowConfig::starting_at(cca, env.test_flow_start));
+    for (k, cca) in ccas.into_iter().enumerate() {
+        flows.push(FlowConfig::starting_at(
+            cca,
+            env.test_flow_start + (k as u64) * env.self_stagger,
+        ));
+    }
     (Simulation::new(cfg, flows), test_idx)
 }
 
-/// Roll one scheme through one environment, recording its trajectory.
+/// Roll one scheme through one environment, recording its trajectory. The
+/// single `cca` is the flow under test; environments asking for same-scheme
+/// companions (`self_flows > 1`) need [`rollout_with`], which can build one
+/// instance per flow.
 pub fn rollout(
     env: &EnvSpec,
     scheme: &str,
@@ -74,8 +88,40 @@ pub fn rollout(
     gr_cfg: GrConfig,
     seed: u64,
 ) -> RolloutResult {
+    debug_assert!(
+        env.self_flows <= 1,
+        "self-flow scenarios need the factory-based rollout_with"
+    );
+    rollout_flows(env, scheme, vec![cca], gr_cfg, seed)
+}
+
+/// [`rollout`] with a scheme factory: `mk(flow_seed)` is called once per
+/// flow of the scheme under test (`env.self_flows.max(1)` times, with seeds
+/// `seed`, `seed + 1`, ...), so intra-scheme fairness scenarios can stamp
+/// out learned policies and heuristics alike. The first flow is the flow
+/// under test; its trajectory is the one recorded.
+pub fn rollout_with(
+    env: &EnvSpec,
+    scheme: &str,
+    mut mk: impl FnMut(u64) -> Box<dyn CongestionControl>,
+    gr_cfg: GrConfig,
+    seed: u64,
+) -> RolloutResult {
+    let ccas: Vec<Box<dyn CongestionControl>> = (0..env.self_flows.max(1) as u64)
+        .map(|k| mk(seed.wrapping_add(k)))
+        .collect();
+    rollout_flows(env, scheme, ccas, gr_cfg, seed)
+}
+
+fn rollout_flows(
+    env: &EnvSpec,
+    scheme: &str,
+    ccas: Vec<Box<dyn CongestionControl>>,
+    gr_cfg: GrConfig,
+    seed: u64,
+) -> RolloutResult {
     let _prof = sage_obs::scope("collect_rollout");
-    let (mut sim, test_idx) = build_sim(env, cca, seed);
+    let (mut sim, test_idx) = build_sim(env, ccas, seed);
     let mut mon = GrMonitor {
         gr: GrUnit::new(gr_cfg, RewardParams::for_capacity(env.capacity_mbps)),
         test_idx,
@@ -208,6 +254,26 @@ mod tests {
             vec!["cubic".to_string(), "vegas".to_string()]
         );
         assert!(pool.total_steps() > 500);
+    }
+
+    #[test]
+    fn self_flows_share_one_bottleneck() {
+        let mut env = set1_flat_grid(6.0)[7].clone();
+        env.self_flows = 3;
+        env.self_stagger = sage_netsim::time::from_secs(1.0);
+        let res = rollout_with(
+            &env,
+            "cubic",
+            |s| build("cubic", s).unwrap(),
+            GrConfig::default(),
+            3,
+        );
+        assert_eq!(res.all_stats.len(), 3, "one FlowStats per self flow");
+        assert!(res.all_stats.iter().all(|s| s.delivered_bytes > 0));
+        // Later flows start staggered, so they are active for less time.
+        assert!(res.all_stats[0].active_secs > res.all_stats[2].active_secs);
+        // The recorded trajectory belongs to the first (test) flow.
+        assert!(res.traj.len() > 500);
     }
 
     #[test]

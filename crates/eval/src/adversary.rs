@@ -191,6 +191,8 @@ pub fn decode(genome: &[f64], secs: f64) -> EnvSpec {
         seed: digest,
         faults,
         topology,
+        self_flows: 1,
+        self_stagger: 0,
     }
 }
 
@@ -580,6 +582,52 @@ mod tests {
         assert!(hi.competing_cubic == 4);
         // Different genomes get different ids/seeds.
         assert_ne!(lo.id, hi.id);
+    }
+
+    #[test]
+    fn boundary_genomes_decode_in_range_with_stable_ids() {
+        // The decode is the contract between a stored genome (Set IV pins,
+        // ADV reports) and the environment it denotes: every knob at its
+        // boundary must still produce a simulable in-range EnvSpec, and the
+        // digest-derived ids must never drift (a drift silently invalidates
+        // every recorded baseline).
+        let secs = 6.0;
+        let cases = [
+            ([0.0; GENOME_DIM], "adv-9a74fcae65"),
+            ([0.5; GENOME_DIM], "adv-f5d69f6745"),
+            ([1.0; GENOME_DIM], "adv-273b0cd8c5"),
+        ];
+        for (genome, id) in cases {
+            let env = decode(&genome, secs);
+            assert_eq!(env.id, id, "digest id drifted for genome {genome:?}");
+            assert_eq!(
+                env.seed & 0xFF_FFFF_FFFF,
+                genome_digest(&genome) & 0xFF_FFFF_FFFF
+            );
+            // Knob ranges (see the lerp bounds in `decode`).
+            assert!((10.0..=120.0).contains(&env.rtt_ms), "{}", env.rtt_ms);
+            assert!(env.capacity_mbps >= 3.0, "{}", env.capacity_mbps);
+            assert!(env.buffer_bytes >= 750, "{}", env.buffer_bytes);
+            assert!((0.0..=1.0).contains(&env.faults.reorder_prob));
+            assert!((0.0..=1.0).contains(&env.faults.jitter_spike_prob));
+            if let Some(ge) = &env.faults.burst_loss {
+                assert!((0.0..=1.0).contains(&ge.p_enter_bad));
+                assert!((0.2..=0.9).contains(&ge.loss_bad));
+            }
+            // Blackouts stay inside the run.
+            for &(start, end) in &env.faults.blackouts {
+                assert!(start < end && end <= from_secs(secs + 1.3));
+            }
+            assert!(env.competing_cubic <= 4);
+            assert!((1..=3).contains(&env.topology.hops()));
+            assert_eq!(env.self_flows, 1, "decoded scenarios are single-flow");
+            // Purity: decoding twice gives the same spec.
+            assert_eq!(format!("{:?}", decode(&genome, secs)), format!("{env:?}"));
+        }
+        // The three boundary genomes decode to three distinct scenarios.
+        let ids: Vec<String> = cases.iter().map(|(g, _)| decode(g, secs).id).collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
     }
 
     #[test]

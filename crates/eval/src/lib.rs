@@ -4,6 +4,7 @@
 
 pub mod adversary;
 pub mod league;
+pub mod matrix;
 pub mod runner;
 pub mod score;
 pub mod set3;
@@ -16,13 +17,19 @@ pub use adversary::{
     AdvReport, GENOME_DIM,
 };
 pub use league::{rank_league, LeagueEntry};
+pub use matrix::{
+    compare_to_golden, league_scores, matrix_json, rankings, run_matrix, scenario_fairness,
+    scenarios_adversarial, scenarios_fault, scenarios_internet, scenarios_multihop,
+    scenarios_set12, standard_scenarios, Family, MatrixCell, MatrixReport, MatrixScale, MatrixSpec,
+    MatrixTolerance, ScenarioRank, ScenarioSpec,
+};
 pub use runner::{
     run_contenders, run_contenders_with_threads, scores_of_set, Contender, RunRecord,
 };
 pub use score::{interval_scores, jain_fairness, RunScore, ScoreKind};
 pub use set3::{
-    run_set3, run_set3_with_threads, scenario_grid, summarise, FaultScenario, Set3Entry,
-    Set3Summary,
+    entries_from_cells, run_set3, run_set3_with_threads, scenario_grid, summarise, FaultScenario,
+    Set3Entry, Set3Summary,
 };
 pub use set4::{eval_pinned, pinned_scenarios, PinnedScenario, Set4Tolerance, SET4_SECS};
 pub use similarity::{cosine_distance, cosine_similarity, transition_vectors, DistanceIndex};

@@ -75,17 +75,29 @@ pub fn interval_scores(
 /// `(Σx)² / (n·Σx²)`. Ranges from `1/n` (one flow hogs everything) to `1.0`
 /// (perfectly equal shares). Used by the many-flow serving scenarios to
 /// grade how fairly N batch-served learned flows split a shared bottleneck.
+///
+/// Invariants (property-tested in `tests/props.rs`): the result is inside
+/// `[1/n, 1]`, and an equal allocation scores *exactly* `1.0` — allocations
+/// are normalised by their maximum first (`c / c == 1.0` exactly), and the
+/// mathematically guaranteed range is enforced against the last few ulps of
+/// rounding in the sums.
 pub fn jain_fairness(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let sum: f64 = xs.iter().sum();
-    let sum_sq: f64 = xs.iter().map(|&x| x * x).sum();
-    if sum_sq == 0.0 {
+    let max = xs.iter().fold(0.0, |a: f64, &b| a.max(b));
+    if max == 0.0 {
         // All-zero allocations are trivially equal.
         return 1.0;
     }
-    sum * sum / (xs.len() as f64 * sum_sq)
+    let (mut sum, mut sum_sq) = (0.0, 0.0);
+    for &x in xs {
+        let u = x / max;
+        sum += u;
+        sum_sq += u * u;
+    }
+    let n = xs.len() as f64;
+    (sum * sum / (n * sum_sq)).clamp(1.0 / n, 1.0)
 }
 
 #[cfg(test)]

@@ -8,14 +8,13 @@
 //! is scored on survival and on degradation relative to its own clean-link
 //! baseline, so schemes are compared on *robustness*, not raw speed.
 
+use crate::matrix::{run_matrix, Family, MatrixCell, MatrixSpec, ScenarioSpec};
 use crate::runner::Contender;
-use sage_collector::{rollout, EnvSpec, SetKind};
-use sage_gr::GrConfig;
+use sage_collector::{EnvSpec, SetKind};
 use sage_netsim::aqm::AqmKind;
 use sage_netsim::faults::{FaultPlan, FlapPlan, GilbertElliott};
 use sage_netsim::link::LinkModel;
 use sage_netsim::time::{from_secs, MILLIS};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One named fault configuration of the Set III grid.
 #[derive(Debug, Clone)]
@@ -148,6 +147,8 @@ pub fn set3_env(scenario: &FaultScenario, duration_secs: f64) -> EnvSpec {
         seed: 3,
         faults: scenario.plan.clone(),
         topology: sage_netsim::Topology::single(),
+        self_flows: 1,
+        self_stagger: 0,
     }
 }
 
@@ -189,86 +190,85 @@ pub fn run_set3(
 }
 
 /// [`run_set3`] with an explicit worker count (`0` = the configured default,
-/// `1` = serial). The contender x scenario rollouts run in parallel with an
-/// ordered reduction; degradation against each contender's clean baseline is
-/// derived in a serial pass afterwards, so entries are identical at every
-/// thread count.
+/// `1` = serial). A thin view over the evaluation matrix: the contender x
+/// scenario grid becomes a [`MatrixSpec`] executed by [`run_matrix`] (same
+/// seeds, same rollouts, same ordered reduction), and the degradation
+/// against each contender's clean baseline is derived serially from the
+/// cells afterwards — entries are identical at every thread count.
 pub fn run_set3_with_threads(
     contenders: &[Contender],
     scenarios: &[FaultScenario],
     duration_secs: f64,
     seed: u64,
     threads: usize,
-    mut progress: impl FnMut(usize, usize) + Send,
+    progress: impl FnMut(usize, usize) + Send,
 ) -> Vec<Set3Entry> {
-    let total = contenders.len() * scenarios.len();
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    let progress = std::sync::Mutex::new(&mut progress);
-    // Phase 1 (parallel): raw rollouts, each reduced to the test flow's
-    // stats plus the all-flow Jain fairness. `None` = the contender panicked.
-    let raw: Vec<Option<(sage_transport::FlowStats, f64)>> =
-        sage_util::par_map_range(threads, total, |task| {
-            let (ci, si) = (task / scenarios.len(), task % scenarios.len());
-            let (c, sc) = (&contenders[ci], &scenarios[si]);
-            let env = set3_env(sc, duration_secs);
-            let name = c.name();
-            let gr = gr_of(c);
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                let cca = c.build(&env, seed);
-                rollout(&env, name, cca, gr, seed)
-            }));
-            let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            (progress.lock().unwrap_or_else(|e| e.into_inner()))(n, total);
-            run.ok().map(|res| {
-                let goodputs: Vec<f64> = res.all_stats.iter().map(|s| s.avg_goodput_mbps).collect();
-                (res.stats, crate::score::jain_fairness(&goodputs))
+    let spec = MatrixSpec {
+        schemes: contenders.to_vec(),
+        scenarios: scenarios
+            .iter()
+            .map(|sc| ScenarioSpec {
+                family: Family::Fault,
+                env: set3_env(sc, duration_secs),
             })
-        });
-    // Phase 2 (serial): score each run against its contender's clean
-    // baseline, in the original contender-major order.
-    let mut out = Vec::with_capacity(total);
+            .collect(),
+        seeds: vec![seed],
+        alpha: 2.0,
+        threads,
+    };
+    let report = run_matrix(&spec, progress);
+    entries_from_cells(&report.cells, contenders, scenarios)
+}
+
+/// Derive contender-major [`Set3Entry`]s from single-seed matrix cells (the
+/// scenario-major order [`run_matrix`] produces). A cell that did not
+/// complete (the contender panicked) is recorded as not surviving with full
+/// degradation rather than aborting the suite.
+pub fn entries_from_cells(
+    cells: &[MatrixCell],
+    contenders: &[Contender],
+    scenarios: &[FaultScenario],
+) -> Vec<Set3Entry> {
+    let n_ch = contenders.len();
+    debug_assert_eq!(cells.len(), n_ch * scenarios.len());
+    let mut out = Vec::with_capacity(cells.len());
     for (ci, c) in contenders.iter().enumerate() {
         let mut clean_goodput = f64::NAN;
         let mut clean_owd = f64::NAN;
         for (si, sc) in scenarios.iter().enumerate() {
-            let name = c.name();
-            let entry = match &raw[ci * scenarios.len() + si] {
-                Some((s, fairness)) => {
-                    if sc.id == CLEAN {
-                        clean_goodput = s.avg_goodput_mbps;
-                        clean_owd = s.avg_owd_ms;
-                    }
-                    let degradation_pct = if clean_goodput > 0.0 {
-                        ((clean_goodput - s.avg_goodput_mbps) / clean_goodput * 100.0).max(0.0)
-                    } else {
-                        0.0
-                    };
-                    let delay_inflation = if clean_owd > 0.0 && s.avg_owd_ms > 0.0 {
-                        s.avg_owd_ms / clean_owd
-                    } else {
-                        1.0
-                    };
-                    let transmissions = s.sent_pkts + s.retx_pkts;
-                    Set3Entry {
-                        scheme: name.to_string(),
-                        scenario: sc.id,
-                        survived: s.delivered_bytes > 0,
-                        goodput_mbps: s.avg_goodput_mbps,
-                        avg_owd_ms: s.avg_owd_ms,
-                        degradation_pct,
-                        delay_inflation,
-                        retx_overhead_pct: if transmissions > 0 {
-                            s.retx_pkts as f64 / transmissions as f64 * 100.0
-                        } else {
-                            0.0
-                        },
-                        restarts: s.restarts,
-                        lost_pkts: s.lost_pkts,
-                        fairness: *fairness,
-                    }
+            let cell = &cells[si * n_ch + ci];
+            debug_assert_eq!(cell.scheme, c.name());
+            let entry = if cell.completed {
+                if sc.id == CLEAN {
+                    clean_goodput = cell.goodput_mbps;
+                    clean_owd = cell.avg_owd_ms;
                 }
-                None => Set3Entry {
-                    scheme: name.to_string(),
+                let degradation_pct = if clean_goodput > 0.0 {
+                    ((clean_goodput - cell.goodput_mbps) / clean_goodput * 100.0).max(0.0)
+                } else {
+                    0.0
+                };
+                let delay_inflation = if clean_owd > 0.0 && cell.avg_owd_ms > 0.0 {
+                    cell.avg_owd_ms / clean_owd
+                } else {
+                    1.0
+                };
+                Set3Entry {
+                    scheme: cell.scheme.clone(),
+                    scenario: sc.id,
+                    survived: cell.survived,
+                    goodput_mbps: cell.goodput_mbps,
+                    avg_owd_ms: cell.avg_owd_ms,
+                    degradation_pct,
+                    delay_inflation,
+                    retx_overhead_pct: cell.retx_pct,
+                    restarts: cell.restarts,
+                    lost_pkts: cell.lost_pkts,
+                    fairness: cell.fairness,
+                }
+            } else {
+                Set3Entry {
+                    scheme: cell.scheme.clone(),
                     scenario: sc.id,
                     survived: false,
                     goodput_mbps: 0.0,
@@ -279,19 +279,12 @@ pub fn run_set3_with_threads(
                     restarts: 0,
                     lost_pkts: 0,
                     fairness: 0.0,
-                },
+                }
             };
             out.push(entry);
         }
     }
     out
-}
-
-fn gr_of(c: &Contender) -> GrConfig {
-    match c {
-        Contender::Model { gr_cfg, .. } | Contender::Hybrid { gr_cfg, .. } => *gr_cfg,
-        _ => GrConfig::default(),
-    }
 }
 
 /// Per-scheme summary over the fault scenarios (clean excluded): survival

@@ -1,0 +1,48 @@
+//! Differential test for the evaluation matrix's determinism contract: the
+//! serialised `EVAL_matrix.json` payload must be byte-identical at
+//! `SAGE_THREADS` 1, 2 and 4. Every (scheme, scenario, seed) cell is an
+//! independent task with seeds that are pure functions of the cell, and the
+//! reduction is ordered — so neither the cells, nor the rankings, nor the
+//! folded report digest may depend on scheduling.
+
+use sage_eval::matrix::{matrix_json, run_matrix, scenarios_fault, scenarios_set12, MatrixSpec};
+use sage_eval::runner::Contender;
+
+/// A small 3 schemes x 3 scenarios x 2 seeds sub-matrix (18 cells), sized
+/// for the debug-mode tier-1 suite.
+fn spec(threads: usize) -> MatrixSpec {
+    let mut scenarios = scenarios_set12(1, 1, 4.0, 21);
+    scenarios.extend(scenarios_fault(Some(&["blackout"]), 4.0));
+    MatrixSpec {
+        schemes: vec![
+            Contender::Heuristic("cubic"),
+            Contender::Heuristic("vegas"),
+            Contender::Heuristic("westwood"),
+        ],
+        scenarios,
+        seeds: vec![3, 7],
+        alpha: 2.0,
+        threads,
+    }
+}
+
+#[test]
+fn matrix_report_byte_identical_across_thread_counts() {
+    let reports: Vec<String> = [1, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let s = spec(threads);
+            let report = run_matrix(&s, |_, _| {});
+            assert_eq!(report.cells.len(), 18, "3 schemes x 3 scenarios x 2 seeds");
+            matrix_json(&s, &report).to_string()
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "matrix report differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        reports[0], reports[2],
+        "matrix report differs between 1 and 4 threads"
+    );
+}

@@ -3,8 +3,9 @@
 //! framework: the build must work offline).
 
 use sage_eval::league::rank_league;
-use sage_eval::score::{interval_scores, RunScore, ScoreKind, INTERVALS};
+use sage_eval::score::{interval_scores, jain_fairness, RunScore, ScoreKind, INTERVALS};
 use sage_eval::similarity::{cosine_distance, cosine_similarity};
+use sage_util::prop::{ensure, forall, PropConfig};
 use sage_util::Rng;
 
 #[test]
@@ -50,6 +51,71 @@ fn league_rates_bounded_and_cells_consistent() {
         let total_wins: usize = t.iter().map(|e| e.wins).sum();
         assert!(total_wins >= 4);
     }
+}
+
+/// Random positive allocations for the Jain properties: 1..=16 flows with
+/// goodputs spanning five orders of magnitude.
+fn random_allocation(rng: &mut Rng) -> Vec<f64> {
+    let n = 1 + rng.below(16);
+    (0..n).map(|_| rng.range(1e-3, 100.0)).collect()
+}
+
+#[test]
+fn jain_fairness_within_bounds() {
+    forall("jain in [1/n, 1]", PropConfig::default(), |rng| {
+        let xs = random_allocation(rng);
+        let j = jain_fairness(&xs);
+        let lo = 1.0 / xs.len() as f64;
+        ensure((lo..=1.0).contains(&j), || {
+            format!("jain({xs:?}) = {j} outside [{lo}, 1]")
+        })
+    });
+}
+
+#[test]
+fn jain_fairness_permutation_invariant() {
+    forall("jain permutation-invariant", PropConfig::default(), |rng| {
+        let xs = random_allocation(rng);
+        let j = jain_fairness(&xs);
+        // Seeded Fisher–Yates shuffle plus full reversal.
+        let mut shuffled = xs.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i + 1));
+        }
+        let mut reversed = xs.clone();
+        reversed.reverse();
+        let js = jain_fairness(&shuffled);
+        let jr = jain_fairness(&reversed);
+        ensure((j - js).abs() < 1e-12 && (j - jr).abs() < 1e-12, || {
+            format!("jain({xs:?}) = {j} but shuffled {js}, reversed {jr}")
+        })
+    });
+}
+
+#[test]
+fn jain_fairness_scale_invariant() {
+    forall("jain scale-invariant", PropConfig::default(), |rng| {
+        let xs = random_allocation(rng);
+        let k = rng.range(1e-4, 1e4);
+        let scaled: Vec<f64> = xs.iter().map(|&x| x * k).collect();
+        let j = jain_fairness(&xs);
+        let jk = jain_fairness(&scaled);
+        ensure((j - jk).abs() < 1e-9, || {
+            format!("jain({xs:?}) = {j} but x{k} gives {jk}")
+        })
+    });
+}
+
+#[test]
+fn jain_fairness_equal_allocation_exactly_one() {
+    forall("jain equal allocation == 1", PropConfig::default(), |rng| {
+        let n = 1 + rng.below(16);
+        let c = rng.range(1e-3, 100.0);
+        let j = jain_fairness(&vec![c; n]);
+        ensure(j == 1.0, || {
+            format!("jain([{c}; {n}]) = {j}, not exactly 1")
+        })
+    });
 }
 
 #[test]

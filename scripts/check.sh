@@ -4,6 +4,16 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Throwaway smoke outputs are removed on ANY exit — success or failure — so
+# an aborted run never leaves half-written artifacts behind to confuse the
+# next one (committed reports are never listed here).
+cleanup() {
+  rm -f artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
+        artifacts/results/EVAL_matrix_smoke_t1.json \
+        artifacts/results/EVAL_matrix_smoke_t4.json
+}
+trap cleanup EXIT
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
@@ -65,7 +75,33 @@ SAGE_ADV_BUDGET=8 SAGE_SECS=2 SAGE_ADV_OUT=ADV_smoke_t4.json SAGE_THREADS=4 \
   ./target/release/adv_search > /dev/null
 cmp artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
   || { echo "FAIL: adversarial report differs across thread counts"; exit 1; }
-rm -f artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json
+
+# Evaluation-matrix smoke: a small scheme x scenario x seed sub-matrix must
+# serialise byte-identically at two thread counts (cells are independent
+# deterministic tasks, ordered reduction). The full committed report is
+# artifacts/results/EVAL_matrix.json; the smoke writes throwaway files.
+echo "== evaluation matrix smoke: sub-matrix digest at SAGE_THREADS=1 vs 4 =="
+SAGE_MATRIX_SET1=2 SAGE_MATRIX_SET2=1 SAGE_MATRIX_SECS=3 SAGE_MATRIX_INET=1 \
+  SAGE_MATRIX_FAULTS=clean,blackout SAGE_MATRIX_FAIR_FLOWS=3 \
+  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_OUT=EVAL_matrix_smoke_t1.json \
+  SAGE_THREADS=1 ./target/release/eval_matrix > /dev/null
+SAGE_MATRIX_SET1=2 SAGE_MATRIX_SET2=1 SAGE_MATRIX_SECS=3 SAGE_MATRIX_INET=1 \
+  SAGE_MATRIX_FAULTS=clean,blackout SAGE_MATRIX_FAIR_FLOWS=3 \
+  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_OUT=EVAL_matrix_smoke_t4.json \
+  SAGE_THREADS=4 ./target/release/eval_matrix > /dev/null
+cmp artifacts/results/EVAL_matrix_smoke_t1.json \
+    artifacts/results/EVAL_matrix_smoke_t4.json \
+  || { echo "FAIL: evaluation matrix differs across thread counts"; exit 1; }
+
+# Evaluation-matrix rank-regression gate: per-scenario scheme rankings and
+# per-cell metrics vs the pinned golden (any rank inversion fails; metric
+# drift is tolerance-bounded). Regenerate after intentional changes with
+# SAGE_REGEN_GOLDEN=1.
+echo "== evaluation matrix gate: rank regression vs golden (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q -p sage-bench --release --test matrix_gate
+
+echo "== evaluation matrix gate: rank regression vs golden (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q -p sage-bench --release --test matrix_gate
 
 # Set IV golden gate: the pinned hardest scenarios (adversarial genomes +
 # the 64-flow fairness case) must stay within tolerance of the recorded
