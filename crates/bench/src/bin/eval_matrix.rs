@@ -14,6 +14,8 @@
 //! `SAGE_MATRIX_FAULTS` — comma-separated fault-grid ids (default: all);
 //! `SAGE_MATRIX_FAIR_FLOWS` — fairness-scenario flow count (0 disables);
 //! `SAGE_MATRIX_FAIR_SECS` — fairness-scenario seconds;
+//! `SAGE_MATRIX_FAIR64_FLOWS` — high-contention fairness flow count
+//! (default 64, 0 disables); `SAGE_MATRIX_FAIR64_SECS` — its seconds;
 //! `SAGE_MATRIX_OUT` — report file name (default `EVAL_matrix.json`).
 
 use sage_bench::{default_gr, envvar, model_path, print_table, write_report, SEED};
@@ -41,6 +43,9 @@ fn main() {
         fairness_flows: envvar("SAGE_MATRIX_FAIR_FLOWS", 4),
         fairness_secs: envvar("SAGE_MATRIX_FAIR_SECS", 24) as f64,
         fairness_stagger_secs: 5.0,
+        fairness64_flows: envvar("SAGE_MATRIX_FAIR64_FLOWS", 64),
+        fairness64_secs: envvar("SAGE_MATRIX_FAIR64_SECS", 12) as f64,
+        fairness64_stagger_secs: 0.05,
         seed: SEED,
     };
     let mut schemes: Vec<Contender> = [
@@ -55,6 +60,14 @@ fn main() {
             gr_cfg: default_gr(),
         }),
         Err(e) => sage_obs::obs_warn!("no learned policy in the roster ({e}); heuristics only"),
+    }
+    // The distilled symbolic policy joins the roster whenever a fitted tree
+    // resolves (installed, $SAGE_TREE, or the committed artifacts/sage.tree)
+    // so the matrix tracks its rank next to the NN policy per PR.
+    if sage_distill::resolve().is_some() {
+        schemes.push(Contender::Heuristic("sage-sym"));
+    } else {
+        sage_obs::obs_warn!("no distilled tree found; sage-sym not in the roster");
     }
     let spec = MatrixSpec {
         schemes,

@@ -2,14 +2,18 @@
 //! graph path, across flow counts, plus an end-to-end shared-bottleneck
 //! many-flow scenario.
 //!
-//! Two halves:
+//! Three halves:
 //!
 //! 1. **Throughput sweep** — for each flow count N, drive identical
 //!    synthetic observations through a `Batched` and a `SequentialGraph`
 //!    runtime. The action traces and digests must be bit-identical (the
 //!    whole point of the batched path); the bench then reports actions/sec
 //!    and per-tick latency percentiles for both, and the speedup.
-//! 2. **End-to-end scenario** — N learned flows batch-served behind one
+//! 2. **Symbolic-tier sweep** — the same flow counts served through the
+//!    distilled-tree fast path (periodic NN audits on, escalation off), so
+//!    the report records the fast-path throughput multiplier over the
+//!    batched NN tier at each N.
+//! 3. **End-to-end scenario** — N learned flows batch-served behind one
 //!    bottleneck with heuristic cross traffic; reports aggregate goodput
 //!    and Jain fairness across the learned flows.
 //!
@@ -22,6 +26,7 @@
 use sage_bench::{envvar, finish_obs, obs_metrics, write_report};
 use sage_core::model::{NetConfig, SageModel};
 use sage_core::ActionMode;
+use sage_distill::{Dataset, SymbolicModel, TreeConfig};
 use sage_eval::jain_fairness;
 use sage_gr::{GrConfig, STATE_DIM};
 use sage_netsim::ManyFlowScenario;
@@ -70,6 +75,24 @@ fn model() -> std::sync::Arc<SageModel> {
     ))
 }
 
+/// The distilled tree the symbolic sweep serves: the real artifact when one
+/// resolves (installed / `$SAGE_TREE` / `artifacts/sage.tree`), otherwise a
+/// synthetic full-depth tree fitted on seeded random rows — the fast-path
+/// cost only depends on tree shape, not on what the leaves predict.
+fn bench_tree() -> std::sync::Arc<SymbolicModel> {
+    if let Some(t) = sage_distill::resolve() {
+        return t;
+    }
+    let mut rng = Rng::new(SEED ^ 0x7EE5);
+    let mut ds = Dataset::new(STATE_DIM);
+    for _ in 0..4096 {
+        let x: Vec<f64> = (0..STATE_DIM).map(|_| rng.uniform() * 2.0 - 1.0).collect();
+        let y = x[0] - 0.5 * x[7] + 0.25 * x[33];
+        ds.push(&x, y);
+    }
+    std::sync::Arc::new(SymbolicModel::fit(&ds, &TreeConfig::default()))
+}
+
 struct SweepRow {
     flows: u64,
     seq_aps: f64,
@@ -104,6 +127,30 @@ fn drive(mode: ServeMode, flows: u64, ticks: u64) -> (u64, Vec<u64>, ServeRuntim
     }
     let digest = rt.digest();
     (digest, trace, rt)
+}
+
+/// Drive `flows` flows entirely on the symbolic fast path (escalation
+/// disabled, periodic batched NN audits at the default cadence) and return
+/// the runtime for its tier stats.
+fn drive_symbolic(tree: std::sync::Arc<SymbolicModel>, flows: u64, ticks: u64) -> ServeRuntime {
+    let cfg = ServeConfig {
+        mode: ServeMode::Batched,
+        max_flows: flows as usize + 1,
+        max_batch: flows as usize,
+        action: ActionMode::Sample,
+        seed: SEED,
+        symbolic: Some(tree),
+        escalate_log_ratio: f64::INFINITY,
+        ..ServeConfig::default()
+    };
+    let mut rt = ServeRuntime::new(model(), GrConfig::default(), cfg);
+    for k in 0..flows {
+        assert!(rt.admit(k, 0, 1));
+    }
+    for t in 0..ticks {
+        rt.on_tick(t, &mut |k| Some(synth_view(t, k)));
+    }
+    rt
 }
 
 fn main() {
@@ -148,6 +195,34 @@ fn main() {
         );
         rows.push(row);
     }
+
+    // Symbolic-tier sweep: same flow counts, distilled-tree fast path.
+    println!("\n== symbolic fast path (tree tier, NN audits every 16 actions) ==");
+    let tree = bench_tree();
+    println!(
+        "tree: {} nodes / {} leaves / depth {}",
+        tree.nodes.len(),
+        tree.leaves(),
+        tree.depth()
+    );
+    let mut sym_rows = Vec::new();
+    for (i, &n) in SWEEP.iter().enumerate() {
+        let rt = drive_symbolic(tree.clone(), n, ticks);
+        let sym_aps = rt.stats.symbolic_actions_per_sec();
+        let multiplier = sym_aps / rows[i].batch_aps.max(1e-9);
+        println!(
+            "N={:<4} symbolic {:>12.0} act/s  ({} tree actions, {} audits)  {:>6.1}x over batched NN",
+            n, sym_aps, rt.stats.symbolic_actions, rt.stats.audits, multiplier
+        );
+        sym_rows.push((
+            n,
+            sym_aps,
+            multiplier,
+            rt.stats.symbolic_actions,
+            rt.stats.audits,
+        ));
+    }
+    let min_multiplier = sym_rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
 
     // End-to-end: 64 learned + 4 cross-traffic flows on one bottleneck.
     let mut sc = ManyFlowScenario::shared_bottleneck(64, 4, SEED);
@@ -206,6 +281,24 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "symbolic_sweep",
+            Json::Arr(
+                sym_rows
+                    .iter()
+                    .map(|&(n, aps, mult, acts, audits)| {
+                        Json::obj(vec![
+                            ("flows", Json::Num(n as f64)),
+                            ("symbolic_actions_per_sec", Json::Num(aps)),
+                            ("fast_path_multiplier", Json::Num(mult)),
+                            ("tree_actions", Json::Num(acts as f64)),
+                            ("audits", Json::Num(audits as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("fast_path_min_multiplier", Json::Num(min_multiplier)),
         (
             "scenario",
             Json::obj(vec![

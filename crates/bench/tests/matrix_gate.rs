@@ -48,6 +48,9 @@ fn gate_spec() -> MatrixSpec {
     scenarios.extend(scenarios_adversarial(secs));
     scenarios.extend(scenarios_multihop(secs));
     scenarios.push(scenario_fairness(3, 12.0, 3.0));
+    // High-contention cell: 64 self-flows piling onto one bottleneck with a
+    // near-simultaneous start, pinning Jain fairness under contention per PR.
+    scenarios.push(scenario_fairness(64, 8.0, 0.05));
     MatrixSpec {
         schemes: vec![
             Contender::Model {

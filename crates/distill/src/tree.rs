@@ -1,0 +1,666 @@
+//! Deterministic CART regression tree over the 69-dim GR observation.
+//!
+//! Fitting is greedy variance reduction: at each node every feature is
+//! scanned with a fixed set of quantile candidate thresholds, and the split
+//! with the strictly largest sum-of-squares reduction wins; ties break by
+//! (lowest feature index, lowest threshold bits) and all sums accumulate in
+//! row order, so two equal datasets fit bit-identical trees. Leaves carry
+//! the target mean, optionally refined by a closed-form single-feature
+//! linear term, clamped to the leaf's observed target range so inference
+//! can never extrapolate outside what the policy actually emitted.
+//!
+//! Inference is a pure compare-walk (`x[feat] <= thresh`) — no matmul, no
+//! standardisation, no allocation — which is what makes the symbolic
+//! serving tier ns-scale. The serialised artifact mirrors the model format:
+//! `SAGETRE1` magic + JSON header + fixed-width node records, written
+//! atomically with the CRC32 footer so truncation/corruption is rejected at
+//! load.
+
+use crate::dataset::Dataset;
+use sage_util::{Fnv64, Json};
+use std::io::{self, Read, Write};
+
+/// Sentinel feature index marking a leaf (or "no linear term").
+const NONE_FEAT: u32 = u32::MAX;
+
+/// Cap on the candidate-quantile subsample per node (keeps fitting
+/// O(n · candidates) per feature instead of O(n log n)).
+const QUANTILE_SAMPLE: usize = 1024;
+
+/// Fitting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples on each side of a split.
+    pub min_leaf: usize,
+    /// Candidate thresholds per feature per node (quantiles).
+    pub candidates: usize,
+    /// Refine leaves with a closed-form single-feature linear fit when it
+    /// reduces the leaf SSE by >1%.
+    pub leaf_linear: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_leaf: 32,
+            candidates: 16,
+            leaf_linear: true,
+        }
+    }
+}
+
+/// One tree node. Internal nodes route `x[feat] <= thresh` to `left`, else
+/// `right`; leaves (`feat == NONE_FEAT`) emit
+/// `clamp(value + lin_slope * x[lin_feat], lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeNode {
+    pub feat: u32,
+    pub thresh: f64,
+    pub left: u32,
+    pub right: u32,
+    pub value: f64,
+    pub lin_feat: u32,
+    pub lin_slope: f64,
+    /// Leaf output clamp: the observed target range of the leaf's samples.
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl TreeNode {
+    fn leaf(value: f64, lo: f64, hi: f64) -> TreeNode {
+        TreeNode {
+            feat: NONE_FEAT,
+            thresh: 0.0,
+            left: 0,
+            right: 0,
+            value,
+            lin_feat: NONE_FEAT,
+            lin_slope: 0.0,
+            lo,
+            hi,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        self.feat == NONE_FEAT
+    }
+}
+
+/// A fitted symbolic policy: the tree plus the input dimension it expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicModel {
+    pub dim: usize,
+    pub cfg: TreeConfig,
+    pub nodes: Vec<TreeNode>,
+}
+
+/// Sums needed to score a split side.
+#[derive(Clone, Copy, Default)]
+struct Moments {
+    n: f64,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl Moments {
+    fn push(&mut self, y: f64) {
+        self.n += 1.0;
+        self.sum += y;
+        self.sumsq += y * y;
+    }
+
+    /// Sum of squared errors around the mean.
+    fn sse(&self) -> f64 {
+        if self.n <= 0.0 {
+            return 0.0;
+        }
+        (self.sumsq - self.sum * self.sum / self.n).max(0.0)
+    }
+}
+
+impl SymbolicModel {
+    /// Fit a tree to `ds`. Deterministic: equal datasets (same rows, same
+    /// order) produce bit-identical trees at any thread count (fitting is
+    /// serial; the parallel fan-out lives in the harvest, upstream).
+    pub fn fit(ds: &Dataset, cfg: &TreeConfig) -> SymbolicModel {
+        let cfg = TreeConfig {
+            max_depth: cfg.max_depth.clamp(1, 64),
+            min_leaf: cfg.min_leaf.max(1),
+            candidates: cfg.candidates.clamp(1, 256),
+            leaf_linear: cfg.leaf_linear,
+        };
+        let mut model = SymbolicModel {
+            dim: ds.dim,
+            cfg,
+            nodes: Vec::new(),
+        };
+        if ds.is_empty() || ds.dim == 0 {
+            model.nodes.push(TreeNode::leaf(0.0, 0.0, 0.0));
+            return model;
+        }
+        let idx: Vec<u32> = (0..ds.len() as u32).collect();
+        model.fit_node(ds, idx, 0);
+        model
+    }
+
+    /// Recursively fit the node for `idx`; returns its index in `nodes`.
+    /// Children are always pushed after their parent, so child indices are
+    /// strictly greater — the load-time validation relies on this to prove
+    /// the walk terminates.
+    fn fit_node(&mut self, ds: &Dataset, idx: Vec<u32>, depth: usize) -> u32 {
+        let mut m = Moments::default();
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in &idx {
+            let y = ds.ys[i as usize];
+            m.push(y);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        let mean = m.sum / m.n;
+        let sse = m.sse();
+        let splittable =
+            depth < self.cfg.max_depth && idx.len() >= 2 * self.cfg.min_leaf && sse > 1e-12;
+        let best = if splittable {
+            self.best_split(ds, &idx, sse)
+        } else {
+            None
+        };
+        let Some((feat, thresh)) = best else {
+            return self.push_leaf(ds, &idx, mean, sse, y_lo, y_hi);
+        };
+        let node_at = self.nodes.len() as u32;
+        self.nodes.push(TreeNode {
+            feat: feat as u32,
+            thresh,
+            left: 0,
+            right: 0,
+            value: mean,
+            lin_feat: NONE_FEAT,
+            lin_slope: 0.0,
+            lo: y_lo,
+            hi: y_hi,
+        });
+        // Stable partition: both sides keep row order, so recursion is a
+        // pure function of the dataset.
+        let (mut li, mut ri) = (Vec::new(), Vec::new());
+        for &i in &idx {
+            if ds.row(i as usize)[feat] <= thresh {
+                li.push(i);
+            } else {
+                ri.push(i);
+            }
+        }
+        drop(idx);
+        let left = self.fit_node(ds, li, depth + 1);
+        let right = self.fit_node(ds, ri, depth + 1);
+        self.nodes[node_at as usize].left = left;
+        self.nodes[node_at as usize].right = right;
+        node_at
+    }
+
+    /// The strictly-best (feature, threshold) by SSE reduction, or `None`
+    /// when no candidate satisfies `min_leaf` on both sides with a positive
+    /// gain.
+    fn best_split(&self, ds: &Dataset, idx: &[u32], parent_sse: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(f64, usize, f64)> = None;
+        for feat in 0..self.dim {
+            for thresh in self.candidate_thresholds(ds, idx, feat) {
+                let mut left = Moments::default();
+                let mut right = Moments::default();
+                for &i in idx {
+                    if ds.row(i as usize)[feat] <= thresh {
+                        left.push(ds.ys[i as usize]);
+                    } else {
+                        right.push(ds.ys[i as usize]);
+                    }
+                }
+                if (left.n as usize) < self.cfg.min_leaf || (right.n as usize) < self.cfg.min_leaf {
+                    continue;
+                }
+                let gain = parent_sse - left.sse() - right.sse();
+                // Strict `>`: the first candidate (lowest feature, lowest
+                // threshold) wins ties, making the argmax total.
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, feat, thresh));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Quantile candidate thresholds for one feature over the node's rows:
+    /// a strided (deterministic) subsample is sorted and `candidates`
+    /// midpoints between distinct neighbours are emitted, each `t`
+    /// satisfying `vals[k-1] <= t < vals[k]`.
+    fn candidate_thresholds(&self, ds: &Dataset, idx: &[u32], feat: usize) -> Vec<f64> {
+        let stride = (idx.len() / QUANTILE_SAMPLE).max(1);
+        let mut vals: Vec<f64> = idx
+            .iter()
+            .step_by(stride)
+            .map(|&i| ds.row(i as usize)[feat])
+            .collect();
+        vals.sort_unstable_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            return Vec::new();
+        }
+        let c = self.cfg.candidates.min(vals.len() - 1);
+        let mut out = Vec::with_capacity(c);
+        for j in 1..=c {
+            let k = (j * vals.len() / (c + 1)).clamp(1, vals.len() - 1);
+            let (a, b) = (vals[k - 1], vals[k]);
+            let mid = 0.5 * (a + b);
+            let t = if mid < b { mid } else { a };
+            if out.last() != Some(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Emit a leaf, optionally refined by the best single-feature linear
+    /// term (closed-form least squares; accepted only when it cuts the SSE
+    /// by more than 1% and the slope is finite).
+    fn push_leaf(
+        &mut self,
+        ds: &Dataset,
+        idx: &[u32],
+        mean: f64,
+        sse: f64,
+        y_lo: f64,
+        y_hi: f64,
+    ) -> u32 {
+        let mut node = TreeNode::leaf(mean, y_lo, y_hi);
+        if self.cfg.leaf_linear && idx.len() >= 2 && sse > 1e-12 {
+            let n = idx.len() as f64;
+            let sy: f64 = idx.iter().map(|&i| ds.ys[i as usize]).sum();
+            let mut best: Option<(f64, usize, f64, f64)> = None; // (sse, feat, slope, icept)
+            for feat in 0..self.dim {
+                let (mut sx, mut sxx, mut sxy) = (0.0, 0.0, 0.0);
+                for &i in idx {
+                    let x = ds.row(i as usize)[feat];
+                    let y = ds.ys[i as usize];
+                    sx += x;
+                    sxx += x * x;
+                    sxy += x * y;
+                }
+                let den = n * sxx - sx * sx;
+                if den <= 1e-12 {
+                    continue;
+                }
+                let slope = (n * sxy - sx * sy) / den;
+                if !slope.is_finite() {
+                    continue;
+                }
+                let icept = (sy - slope * sx) / n;
+                // SSE of the linear fit = SSE_const - slope * centred Sxy.
+                let sxy_c = sxy - sx * sy / n;
+                let lin_sse = (sse - slope * sxy_c).max(0.0);
+                if lin_sse < sse * 0.99 && best.is_none_or(|(s, _, _, _)| lin_sse < s) {
+                    best = Some((lin_sse, feat, slope, icept));
+                }
+            }
+            if let Some((_, feat, slope, icept)) = best {
+                node.lin_feat = feat as u32;
+                node.lin_slope = slope;
+                node.value = icept;
+            }
+        }
+        let at = self.nodes.len() as u32;
+        self.nodes.push(node);
+        at
+    }
+
+    /// Predict the (scaled) mean action for one raw state vector. A pure
+    /// compare-walk; `NaN` features compare false and route right, so even
+    /// garbage input terminates deterministically.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            let n = &self.nodes[at];
+            if n.is_leaf() {
+                let raw = if n.lin_feat == NONE_FEAT {
+                    n.value
+                } else {
+                    n.value + n.lin_slope * x[n.lin_feat as usize]
+                };
+                // A NaN feature would poison the linear term; fall back to
+                // the leaf intercept so the output always lands in range.
+                return if raw.is_finite() { raw } else { n.value }.clamp(n.lo, n.hi);
+            }
+            at = if x[n.feat as usize] <= n.thresh {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    pub fn leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Actual depth of the fitted tree (root = depth 0).
+    pub fn depth(&self) -> usize {
+        // Children always follow parents, so one forward pass suffices.
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.is_leaf() {
+                depth[n.left as usize] = depth[i] + 1;
+                depth[n.right as usize] = depth[i] + 1;
+                max = max.max(depth[i] + 1);
+            }
+        }
+        max
+    }
+
+    /// Bit-faithful fingerprint of the whole tree.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.dim as u64);
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.write_u64(n.feat as u64);
+            h.write_f64(n.thresh);
+            h.write_u64(n.left as u64);
+            h.write_u64(n.right as u64);
+            h.write_f64(n.value);
+            h.write_u64(n.lin_feat as u64);
+            h.write_f64(n.lin_slope);
+            h.write_f64(n.lo);
+            h.write_f64(n.hi);
+        }
+        h.finish()
+    }
+
+    /// Serialise (no checksum footer — [`SymbolicModel::save_file`] adds
+    /// it): `SAGETRE1` magic, u64 header length, JSON header, then one
+    /// fixed-width 56-byte record per node.
+    pub fn to_bytes(&self) -> io::Result<Vec<u8>> {
+        let header = Json::obj(vec![
+            ("dim", Json::Num(self.dim as f64)),
+            ("nodes", Json::Num(self.nodes.len() as f64)),
+            ("max_depth", Json::Num(self.cfg.max_depth as f64)),
+            ("min_leaf", Json::Num(self.cfg.min_leaf as f64)),
+            ("candidates", Json::Num(self.cfg.candidates as f64)),
+            ("leaf_linear", Json::Bool(self.cfg.leaf_linear)),
+        ])
+        .to_string();
+        let mut out = Vec::with_capacity(16 + header.len() + self.nodes.len() * 56);
+        out.write_all(b"SAGETRE1")?;
+        out.write_all(&(header.len() as u64).to_le_bytes())?;
+        out.write_all(header.as_bytes())?;
+        for n in &self.nodes {
+            out.write_all(&n.feat.to_le_bytes())?;
+            out.write_all(&n.lin_feat.to_le_bytes())?;
+            out.write_all(&n.left.to_le_bytes())?;
+            out.write_all(&n.right.to_le_bytes())?;
+            out.write_all(&n.thresh.to_le_bytes())?;
+            out.write_all(&n.value.to_le_bytes())?;
+            out.write_all(&n.lin_slope.to_le_bytes())?;
+            out.write_all(&n.lo.to_le_bytes())?;
+            out.write_all(&n.hi.to_le_bytes())?;
+        }
+        Ok(out)
+    }
+
+    /// Parse from raw payload bytes (footer already stripped), validating
+    /// structure: every child index must point forward (acyclic by
+    /// construction) and every feature index must be inside `dim`.
+    pub fn from_bytes(payload: &[u8]) -> io::Result<SymbolicModel> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut r = payload;
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"SAGETRE1" {
+            return Err(bad("bad tree magic"));
+        }
+        let mut u = [0u8; 8];
+        r.read_exact(&mut u)?;
+        let hlen = u64::from_le_bytes(u) as usize;
+        if hlen > r.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "tree header truncated",
+            ));
+        }
+        let (hb, rest) = r.split_at(hlen);
+        r = rest;
+        let text = std::str::from_utf8(hb).map_err(|_| bad("tree header not utf-8"))?;
+        let header =
+            Json::parse(text).map_err(|e| bad(&format!("tree header unparseable: {e}")))?;
+        let field = |k: &str| header.get(k).and_then(Json::as_usize);
+        let (Some(dim), Some(n_nodes)) = (field("dim"), field("nodes")) else {
+            return Err(bad("tree header missing dim/nodes"));
+        };
+        let cfg = TreeConfig {
+            max_depth: field("max_depth").unwrap_or(0),
+            min_leaf: field("min_leaf").unwrap_or(1),
+            candidates: field("candidates").unwrap_or(1),
+            leaf_linear: header
+                .get("leaf_linear")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        };
+        if n_nodes == 0 || r.len() != n_nodes * 56 {
+            return Err(bad("tree node block has the wrong size"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let u32_at = |r: &mut &[u8]| -> io::Result<u32> {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            Ok(u32::from_le_bytes(b))
+        };
+        for i in 0..n_nodes {
+            let feat = u32_at(&mut r)?;
+            let lin_feat = u32_at(&mut r)?;
+            let left = u32_at(&mut r)?;
+            let right = u32_at(&mut r)?;
+            let mut f = [0u8; 8];
+            let mut f64_at = |r: &mut &[u8]| -> io::Result<f64> {
+                r.read_exact(&mut f)?;
+                Ok(f64::from_le_bytes(f))
+            };
+            let node = TreeNode {
+                feat,
+                lin_feat,
+                left,
+                right,
+                thresh: f64_at(&mut r)?,
+                value: f64_at(&mut r)?,
+                lin_slope: f64_at(&mut r)?,
+                lo: f64_at(&mut r)?,
+                hi: f64_at(&mut r)?,
+            };
+            if node.is_leaf() {
+                if node.lin_feat != NONE_FEAT && node.lin_feat as usize >= dim {
+                    return Err(bad("leaf linear feature out of range"));
+                }
+            } else {
+                if node.feat as usize >= dim {
+                    return Err(bad("split feature out of range"));
+                }
+                let (l, r_) = (node.left as usize, node.right as usize);
+                if l <= i || r_ <= i || l >= n_nodes || r_ >= n_nodes {
+                    return Err(bad("tree child index out of order"));
+                }
+            }
+            nodes.push(node);
+        }
+        Ok(SymbolicModel { dim, cfg, nodes })
+    }
+
+    /// Crash-safe save: temp + fsync + atomic rename with the CRC footer.
+    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
+        sage_util::atomic_write_checksummed(path, &self.to_bytes()?)
+    }
+
+    /// Load and verify. No legacy fallback: trees postdate the checksum
+    /// format, so a missing/invalid footer is always corruption.
+    pub fn load_file(path: &std::path::Path) -> io::Result<SymbolicModel> {
+        SymbolicModel::from_bytes(&sage_util::read_checksummed(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_util::Rng;
+
+    /// y = sign structure on two features, plus noise.
+    fn synthetic(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::new(4);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..4).map(|_| rng.uniform() * 2.0 - 1.0).collect();
+            let y = if x[1] <= 0.2 { 3.0 } else { -2.0 } + 0.5 * x[3] + 0.01 * rng.uniform();
+            ds.push(&x, y);
+        }
+        ds
+    }
+
+    #[test]
+    fn fit_recovers_the_split_structure() {
+        let ds = synthetic(2000, 7);
+        let m = SymbolicModel::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 6,
+                min_leaf: 20,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(!m.nodes.is_empty());
+        assert!(m.depth() <= 6);
+        // The root split should be on feature 1 near 0.2.
+        assert_eq!(m.nodes[0].feat, 1);
+        assert!(
+            (m.nodes[0].thresh - 0.2).abs() < 0.15,
+            "{}",
+            m.nodes[0].thresh
+        );
+        // Predictions separate the two regimes.
+        let hi = m.predict(&[0.0, -0.5, 0.0, 0.0]);
+        let lo = m.predict(&[0.0, 0.8, 0.0, 0.0]);
+        assert!(hi > 2.0 && lo < -1.0, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let ds = synthetic(1500, 3);
+        let a = SymbolicModel::fit(&ds, &TreeConfig::default());
+        let b = SymbolicModel::fit(&ds, &TreeConfig::default());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leaf_linear_beats_constant_on_linear_data() {
+        let mut rng = Rng::new(11);
+        let mut ds = Dataset::new(2);
+        for _ in 0..500 {
+            let x = vec![rng.uniform(), rng.uniform()];
+            ds.push(&x.clone(), 2.0 * x[0] - 1.0);
+        }
+        let lin = SymbolicModel::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 1,
+                min_leaf: 50,
+                leaf_linear: true,
+                ..TreeConfig::default()
+            },
+        );
+        let sse: f64 = (0..ds.len())
+            .map(|i| (lin.predict(ds.row(i)) - ds.ys[i]).powi(2))
+            .sum();
+        assert!(
+            sse < 1e-6,
+            "linear leaves should nail a linear target: {sse}"
+        );
+    }
+
+    #[test]
+    fn predictions_stay_within_observed_target_range() {
+        let ds = synthetic(800, 19);
+        let (lo, hi) = ds
+            .ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| {
+                (l.min(y), h.max(y))
+            });
+        let m = SymbolicModel::fit(&ds, &TreeConfig::default());
+        let mut rng = Rng::new(5);
+        for _ in 0..200 {
+            // Far outside the training support.
+            let x: Vec<f64> = (0..4).map(|_| rng.uniform() * 200.0 - 100.0).collect();
+            let p = m.predict(&x);
+            assert!(p >= lo && p <= hi, "{p} outside [{lo}, {hi}]");
+        }
+        // NaN input routes deterministically and still lands in range.
+        let p = m.predict(&[f64::NAN; 4]);
+        assert!(p >= lo && p <= hi);
+    }
+
+    #[test]
+    fn serialisation_round_trips_bit_exactly() {
+        let ds = synthetic(1200, 23);
+        let m = SymbolicModel::fit(&ds, &TreeConfig::default());
+        let bytes = m.to_bytes().unwrap();
+        let m2 = SymbolicModel::from_bytes(&bytes).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(m.digest(), m2.digest());
+        assert_eq!(m2.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption_rejection() {
+        let ds = synthetic(600, 29);
+        let m = SymbolicModel::fit(&ds, &TreeConfig::default());
+        let path = std::env::temp_dir().join("sage_tree_rt.tree");
+        m.save_file(&path).unwrap();
+        let m2 = SymbolicModel::load_file(&path).unwrap();
+        assert_eq!(m.digest(), m2.digest());
+
+        // Every truncation of the on-disk file must be rejected.
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                SymbolicModel::load_file(&path).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // A single flipped bit must be rejected (CRC).
+        let mut bad = full.clone();
+        bad[full.len() / 3] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(SymbolicModel::load_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_structure() {
+        let ds = synthetic(400, 31);
+        let m = SymbolicModel::fit(&ds, &TreeConfig::default());
+        let mut bytes = m.to_bytes().unwrap();
+        // Corrupt the first node's left-child index to point at itself
+        // (offset: 8 magic + 8 len + header + 8 into the record).
+        let header_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let rec0 = 16 + header_len;
+        bytes[rec0 + 8..rec0 + 12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(SymbolicModel::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_fits_a_null_leaf() {
+        let m = SymbolicModel::fit(&Dataset::new(3), &TreeConfig::default());
+        assert_eq!(m.nodes.len(), 1);
+        assert_eq!(m.predict(&[9.0, 9.0, 9.0]), 0.0);
+    }
+}

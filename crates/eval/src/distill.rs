@@ -1,0 +1,327 @@
+//! Harvesting and fidelity measurement for symbolic distillation.
+//!
+//! `sage-distill` owns the tree (it sits *below* `core` in the dependency
+//! graph so `sage-heuristics` can register `"sage-sym"`); this module owns
+//! the glue that needs the neural model: replaying matrix scenarios through
+//! the deployment loop to harvest `(raw state, mixture mean)` rows, and the
+//! fidelity metrics (action agreement, league rank delta) that gate the
+//! distilled artifact.
+//!
+//! Determinism contract: the scenario fan-out uses `par_map_range` (ordered
+//! reduction) with per-scenario seeds from `Rng::stream_seed`, and each
+//! harvesting flow mirrors `SagePolicy` in `Deterministic` mode through the
+//! graph-free `step_infer` path (pinned bit-identical to the graph path by
+//! the serve equivalence gates) — so the harvested dataset digest is
+//! byte-identical at any `SAGE_THREADS`.
+
+use sage_collector::{rollout_with, EnvSpec};
+use sage_core::model::{SageModel, ACTION_SCALE, LOG_ACTION_MAX, LOG_ACTION_MIN};
+use sage_core::policy::MAX_CWND;
+use sage_distill::{Dataset, SymbolicModel};
+use sage_gr::{GrConfig, GrUnit, RewardParams, STATE_DIM};
+use sage_netsim::time::Nanos;
+use sage_nn::Array;
+use sage_transport::sim::TickRecord;
+use sage_transport::{AckEvent, CongestionControl, SocketView, INIT_CWND, MIN_CWND};
+use sage_util::{par_map_range, Rng};
+use std::sync::{Arc, Mutex};
+
+use crate::matrix::ScenarioSpec;
+
+/// Row sink shared between a scenario's harvesting flow and the caller.
+type Sink = Arc<Mutex<Vec<(Vec<f64>, f64)>>>;
+
+/// `SagePolicy` in `Deterministic` mode, re-implemented over the graph-free
+/// `step_infer` path, that records `(raw 69-dim state, mixture mean)` into a
+/// sink every tick. Behaviour (cwnd trajectory) is bit-identical to the
+/// deployed policy, so the harvested states are exactly the distribution the
+/// symbolic tier will see.
+struct HarvestCc {
+    model: Arc<SageModel>,
+    gr: GrUnit,
+    hidden: Vec<f64>,
+    cwnd: f64,
+    prev_lost_bytes: u64,
+    sink: Option<Sink>,
+}
+
+impl HarvestCc {
+    fn new(model: Arc<SageModel>, gr_cfg: GrConfig, sink: Option<Sink>) -> Self {
+        let hidden_dim = if model.cfg.gru > 0 {
+            model.cfg.gru
+        } else {
+            model.cfg.enc1
+        };
+        HarvestCc {
+            model,
+            gr: GrUnit::new(gr_cfg, RewardParams::default()),
+            hidden: vec![0.0; hidden_dim],
+            cwnd: INIT_CWND,
+            prev_lost_bytes: 0,
+            sink,
+        }
+    }
+}
+
+impl CongestionControl for HarvestCc {
+    fn name(&self) -> &'static str {
+        "sage"
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent, _sock: &SocketView) {}
+
+    fn on_congestion_event(&mut self, _now: Nanos, _sock: &SocketView) {}
+
+    fn on_rto(&mut self, _now: Nanos, _sock: &SocketView) {
+        self.cwnd = (self.cwnd * 0.5).max(MIN_CWND);
+    }
+
+    fn on_tick(&mut self, now: Nanos, sock: &SocketView) {
+        let lost_delta = sock.lost_bytes_total.saturating_sub(self.prev_lost_bytes);
+        self.prev_lost_bytes = sock.lost_bytes_total;
+        let tick = TickRecord {
+            now,
+            goodput_bps: sock.delivery_rate_bps,
+            mean_owd: 0.0,
+            lost_bytes_delta: lost_delta,
+            cwnd_pkts: self.cwnd,
+        };
+        let step = self.gr.on_tick(sock, &tick);
+        let x = self.model.prepare_input(&step.state);
+        let xin = Array::row(x);
+        let hin = Array::row(self.hidden.clone());
+        let (mix, hout) = self.model.policy.step_infer(&self.model.store, &xin, &hin);
+        self.hidden = hout.data.clone();
+        let mean = mix.row_mean(0);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((step.state.clone(), mean));
+        }
+        let log_ratio = (mean * ACTION_SCALE).clamp(LOG_ACTION_MIN, LOG_ACTION_MAX);
+        self.cwnd = (self.cwnd * log_ratio.exp()).clamp(MIN_CWND, MAX_CWND);
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+/// Replay one scenario with the deterministic policy, returning the rows
+/// recorded by the flow under test (companion self-flows run the same
+/// policy but are not recorded).
+fn harvest_scenario(model: &Arc<SageModel>, gr_cfg: GrConfig, env: &EnvSpec, seed: u64) -> Dataset {
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    let mut first = true;
+    rollout_with(
+        env,
+        "sage",
+        |_flow_seed| {
+            let s = if first { Some(sink.clone()) } else { None };
+            first = false;
+            Box::new(HarvestCc::new(model.clone(), gr_cfg, s))
+        },
+        gr_cfg,
+        seed,
+    );
+    let rows = std::mem::take(&mut *sink.lock().unwrap_or_else(|e| e.into_inner()));
+    Dataset::from_rows(STATE_DIM, rows)
+}
+
+/// Harvest a dataset from `scenarios`, fanning the replays out over
+/// `threads` workers (0 = `SAGE_THREADS`) with an ordered reduction, so the
+/// result is byte-identical at any thread count. Scenario `i` runs under
+/// `Rng::stream_seed(master_seed, i)` — two harvests with different master
+/// seeds (train vs held-out) share no seed streams.
+pub fn harvest(
+    model: &Arc<SageModel>,
+    gr_cfg: GrConfig,
+    scenarios: &[ScenarioSpec],
+    master_seed: u64,
+    threads: usize,
+) -> Dataset {
+    let parts = par_map_range(threads, scenarios.len(), |i| {
+        let seed = Rng::stream_seed(master_seed, i as u64);
+        harvest_scenario(model, gr_cfg, &scenarios[i].env, seed)
+    });
+    let mut out = Dataset::new(STATE_DIM);
+    for p in &parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Action-agreement between a fitted tree and the harvested targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    pub rows: usize,
+    /// Fraction of rows where the clamped log-ratio actions differ by at
+    /// most the tolerance.
+    pub agree_rate: f64,
+    /// Mean |Δ log-ratio| over all rows.
+    pub mean_abs_lr: f64,
+    /// Max |Δ log-ratio| over all rows.
+    pub max_abs_lr: f64,
+}
+
+/// Default agreement tolerance in log-ratio units: 0.03 ≈ a 3% cwnd step,
+/// i.e. well inside one AIMD additive increase at typical windows.
+pub const AGREE_TOL_LR: f64 = 0.03;
+
+/// Score `tree` against dataset targets in *deployed action* units: both
+/// the tree output and the target pass through the same
+/// `clamp(x * ACTION_SCALE)` the policies apply, so saturated actions that
+/// land on the same clamp rail agree exactly.
+pub fn agreement(tree: &SymbolicModel, ds: &Dataset, tol_lr: f64) -> Agreement {
+    if ds.is_empty() {
+        return Agreement {
+            rows: 0,
+            agree_rate: 0.0,
+            mean_abs_lr: 0.0,
+            max_abs_lr: 0.0,
+        };
+    }
+    let clamp = |raw: f64| (raw * ACTION_SCALE).clamp(LOG_ACTION_MIN, LOG_ACTION_MAX);
+    let (mut agree, mut sum, mut max) = (0usize, 0.0f64, 0.0f64);
+    for i in 0..ds.len() {
+        let d = (clamp(tree.predict(ds.row(i))) - clamp(ds.ys[i])).abs();
+        if d <= tol_lr {
+            agree += 1;
+        }
+        sum += d;
+        max = max.max(d);
+    }
+    Agreement {
+        rows: ds.len(),
+        agree_rate: agree as f64 / ds.len() as f64,
+        mean_abs_lr: sum / ds.len() as f64,
+        max_abs_lr: max,
+    }
+}
+
+/// Per-scenario rank difference between two contenders in a set of matrix
+/// rankings. The rank of `a` in a scenario is the number of *other* schemes
+/// (excluding `b`) placed ahead of it, so substituting one twin for the
+/// other cannot shift the rank by crowding alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDelta {
+    /// `(scenario id, rank(b) - rank(a))` for every scenario where both
+    /// contenders appear.
+    pub per_scenario: Vec<(String, i64)>,
+    pub mean_abs: f64,
+    pub max_abs: i64,
+}
+
+/// Rank delta of `b` (e.g. `"sage-sym"`) relative to `a` (e.g. `"sage"`)
+/// over per-scenario rankings (see [`crate::matrix::rankings`]).
+pub fn rank_delta(ranks: &[crate::matrix::ScenarioRank], a: &str, b: &str) -> RankDelta {
+    let mut per_scenario = Vec::new();
+    for r in ranks {
+        let pos = |name: &str, skip: &str| -> Option<i64> {
+            let at = r.order.iter().position(|n| n == name)?;
+            Some(r.order[..at].iter().filter(|n| n.as_str() != skip).count() as i64)
+        };
+        let (Some(ra), Some(rb)) = (pos(a, b), pos(b, a)) else {
+            continue;
+        };
+        per_scenario.push((r.scenario.clone(), rb - ra));
+    }
+    let n = per_scenario.len().max(1) as f64;
+    let mean_abs = per_scenario
+        .iter()
+        .map(|(_, d)| d.unsigned_abs() as f64)
+        .sum::<f64>()
+        / n;
+    let max_abs = per_scenario
+        .iter()
+        .map(|(_, d)| d.unsigned_abs() as i64)
+        .max()
+        .unwrap_or(0);
+    RankDelta {
+        per_scenario,
+        mean_abs,
+        max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{scenarios_set12, Family, ScenarioRank};
+    use sage_core::model::NetConfig;
+    use sage_distill::TreeConfig;
+
+    fn tiny_model() -> Arc<SageModel> {
+        let cfg = NetConfig {
+            enc1: 8,
+            gru: 8,
+            enc2: 8,
+            fc: 8,
+            residual_blocks: 1,
+            critic_hidden: 8,
+            ..NetConfig::default()
+        };
+        Arc::new(SageModel::new(
+            cfg,
+            vec![0.0; STATE_DIM],
+            vec![1.0; STATE_DIM],
+            3,
+        ))
+    }
+
+    #[test]
+    fn harvest_is_thread_invariant_and_seed_sensitive() {
+        let model = tiny_model();
+        let scenarios = scenarios_set12(2, 0, 2.0, 77);
+        let a = harvest(&model, GrConfig::default(), &scenarios, 11, 1);
+        let b = harvest(&model, GrConfig::default(), &scenarios, 11, 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.digest(), b.digest(), "harvest must not depend on threads");
+        let c = harvest(&model, GrConfig::default(), &scenarios, 12, 1);
+        assert_ne!(a.digest(), c.digest(), "master seed must matter");
+    }
+
+    #[test]
+    fn distilled_tree_agrees_with_its_own_training_targets() {
+        let model = tiny_model();
+        let scenarios = scenarios_set12(2, 0, 2.0, 78);
+        let ds = harvest(&model, GrConfig::default(), &scenarios, 21, 0);
+        let tree = SymbolicModel::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 8,
+                min_leaf: 8,
+                ..TreeConfig::default()
+            },
+        );
+        let fit = agreement(&tree, &ds, AGREE_TOL_LR);
+        assert_eq!(fit.rows, ds.len());
+        // An untrained GMM is nearly constant-mean, so the tree should fit
+        // it tightly; the bound here is deliberately loose.
+        assert!(fit.agree_rate > 0.5, "agree {}", fit.agree_rate);
+    }
+
+    #[test]
+    fn rank_delta_ignores_the_twin_when_counting() {
+        let rank = |order: &[&str]| ScenarioRank {
+            scenario: "s".into(),
+            family: Family::SetI,
+            order: order.iter().map(|s| s.to_string()).collect(),
+            scores: vec![0.0; order.len()],
+        };
+        // Adjacent twins: identical rank once the twin is excluded.
+        let rd = rank_delta(
+            &[rank(&["cubic", "sage", "sage-sym", "bbr2"])],
+            "sage",
+            "sage-sym",
+        );
+        assert_eq!(rd.per_scenario, vec![("s".to_string(), 0)]);
+        // One real scheme between them: delta 1.
+        let rd = rank_delta(&[rank(&["sage", "cubic", "sage-sym"])], "sage", "sage-sym");
+        assert_eq!(rd.per_scenario, vec![("s".to_string(), 1)]);
+        assert_eq!(rd.max_abs, 1);
+        // Missing contender: scenario skipped.
+        let rd = rank_delta(&[rank(&["cubic", "bbr2"])], "sage", "sage-sym");
+        assert!(rd.per_scenario.is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 //! §7.1/§7.2, and a small exact t-SNE for Fig. 16.
 
 pub mod adversary;
+pub mod distill;
 pub mod league;
 pub mod matrix;
 pub mod runner;
@@ -11,6 +12,8 @@ pub mod set3;
 pub mod set4;
 pub mod similarity;
 pub mod tsne;
+
+pub use distill::{agreement, harvest, rank_delta, Agreement, RankDelta, AGREE_TOL_LR};
 
 pub use adversary::{
     decode, evaluate_candidate, genome_digest, report_json, search, AdvConfig, AdvOutcome,

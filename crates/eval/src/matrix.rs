@@ -276,6 +276,12 @@ pub struct MatrixScale {
     pub fairness_flows: usize,
     pub fairness_secs: f64,
     pub fairness_stagger_secs: f64,
+    /// High-contention fairness cell: many (default 64) self-flows pile
+    /// onto the same bottleneck with a near-simultaneous start, tracking
+    /// Jain fairness under extreme contention per PR. 0/1 disables.
+    pub fairness64_flows: usize,
+    pub fairness64_secs: f64,
+    pub fairness64_stagger_secs: f64,
     /// Seed for the Set I/II/Internet subsampling.
     pub seed: u64,
 }
@@ -291,6 +297,9 @@ impl Default for MatrixScale {
             fairness_flows: 4,
             fairness_secs: 24.0,
             fairness_stagger_secs: 5.0,
+            fairness64_flows: 64,
+            fairness64_secs: 12.0,
+            fairness64_stagger_secs: 0.05,
             seed: 2023,
         }
     }
@@ -310,6 +319,13 @@ pub fn standard_scenarios(scale: &MatrixScale) -> Vec<ScenarioSpec> {
             scale.fairness_flows,
             scale.fairness_secs,
             scale.fairness_stagger_secs,
+        ));
+    }
+    if scale.fairness64_flows > 1 {
+        out.push(scenario_fairness(
+            scale.fairness64_flows,
+            scale.fairness64_secs,
+            scale.fairness64_stagger_secs,
         ));
     }
     out

@@ -33,5 +33,5 @@ pub mod wheel;
 
 pub use runtime::{ServeAction, ServeConfig, ServeMode, ServeRuntime, ServeStats};
 pub use scenario::{run_many_flow, ManyFlowReport};
-pub use table::{FlowEntry, FlowKey, FlowTable};
+pub use table::{FlowEntry, FlowKey, FlowTable, Tier};
 pub use wheel::TimerWheel;

@@ -12,16 +12,26 @@
 //! legacy per-flow path). Tests and `serve_bench` pin that both produce
 //! identical digests; the bench reports how much faster the batched path is.
 //!
+//! When [`ServeConfig::symbolic`] carries a distilled tree, flows are
+//! admitted on the **symbolic fast tier**: actions come from a tree walk
+//! over the raw GR state (never deferred, never consuming the NN batch
+//! budget), and every `audit_every`-th action additionally runs an NN row
+//! to refresh the flow's GRU hidden state and compare the two actions — a
+//! disagreement beyond `escalate_log_ratio` escalates the flow to the NN
+//! tier permanently. With `symbolic: None` the runtime (and its digests) is
+//! bit-identical to the pre-tier implementation.
+//!
 //! Determinism: all control flow is keyed on tick counts, never wall-clock.
 //! The batch is split into fixed 32-row chunks mapped by
 //! [`sage_util::par_map_range`] (ordered reduction), so the flow-table
 //! digest is byte-identical at any `SAGE_THREADS`. Wall-clock only feeds
 //! [`ServeStats`], which no digest reads.
 
-use crate::table::{FlowEntry, FlowKey, FlowTable};
+use crate::table::{FlowEntry, FlowKey, FlowTable, Tier};
 use crate::wheel::TimerWheel;
 use sage_core::model::{SageModel, ACTION_SCALE, LOG_ACTION_MAX, LOG_ACTION_MIN};
 use sage_core::{ActionMode, MAX_CWND};
+use sage_distill::SymbolicModel;
 use sage_gr::{GrConfig, GrUnit, RewardParams};
 use sage_nn::gmm::GmmParams;
 use sage_nn::{Array, Graph};
@@ -68,6 +78,17 @@ pub struct ServeConfig {
     /// that must act on ticks alone, e.g. `tick-aimd`).
     pub fallback: &'static str,
     pub seed: u64,
+    /// Distilled tree backing the symbolic fast tier. When set, flows are
+    /// admitted at [`Tier::Symbolic`] and decided by a tree walk; `None`
+    /// reproduces the pure-NN runtime (and its digests) exactly.
+    pub symbolic: Option<Arc<SymbolicModel>>,
+    /// Audit cadence for symbolic flows: every `audit_every`-th symbolic
+    /// action also runs an NN row (batch budget permitting) and compares
+    /// the two log-ratio actions. 0 disables auditing (never escalate).
+    pub audit_every: u64,
+    /// Escalation trigger: a symbolic-vs-NN action disagreement above this
+    /// many log-ratio units flips the flow to the NN tier for good.
+    pub escalate_log_ratio: f64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +103,9 @@ impl Default for ServeConfig {
             action: ActionMode::Sample,
             fallback: "tick-aimd",
             seed: 1,
+            symbolic: None,
+            audit_every: 16,
+            escalate_log_ratio: 0.15,
         }
     }
 }
@@ -98,8 +122,16 @@ pub struct ServeStats {
     pub admitted: u64,
     pub rejected: u64,
     pub evicted: u64,
+    /// Actions decided by the symbolic tree tier.
+    pub symbolic_actions: u64,
+    /// NN audit rows run for symbolic flows (no action emitted).
+    pub audits: u64,
+    /// Symbolic flows escalated to the NN tier on audit disagreement.
+    pub escalations: u64,
     /// Wall-clock nanoseconds inside policy inference (both modes).
     pub infer_nanos: u64,
+    /// Wall-clock nanoseconds inside symbolic tree walks.
+    pub sym_infer_nanos: u64,
     /// Wall-clock latency of each per-tick inference call, nanoseconds.
     pub batch_latency_ns: Vec<u64>,
 }
@@ -111,6 +143,14 @@ impl ServeStats {
             return 0.0;
         }
         self.nn_actions as f64 / (self.infer_nanos as f64 / 1e9)
+    }
+
+    /// Symbolic-tier actions per second of tree-walk wall-clock.
+    pub fn symbolic_actions_per_sec(&self) -> f64 {
+        if self.sym_infer_nanos == 0 {
+            return 0.0;
+        }
+        self.symbolic_actions as f64 / (self.sym_infer_nanos as f64 / 1e9)
     }
 
     /// Latency percentile (0..=100) over per-tick inference calls, ns.
@@ -133,6 +173,8 @@ pub struct ServeAction {
     pub cwnd: f64,
     /// True when the heuristic fallback (not the policy) decided.
     pub fallback: bool,
+    /// True when the symbolic tree tier (not the NN) decided.
+    pub symbolic: bool,
 }
 
 pub struct ServeRuntime {
@@ -201,6 +243,14 @@ impl ServeRuntime {
             .unwrap_or_else(|| panic!("unknown fallback scheme {:?}", self.cfg.fallback));
         let entry = FlowEntry {
             key,
+            gen: 0, // stamped by FlowTable::insert
+            // Flows start on the fast tier whenever a tree is configured;
+            // audits escalate individual flows to the NN on disagreement.
+            tier: if self.cfg.symbolic.is_some() {
+                Tier::Symbolic
+            } else {
+                Tier::Nn
+            },
             gr: GrUnit::new(self.gr_cfg, RewardParams::default()),
             hidden: vec![0.0; self.hidden_dim],
             cwnd: INIT_CWND,
@@ -213,17 +263,32 @@ impl ServeRuntime {
             missed_obs: 0,
             nn_actions: 0,
             fallback_actions: 0,
+            sym_actions: 0,
+            audits: 0,
         };
         // lint:allow(P1): insert only fails on a duplicate key or full table, both rejected by the guard at the top of admit
         let slot = self.table.insert(entry).expect("key checked above");
-        self.wheel.schedule(now_tick, slot, key);
+        // lint:allow(P1): the entry was inserted on the line above
+        let gen = self.table.get(slot).expect("just inserted").gen;
+        self.wheel.schedule(now_tick, slot, key, gen);
         self.stats.admitted += 1;
         true
     }
 
+    /// Current tier occupancy as `(symbolic, nn)` flow counts.
+    pub fn tier_occupancy(&self) -> (usize, usize) {
+        let sym = self
+            .table
+            .iter_slots()
+            .filter(|(_, e)| e.tier == Tier::Symbolic)
+            .count();
+        (sym, self.table.len() - sym)
+    }
+
     /// Remove a flow. Its pending timer (if any) is disarmed lazily: the
-    /// wheel entry carries `(slot, key)` and expired entries are checked
-    /// against the table before use.
+    /// wheel entry carries `(slot, key, gen)` and expired entries are
+    /// checked against the live table — including the admission generation,
+    /// so a reused `(slot, key)` pair cannot resurrect an old timer.
     pub fn evict(&mut self, key: FlowKey) -> bool {
         if self.table.remove(key).is_some() {
             self.stats.evicted += 1;
@@ -254,13 +319,23 @@ impl ServeRuntime {
         let _prof = sage_obs::scope("serve_tick");
         self.stats.ticks += 1;
         let mut expired = self.wheel.expire(now_tick);
-        // Drop stale timers of evicted (possibly slot-reused) flows.
-        expired.retain(|&(slot, key)| self.table.get(slot).is_some_and(|e| e.key == key));
+        // Drop stale timers of evicted flows. The generation check matters
+        // when a `(slot, key)` pair is reused after an evict + re-admit:
+        // the old occupant's timer must not double-fire for the new one.
+        expired.retain(|&(slot, key, gen)| {
+            self.table
+                .get(slot)
+                .is_some_and(|e| e.key == key && e.gen == gen)
+        });
 
         let mut actions = Vec::new();
-        let mut batch_slots: Vec<usize> = Vec::new();
+        // Staged NN rows: `(slot, audit)` — audit rows belong to symbolic
+        // flows and carry the symbolic log-ratio to compare against.
+        let mut batch_slots: Vec<(usize, Option<f64>)> = Vec::new();
         let mut x = Vec::new();
-        for (slot, key) in expired {
+        // Wall-clock spent in symbolic tree walks this tick (reporting only).
+        let mut sym_nanos_tick = 0u64;
+        for (slot, key, _gen) in expired {
             let Some(view) = observe(key) else {
                 // lint:allow(P1): the retain() above kept only slots still live in the flow table
                 let e = self.table.get_mut(slot).expect("retained above");
@@ -272,11 +347,15 @@ impl ServeRuntime {
                 } else {
                     let due = now_tick + e.interval_ticks;
                     e.next_due = due;
-                    self.wheel.schedule(due, slot, key);
+                    let gen = e.gen;
+                    self.wheel.schedule(due, slot, key, gen);
                 }
                 continue;
             };
             let staleness_ticks = self.cfg.staleness_ticks;
+            let audit_every = self.cfg.audit_every;
+            let max_batch = self.cfg.max_batch;
+            let symbolic = self.cfg.symbolic.clone();
             // lint:allow(P1): the retain() above kept only slots still live in the flow table
             let e = self.table.get_mut(slot).expect("retained above");
             e.missed_obs = 0;
@@ -297,10 +376,63 @@ impl ServeRuntime {
                     key,
                     cwnd: e.cwnd,
                     fallback: true,
+                    symbolic: false,
                 });
                 let due = now_tick + e.interval_ticks;
                 e.next_due = due;
-                self.wheel.schedule(due, slot, key);
+                let gen = e.gen;
+                self.wheel.schedule(due, slot, key, gen);
+                continue;
+            }
+            if let (Tier::Symbolic, Some(tree)) = (e.tier, symbolic.as_ref()) {
+                // Fast tier: GR tick + tree walk, never deferred and never
+                // consuming the NN batch budget. Same action arithmetic as
+                // the NN path (the tree emits the mixture mean).
+                let lost_delta = view.lost_bytes_total.saturating_sub(e.prev_lost_bytes);
+                e.prev_lost_bytes = view.lost_bytes_total;
+                let tick = TickRecord {
+                    now: view.now,
+                    goodput_bps: view.delivery_rate_bps,
+                    mean_owd: 0.0,
+                    lost_bytes_delta: lost_delta,
+                    cwnd_pkts: e.cwnd,
+                };
+                let step = e.gr.on_tick(&view, &tick);
+                // lint:allow(D2): latency measurement only — feeds sym_infer_nanos/obs, never control flow or digests
+                let t0 = Instant::now();
+                let raw = tree.predict(&step.state);
+                sym_nanos_tick += t0.elapsed().as_nanos() as u64;
+                let log_ratio = (raw * ACTION_SCALE).clamp(LOG_ACTION_MIN, LOG_ACTION_MAX);
+                e.cwnd = (e.cwnd * log_ratio.exp()).clamp(MIN_CWND, MAX_CWND);
+                e.sym_actions += 1;
+                self.stats.symbolic_actions += 1;
+                sage_obs::obs_counter!("serve.symbolic_actions").inc();
+                self.actions_digest.write_u64(key);
+                self.actions_digest.write_f64(e.cwnd);
+                self.actions_digest.write_u64(2);
+                actions.push(ServeAction {
+                    key,
+                    cwnd: e.cwnd,
+                    fallback: false,
+                    symbolic: true,
+                });
+                let due = now_tick + e.interval_ticks;
+                e.next_due = due;
+                let gen = e.gen;
+                self.wheel.schedule(due, slot, key, gen);
+                // Periodic audit: run the same observation through the NN
+                // (budget permitting) to refresh the GRU hidden state and
+                // check the tiers still agree. No action is emitted for the
+                // audit row, so skipping it (budget) only delays escalation.
+                if audit_every > 0
+                    && e.sym_actions.is_multiple_of(audit_every)
+                    && batch_slots.len() < max_batch
+                {
+                    let row = self.model.prepare_input(&step.state);
+                    debug_assert_eq!(row.len(), self.input_dim);
+                    x.extend_from_slice(&row);
+                    batch_slots.push((slot, Some(log_ratio)));
+                }
                 continue;
             }
             if batch_slots.len() >= self.cfg.max_batch {
@@ -309,7 +441,8 @@ impl ServeRuntime {
                 // slipping crosses the staleness deadline and degrades.
                 self.stats.deferred += 1;
                 sage_obs::obs_counter!("serve.deferrals").inc();
-                self.wheel.schedule(now_tick + 1, slot, key);
+                let gen = e.gen;
+                self.wheel.schedule(now_tick + 1, slot, key, gen);
                 continue;
             }
             // Fresh: run the GR unit and stage the policy input row.
@@ -326,8 +459,16 @@ impl ServeRuntime {
             let row = self.model.prepare_input(&step.state);
             debug_assert_eq!(row.len(), self.input_dim);
             x.extend_from_slice(&row);
-            batch_slots.push(slot);
+            batch_slots.push((slot, None));
         }
+
+        if sym_nanos_tick > 0 {
+            self.stats.sym_infer_nanos += sym_nanos_tick;
+            sage_obs::obs_hist!("serve.sym_tick_latency_ns").observe(sym_nanos_tick);
+        }
+        let (occ_sym, occ_nn) = self.tier_occupancy();
+        sage_obs::obs_gauge!("serve.tier_symbolic").set(occ_sym as f64);
+        sage_obs::obs_gauge!("serve.tier_nn").set(occ_nn as f64);
 
         if batch_slots.is_empty() {
             return actions;
@@ -339,7 +480,7 @@ impl ServeRuntime {
             data: x,
         };
         let mut hdata = Vec::with_capacity(b * self.hidden_dim);
-        for &slot in &batch_slots {
+        for &(slot, _) in &batch_slots {
             // lint:allow(P1): batch_slots was built this tick from live table entries; no removal happens between staging and here
             hdata.extend_from_slice(&self.table.get(slot).expect("staged").hidden);
         }
@@ -362,11 +503,28 @@ impl ServeRuntime {
         sage_obs::obs_hist!("serve.batch_rows").observe(b as u64);
         sage_obs::obs_hist!("serve.tick_latency_us").observe(dt / 1_000);
 
-        for (r, &slot) in batch_slots.iter().enumerate() {
+        for (r, &(slot, audit)) in batch_slots.iter().enumerate() {
             // lint:allow(P1): batch_slots was built this tick from live table entries; no removal happens between staging and here
             let e = self.table.get_mut(slot).expect("staged");
             e.hidden
                 .copy_from_slice(&new_h.data[r * self.hidden_dim..(r + 1) * self.hidden_dim]);
+            if let Some(sym_lr) = audit {
+                // Audit row for a symbolic flow: the hidden refresh above is
+                // the point; compare the NN's deterministic (mean) action
+                // against the tree's and escalate on disagreement. The
+                // flow's sampling RNG is never consumed, and no action or
+                // digest entry is emitted — the symbolic path already acted.
+                let nn_lr = (mixes[r].mean() * ACTION_SCALE).clamp(LOG_ACTION_MIN, LOG_ACTION_MAX);
+                e.audits += 1;
+                self.stats.audits += 1;
+                sage_obs::obs_counter!("serve.audits").inc();
+                if (nn_lr - sym_lr).abs() > self.cfg.escalate_log_ratio {
+                    e.tier = Tier::Nn;
+                    self.stats.escalations += 1;
+                    sage_obs::obs_counter!("serve.escalations").inc();
+                }
+                continue;
+            }
             let raw = match self.cfg.action {
                 ActionMode::Sample => mixes[r].sample(&mut e.rng),
                 ActionMode::Deterministic => mixes[r].mean(),
@@ -383,10 +541,12 @@ impl ServeRuntime {
                 key: e.key,
                 cwnd: e.cwnd,
                 fallback: false,
+                symbolic: false,
             });
             let due = now_tick + e.interval_ticks;
             e.next_due = due;
-            self.wheel.schedule(due, slot, e.key);
+            let (key, gen) = (e.key, e.gen);
+            self.wheel.schedule(due, slot, key, gen);
         }
         actions
     }

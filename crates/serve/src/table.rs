@@ -15,9 +15,24 @@ use std::collections::BTreeMap;
 /// Application-assigned flow identity (e.g. a connection id).
 pub type FlowKey = u64;
 
+/// Which inference path decides a flow's actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Distilled regression tree: ns-scale compare-walk per action.
+    Symbolic,
+    /// Batched neural policy (the PR 3 serving path).
+    Nn,
+}
+
 /// Persistent serving state for one admitted flow.
 pub struct FlowEntry {
     pub key: FlowKey,
+    /// Admission generation, stamped by [`FlowTable::insert`]. Timer-wheel
+    /// entries carry it so a timer armed by an earlier occupant of a reused
+    /// `(slot, key)` pair can be recognised as stale and dropped.
+    pub gen: u64,
+    /// Serving tier; escalation flips `Symbolic -> Nn` (never back).
+    pub tier: Tier,
     /// General Representation unit: the three-timescale observation windows.
     pub gr: GrUnit,
     /// GRU hidden state carried across ticks (plain vector, graph-free).
@@ -37,6 +52,10 @@ pub struct FlowEntry {
     pub missed_obs: u32,
     pub nn_actions: u64,
     pub fallback_actions: u64,
+    /// Actions decided by the symbolic tree tier.
+    pub sym_actions: u64,
+    /// NN audit rows run for this flow (tier-agreement checks).
+    pub audits: u64,
 }
 
 /// Slab of flow entries + ordered key index + LIFO free list.
@@ -45,6 +64,8 @@ pub struct FlowTable {
     slots: Vec<Option<FlowEntry>>,
     by_key: BTreeMap<FlowKey, usize>,
     free: Vec<usize>,
+    /// Monotonic admission counter; stamped into `FlowEntry::gen`.
+    next_gen: u64,
 }
 
 impl FlowTable {
@@ -79,10 +100,12 @@ impl FlowTable {
     /// Insert a new entry, reusing the most recently freed slot (LIFO keeps
     /// the slab dense and cache-warm). Returns the slot, or `None` if the
     /// key is already present.
-    pub fn insert(&mut self, entry: FlowEntry) -> Option<usize> {
+    pub fn insert(&mut self, mut entry: FlowEntry) -> Option<usize> {
         if self.by_key.contains_key(&entry.key) {
             return None;
         }
+        entry.gen = self.next_gen;
+        self.next_gen += 1;
         let key = entry.key;
         let slot = match self.free.pop() {
             Some(i) => {
@@ -137,6 +160,18 @@ impl FlowTable {
             h.write_u64(e.nn_actions);
             h.write_u64(e.fallback_actions);
             h.write_f64(e.fallback.cwnd_pkts());
+            // Append-only tier extension: folded only when the symbolic
+            // tier ever touched this flow, so pure-NN configurations keep
+            // their pre-tier digests (and goldens) byte for byte. `gen` is
+            // schedule metadata and deliberately not folded.
+            if e.tier == Tier::Symbolic || e.sym_actions > 0 || e.audits > 0 {
+                h.write_u64(match e.tier {
+                    Tier::Symbolic => 2,
+                    Tier::Nn => 3,
+                });
+                h.write_u64(e.sym_actions);
+                h.write_u64(e.audits);
+            }
         }
         h.finish()
     }
@@ -150,6 +185,8 @@ mod tests {
     fn entry(key: FlowKey) -> FlowEntry {
         FlowEntry {
             key,
+            gen: 0,
+            tier: Tier::Nn,
             gr: GrUnit::new(GrConfig::default(), RewardParams::default()),
             hidden: vec![0.0; 4],
             cwnd: 10.0,
@@ -161,6 +198,8 @@ mod tests {
             missed_obs: 0,
             nn_actions: 0,
             fallback_actions: 0,
+            sym_actions: 0,
+            audits: 0,
         }
     }
 
@@ -204,6 +243,35 @@ mod tests {
         let mut t3 = build();
         t3.get_mut(t3.slot_of(21).unwrap()).unwrap().cwnd += 1.0;
         assert_ne!(t2.digest(), t3.digest());
+    }
+
+    #[test]
+    fn generations_are_unique_across_slot_reuse() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1));
+        let g1 = t.get(t.slot_of(1).unwrap()).unwrap().gen;
+        t.remove(1);
+        // Same key, same (reused) slot — but a fresh generation.
+        let slot = t.insert(entry(1)).unwrap();
+        assert_eq!(slot, 0);
+        assert_ne!(t.get(slot).unwrap().gen, g1);
+    }
+
+    #[test]
+    fn digest_unchanged_by_untouched_tier_fields() {
+        // A pure-NN entry must digest identically whether or not the tier
+        // extension fields exist — the extension only folds once the
+        // symbolic tier touches the flow.
+        let mut t = FlowTable::new();
+        t.insert(entry(5));
+        let base = t.digest();
+        let e = t.get_mut(t.slot_of(5).unwrap()).unwrap();
+        e.tier = Tier::Symbolic;
+        assert_ne!(t.digest(), base, "symbolic tier must move the digest");
+        let e = t.get_mut(t.slot_of(5).unwrap()).unwrap();
+        e.tier = Tier::Nn;
+        e.audits = 1;
+        assert_ne!(t.digest(), base, "audit history must move the digest");
     }
 
     #[test]

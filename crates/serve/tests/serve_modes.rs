@@ -88,6 +88,7 @@ fn drive(
             key,
             cwnd,
             fallback,
+            ..
         } in actions
         {
             trace.push((key, cwnd.to_bits(), fallback));

@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 cleanup() {
   rm -f artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
         artifacts/results/EVAL_matrix_smoke_t1.json \
-        artifacts/results/EVAL_matrix_smoke_t4.json
+        artifacts/results/EVAL_matrix_smoke_t4.json \
+        artifacts/results/DISTILL_smoke_t1.json \
+        artifacts/results/DISTILL_smoke_t4.json \
+        artifacts/sage_smoke_t1.tree artifacts/sage_smoke_t4.tree
 }
 trap cleanup EXIT
 
@@ -83,15 +86,39 @@ cmp artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
 echo "== evaluation matrix smoke: sub-matrix digest at SAGE_THREADS=1 vs 4 =="
 SAGE_MATRIX_SET1=2 SAGE_MATRIX_SET2=1 SAGE_MATRIX_SECS=3 SAGE_MATRIX_INET=1 \
   SAGE_MATRIX_FAULTS=clean,blackout SAGE_MATRIX_FAIR_FLOWS=3 \
-  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_OUT=EVAL_matrix_smoke_t1.json \
+  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_FAIR64_FLOWS=8 SAGE_MATRIX_FAIR64_SECS=4 \
+  SAGE_MATRIX_OUT=EVAL_matrix_smoke_t1.json \
   SAGE_THREADS=1 ./target/release/eval_matrix > /dev/null
 SAGE_MATRIX_SET1=2 SAGE_MATRIX_SET2=1 SAGE_MATRIX_SECS=3 SAGE_MATRIX_INET=1 \
   SAGE_MATRIX_FAULTS=clean,blackout SAGE_MATRIX_FAIR_FLOWS=3 \
-  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_OUT=EVAL_matrix_smoke_t4.json \
+  SAGE_MATRIX_FAIR_SECS=9 SAGE_MATRIX_FAIR64_FLOWS=8 SAGE_MATRIX_FAIR64_SECS=4 \
+  SAGE_MATRIX_OUT=EVAL_matrix_smoke_t4.json \
   SAGE_THREADS=4 ./target/release/eval_matrix > /dev/null
 cmp artifacts/results/EVAL_matrix_smoke_t1.json \
     artifacts/results/EVAL_matrix_smoke_t4.json \
   || { echo "FAIL: evaluation matrix differs across thread counts"; exit 1; }
+
+# Distillation smoke: harvest two Set I scenarios (plus the clean fault
+# baseline) from the committed policy, fit a tiny tree, and enforce (a) the
+# report and tree artifact are byte-identical at two thread counts and (b)
+# the held-out clean-link agreement clears a fixed lower bound (the bin
+# exits non-zero below SAGE_DISTILL_MIN_AGREE). The full-scale committed
+# artifacts are artifacts/sage.tree + artifacts/results/DISTILL_report.json.
+echo "== distill smoke: tiny tree, fidelity + digest at SAGE_THREADS=1 vs 4 =="
+SAGE_DISTILL_SET1=2 SAGE_DISTILL_SET2=0 SAGE_DISTILL_INET=0 SAGE_DISTILL_SECS=3 \
+  SAGE_DISTILL_DEPTH=6 SAGE_DISTILL_LEAGUE_SET1=0 SAGE_DISTILL_MIN_AGREE=80 \
+  SAGE_DISTILL_TREE_OUT=artifacts/sage_smoke_t1.tree \
+  SAGE_DISTILL_OUT=DISTILL_smoke_t1.json SAGE_THREADS=1 \
+  ./target/release/distill_report > /dev/null
+SAGE_DISTILL_SET1=2 SAGE_DISTILL_SET2=0 SAGE_DISTILL_INET=0 SAGE_DISTILL_SECS=3 \
+  SAGE_DISTILL_DEPTH=6 SAGE_DISTILL_LEAGUE_SET1=0 SAGE_DISTILL_MIN_AGREE=80 \
+  SAGE_DISTILL_TREE_OUT=artifacts/sage_smoke_t4.tree \
+  SAGE_DISTILL_OUT=DISTILL_smoke_t4.json SAGE_THREADS=4 \
+  ./target/release/distill_report > /dev/null
+cmp artifacts/results/DISTILL_smoke_t1.json artifacts/results/DISTILL_smoke_t4.json \
+  || { echo "FAIL: distill report differs across thread counts"; exit 1; }
+cmp artifacts/sage_smoke_t1.tree artifacts/sage_smoke_t4.tree \
+  || { echo "FAIL: distilled tree differs across thread counts"; exit 1; }
 
 # Evaluation-matrix rank-regression gate: per-scenario scheme rankings and
 # per-cell metrics vs the pinned golden (any rank inversion fails; metric
