@@ -102,6 +102,9 @@ struct SweepRow {
     batch_p99_us: f64,
     seq_p50_us: f64,
     seq_p99_us: f64,
+    /// Per-tick ramp-up curves of the batched run (`sage_obs` time-series
+    /// snapshots of every registered metric), not just end-state scalars.
+    series: Json,
 }
 
 /// Drive `flows` synthetic flows for `ticks`; return (digest, action bits,
@@ -124,6 +127,7 @@ fn drive(mode: ServeMode, flows: u64, ticks: u64) -> (u64, Vec<u64>, ServeRuntim
         for a in rt.on_tick(t, &mut |k| Some(synth_view(t, k))) {
             trace.push(a.cwnd.to_bits());
         }
+        sage_obs::sample_metrics(t);
     }
     let digest = rt.digest();
     (digest, trace, rt)
@@ -167,7 +171,11 @@ fn main() {
     let mut equivalent = true;
     for &n in &SWEEP {
         let (d_seq, t_seq, rt_seq) = drive(ServeMode::SequentialGraph, n, ticks);
+        // Ramp-up time series for this sweep point: the batched run samples
+        // the metric registry every tick into ring-buffered series.
+        sage_obs::reset_series();
         let (d_bat, t_bat, rt_bat) = drive(ServeMode::Batched, n, ticks);
+        let series = sage_obs::series_json();
         let ok = d_seq == d_bat && t_seq == t_bat;
         equivalent &= ok;
         let row = SweepRow {
@@ -179,6 +187,7 @@ fn main() {
             batch_p99_us: rt_bat.stats.latency_ns_percentile(99.0) as f64 / 1e3,
             seq_p50_us: rt_seq.stats.latency_ns_percentile(50.0) as f64 / 1e3,
             seq_p99_us: rt_seq.stats.latency_ns_percentile(99.0) as f64 / 1e3,
+            series,
         };
         println!(
             "N={:<4} seq {:>9.0} act/s (p50 {:>8.1}us p99 {:>8.1}us)  batched {:>9.0} act/s \
@@ -276,6 +285,7 @@ fn main() {
                             ("batched_p99_us", Json::Num(r.batch_p99_us)),
                             ("sequential_p50_us", Json::Num(r.seq_p50_us)),
                             ("sequential_p99_us", Json::Num(r.seq_p99_us)),
+                            ("series", r.series.clone()),
                         ])
                     })
                     .collect(),
@@ -330,6 +340,16 @@ fn main() {
     let path = write_report("BENCH_serve.json", &json);
     println!("\nreport: {}", path.display());
     finish_obs("serve");
+
+    // With the recorder armed (SAGE_RECORD), dump the merged event log so
+    // `sage_trace` has a real serving artifact to index.
+    if sage_obs::recording_any() {
+        let flight = sage_bench::results_dir().join("FLIGHT_serve.jsonl");
+        match sage_obs::dump_to_file(&flight) {
+            Ok(()) => println!("flight dump: {}", flight.display()),
+            Err(e) => obs_error!("flight dump {} failed: {e}", flight.display()),
+        }
+    }
 
     if !equivalent {
         obs_error!("EQUIVALENCE VIOLATION: batched and sequential paths diverged");

@@ -52,6 +52,7 @@ fn build_sim(
     env: &EnvSpec,
     ccas: Vec<Box<dyn CongestionControl>>,
     seed: u64,
+    span_base: u64,
 ) -> (Simulation, usize) {
     let mut cfg = SimConfig::new(env.link.clone(), env.buffer_bytes, env.rtt_ms, env.duration);
     cfg.aqm = env.aqm;
@@ -59,6 +60,7 @@ fn build_sim(
     cfg.seed = seed ^ env.seed;
     cfg.faults = env.faults.clone();
     cfg.topology = env.topology.clone();
+    cfg.span_base = span_base;
     let mut flows = Vec::new();
     for k in 0..env.competing_cubic {
         flows.push(FlowConfig::starting_at(
@@ -113,6 +115,17 @@ pub fn rollout_with(
     rollout_flows(env, scheme, ccas, gr_cfg, seed)
 }
 
+/// Flight-recorder span base for one (environment, scheme, seed) cell: a
+/// pure function of the cell identity, so spans are stable across thread
+/// counts and runs. The low id bits stay clear for per-flow offsets.
+pub fn cell_span_base(env_id: &str, scheme: &str, seed: u64) -> u64 {
+    let mut h = sage_util::Fnv64::new();
+    h.write(env_id.as_bytes());
+    h.write(scheme.as_bytes());
+    h.write_u64(seed);
+    h.finish() << 16
+}
+
 fn rollout_flows(
     env: &EnvSpec,
     scheme: &str,
@@ -121,7 +134,8 @@ fn rollout_flows(
     seed: u64,
 ) -> RolloutResult {
     let _prof = sage_obs::scope("collect_rollout");
-    let (mut sim, test_idx) = build_sim(env, ccas, seed);
+    let span_base = cell_span_base(&env.id, scheme, seed);
+    let (mut sim, test_idx) = build_sim(env, ccas, seed, span_base);
     let mut mon = GrMonitor {
         gr: GrUnit::new(gr_cfg, RewardParams::for_capacity(env.capacity_mbps)),
         test_idx,

@@ -149,6 +149,21 @@ pub fn collect_pool_supervised(
                             "rollout panicked (attempt {attempt}): {scheme}@{}",
                             env.id
                         );
+                        // Crash forensics: mark the panic in the flight
+                        // recorder, dump its per-thread tail, and flush the
+                        // buffered JSONL trace so the pre-panic tail is on
+                        // disk even if the process dies next.
+                        sage_obs::record(
+                            sage_obs::Category::Collect,
+                            sage_obs::EventKind::Panic,
+                            0,
+                            crate::rollout::cell_span_base(&env.id, scheme, roll_seed),
+                            si as u64,
+                            attempt as u64,
+                        );
+                        let _ =
+                            sage_obs::dump_postmortem(&sage_obs::recorder::panic_dump_path(), 256);
+                        sage_obs::flush_trace();
                     }
                 }
             }

@@ -376,6 +376,13 @@ pub struct MatrixCell {
     /// Mean goodput of every flow in the run, Mbit/s (cross traffic and
     /// self flows included; the test flow is at its flow index).
     pub flow_goodputs: Vec<f64>,
+    /// Ramp-up time series of the test flow, downsampled from its per-tick
+    /// trajectory to [`SERIES_POINTS`] chunk means: `(name, values)` with
+    /// names `thr_mbps`, `owd_ms`, `cwnd_pkts`. Derived purely from the
+    /// cell's own rollout (never from the global obs registry), so the
+    /// serialised report stays byte-identical at every thread count.
+    /// Deliberately not folded into [`MatrixCell::digest`].
+    pub series: Vec<(&'static str, Vec<f64>)>,
     /// FNV digest over the cell's identity and metrics; folded into the
     /// report digest the cross-thread byte-identity gate compares.
     pub digest: u64,
@@ -412,6 +419,9 @@ fn cell_digest(cell: &MatrixCell) -> u64 {
     h.finish()
 }
 
+/// Points per exported ramp-up series (`MatrixCell::series`).
+pub const SERIES_POINTS: usize = 24;
+
 fn run_cell(sc: &ScenarioSpec, c: &Contender, seed: u64, alpha: f64) -> MatrixCell {
     let env = &sc.env;
     let kind = match env.set {
@@ -438,11 +448,37 @@ fn run_cell(sc: &ScenarioSpec, c: &Contender, seed: u64, alpha: f64) -> MatrixCe
         lost_pkts: 0,
         fairness: 0.0,
         flow_goodputs: Vec::new(),
+        series: Vec::new(),
         digest: 0,
     };
+    // The cell's flight-recorder span: the same base the rollout stamps on
+    // its netsim/transport events, so `sage_trace` groups the whole cell.
+    let span = sage_collector::cell_span_base(&env.id, c.name(), seed);
+    sage_obs::record(
+        sage_obs::Category::Eval,
+        sage_obs::EventKind::CellStart,
+        0,
+        span,
+        seed,
+        0,
+    );
     let run = catch_unwind(AssertUnwindSafe(|| {
         rollout_with(env, c.name(), |s| c.build(env, s), gr_of(c), seed)
     }));
+    if let Err(_panic) = &run {
+        // Crash forensics, mirroring the supervised-collection path: mark
+        // the panic, dump the per-thread event tail, flush the JSONL trace.
+        sage_obs::record(
+            sage_obs::Category::Eval,
+            sage_obs::EventKind::Panic,
+            0,
+            span,
+            seed,
+            0,
+        );
+        let _ = sage_obs::dump_postmortem(&sage_obs::recorder::panic_dump_path(), 256);
+        sage_obs::flush_trace();
+    }
     if let Ok(res) = run {
         let s = &res.stats;
         cell.completed = true;
@@ -476,8 +512,27 @@ fn run_cell(sc: &ScenarioSpec, c: &Contender, seed: u64, alpha: f64) -> MatrixCe
         cell.lost_pkts = s.lost_pkts;
         cell.flow_goodputs = res.all_stats.iter().map(|f| f.avg_goodput_mbps).collect();
         cell.fairness = jain_fairness(&cell.flow_goodputs);
+        let ds = |xs: &[f32], scale: f64| -> Vec<f64> {
+            sage_obs::downsample_mean(xs, SERIES_POINTS)
+                .into_iter()
+                .map(|v| v * scale)
+                .collect()
+        };
+        cell.series = vec![
+            ("thr_mbps", ds(&res.traj.thr, 1e-6)),
+            ("owd_ms", ds(&res.traj.owd, 1e3)),
+            ("cwnd_pkts", ds(&res.traj.cwnd, 1.0)),
+        ];
     }
     cell.digest = cell_digest(&cell);
+    sage_obs::record(
+        sage_obs::Category::Eval,
+        sage_obs::EventKind::CellEnd,
+        cell.intervals.len() as u64,
+        span,
+        seed,
+        cell.survived as u64,
+    );
     cell
 }
 
@@ -624,6 +679,16 @@ fn cell_json(c: &MatrixCell) -> Json {
         ("restarts", Json::Num(c.restarts as f64)),
         ("fairness", Json::Num(c.fairness)),
         ("flows", Json::Num(c.flow_goodputs.len() as f64)),
+        ("flow_goodputs", Json::nums(c.flow_goodputs.iter().copied())),
+        (
+            "series",
+            Json::Obj(
+                c.series
+                    .iter()
+                    .map(|(name, vals)| (name.to_string(), Json::nums(vals.iter().copied())))
+                    .collect(),
+            ),
+        ),
         ("digest", Json::str(format!("{:016x}", c.digest))),
     ])
 }

@@ -19,8 +19,9 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `Punct(':')`).
     Punct(char),
-    /// Any string literal (normal, raw, byte); contents are discarded.
-    Str,
+    /// Any string literal (normal, raw, byte) with its contents (escape
+    /// sequences left raw) — the O1 metric-name rule inspects them.
+    Str(String),
     /// A char or byte-char literal; contents are discarded.
     Char,
     /// A lifetime such as `'a` (distinguished from char literals).
@@ -169,8 +170,8 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if is_ident_start(c) => {
                 // Raw/byte string prefixes lex as one literal token.
-                if let Some(next) = raw_string_start(&b, i) {
-                    out.push(line, Tok::Str);
+                if let Some((content, next)) = raw_string_start(&b, i) {
+                    out.push(line, Tok::Str(content));
                     i = next;
                     continue;
                 }
@@ -205,8 +206,9 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// If `b[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
-/// consume it and return the index just past the closing delimiter.
-fn raw_string_start(b: &[char], i: usize) -> Option<usize> {
+/// consume it and return its contents plus the index just past the
+/// closing delimiter.
+fn raw_string_start(b: &[char], i: usize) -> Option<(String, usize)> {
     let mut j = i;
     if b.get(j) == Some(&'b') {
         j += 1;
@@ -224,6 +226,7 @@ fn raw_string_start(b: &[char], i: usize) -> Option<usize> {
         return None;
     }
     j += 1;
+    let content_start = j;
     // Scan for `"` followed by `hashes` hash marks.
     while j < b.len() {
         if b[j] == '"' {
@@ -232,12 +235,13 @@ fn raw_string_start(b: &[char], i: usize) -> Option<usize> {
                 k += 1;
             }
             if k == hashes {
-                return Some(j + 1 + hashes);
+                let content: String = b[content_start..j].iter().collect();
+                return Some((content, j + 1 + hashes));
             }
         }
         j += 1;
     }
-    Some(b.len())
+    Some((b[content_start..].iter().collect(), b.len()))
 }
 
 /// Consume a normal string literal starting at the opening quote `b[i]`,
@@ -260,7 +264,9 @@ fn consume_string(b: &[char], i: usize, line: &mut usize, out: &mut Lexed) -> us
             _ => j += 1,
         }
     }
-    out.push(start_line, Tok::Str);
+    let close = j.saturating_sub(1).max(i + 1);
+    let content: String = b[i + 1..close.min(b.len())].iter().collect();
+    out.push(start_line, Tok::Str(content));
     j
 }
 
@@ -291,6 +297,23 @@ let c = b"HashMap bytes";
         let ids = idents(src);
         assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
         assert!(ids.iter().any(|s| s == "let"));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let strs = |src: &str| -> Vec<String> {
+            lex(src)
+                .toks
+                .into_iter()
+                .filter_map(|t| match t.tok {
+                    Tok::Str(s) => Some(s),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(strs("let a = \"serve.nn_actions\";"), ["serve.nn_actions"]);
+        assert_eq!(strs("let b = r#\"raw.name\"#;"), ["raw.name"]);
+        assert_eq!(strs("let c = b\"bytes.too\";"), ["bytes.too"]);
     }
 
     #[test]

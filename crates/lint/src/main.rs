@@ -35,28 +35,32 @@ fn main() -> ExitCode {
         let (fired, suppressed) = (*fired as u64, *suppressed as u64);
         match *name {
             "D1" => {
-                sage_obs::obs_counter!("lint.unsuppressed.D1").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.D1").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.d1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d1").add(suppressed);
             }
             "D2" => {
-                sage_obs::obs_counter!("lint.unsuppressed.D2").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.D2").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.d2").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d2").add(suppressed);
             }
             "D3" => {
-                sage_obs::obs_counter!("lint.unsuppressed.D3").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.D3").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.d3").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d3").add(suppressed);
             }
             "U1" => {
-                sage_obs::obs_counter!("lint.unsuppressed.U1").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.U1").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.u1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.u1").add(suppressed);
             }
             "P1" => {
-                sage_obs::obs_counter!("lint.unsuppressed.P1").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.P1").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.p1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.p1").add(suppressed);
+            }
+            "O1" => {
+                sage_obs::obs_counter!("lint.unsuppressed.o1").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.o1").add(suppressed);
             }
             _ => {
-                sage_obs::obs_counter!("lint.unsuppressed.A0").add(fired);
-                sage_obs::obs_counter!("lint.suppressed.A0").add(suppressed);
+                sage_obs::obs_counter!("lint.unsuppressed.a0").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.a0").add(suppressed);
             }
         }
     }

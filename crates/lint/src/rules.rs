@@ -8,6 +8,7 @@
 //! | D3 | `rand::`, `thread_rng`, `OsRng`, `getrandom`, ... | ambient entropy bypasses the seeded `sage_util::Rng` |
 //! | U1 | `unsafe` without a `// SAFETY:` comment | every unsafe site must state its proof obligations |
 //! | P1 | `unwrap()`/`expect(`/`panic!` in library non-test code | library code propagates errors; panics are for provable invariants only |
+//! | O1 | `obs_counter!`/`obs_gauge!`/`obs_hist!` names not in `snake.dot.case` | one metric namespace: lowercase dot-separated segments, grep-able and collision-free |
 //! | A0 | malformed or unused `lint:allow` | suppressions must carry a reason and actually suppress something |
 //!
 //! Suppression syntax: `// lint:allow(RULE[,RULE...]): reason`. On a line
@@ -26,11 +27,20 @@ pub enum Rule {
     D3,
     U1,
     P1,
+    O1,
     A0,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::U1, Rule::P1, Rule::A0];
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::U1,
+        Rule::P1,
+        Rule::O1,
+        Rule::A0,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -39,6 +49,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::U1 => "U1",
             Rule::P1 => "P1",
+            Rule::O1 => "O1",
             Rule::A0 => "A0",
         }
     }
@@ -50,6 +61,7 @@ impl Rule {
             "D3" => Some(Rule::D3),
             "U1" => Some(Rule::U1),
             "P1" => Some(Rule::P1),
+            "O1" => Some(Rule::O1),
             _ => None,
         }
     }
@@ -125,6 +137,8 @@ impl FileClass {
             Rule::U1 => true,
             // Library non-test code only.
             Rule::P1 => self.crate_name != "bench" && !self.in_tests_dir && !in_test_region,
+            // Metric names share one namespace; the rule applies everywhere.
+            Rule::O1 => true,
             Rule::A0 => true,
         }
     }
@@ -239,6 +253,21 @@ pub fn analyze(file: &str, class: &FileClass, src: &str) -> FileOutcome {
                 "`panic!` in library code; return an error or annotate the invariant (P1)".into(),
                 &mut out,
             ),
+            "obs_counter" | "obs_gauge" | "obs_hist" => {
+                if let Some(name) = macro_str_arg(toks, i) {
+                    if !is_metric_name(&name) {
+                        emit(
+                            line,
+                            Rule::O1,
+                            format!(
+                                "metric name `{name}` in `{id}!` is not snake.dot.case \
+                                 (lowercase `[a-z0-9_]` segments, >= 2, dot-separated) (O1)"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -284,6 +313,40 @@ fn path_seq(toks: &[crate::lexer::SpannedTok], i: usize, segs: &[&str]) -> bool 
         }
     }
     true
+}
+
+/// If `toks[i]` is a macro name invoked as `name!("literal", ...)` (or
+/// `name!["literal"]` / `name!{"literal"}`), return the literal. Names
+/// passed as expressions are invisible to this — fine, because the obs
+/// macros only accept literals.
+fn macro_str_arg(toks: &[crate::lexer::SpannedTok], i: usize) -> Option<String> {
+    if !next_is(toks, i, '!') {
+        return None;
+    }
+    let open = toks.get(i + 2)?;
+    if !matches!(
+        open.tok,
+        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{')
+    ) {
+        return None;
+    }
+    match &toks.get(i + 3)?.tok {
+        Tok::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// O1 shape: lowercase `[a-z0-9_]` segments, at least two, dot-separated,
+/// with no empty segment (no leading/trailing/double dots).
+fn is_metric_name(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 /// Is `toks[i]` followed by `::` (i.e. used as a path root)?
@@ -581,6 +644,42 @@ mod tests {
         let out = run("// lint:allow(D1): nothing here actually uses a map\nlet x = 1;\n");
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].rule, Rule::A0);
+    }
+
+    #[test]
+    fn o1_enforces_snake_dot_case_metric_names() {
+        for bad in [
+            "obs_counter!(\"Serve.NnActions\").inc();\n",
+            "obs_gauge!(\"serve\").set(1);\n",
+            "obs_hist!(\"serve..latency\").observe(1);\n",
+            "obs_counter!(\".leading.dot\").inc();\n",
+            "obs_counter!(\"trailing.dot.\").inc();\n",
+            "obs_counter!(\"lint.unsuppressed.D1\").inc();\n",
+        ] {
+            let out = run(bad);
+            assert_eq!(out.findings.len(), 1, "{bad}");
+            assert_eq!(out.findings[0].rule, Rule::O1, "{bad}");
+        }
+        for good in [
+            "obs_counter!(\"serve.nn_actions\").inc();\n",
+            "obs_gauge!(\"serve.tier_nn\").set(1);\n",
+            "obs_hist!(\"netsim.queue_depth_pkts\").observe(1.0);\n",
+            "obs_counter!(\"a.b2.c_d\").inc();\n",
+        ] {
+            assert!(run(good).findings.is_empty(), "{good}");
+        }
+        // Non-literal names and unrelated idents are invisible to O1.
+        assert!(run("obs_counter!(name).inc();\n").findings.is_empty());
+        assert!(run("let obs_counter = 3;\n").findings.is_empty());
+        // O1 applies in bench and tests dirs too (shared namespace).
+        let class = FileClass {
+            crate_name: "bench".into(),
+            in_tests_dir: true,
+            is_util_par: false,
+        };
+        let out = analyze("b.rs", &class, "obs_counter!(\"Bad.Name\").inc();\n");
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::O1);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct BottleneckPath {
     pub total_dropped: u64,
     pub total_delivered: u64,
     drops: VecDeque<(Nanos, Packet)>,
+    /// Flight-recorder span base: packets of flow `f` record under span
+    /// `span_base + f + 1`. Observability metadata only.
+    span_base: u64,
 }
 
 impl BottleneckPath {
@@ -73,7 +76,35 @@ impl BottleneckPath {
             total_dropped: 0,
             total_delivered: 0,
             drops: VecDeque::new(),
+            span_base: 0,
         }
+    }
+
+    /// Set the flight-recorder span base (see [`Self::new`] callers; eval
+    /// cells use distinct bases so merged dumps keep cells apart).
+    pub fn set_span_base(&mut self, base: u64) {
+        self.span_base = base;
+    }
+
+    /// Span id a packet's recorder events carry.
+    fn span_of(&self, pkt: &Packet) -> u64 {
+        self.span_base + pkt.flow as u64 + 1
+    }
+
+    /// Account one dropped packet: counters, the drop log the transport
+    /// drains for loss accounting, and the flight recorder.
+    fn note_drop(&mut self, now: Nanos, pkt: Packet) {
+        self.total_dropped += 1;
+        obs_counter!("netsim.pkts_dropped").inc();
+        sage_obs::record(
+            sage_obs::Category::Netsim,
+            sage_obs::EventKind::Drop,
+            now,
+            self.span_of(&pkt),
+            pkt.flow as u64,
+            pkt.seq,
+        );
+        self.drops.push_back((now, pkt));
     }
 
     fn view(&self, now: Nanos) -> QueueView {
@@ -112,10 +143,16 @@ impl BottleneckPath {
         self.total_enqueued += 1;
         obs_counter!("netsim.pkts_enqueued").inc();
         obs_hist!("netsim.queue_depth_pkts").observe(self.buf.len() as u64);
+        sage_obs::record(
+            sage_obs::Category::Netsim,
+            sage_obs::EventKind::Enqueue,
+            now,
+            self.span_of(&pkt),
+            pkt.seq,
+            self.buf.len() as u64,
+        );
         if self.random_loss > 0.0 && self.rng.chance(self.random_loss) {
-            self.total_dropped += 1;
-            obs_counter!("netsim.pkts_dropped").inc();
-            self.drops.push_back((now, pkt));
+            self.note_drop(now, pkt);
             return EnqueueOutcome::Dropped(pkt);
         }
         let verdict = self.aqm.on_enqueue(now, &self.view(now), &pkt);
@@ -127,9 +164,7 @@ impl BottleneckPath {
                 EnqueueOutcome::Queued
             }
             EnqueueVerdict::DropTail => {
-                self.total_dropped += 1;
-                obs_counter!("netsim.pkts_dropped").inc();
-                self.drops.push_back((now, pkt));
+                self.note_drop(now, pkt);
                 EnqueueOutcome::Dropped(pkt)
             }
             EnqueueVerdict::DropHead => {
@@ -138,14 +173,10 @@ impl BottleneckPath {
                     head
                 } else {
                     // Empty queue cannot head-drop; fall back to tail drop.
-                    self.total_dropped += 1;
-                    obs_counter!("netsim.pkts_dropped").inc();
-                    self.drops.push_back((now, pkt));
+                    self.note_drop(now, pkt);
                     return EnqueueOutcome::Dropped(pkt);
                 };
-                self.total_dropped += 1;
-                obs_counter!("netsim.pkts_dropped").inc();
-                self.drops.push_back((now, dropped));
+                self.note_drop(now, dropped);
                 self.buf.push_back((now, pkt));
                 self.bytes_queued += pkt.bytes as u64;
                 self.try_start_service(now);
@@ -165,15 +196,21 @@ impl BottleneckPath {
             let sojourn = now.saturating_sub(arrived);
             match self.aqm.on_dequeue(now, sojourn, &pkt) {
                 DequeueVerdict::Drop => {
-                    self.total_dropped += 1;
-                    obs_counter!("netsim.pkts_dropped").inc();
-                    self.drops.push_back((now, pkt));
+                    self.note_drop(now, pkt);
                     continue;
                 }
                 DequeueVerdict::Deliver => {
                     let finish = self.link.finish_time(now, pkt.bytes as f64 * 8.0);
                     if finish == Nanos::MAX {
                         obs_counter!("netsim.link_stalls").inc();
+                        sage_obs::record(
+                            sage_obs::Category::Netsim,
+                            sage_obs::EventKind::LinkStall,
+                            now,
+                            self.span_of(&pkt),
+                            pkt.seq,
+                            0,
+                        );
                     }
                     self.in_service = Some((pkt, sojourn, finish));
                     return;
@@ -195,6 +232,14 @@ impl BottleneckPath {
         self.total_delivered += 1;
         obs_counter!("netsim.pkts_delivered").inc();
         obs_hist!("netsim.sojourn_us").observe(sojourn / 1_000);
+        sage_obs::record(
+            sage_obs::Category::Netsim,
+            sage_obs::EventKind::Deliver,
+            now,
+            self.span_of(&pkt),
+            pkt.seq,
+            sojourn,
+        );
         self.try_start_service(now);
         Some(Departure {
             at: finish,

@@ -103,6 +103,47 @@ impl HistSnapshot {
         }
     }
 
+    /// Quantile estimate for `q` in `[0, 1]` (clamped) with linear
+    /// interpolation inside the containing bucket. Buckets are log-spaced,
+    /// so the overall estimate is log-linear: exact for values below
+    /// [`SUB`], within `1/SUB` relative error everywhere else. Returns
+    /// `0.0` when empty; results are clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; don't approximate them.
+        if q == 0.0 {
+            return self.min as f64;
+        }
+        if q == 1.0 {
+            return self.max as f64;
+        }
+        let rank = q * (self.count - 1) as f64;
+        let mut below = 0u64; // observations in buckets before this one
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let hi_rank = below + n - 1; // highest rank inside this bucket
+            if hi_rank as f64 >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Position within this bucket's ranks; a single observation
+                // sits at the bucket midpoint.
+                let frac = if n == 1 {
+                    0.5
+                } else {
+                    (rank - below as f64) / (n - 1) as f64
+                };
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            below += n;
+        }
+        self.max as f64
+    }
+
     /// Approximate percentile (0..=100) from the buckets: the midpoint of
     /// the bucket containing the rank, clamped to observed min/max.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -154,6 +195,53 @@ mod tests {
             assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
             assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_and_clamps() {
+        let mut h = HistSnapshot::new();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        // Uniform 0..100: interpolated quantiles track the rank closely
+        // (log-linear error bounded by 1/SUB within a bucket).
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 99.0);
+        let p50 = h.quantile(0.5);
+        assert!((40.0..=60.0).contains(&p50), "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((85.0..=99.0).contains(&p95), "p95 {p95}");
+        // Out-of-range q is clamped, empty histogram reports 0.
+        assert_eq!(h.quantile(2.0), 99.0);
+        assert_eq!(h.quantile(-1.0), 0.0);
+        assert_eq!(HistSnapshot::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_exact_for_singletons() {
+        let mut h = HistSnapshot::new();
+        h.observe(42);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "singleton q={q}");
+        }
+        let mut h = HistSnapshot::new();
+        let mut s = 0x1234_5678u64;
+        for _ in 0..500 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.observe(s >> 40);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            assert!(
+                h.quantile(w[0]) <= h.quantile(w[1]),
+                "quantile not monotone at {:?}",
+                w
+            );
+        }
+        assert_eq!(h.quantile(0.0), h.min as f64);
+        assert_eq!(h.quantile(1.0), h.max as f64);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * **Profiling** ([`profile`]) — cheap scoped timers aggregated per phase
 //!   (collection, CRR gradient, eval, serve tick) and dumped as
 //!   `PROFILE_*.json`. Timestamps and durations never feed a digest.
+//! * **Flight recorder** ([`recorder`]) — per-thread rings of compact
+//!   tick-stamped events (`SAGE_RECORD=serve,transport,...`), drained via
+//!   an ordered merge that is byte-identical at any `SAGE_THREADS` and
+//!   dumped as `FLIGHT_*.jsonl` on demand or post-mortem from panic paths.
+//! * **Time series** ([`series`]) — periodic snapshots of every registered
+//!   metric into capped `(tick, value)` series, exported into eval/bench
+//!   artefacts as ramp-up curves instead of end-state scalars.
 //!
 //! # Determinism rules
 //!
@@ -42,10 +49,17 @@ pub mod hist;
 pub mod log;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
+pub mod series;
 
 pub use log::{flush_trace, log_enabled, Level};
 pub use metrics::{counter, gauge, histogram, reset_metrics, snapshot_json};
 pub use profile::{scope, write_profile};
+pub use recorder::{
+    dump_postmortem, dump_to_file, force_record, force_record_cap, record, recording,
+    recording_any, reset_recorder, Category, EventKind,
+};
+pub use series::{downsample_mean, reset_series, sample_metrics, series_json};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -1,0 +1,184 @@
+//! Ring-buffered time series sampled from the metrics registry.
+//!
+//! Counters, gauges, and histogram quantiles are scalars at export time;
+//! this layer turns them into ramp-up curves. A control point (bench loop,
+//! eval cell, serve driver) calls [`sample_metrics`] every K ticks; each
+//! registered metric grows a `(tick, value)` series capped at
+//! `SAGE_SERIES_CAP` points (default 1024, oldest dropped first).
+//! Sampling walks the registry in name order and ticks are caller-supplied
+//! simulation ticks, so exported series are deterministic — but they are
+//! *global* (all threads' metrics merged), so artefacts compared across
+//! thread counts must derive their series from per-cell data instead (see
+//! `sage-eval`), not from this process-wide sampler.
+
+use sage_util::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable capping points kept per series.
+pub const SERIES_CAP_ENV: &str = "SAGE_SERIES_CAP";
+
+/// Default points kept per series.
+pub const DEFAULT_SERIES_CAP: usize = 1024;
+
+/// One metric's sampled history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesData {
+    pub ticks: Vec<u64>,
+    pub values: Vec<f64>,
+}
+
+static SERIES_CAP: AtomicUsize = AtomicUsize::new(0);
+
+fn series_cap() -> usize {
+    let cap = SERIES_CAP.load(Relaxed);
+    if cap != 0 {
+        return cap;
+    }
+    let cap = std::env::var(SERIES_CAP_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_SERIES_CAP);
+    SERIES_CAP.store(cap, Relaxed);
+    cap
+}
+
+/// Override the per-series point cap, bypassing `SAGE_SERIES_CAP`.
+pub fn force_series_cap(cap: usize) {
+    SERIES_CAP.store(cap.max(1), Relaxed);
+}
+
+fn store() -> &'static Mutex<BTreeMap<String, SeriesData>> {
+    static STORE: OnceLock<Mutex<BTreeMap<String, SeriesData>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Snapshot every registered metric at `tick` and append to its series.
+/// A no-op when obs is disabled. Call from deterministic control points
+/// only (a fixed tick cadence), never from worker threads.
+pub fn sample_metrics(tick: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cap = series_cap();
+    let mut map = store().lock().unwrap_or_else(|e| e.into_inner());
+    crate::metrics::visit_samples(|name, value| {
+        let s = map.entry(name.to_string()).or_default();
+        if s.ticks.len() >= cap {
+            let cut = s.ticks.len() + 1 - cap;
+            s.ticks.drain(..cut);
+            s.values.drain(..cut);
+        }
+        s.ticks.push(tick);
+        s.values.push(value);
+    });
+}
+
+/// Drop every recorded series.
+pub fn reset_series() {
+    store().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Export all series as `{"name": {"ticks": [...], "values": [...]}}`,
+/// names sorted. Empty object when nothing was sampled.
+pub fn series_json() -> Json {
+    let map = store().lock().unwrap_or_else(|e| e.into_inner());
+    Json::Obj(
+        map.iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        (
+                            "ticks",
+                            Json::Arr(s.ticks.iter().map(|&t| Json::Num(t as f64)).collect()),
+                        ),
+                        ("values", Json::nums(s.values.iter().copied())),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Downsample `xs` to at most `n` points by chunk means (ramp-up curve
+/// shape, not raw decimation). Deterministic: accumulation is in index
+/// order. Returns `xs` as-is (widened) when it already fits.
+pub fn downsample_mean(xs: &[f32], n: usize) -> Vec<f64> {
+    if n == 0 || xs.is_empty() {
+        return Vec::new();
+    }
+    if xs.len() <= n {
+        return xs.iter().map(|&x| x as f64).collect();
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let lo = k * xs.len() / n;
+        let hi = ((k + 1) * xs.len() / n).max(lo + 1);
+        let sum: f64 = xs[lo..hi].iter().map(|&x| x as f64).sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_builds_capped_series() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(true);
+        force_series_cap(4);
+        reset_series();
+        let c = crate::metrics::counter("test.series.counter");
+        for tick in 0..6u64 {
+            c.add(10);
+            sample_metrics(tick);
+        }
+        let json = series_json();
+        let s = json.get("test.series.counter").expect("series exists");
+        let ticks = s.get("ticks").and_then(|j| j.as_arr()).expect("ticks");
+        assert_eq!(ticks.len(), 4, "capped at 4 points");
+        assert_eq!(ticks[0].as_f64(), Some(2.0), "oldest dropped");
+        assert_eq!(ticks[3].as_f64(), Some(5.0));
+        force_series_cap(DEFAULT_SERIES_CAP);
+        reset_series();
+    }
+
+    #[test]
+    fn histograms_expand_to_quantile_series() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(true);
+        reset_series();
+        let h = crate::metrics::histogram("test.series.hist");
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        sample_metrics(7);
+        let json = series_json();
+        for suffix in ["count", "p50", "p99"] {
+            assert!(
+                json.get(&format!("test.series.hist.{suffix}")).is_some(),
+                "missing {suffix} series"
+            );
+        }
+        reset_series();
+    }
+
+    #[test]
+    fn downsample_mean_preserves_shape() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let d = downsample_mean(&xs, 4);
+        assert_eq!(d.len(), 4);
+        // Chunk means of an increasing ramp are increasing.
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        assert!((d[0] - 12.0).abs() < 0.51, "first chunk mean {}", d[0]);
+        // Short inputs pass through.
+        assert_eq!(downsample_mean(&[1.0, 2.0], 8), vec![1.0, 2.0]);
+        assert!(downsample_mean(&[], 8).is_empty());
+        assert!(downsample_mean(&xs, 0).is_empty());
+    }
+}

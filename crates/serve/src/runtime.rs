@@ -35,6 +35,7 @@ use sage_distill::SymbolicModel;
 use sage_gr::{GrConfig, GrUnit, RewardParams};
 use sage_nn::gmm::GmmParams;
 use sage_nn::{Array, Graph};
+use sage_obs::{record, Category, EventKind};
 use sage_transport::sim::TickRecord;
 use sage_transport::{SocketView, INIT_CWND, MIN_CWND};
 use sage_util::{par_map_range, Fnv64, Rng};
@@ -153,15 +154,18 @@ impl ServeStats {
         self.symbolic_actions as f64 / (self.sym_infer_nanos as f64 / 1e9)
     }
 
-    /// Latency percentile (0..=100) over per-tick inference calls, ns.
+    /// Latency percentile (0..=100) over per-tick inference calls, ns —
+    /// estimated through the obs log-linear histogram quantile (bounded
+    /// relative error, no O(n log n) sort on every report line).
     pub fn latency_ns_percentile(&self, p: f64) -> u64 {
         if self.batch_latency_ns.is_empty() {
             return 0;
         }
-        let mut v = self.batch_latency_ns.clone();
-        v.sort_unstable();
-        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-        v[idx.min(v.len() - 1)]
+        let mut h = sage_obs::hist::HistSnapshot::new();
+        for &v in &self.batch_latency_ns {
+            h.observe(v);
+        }
+        h.quantile(p / 100.0).round() as u64
     }
 }
 
@@ -235,6 +239,7 @@ impl ServeRuntime {
         if self.table.len() >= self.cfg.max_flows || self.table.contains(key) {
             self.stats.rejected += 1;
             sage_obs::obs_counter!("serve.rejected").inc();
+            record(Category::Serve, EventKind::Reject, now_tick, 0, key, 0);
             return false;
         }
         let interval_ticks = interval_ticks.max(1);
@@ -243,7 +248,8 @@ impl ServeRuntime {
             .unwrap_or_else(|| panic!("unknown fallback scheme {:?}", self.cfg.fallback));
         let entry = FlowEntry {
             key,
-            gen: 0, // stamped by FlowTable::insert
+            gen: 0,  // stamped by FlowTable::insert
+            span: 0, // minted by FlowTable::insert
             // Flows start on the fast tier whenever a tree is configured;
             // audits escalate individual flows to the NN on disagreement.
             tier: if self.cfg.symbolic.is_some() {
@@ -269,9 +275,18 @@ impl ServeRuntime {
         // lint:allow(P1): insert only fails on a duplicate key or full table, both rejected by the guard at the top of admit
         let slot = self.table.insert(entry).expect("key checked above");
         // lint:allow(P1): the entry was inserted on the line above
-        let gen = self.table.get(slot).expect("just inserted").gen;
+        let e = self.table.get(slot).expect("just inserted");
+        let (gen, span) = (e.gen, e.span);
         self.wheel.schedule(now_tick, slot, key, gen);
         self.stats.admitted += 1;
+        record(
+            Category::Serve,
+            EventKind::Admit,
+            now_tick,
+            span,
+            key,
+            interval_ticks,
+        );
         true
     }
 
@@ -290,9 +305,19 @@ impl ServeRuntime {
     /// checked against the live table — including the admission generation,
     /// so a reused `(slot, key)` pair cannot resurrect an old timer.
     pub fn evict(&mut self, key: FlowKey) -> bool {
-        if self.table.remove(key).is_some() {
+        if let Some(e) = self.table.remove(key) {
             self.stats.evicted += 1;
             sage_obs::obs_counter!("serve.evictions").inc();
+            // External evicts carry no tick; the flow's next-due tick is
+            // the closest deterministic timestamp.
+            record(
+                Category::Serve,
+                EventKind::Evict,
+                e.next_due,
+                e.span,
+                key,
+                0,
+            );
             true
         } else {
             false
@@ -341,9 +366,18 @@ impl ServeRuntime {
                 let e = self.table.get_mut(slot).expect("retained above");
                 e.missed_obs += 1;
                 if e.missed_obs >= self.cfg.evict_after_misses {
+                    let (span, misses) = (e.span, e.missed_obs);
                     self.table.remove(key);
                     self.stats.evicted += 1;
                     sage_obs::obs_counter!("serve.evictions").inc();
+                    record(
+                        Category::Serve,
+                        EventKind::Evict,
+                        now_tick,
+                        span,
+                        key,
+                        misses as u64,
+                    );
                 } else {
                     let due = now_tick + e.interval_ticks;
                     e.next_due = due;
@@ -369,6 +403,14 @@ impl ServeRuntime {
                 e.fallback_actions += 1;
                 self.stats.fallback_actions += 1;
                 sage_obs::obs_counter!("serve.fallback_actions").inc();
+                record(
+                    Category::Serve,
+                    EventKind::Fallback,
+                    now_tick,
+                    e.span,
+                    key,
+                    e.cwnd.to_bits(),
+                );
                 self.actions_digest.write_u64(key);
                 self.actions_digest.write_f64(e.cwnd);
                 self.actions_digest.write_u64(1);
@@ -407,6 +449,14 @@ impl ServeRuntime {
                 e.sym_actions += 1;
                 self.stats.symbolic_actions += 1;
                 sage_obs::obs_counter!("serve.symbolic_actions").inc();
+                record(
+                    Category::Serve,
+                    EventKind::SymAction,
+                    now_tick,
+                    e.span,
+                    key,
+                    e.cwnd.to_bits(),
+                );
                 self.actions_digest.write_u64(key);
                 self.actions_digest.write_f64(e.cwnd);
                 self.actions_digest.write_u64(2);
@@ -441,6 +491,14 @@ impl ServeRuntime {
                 // slipping crosses the staleness deadline and degrades.
                 self.stats.deferred += 1;
                 sage_obs::obs_counter!("serve.deferrals").inc();
+                record(
+                    Category::Serve,
+                    EventKind::Defer,
+                    now_tick,
+                    e.span,
+                    key,
+                    max_batch as u64,
+                );
                 let gen = e.gen;
                 self.wheel.schedule(now_tick + 1, slot, key, gen);
                 continue;
@@ -518,10 +576,26 @@ impl ServeRuntime {
                 e.audits += 1;
                 self.stats.audits += 1;
                 sage_obs::obs_counter!("serve.audits").inc();
+                record(
+                    Category::Serve,
+                    EventKind::Audit,
+                    now_tick,
+                    e.span,
+                    e.key,
+                    (nn_lr - sym_lr).abs().to_bits(),
+                );
                 if (nn_lr - sym_lr).abs() > self.cfg.escalate_log_ratio {
                     e.tier = Tier::Nn;
                     self.stats.escalations += 1;
                     sage_obs::obs_counter!("serve.escalations").inc();
+                    record(
+                        Category::Serve,
+                        EventKind::Escalate,
+                        now_tick,
+                        e.span,
+                        e.key,
+                        e.audits,
+                    );
                 }
                 continue;
             }
@@ -534,6 +608,14 @@ impl ServeRuntime {
             e.nn_actions += 1;
             self.stats.nn_actions += 1;
             sage_obs::obs_counter!("serve.nn_actions").inc();
+            record(
+                Category::Serve,
+                EventKind::NnAction,
+                now_tick,
+                e.span,
+                e.key,
+                e.cwnd.to_bits(),
+            );
             self.actions_digest.write_u64(e.key);
             self.actions_digest.write_f64(e.cwnd);
             self.actions_digest.write_u64(0);

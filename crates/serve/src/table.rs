@@ -33,6 +33,10 @@ pub struct FlowEntry {
     pub gen: u64,
     /// Serving tier; escalation flips `Symbolic -> Nn` (never back).
     pub tier: Tier,
+    /// Causal span id for the flight recorder, minted at admission
+    /// (`gen + 1`, so 0 stays "unscoped"). Like `gen`, observability
+    /// metadata: deliberately not folded into [`FlowTable::digest`].
+    pub span: u64,
     /// General Representation unit: the three-timescale observation windows.
     pub gr: GrUnit,
     /// GRU hidden state carried across ticks (plain vector, graph-free).
@@ -105,6 +109,7 @@ impl FlowTable {
             return None;
         }
         entry.gen = self.next_gen;
+        entry.span = entry.gen + 1;
         self.next_gen += 1;
         let key = entry.key;
         let slot = match self.free.pop() {
@@ -186,6 +191,7 @@ mod tests {
         FlowEntry {
             key,
             gen: 0,
+            span: 0,
             tier: Tier::Nn,
             gr: GrUnit::new(GrConfig::default(), RewardParams::default()),
             hidden: vec![0.0; 4],
@@ -255,6 +261,20 @@ mod tests {
         let slot = t.insert(entry(1)).unwrap();
         assert_eq!(slot, 0);
         assert_ne!(t.get(slot).unwrap().gen, g1);
+    }
+
+    #[test]
+    fn spans_are_minted_at_admission_and_not_digested() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1));
+        t.insert(entry(2));
+        let e = t.get(t.slot_of(2).unwrap()).unwrap();
+        assert_eq!(e.span, e.gen + 1, "span mints from the admission gen");
+        assert_ne!(e.span, 0, "0 stays reserved for unscoped events");
+        // Span is recorder metadata, never part of the digest contract.
+        let base = t.digest();
+        t.get_mut(t.slot_of(1).unwrap()).unwrap().span = 999;
+        assert_eq!(t.digest(), base, "span must not move the digest");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Flight-recorder differential: recording must never perturb results, and
+//! the merged event dump must be byte-identical at any thread count.
+//!
+//! Runs a fixed-seed 16-flow shared-bottleneck serve scenario with the
+//! recorder off (baseline digest) and then with `all` categories recorded
+//! at 1, 2, and 4 inference threads. Demands (a) recorder-on digests equal
+//! the recorder-off digest, (b) the three dumps are byte-identical with
+//! zero ring overflow, and (c) the dump actually contains the serve /
+//! netsim / transport event families the taps promise.
+//! `scripts/check.sh` runs this test at `SAGE_THREADS=1` and `4` on top,
+//! so the worker-pool default path is covered both ways.
+
+use sage_core::model::{NetConfig, SageModel};
+use sage_gr::{GrConfig, STATE_DIM};
+use sage_netsim::ManyFlowScenario;
+use sage_serve::{run_many_flow, ServeConfig, ServeMode};
+use std::sync::Arc;
+
+fn run_digest(threads: usize) -> u64 {
+    let mut sc = ManyFlowScenario::shared_bottleneck(16, 4, 42);
+    sc.secs = 2.0;
+    let cfg = NetConfig {
+        enc1: 8,
+        gru: 8,
+        enc2: 8,
+        fc: 8,
+        residual_blocks: 1,
+        critic_hidden: 8,
+        ..NetConfig::default()
+    };
+    let model = Arc::new(SageModel::new(
+        cfg,
+        vec![0.0; STATE_DIM],
+        vec![1.0; STATE_DIM],
+        7,
+    ));
+    let report = run_many_flow(
+        &sc,
+        model,
+        GrConfig::default(),
+        ServeConfig {
+            mode: ServeMode::Batched,
+            threads,
+            ..ServeConfig::default()
+        },
+    );
+    report.digest
+}
+
+/// One test (not several) because the recorder switch is process-global and
+/// the default harness runs tests concurrently.
+#[test]
+fn recorder_is_digest_neutral_and_dump_is_thread_invariant() {
+    // Big enough that nothing wraps: the dump contract is byte-identity
+    // only at dropped == 0.
+    sage_obs::force_record_cap(1 << 21);
+
+    let run = |threads: usize, record: bool| -> (u64, String) {
+        sage_obs::force_record(if record { "all" } else { "off" });
+        sage_obs::reset_recorder();
+        let digest = run_digest(threads);
+        (digest, sage_obs::recorder::dump_jsonl())
+    };
+
+    let (digest_off, dump_off) = run(1, false);
+    assert_eq!(
+        dump_off.lines().count(),
+        1,
+        "recorder off must record nothing (header line only)"
+    );
+
+    let (digest_1, dump_1) = run(1, true);
+    let (digest_2, dump_2) = run(2, true);
+    let (digest_4, dump_4) = run(4, true);
+
+    assert_eq!(
+        digest_off, digest_1,
+        "enabling the flight recorder changed the serve action digest"
+    );
+    assert_eq!(digest_1, digest_2);
+    assert_eq!(digest_1, digest_4);
+
+    assert_eq!(dump_1, dump_2, "dump differs between 1 and 2 threads");
+    assert_eq!(dump_1, dump_4, "dump differs between 1 and 4 threads");
+
+    let header =
+        sage_util::Json::parse(dump_1.lines().next().expect("header")).expect("header JSON");
+    assert_eq!(
+        header.get("dropped").and_then(|j| j.as_f64()),
+        Some(0.0),
+        "rings overflowed; byte-identity contract void — raise the cap"
+    );
+    let events = header
+        .get("events")
+        .and_then(|j| j.as_f64())
+        .expect("count");
+    assert!(events > 100.0, "suspiciously few events: {events}");
+
+    // The taps actually fired across the stack.
+    for needle in [
+        "\"cat\":\"serve\",\"kind\":\"admit\"",
+        "\"cat\":\"netsim\",\"kind\":\"enqueue\"",
+        "\"cat\":\"netsim\",\"kind\":\"deliver\"",
+    ] {
+        assert!(dump_1.contains(needle), "dump missing {needle}");
+    }
+    // Every admitted flow got a distinct nonzero span: 16 flows admitted
+    // by the bridge means spans 1..=16 appear on admit events.
+    for span in 1..=16u64 {
+        let admit = format!("\"span\":\"{span:x}\",\"cat\":\"serve\",\"kind\":\"admit\"");
+        assert!(dump_1.contains(&admit), "missing admit for span {span}");
+    }
+
+    sage_obs::force_record("off");
+    sage_obs::reset_recorder();
+}

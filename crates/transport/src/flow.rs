@@ -49,6 +49,10 @@ pub struct SendActions {
 /// the emulation is single-process).
 pub struct Flow {
     pub id: FlowId,
+    /// Causal span id for the flight recorder (0 = unscoped); the
+    /// simulation stamps `span_base + id + 1` so eval cells get globally
+    /// distinct spans. Observability metadata only — never read back.
+    pub span: u64,
     pub cca: Box<dyn CongestionControl>,
     pub start: Nanos,
     pub stop: Option<Nanos>,
@@ -112,6 +116,7 @@ impl Flow {
     ) -> Self {
         Flow {
             id,
+            span: 0,
             cca,
             start,
             stop,
@@ -191,6 +196,14 @@ impl Flow {
                 self.n_lost -= 1;
                 self.retx_pkts_total += 1;
                 sage_obs::obs_counter!("transport.retx_pkts").inc();
+                sage_obs::record(
+                    sage_obs::Category::Transport,
+                    sage_obs::EventKind::Retx,
+                    now,
+                    self.span,
+                    self.id as u64,
+                    seq,
+                );
                 let mut pkt = Packet::new(self.id, seq, meta.bytes, now);
                 pkt.retransmit = true;
                 return pkt;
@@ -430,6 +443,14 @@ impl Flow {
         }
         self.consecutive_rtos += 1;
         sage_obs::obs_counter!("transport.rto_fired").inc();
+        sage_obs::record(
+            sage_obs::Category::Transport,
+            sage_obs::EventKind::Rto,
+            now,
+            self.span,
+            self.id as u64,
+            self.consecutive_rtos as u64,
+        );
         if self.consecutive_rtos >= self.max_consecutive_rtos {
             // The path is presumed dead (e.g. a long blackout): abort the
             // connection and restart it cleanly rather than doubling the
@@ -498,6 +519,14 @@ impl Flow {
         self.cca.init(now, MSS);
         self.restarts_total += 1;
         sage_obs::obs_counter!("transport.flow_restarts").inc();
+        sage_obs::record(
+            sage_obs::Category::Transport,
+            sage_obs::EventKind::Restart,
+            now,
+            self.span,
+            self.id as u64,
+            self.restarts_total,
+        );
     }
 
     fn rto_scaled(&self) -> Nanos {

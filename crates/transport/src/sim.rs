@@ -40,6 +40,11 @@ pub struct SimConfig {
     /// simulator. Each extra hop owns a queue + link + AQM + fault injector;
     /// its propagation delay adds to the forward path on top of `rtt_ms`.
     pub topology: Topology,
+    /// Flight-recorder span base: flow `id` records under span
+    /// `span_base + id + 1` (0 default — spans stay run-local). Eval cells
+    /// set a per-cell base so merged dumps keep cells distinguishable.
+    /// Observability metadata only — never feeds simulation state.
+    pub span_base: u64,
 }
 
 impl SimConfig {
@@ -56,6 +61,7 @@ impl SimConfig {
             ack_jitter: 200_000,
             faults: FaultPlan::default(),
             topology: Topology::single(),
+            span_base: 0,
         }
     }
 
@@ -268,6 +274,9 @@ impl Simulation {
             ));
             hop_prop.push(from_ms(hop.prop_ms));
         }
+        for hop in hops.iter_mut() {
+            hop.set_span_base(cfg.span_base);
+        }
         let half = from_ms(cfg.rtt_ms / 2.0);
         let cfg_seed = cfg.seed;
         let mut flows = Vec::new();
@@ -275,7 +284,8 @@ impl Simulation {
         let mut events = EventQueue::new();
         for (i, fc) in flow_cfgs.into_iter().enumerate() {
             let id = i as FlowId;
-            let f = Flow::new(id, fc.cca, fc.start, fc.stop);
+            let mut f = Flow::new(id, fc.cca, fc.start, fc.stop);
+            f.span = cfg.span_base + id as u64 + 1;
             events.schedule(fc.start, Ev::FlowStart(id));
             if let Some(stop) = fc.stop {
                 events.schedule(stop, Ev::FlowStop(id));

@@ -13,6 +13,10 @@ cleanup() {
         artifacts/results/EVAL_matrix_smoke_t4.json \
         artifacts/results/DISTILL_smoke_t1.json \
         artifacts/results/DISTILL_smoke_t4.json \
+        artifacts/results/OBS_slo_smoke_t1.json \
+        artifacts/results/OBS_slo_smoke_t4.json \
+        artifacts/results/FAIRNESS_smoke_t1.md \
+        artifacts/results/FAIRNESS_smoke_t4.md \
         artifacts/sage_smoke_t1.tree artifacts/sage_smoke_t4.tree
 }
 trap cleanup EXIT
@@ -67,6 +71,16 @@ SAGE_THREADS=1 cargo test -q -p sage-serve --release --test obs_differential
 echo "== obs smoke: metrics-on golden digest + snapshot (SAGE_THREADS=4) =="
 SAGE_THREADS=4 cargo test -q -p sage-serve --release --test obs_differential
 
+# Flight-recorder differential: recording all categories must not perturb
+# the serve digest, and the merged event dump must be byte-identical at
+# 1/2/4 inference threads (the test sweeps those internally; the two outer
+# thread counts cover the worker-pool default path both ways).
+echo "== flight recorder smoke: digest-neutral, dump thread-invariant (SAGE_THREADS=1) =="
+SAGE_THREADS=1 cargo test -q -p sage-serve --release --test recorder_differential
+
+echo "== flight recorder smoke: digest-neutral, dump thread-invariant (SAGE_THREADS=4) =="
+SAGE_THREADS=4 cargo test -q -p sage-serve --release --test recorder_differential
+
 # Adversarial-search smoke: an 8-candidate search must produce byte-identical
 # ranked reports at two thread counts (proposal is serial, evaluation is an
 # ordered fan-out). The full committed report is artifacts/results/
@@ -97,6 +111,28 @@ SAGE_MATRIX_SET1=2 SAGE_MATRIX_SET2=1 SAGE_MATRIX_SECS=3 SAGE_MATRIX_INET=1 \
 cmp artifacts/results/EVAL_matrix_smoke_t1.json \
     artifacts/results/EVAL_matrix_smoke_t4.json \
   || { echo "FAIL: evaluation matrix differs across thread counts"; exit 1; }
+
+# SLO gate smoke: the declarative obs_report objectives (completion /
+# survival / per-family drop ceilings / ramp-up series / serve latency &
+# fallback) must hold on the smoke matrix, and the reports built from the
+# t1 and t4 matrices must be byte-identical. The full-scale gate target is
+# the committed EVAL_matrix.json (obs_report's default input).
+echo "== SLO gate smoke: obs_report on the t1 vs t4 sub-matrix =="
+SAGE_SLO_MATRIX=artifacts/results/EVAL_matrix_smoke_t1.json \
+  SAGE_SLO_OUT=OBS_slo_smoke_t1.json SAGE_FAIRNESS_NOTE=FAIRNESS_smoke_t1.md \
+  ./target/release/obs_report > /dev/null
+SAGE_SLO_MATRIX=artifacts/results/EVAL_matrix_smoke_t4.json \
+  SAGE_SLO_OUT=OBS_slo_smoke_t4.json SAGE_FAIRNESS_NOTE=FAIRNESS_smoke_t4.md \
+  ./target/release/obs_report > /dev/null
+cmp artifacts/results/OBS_slo_smoke_t1.json artifacts/results/OBS_slo_smoke_t4.json \
+  || { echo "FAIL: SLO report differs across thread counts"; exit 1; }
+cmp artifacts/results/FAIRNESS_smoke_t1.md artifacts/results/FAIRNESS_smoke_t4.md \
+  || { echo "FAIL: fairness trace note differs across thread counts"; exit 1; }
+
+# Full-scale SLO gate over the committed artifacts (EVAL_matrix.json +
+# BENCH_serve.json): any breach fails the build.
+echo "== SLO gate: committed EVAL_matrix.json + BENCH_serve.json =="
+./target/release/obs_report
 
 # Distillation smoke: harvest two Set I scenarios (plus the clean fault
 # baseline) from the committed policy, fit a tiny tree, and enforce (a) the
