@@ -48,6 +48,11 @@ impl Monitor for GrMonitor {
 /// (staggered by 100 ms), then the flow under test, then any additional
 /// same-scheme flows (`EnvSpec::self_flows`) staggered by
 /// `EnvSpec::self_stagger`. `ccas[0]` is the flow under test.
+///
+/// # Panics
+///
+/// Panics if the `"cubic"` competitor scheme is missing from the registry —
+/// a compile-time wiring error, not an input condition.
 fn build_sim(
     env: &EnvSpec,
     ccas: Vec<Box<dyn CongestionControl>>,
@@ -178,6 +183,11 @@ pub fn collect_pool(
 /// task whose seeds are pure functions of the master seed and the cell —
 /// never of execution order — and the reduction is ordered, so the returned
 /// pool is byte-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if a scheme name is not in the registry — the pool list is a
+/// static table, so an unknown name is a programming error.
 pub fn collect_pool_with_threads(
     envs: &[EnvSpec],
     schemes: &[&str],

@@ -98,6 +98,12 @@ fn truncate(traj: &mut Trajectory, budget: usize) {
 /// are retried with fresh seeds and skipped (recorded in the report) rather
 /// than aborting the run. `progress` is called after each cell with
 /// (done, total).
+///
+/// # Panics
+///
+/// An unknown scheme name panics inside the supervised cell (a programming
+/// error); after `max_retries` such panics the cell is skipped, so the call
+/// itself aborts only when the panic escapes the retry harness.
 pub fn collect_pool_supervised(
     envs: &[EnvSpec],
     schemes: &[&str],

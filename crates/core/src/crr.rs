@@ -238,6 +238,12 @@ impl CrrTrainer {
     }
 
     /// One gradient step of policy evaluation + policy improvement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured `unroll` is zero — every constructed
+    /// `CrrConfig` uses `unroll >= 1` (default 8), so this is a programming
+    /// error worth crashing on.
     pub fn train_step(&mut self, pool: &Pool) -> StepMetrics {
         let _prof = sage_obs::scope("crr_step");
         // lint:allow(D2): obs-gated wall clock feeding the write-only samples-per-sec gauge; never read back into training

@@ -70,11 +70,11 @@ pub fn resolve() -> Option<Arc<SymbolicModel>> {
     if let Some(m) = installed() {
         return Some(m);
     }
-    let candidates: Vec<std::path::PathBuf> = match std::env::var("SAGE_TREE") {
-        Ok(p) => vec![std::path::PathBuf::from(p)],
+    let candidates: Vec<std::path::PathBuf> = match sage_util::env_cfg::tree() {
+        Some(p) => vec![std::path::PathBuf::from(p)],
         // Anchor on the workspace root (this crate sits at crates/distill)
         // so the lookup works from any test/bin working directory.
-        Err(_) => vec![
+        None => vec![
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/sage.tree"),
             std::path::PathBuf::from(DEFAULT_TREE_FILE),
         ],

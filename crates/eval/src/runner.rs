@@ -44,6 +44,11 @@ impl Contender {
     }
 
     /// Instantiate the congestion controller for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a heuristic contender names a scheme missing from the
+    /// registry — league tables are static, so this is a programming error.
     pub fn build(&self, env: &EnvSpec, seed: u64) -> Box<dyn CongestionControl> {
         match self {
             // lint:allow(P1): league contender names are fixed tables checked against the registry; an unknown name is a programming error

@@ -1,0 +1,94 @@
+//! Item-level AST for the static analyzer.
+//!
+//! The parser ([`crate::parse`]) lowers a token stream into these nodes.
+//! Bodies are *not* lowered to expression trees: a function body is a
+//! token index range into the file's [`crate::lexer::Lexed`] stream, and
+//! the interprocedural rules scan those ranges with small pattern
+//! helpers. That keeps the parser tolerant — anything it cannot shape
+//! into an item is skipped, never fatal — while still giving the rules
+//! exactly the structure they need: who defines what, who is public,
+//! what types fields have, and what every `use` binds.
+
+/// Item visibility. `pub(crate)`, `pub(super)` and `pub(in ...)` all
+/// count as [`Vis::PubScoped`]: visible beyond the item's module but not
+/// part of the workspace-public API surface that U2/P2 report on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    Pub,
+    PubScoped,
+    Private,
+}
+
+/// A `fn` item: free function, impl method, or trait default method.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub vis: Vis,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Module path within the crate (empty at crate root).
+    pub module: Vec<String>,
+    /// Self type name when the fn is an impl/trait method.
+    pub impl_type: Option<String>,
+    /// Token index range `[open, close]` of the parameter parens.
+    pub params: (usize, usize),
+    /// Token index range `[open_brace, close_brace]` of the body, when
+    /// the fn has one (trait method signatures do not).
+    pub body: Option<(usize, usize)>,
+    /// The item sits under a `#[cfg(test)]` item or module.
+    pub in_test: bool,
+    /// Declared with the `unsafe` qualifier.
+    pub is_unsafe: bool,
+}
+
+/// One field of a struct: name plus the identifiers of its type, in
+/// source order (`hidden: Vec<f64>` → `["Vec", "f64"]`).
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    pub ty: Vec<String>,
+}
+
+/// A `struct` or `enum` item (enums carry no fields here; the rules only
+/// need field types for struct-receiver resolution).
+#[derive(Debug, Clone)]
+pub struct TypeItem {
+    pub name: String,
+    pub line: usize,
+    pub module: Vec<String>,
+    pub fields: Vec<Field>,
+    pub in_test: bool,
+}
+
+/// One leaf binding produced by flattening a `use` tree:
+/// `use sage_util::{par_map, Json as J};` yields
+/// `(["sage_util", "par_map"], "par_map")` and
+/// `(["sage_util", "Json"], "J")`. Glob imports bind the name `*`.
+#[derive(Debug, Clone)]
+pub struct UseLeaf {
+    pub path: Vec<String>,
+    pub name: String,
+    pub in_test: bool,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    pub fns: Vec<FnItem>,
+    pub types: Vec<TypeItem>,
+    pub uses: Vec<UseLeaf>,
+}
+
+impl FileAst {
+    /// The fn whose body token range contains token index `ti`, if any.
+    /// Bodies never overlap except trait/impl nesting is absent at the
+    /// token level, so the innermost (smallest) match wins.
+    pub fn fn_at(&self, ti: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter_map(|f| f.body.map(|(a, b)| (f, (a, b))))
+            .filter(|&(_, (a, b))| ti >= a && ti <= b)
+            .min_by_key(|&(_, (a, b))| b - a)
+            .map(|(f, _)| f)
+    }
+}

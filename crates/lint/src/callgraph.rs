@@ -1,0 +1,606 @@
+//! The workspace call graph and per-function facts.
+//!
+//! Built on top of [`crate::resolve::Symbols`]: every `fn` body is
+//! scanned once for call expressions (`path(...)`, `recv.method(...)`),
+//! each resolved to workspace fn nodes — exactly when a receiver type is
+//! known, conservatively to all visible same-named methods when it is
+//! not. Unresolvable names (std, macros, locals) produce no edge.
+//!
+//! The same scan collects the facts the interprocedural rules consume:
+//! `unsafe` blocks, panic-family sites, `env::var` reads, calls into the
+//! `par_map`/`par_map_range` helpers (with their closure argument token
+//! ranges), and the doc-comment markers that bound taint propagation
+//! (`SAFETY-BOUNDARY:`, `# Panics`, `lint:ordered-merge`).
+
+use crate::lexer::{Lexed, SpannedTok, Tok};
+use crate::parse::matching;
+use crate::resolve::{ParsedFile, Symbols};
+use std::collections::BTreeMap;
+
+/// A `par_map`/`par_map_range` call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct ParCall {
+    /// Token index of the callee name.
+    pub name_idx: usize,
+    /// Token range `[open, close]` of the call's argument parens.
+    pub args: (usize, usize),
+}
+
+/// Facts about one fn that the interprocedural rules consume.
+#[derive(Debug, Default)]
+pub struct FnFacts {
+    /// Declared `unsafe fn`, or body contains an `unsafe` block.
+    pub has_unsafe: bool,
+    /// Lines of `unwrap(` / `expect(` / `panic!` sites in the body.
+    pub panic_lines: Vec<usize>,
+    /// Lines of `env::var` / `env::var_os` reads in the body.
+    pub env_lines: Vec<usize>,
+    /// `par_map` / `par_map_range` call sites.
+    pub par_calls: Vec<ParCall>,
+    /// Doc run above the fn contains `SAFETY-BOUNDARY:`.
+    pub safety_boundary: bool,
+    /// Doc run above the fn contains `# Panics`.
+    pub panics_doc: bool,
+    /// Doc run above the fn contains `lint:ordered-merge`.
+    pub ordered_merge: bool,
+}
+
+/// The workspace call graph, indexed by fn node id.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Forward edges: `calls[f]` = (callee id, call line), deduplicated.
+    pub calls: Vec<Vec<(usize, usize)>>,
+    /// Reverse edges: `rev[f]` = caller ids, deduplicated and sorted.
+    pub rev: Vec<Vec<usize>>,
+    pub facts: Vec<FnFacts>,
+}
+
+/// Concatenated comment text of the doc/attribute run directly above
+/// `line` (the same contiguity rule the U1 SAFETY check uses).
+pub fn doc_run(lexed: &Lexed, line: usize) -> String {
+    let mut out = String::new();
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let Some(info) = lexed.lines.get(l) else {
+            break;
+        };
+        if info.has_code && !info.attr_start {
+            break;
+        }
+        if !info.has_code && info.comments.is_empty() {
+            break; // blank line ends the run
+        }
+        for c in info.comments.iter().rev() {
+            out.push_str(c);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Keywords and control constructs that look like `name(...)` in the
+/// token stream but are never calls.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "match"
+            | "for"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "unsafe"
+            | "else"
+            | "let"
+            | "mut"
+            | "ref"
+            | "await"
+            | "fn"
+            | "impl"
+            | "where"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "const"
+            | "static"
+            | "type"
+            | "break"
+            | "continue"
+            | "crate"
+            | "super"
+            | "dyn"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+    )
+}
+
+/// Map of local binding → root type name, from params (`x: Type`) and
+/// `let` statements (`let x: Type`, `let x = Type::...` / `Type {`).
+pub(crate) fn local_types(
+    toks: &[SpannedTok],
+    params: (usize, usize),
+    body: Option<(usize, usize)>,
+) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    // Params: segments split on top-level commas.
+    let (po, pc) = params;
+    let mut seg_start = po + 1;
+    let mut depth = 0usize;
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    for (k, st) in toks.iter().enumerate().take(pc).skip(po + 1) {
+        match st.tok {
+            Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => depth = depth.saturating_sub(1),
+            Tok::Punct(',') if depth == 0 => {
+                segs.push((seg_start, k));
+                seg_start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if seg_start < pc {
+        segs.push((seg_start, pc));
+    }
+    for (a, b) in segs {
+        // `name : [& mut dyn impl]* Type`
+        let mut j = a;
+        while j < b && matches!(&toks[j].tok, Tok::Ident(s) if s == "mut") {
+            j += 1;
+        }
+        let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.tok) else {
+            continue;
+        };
+        if !matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct(':'))) {
+            continue;
+        }
+        let mut k = j + 2;
+        while k < b {
+            match &toks[k].tok {
+                Tok::Ident(s) if s == "mut" || s == "dyn" || s == "impl" => k += 1,
+                Tok::Ident(s) => {
+                    map.insert(name.clone(), s.clone());
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+    }
+    // Lets inside the body.
+    let Some((bo, bc)) = body else { return map };
+    let mut i = bo;
+    while i < bc {
+        if !matches!(&toks[i].tok, Tok::Ident(s) if s == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(&toks[j].tok, Tok::Ident(s) if s == "mut") {
+            j += 1;
+        }
+        let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        let name = name.clone();
+        match toks.get(j + 1).map(|t| &t.tok) {
+            Some(Tok::Punct(':')) => {
+                // Annotated: first type ident after the colon.
+                let mut k = j + 2;
+                while k < bc {
+                    match &toks[k].tok {
+                        Tok::Ident(s) if s == "mut" || s == "dyn" || s == "impl" => k += 1,
+                        Tok::Ident(s) => {
+                            map.entry(name).or_insert_with(|| s.clone());
+                            break;
+                        }
+                        Tok::Punct(';') | Tok::Punct('=') => break,
+                        _ => k += 1,
+                    }
+                }
+            }
+            Some(Tok::Punct('=')) => {
+                // `let x = Type::...` or `let x = Type { ... }`.
+                if let Some(Tok::Ident(ty)) = toks.get(j + 2).map(|t| &t.tok) {
+                    let ctor_path =
+                        matches!(toks.get(j + 3).map(|t| &t.tok), Some(Tok::Punct(':')))
+                            || matches!(toks.get(j + 3).map(|t| &t.tok), Some(Tok::Punct('{')));
+                    if ctor_path && ty.chars().next().is_some_and(char::is_uppercase) {
+                        map.entry(name).or_insert_with(|| ty.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        i = j + 1;
+    }
+    map
+}
+
+/// Walk back from the name at `i` collecting `seg::seg::name` segments.
+fn path_before(toks: &[SpannedTok], i: usize, name: &str) -> Vec<String> {
+    let mut path = vec![name.to_string()];
+    let mut j = i;
+    while j >= 3
+        && matches!(toks[j - 1].tok, Tok::Punct(':'))
+        && matches!(toks[j - 2].tok, Tok::Punct(':'))
+    {
+        match &toks[j - 3].tok {
+            Tok::Ident(s) => {
+                path.insert(0, s.clone());
+                j -= 3;
+            }
+            _ => break,
+        }
+    }
+    path
+}
+
+/// Build the call graph (and per-fn facts) over the parsed workspace.
+pub fn build(files: &[ParsedFile], symbols: &Symbols) -> CallGraph {
+    let n = symbols.fns.len();
+    let mut cg = CallGraph {
+        calls: vec![Vec::new(); n],
+        rev: vec![Vec::new(); n],
+        facts: Vec::with_capacity(n),
+    };
+    for id in 0..n {
+        let node = symbols.node(id);
+        let file = &files[node.file];
+        let f = &file.ast.fns[node.ast_idx];
+        let toks = &file.lexed.toks;
+        let own = &file.class.crate_name;
+
+        let docs = doc_run(&file.lexed, f.line);
+        let mut facts = FnFacts {
+            has_unsafe: f.is_unsafe,
+            safety_boundary: docs.contains("SAFETY-BOUNDARY:"),
+            panics_doc: docs.contains("# Panics"),
+            ordered_merge: docs.contains("lint:ordered-merge"),
+            ..FnFacts::default()
+        };
+
+        let Some((bo, bc)) = f.body else {
+            cg.facts.push(facts);
+            continue;
+        };
+        let locals = local_types(toks, f.params, f.body);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+
+        let mut i = bo;
+        while i <= bc {
+            let Some(st) = toks.get(i) else { break };
+            let line = st.line;
+            let Tok::Ident(name) = &st.tok else {
+                i += 1;
+                continue;
+            };
+            match name.as_str() {
+                "unsafe" => facts.has_unsafe = true,
+                "panic" if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!'))) => {
+                    facts.panic_lines.push(line);
+                }
+                "unwrap" | "expect"
+                    if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) =>
+                {
+                    facts.panic_lines.push(line);
+                }
+                _ => {}
+            }
+            // Call shapes: `name(`.
+            if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                i += 1;
+                continue;
+            }
+            if is_call_keyword(name) {
+                i += 1;
+                continue;
+            }
+            // Definition, not a call (nested `fn name(`).
+            if matches!(toks.get(i.wrapping_sub(1)).map(|t| &t.tok), Some(Tok::Ident(k)) if k == "fn")
+            {
+                i += 1;
+                continue;
+            }
+            let method_recv = matches!(
+                toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                Some(Tok::Punct('.'))
+            );
+            let resolved: Vec<usize> = if method_recv {
+                // Receiver hint: `self.m()`, `self.field.m()`, `x.m()`.
+                let hint: Option<String> = match toks.get(i.wrapping_sub(2)).map(|t| &t.tok) {
+                    Some(Tok::Ident(r)) if r == "self" => f.impl_type.clone(),
+                    Some(Tok::Ident(r)) => {
+                        let prev_is_dot = matches!(
+                            toks.get(i.wrapping_sub(3)).map(|t| &t.tok),
+                            Some(Tok::Punct('.'))
+                        );
+                        if prev_is_dot {
+                            // `self.field.m()` → type of the field.
+                            let root_is_self = matches!(
+                                toks.get(i.wrapping_sub(4)).map(|t| &t.tok),
+                                Some(Tok::Ident(s)) if s == "self"
+                            );
+                            if root_is_self {
+                                f.impl_type.as_ref().and_then(|ty| {
+                                    symbols
+                                        .field_type(files, own, ty, r)
+                                        .and_then(|t| t.first().cloned())
+                                })
+                            } else {
+                                None
+                            }
+                        } else {
+                            locals.get(r.as_str()).cloned()
+                        }
+                    }
+                    _ => None,
+                };
+                symbols.resolve_method_call(own, hint.as_deref(), name)
+            } else {
+                let path = path_before(toks, i, name);
+                // env::var / env::var_os read sites (D6).
+                if path.len() >= 2
+                    && path[path.len() - 2] == "env"
+                    && (name == "var" || name == "var_os")
+                {
+                    facts.env_lines.push(line);
+                }
+                // par fan-out sites (D4).
+                if name == "par_map" || name == "par_map_range" {
+                    let close = matching(toks, i + 1, '(', ')');
+                    facts.par_calls.push(ParCall {
+                        name_idx: i,
+                        args: (i + 1, close),
+                    });
+                }
+                symbols.resolve_path_call(node.file, own, &path)
+            };
+            for callee in resolved {
+                if callee != id {
+                    edges.push((callee, line));
+                }
+            }
+            i += 1;
+        }
+        // Method-style par calls (`pool.par_map(...)`) are rare but cheap
+        // to cover: scan once more for `. par_map (`.
+        let mut j = bo;
+        while j <= bc {
+            if let Some(Tok::Ident(nm)) = toks.get(j).map(|t| &t.tok) {
+                if (nm == "par_map" || nm == "par_map_range")
+                    && matches!(
+                        toks.get(j.wrapping_sub(1)).map(|t| &t.tok),
+                        Some(Tok::Punct('.'))
+                    )
+                    && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                {
+                    let close = matching(toks, j + 1, '(', ')');
+                    facts.par_calls.push(ParCall {
+                        name_idx: j,
+                        args: (j + 1, close),
+                    });
+                }
+            }
+            j += 1;
+        }
+        edges.sort();
+        edges.dedup();
+        cg.calls[id] = edges;
+        cg.facts.push(facts);
+    }
+    for id in 0..n {
+        for &(callee, _) in &cg.calls[id] {
+            cg.rev[callee].push(id);
+        }
+    }
+    for r in &mut cg.rev {
+        r.sort();
+        r.dedup();
+    }
+    cg
+}
+
+/// Result of a reverse reachability pass: which fns transitively reach a
+/// site set, and the next hop toward the nearest site for path evidence.
+#[derive(Debug)]
+pub struct Reach {
+    pub tainted: Vec<bool>,
+    next: Vec<Option<usize>>,
+}
+
+impl Reach {
+    /// The call path from `from` down to a site fn (inclusive).
+    pub fn path(&self, from: usize) -> Vec<usize> {
+        let mut out = vec![from];
+        let mut cur = from;
+        while let Some(n) = self.next[cur] {
+            out.push(n);
+            cur = n;
+            if out.len() > 64 {
+                break; // cycle guard; paths this deep are not useful
+            }
+        }
+        out
+    }
+}
+
+/// Reverse BFS from `sites` over caller edges. A fn for which `boundary`
+/// returns true is itself marked tainted but does not propagate taint to
+/// its callers (it documents/encapsulates the hazard).
+pub fn reach(cg: &CallGraph, sites: &[usize], boundary: impl Fn(usize) -> bool) -> Reach {
+    let n = cg.calls.len();
+    let mut r = Reach {
+        tainted: vec![false; n],
+        next: vec![None; n],
+    };
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &s in sites {
+        if !r.tainted[s] {
+            r.tainted[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        if boundary(f) {
+            continue; // absorbed: callers of a boundary are clean
+        }
+        for &caller in &cg.rev[f] {
+            if !r.tainted[caller] {
+                r.tainted[caller] = true;
+                r.next[caller] = Some(f);
+                queue.push_back(caller);
+            }
+        }
+    }
+    r
+}
+
+/// Shortest caller chain from some fn satisfying `root` down to `site`
+/// (inclusive both ends), if one exists. Used for "reached from public
+/// API" evidence on site-anchored findings.
+pub fn ancestor_path(
+    cg: &CallGraph,
+    site: usize,
+    root: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = cg.calls.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[site] = true;
+    queue.push_back(site);
+    while let Some(f) = queue.pop_front() {
+        if root(f) {
+            // Walk back down to the site.
+            let mut path = vec![f];
+            let mut cur = f;
+            while let Some(p) = parent[cur] {
+                path.push(p);
+                cur = p;
+            }
+            return Some(path);
+        }
+        for &caller in &cg.rev[f] {
+            if !seen[caller] {
+                seen[caller] = true;
+                parent[caller] = Some(f);
+                queue.push_back(caller);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::resolve::ParsedFile;
+    use crate::rules::FileClass;
+    use std::collections::BTreeMap;
+
+    fn ws(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, Symbols, CallGraph) {
+        let files: Vec<ParsedFile> = sources
+            .iter()
+            .map(|(rel, src)| {
+                let lexed = lex(src);
+                let ast = parse(&lexed);
+                ParsedFile {
+                    rel: rel.to_string(),
+                    class: FileClass::from_rel_path(rel),
+                    lexed,
+                    ast,
+                }
+            })
+            .collect();
+        let symbols = Symbols::build(&files, &BTreeMap::new());
+        let cg = build(&files, &symbols);
+        (files, symbols, cg)
+    }
+
+    fn id_of(s: &Symbols, qual: &str) -> usize {
+        s.fns
+            .iter()
+            .position(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("no fn {qual}"))
+    }
+
+    #[test]
+    fn free_and_method_edges_resolve() {
+        let (_f, s, cg) = ws(&[(
+            "crates/core/src/lib.rs",
+            "pub struct T;\nimpl T {\n    pub fn helper(&self) { leaf(); }\n}\nfn leaf() {}\npub fn entry() { let t = T; t.helper(); }\n",
+        )]);
+        let entry = id_of(&s, "core::entry");
+        let helper = id_of(&s, "core::T::helper");
+        let leaf = id_of(&s, "core::leaf");
+        assert!(cg.calls[helper].iter().any(|&(c, _)| c == leaf));
+        // Fuzzy method resolution still links `t.helper()`.
+        assert!(cg.calls[entry].iter().any(|&(c, _)| c == helper));
+    }
+
+    #[test]
+    fn facts_collect_unsafe_panic_env_par() {
+        let (_f, s, cg) = ws(&[(
+            "crates/core/src/lib.rs",
+            "pub fn f() {\n    let v = std::env::var(\"X\");\n    let r = v.unwrap();\n    unsafe { op() }\n    sage_util::par_map_range(0, 4, |i| i);\n}\n",
+        )]);
+        let f = id_of(&s, "core::f");
+        let facts = &cg.facts[f];
+        assert!(facts.has_unsafe);
+        assert_eq!(facts.panic_lines, vec![3]);
+        assert_eq!(facts.env_lines, vec![2]);
+        assert_eq!(facts.par_calls.len(), 1);
+    }
+
+    #[test]
+    fn doc_markers_set_boundary_facts() {
+        let (_f, s, cg) = ws(&[(
+            "crates/nn/src/lib.rs",
+            "/// Fast kernel dispatch.\n///\n/// SAFETY-BOUNDARY: feature-detected, length-asserted.\npub fn matmul() { unsafe { k() } }\n\n/// # Panics\n/// On scheduler bugs only.\npub fn par() { x().unwrap(); }\n",
+        )]);
+        assert!(cg.facts[id_of(&s, "nn::matmul")].safety_boundary);
+        assert!(cg.facts[id_of(&s, "nn::par")].panics_doc);
+    }
+
+    #[test]
+    fn reach_propagates_and_boundaries_absorb() {
+        let (_f, s, cg) = ws(&[(
+            "crates/core/src/lib.rs",
+            "fn site() { unsafe { op() } }\nfn mid() { site(); }\npub fn top() { mid(); }\nfn bsite() { unsafe { op() } }\n/// SAFETY-BOUNDARY: encapsulated.\nfn boundary() { bsite(); }\npub fn safe_top() { boundary(); }\n",
+        )]);
+        let sites: Vec<usize> = (0..cg.facts.len())
+            .filter(|&i| cg.facts[i].has_unsafe)
+            .collect();
+        let r = reach(&cg, &sites, |i| cg.facts[i].safety_boundary);
+        let top = id_of(&s, "core::top");
+        let safe_top = id_of(&s, "core::safe_top");
+        assert!(r.tainted[top]);
+        assert!(!r.tainted[safe_top], "boundary must absorb taint");
+        let path = r.path(top);
+        let quals: Vec<&str> = path.iter().map(|&i| s.node(i).qual.as_str()).collect();
+        assert_eq!(quals, ["core::top", "core::mid", "core::site"]);
+    }
+
+    #[test]
+    fn ancestor_path_finds_public_root() {
+        let (f, s, cg) = ws(&[(
+            "crates/core/src/lib.rs",
+            "fn site() { let _ = std::env::var(\"X\"); }\nfn mid() { site(); }\npub fn api() { mid(); }\n",
+        )]);
+        let site = id_of(&s, "core::site");
+        let path = ancestor_path(&cg, site, |i| s.fn_item(&f, i).vis == crate::ast::Vis::Pub)
+            .expect("public root exists");
+        let quals: Vec<&str> = path.iter().map(|&i| s.node(i).qual.as_str()).collect();
+        assert_eq!(quals, ["core::api", "core::mid", "core::site"]);
+    }
+}

@@ -26,8 +26,9 @@ pub enum Tok {
     Char,
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
-    /// A numeric literal fragment.
-    Num,
+    /// A numeric literal fragment, carrying its raw lexeme so rules can
+    /// tell float literals (`0.0`, `1f64`) from integers.
+    Num(String),
 }
 
 /// A token plus the 1-based source line it starts on.
@@ -94,6 +95,17 @@ pub fn lex(src: &str) -> Lexed {
     let mut i = 0usize;
     let mut line = 1usize;
     out.line_mut(1);
+
+    // A shebang (`#!/usr/bin/env ...`) is legal only on the very first
+    // line and is not Rust syntax; consume it as a comment. `#![...]`
+    // inner attributes are NOT shebangs.
+    if b.first() == Some(&'#') && b.get(1) == Some(&'!') && b.get(2) != Some(&'[') {
+        while i < b.len() && b[i] != '\n' {
+            i += 1;
+        }
+        let text: String = b[..i].iter().collect();
+        out.push_comment(1, &text);
+    }
 
     while i < b.len() {
         let c = b[i];
@@ -179,6 +191,22 @@ pub fn lex(src: &str) -> Lexed {
                     i = consume_string(&b, i + 1, &mut line, &mut out);
                     continue;
                 }
+                // Raw identifier `r#ident`: one Ident token holding the
+                // name, so `r#type` never splits into `r`, `#`, `type`.
+                // (`r#"..."#` was already consumed by raw_string_start.)
+                if c == 'r'
+                    && b.get(i + 1) == Some(&'#')
+                    && b.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    let start = i + 2;
+                    i = start;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    let ident: String = b[start..i].iter().collect();
+                    out.push(line, Tok::Ident(ident));
+                    continue;
+                }
                 let start = i;
                 while i < b.len() && is_ident_continue(b[i]) {
                     i += 1;
@@ -187,6 +215,7 @@ pub fn lex(src: &str) -> Lexed {
                 out.push(line, Tok::Ident(ident));
             }
             c if c.is_ascii_digit() => {
+                let start = i;
                 while i < b.len() && (is_ident_continue(b[i]) || b[i] == '.') {
                     // Stop a float's trailing `.` from eating `..` ranges.
                     if b[i] == '.' && b.get(i + 1) == Some(&'.') {
@@ -194,7 +223,8 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     i += 1;
                 }
-                out.push(line, Tok::Num);
+                let text: String = b[start..i].iter().collect();
+                out.push(line, Tok::Num(text));
             }
             c => {
                 out.push(line, Tok::Punct(c));
@@ -352,6 +382,68 @@ let c = b"HashMap bytes";
         let src = "let q = '\\''; let n = '\\n'; let x = 1;";
         let ids = idents(src);
         assert_eq!(ids.iter().filter(|s| *s == "let").count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let src = "fn r#match(r#type: u32) -> u32 { r#type }";
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "match").count(), 1, "{ids:?}");
+        assert_eq!(ids.iter().filter(|s| *s == "type").count(), 2, "{ids:?}");
+        // No stray `r` fragments and no `#` punct in the middle of a name.
+        assert!(!ids.iter().any(|s| s == "r"), "{ids:?}");
+        // Raw strings still win over raw identifiers.
+        let lexed = lex("let a = r#\"not an ident\"#;");
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.tok == Tok::Str("not an ident".into())));
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment_not_tokens() {
+        let src = "#!/usr/bin/env run-cargo-script\nlet a = 1;\n";
+        let lexed = lex(src);
+        assert!(!lexed.lines[1].has_code, "{:?}", lexed.lines[1]);
+        assert!(lexed.lines[1].comments[0].contains("usr/bin/env"));
+        assert!(lexed.lines[2].has_code);
+        // Inner attributes at file start are NOT shebangs.
+        let lexed = lex("#![allow(dead_code)]\n");
+        assert!(lexed.lines[1].has_code);
+        assert!(lexed.lines[1].attr_start);
+    }
+
+    #[test]
+    fn nested_generics_close_as_split_gt_tokens() {
+        // `>>` in generic position must arrive as two `>` puncts so the
+        // parser can close two levels (same for `<<` opening none).
+        let lexed = lex("let v: Vec<Vec<u32>> = Vec::new();");
+        let gts = lexed
+            .toks
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('>'))
+            .count();
+        assert_eq!(gts, 2);
+    }
+
+    #[test]
+    fn numeric_lexemes_distinguish_floats() {
+        let nums = |src: &str| -> Vec<String> {
+            lex(src)
+                .toks
+                .into_iter()
+                .filter_map(|t| match t.tok {
+                    Tok::Num(s) => Some(s),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(
+            nums("let a = 0.0; let b = 17; let c = 1f64;"),
+            ["0.0", "17", "1f64"]
+        );
+        // `..` ranges do not glue onto the number.
+        assert_eq!(nums("for i in 0..10 {}"), ["0", "10"]);
     }
 
     #[test]

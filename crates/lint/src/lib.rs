@@ -1,4 +1,4 @@
-//! `sage-lint`: the workspace determinism & safety lint.
+//! `sage-lint`: the workspace determinism & safety static analyzer.
 //!
 //! The repo's headline guarantee is exact replay: the same seed yields the
 //! same pool bytes, model bytes, league rankings and serve digests at any
@@ -6,25 +6,50 @@
 //! scenario happens to exercise it; this crate rejects the violation at
 //! the source line that introduces it, before it can reach a digest.
 //!
-//! The analyzer is a hand-rolled lexer ([`lexer`]) plus a line-oriented
-//! rule engine ([`rules`]) — zero external dependencies, consistent with
-//! the workspace's offline-build rule. See [`rules`] for the rule table
-//! and the `// lint:allow(RULE): reason` suppression syntax.
+//! The analyzer is a hand-rolled pipeline — zero external dependencies,
+//! consistent with the workspace's offline-build rule:
+//!
+//! 1. [`lexer`] — tokens plus per-line comment/attribute structure;
+//! 2. [`parse`] — a tolerant recursive-descent parser producing an
+//!    item-level AST ([`ast`]): fns, impls, types, use-trees;
+//! 3. [`resolve`] — per-crate symbol tables with use-resolution, bounded
+//!    by real `Cargo.toml` dependency edges;
+//! 4. [`callgraph`] — a workspace call graph plus per-fn facts (unsafe,
+//!    panic sites, `env::var` reads, par-closure spans, boundary docs);
+//! 5. [`rules`] — line rules (D1–D3, U1, P1, O1, A0) and interprocedural
+//!    rules (D4–D6, U2, P2) whose findings carry call-path evidence.
+//!
+//! See [`rules`] for the rule table and the `// lint:allow(RULE): reason`
+//! suppression syntax.
 //!
 //! Run it with `cargo run -p sage-lint`; it walks every `crates/*/src`,
 //! `crates/*/tests`, root `src/` and `tests/` file, prints human-readable
-//! findings, and writes `artifacts/results/LINT_report.json` through the
-//! atomic report writer.
+//! findings, and writes `artifacts/results/LINT_report.json` (per-rule
+//! counts, per-crate breakdown, per-phase timings) through the atomic
+//! report writer.
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
+pub mod resolve;
 pub mod rules;
 
 pub use rules::{analyze, FileClass, FileOutcome, Finding, Rule, Suppressed};
 
+use resolve::{ParsedFile, Symbols};
 use sage_util::Json;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Per-crate slice of a workspace report.
+#[derive(Debug, Default, Clone)]
+pub struct CrateStats {
+    pub files: usize,
+    pub findings: usize,
+    pub suppressed: usize,
+}
 
 /// Lint results for a whole workspace.
 #[derive(Debug, Default)]
@@ -32,6 +57,12 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
     pub findings: Vec<Finding>,
     pub suppressed: Vec<Suppressed>,
+    /// Per-phase / per-rule wall times in microseconds, in execution
+    /// order: `lex_parse`, `line_rules`, `symbols_callgraph`, then one
+    /// entry per interprocedural rule. Diagnostic only — zeroed by the
+    /// binary when `SAGE_LINT_TIMINGS=0` so reports byte-compare.
+    pub timings_us: Vec<(String, u64)>,
+    pub per_crate: BTreeMap<String, CrateStats>,
 }
 
 impl WorkspaceReport {
@@ -62,6 +93,10 @@ impl WorkspaceReport {
                 ("line", Json::Num(f.line as f64)),
                 ("rule", Json::str(f.rule.name())),
                 ("msg", Json::str(f.msg.clone())),
+                (
+                    "path",
+                    Json::Arr(f.path.iter().map(|q| Json::str(q.clone())).collect()),
+                ),
             ])
         };
         let suppressed = |s: &Suppressed| {
@@ -85,9 +120,30 @@ impl WorkspaceReport {
                 )
             })
             .collect();
+        let timings: BTreeMap<String, Json> = self
+            .timings_us
+            .iter()
+            .map(|(phase, us)| (phase.clone(), Json::Num(*us as f64)))
+            .collect();
+        let crates: BTreeMap<String, Json> = self
+            .per_crate
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("files", Json::Num(c.files as f64)),
+                        ("findings", Json::Num(c.findings as f64)),
+                        ("suppressed", Json::Num(c.suppressed as f64)),
+                    ]),
+                )
+            })
+            .collect();
         Json::obj(vec![
             ("files_scanned", Json::Num(self.files_scanned as f64)),
             ("rules", Json::Obj(rules)),
+            ("timings_us", Json::Obj(timings)),
+            ("crates", Json::Obj(crates)),
             (
                 "findings",
                 Json::Arr(self.findings.iter().map(finding).collect()),
@@ -98,6 +154,127 @@ impl WorkspaceReport {
             ),
         ])
     }
+}
+
+/// Monotonic stamp for the diagnostic phase timings below.
+// lint:allow(D2): lint-phase timings are diagnostic-only and zeroed under SAGE_LINT_TIMINGS=0
+fn stamp() -> std::time::Instant {
+    // lint:allow(D2): lint-phase timings are diagnostic-only and zeroed under SAGE_LINT_TIMINGS=0
+    std::time::Instant::now()
+}
+
+/// Run the full analysis pipeline over in-memory sources.
+///
+/// `sources` is `(workspace-relative path, content)`; `deps` maps each
+/// crate to the workspace crates it depends on (see
+/// [`resolve::scan_deps`] — pass an empty map to make every crate
+/// visible to every other, which is what fixture tests want).
+///
+/// This is the one entry point that runs *everything*: line rules per
+/// file, then symbol resolution, call-graph construction and the
+/// interprocedural rules, then the deferred unused-suppression check
+/// (A0) — an allow is "used" if either pass consumed it.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    deps: &BTreeMap<String, Vec<String>>,
+) -> WorkspaceReport {
+    let mut report = WorkspaceReport::default();
+    let mut out = FileOutcome::default();
+
+    let t = stamp();
+    let files: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(rel, src)| {
+            let lexed = lexer::lex(src);
+            let ast = parse::parse(&lexed);
+            ParsedFile {
+                rel: rel.clone(),
+                class: FileClass::from_rel_path(rel),
+                lexed,
+                ast,
+            }
+        })
+        .collect();
+    report
+        .timings_us
+        .push(("lex_parse".into(), t.elapsed().as_micros() as u64));
+
+    let t = stamp();
+    let mut allows: Vec<Vec<rules::Allow>> = Vec::with_capacity(files.len());
+    for pf in &files {
+        let mut a = rules::parse_allows(&pf.rel, &pf.lexed, &mut out);
+        rules::line_pass(&pf.rel, &pf.class, &pf.lexed, &mut a, &mut out);
+        allows.push(a);
+    }
+    report
+        .timings_us
+        .push(("line_rules".into(), t.elapsed().as_micros() as u64));
+
+    let t = stamp();
+    let symbols = Symbols::build(&files, deps);
+    let cg = callgraph::build(&files, &symbols);
+    report
+        .timings_us
+        .push(("symbols_callgraph".into(), t.elapsed().as_micros() as u64));
+
+    let ws = rules::Ws {
+        files: &files,
+        symbols: &symbols,
+        cg: &cg,
+    };
+    for rule in Rule::INTERPROCEDURAL {
+        let t = stamp();
+        for raw in rules::run_rule(&ws, rule) {
+            let rel = files[raw.file_idx].rel.clone();
+            rules::emit(
+                &rel,
+                &mut allows[raw.file_idx],
+                &mut out,
+                raw.line,
+                raw.rule,
+                raw.msg,
+                raw.path,
+            );
+        }
+        report.timings_us.push((
+            format!("rule_{}", rule.name().to_ascii_lowercase()),
+            t.elapsed().as_micros() as u64,
+        ));
+    }
+
+    for (i, pf) in files.iter().enumerate() {
+        rules::finish_allows(&pf.rel, &allows[i], &mut out);
+    }
+
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    // Two detection routes can land on the same site (e.g. D5 sees one
+    // iteration both as a `.iter()` call and as a `for` loop) — report it
+    // once.
+    out.findings
+        .dedup_by(|a, b| (&a.file, a.line, a.rule, &a.msg) == (&b.file, b.line, b.rule, &b.msg));
+    out.suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    report.files_scanned = files.len();
+    for pf in &files {
+        report
+            .per_crate
+            .entry(pf.class.crate_name.clone())
+            .or_default()
+            .files += 1;
+    }
+    for f in &out.findings {
+        let krate = FileClass::from_rel_path(&f.file).crate_name;
+        report.per_crate.entry(krate).or_default().findings += 1;
+    }
+    for s in &out.suppressed {
+        let krate = FileClass::from_rel_path(&s.file).crate_name;
+        report.per_crate.entry(krate).or_default().suppressed += 1;
+    }
+    report.findings = out.findings;
+    report.suppressed = out.suppressed;
+    report
 }
 
 /// The directories scanned relative to the workspace root: every crate's
@@ -139,13 +316,15 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every source file of the workspace rooted at `root`.
-pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+/// Collect the workspace's lintable sources as `(rel_path, text)` pairs,
+/// in sorted path order. Exposed so tests can lint the real tree with
+/// injected negative-control files appended.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for sub in scan_roots(root)? {
         collect_rs(&sub, &mut files)?;
     }
-    let mut report = WorkspaceReport::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -153,13 +332,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
-        let class = FileClass::from_rel_path(&rel);
-        let outcome = analyze(&rel, &class, &src);
-        report.findings.extend(outcome.findings);
-        report.suppressed.extend(outcome.suppressed);
-        report.files_scanned += 1;
+        sources.push((rel, src));
     }
-    Ok(report)
+    Ok(sources)
+}
+
+/// Lint every source file of the workspace rooted at `root` — the full
+/// pipeline, with dependency visibility read from the real Cargo.tomls.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let sources = collect_sources(root)?;
+    let deps = resolve::scan_deps(root).unwrap_or_default();
+    Ok(analyze_sources(&sources, &deps))
 }
 
 #[cfg(test)]
@@ -170,11 +353,13 @@ mod tests {
     fn file_class_from_paths() {
         let c = FileClass::from_rel_path("crates/serve/src/runtime.rs");
         assert_eq!(c.crate_name, "serve");
-        assert!(!c.in_tests_dir && !c.is_util_par);
+        assert!(!c.in_tests_dir && !c.is_util_par && !c.is_env_cfg);
         let c = FileClass::from_rel_path("crates/core/tests/golden_train.rs");
         assert!(c.in_tests_dir);
         let c = FileClass::from_rel_path("crates/util/src/par.rs");
         assert!(c.is_util_par);
+        let c = FileClass::from_rel_path("crates/util/src/env_cfg.rs");
+        assert!(c.is_env_cfg);
         let c = FileClass::from_rel_path("src/lib.rs");
         assert_eq!(c.crate_name, "sage");
     }
@@ -185,11 +370,21 @@ mod tests {
             files_scanned: 2,
             ..Default::default()
         };
+        r.timings_us.push(("lex_parse".into(), 42));
+        r.per_crate.insert(
+            "core".into(),
+            CrateStats {
+                files: 2,
+                findings: 1,
+                suppressed: 0,
+            },
+        );
         r.findings.push(Finding {
             file: "a.rs".into(),
             line: 3,
             rule: Rule::D1,
             msg: "x".into(),
+            path: vec!["core::f".into()],
         });
         let text = r.to_json().to_string();
         let parsed = Json::parse(&text).expect("report JSON must parse");
@@ -203,5 +398,91 @@ mod tests {
                 .and_then(|v| v.as_usize()),
             Some(1)
         );
+        assert_eq!(
+            parsed
+                .get("timings_us")
+                .and_then(|t| t.get("lex_parse"))
+                .and_then(|v| v.as_usize()),
+            Some(42)
+        );
+        assert_eq!(
+            parsed
+                .get("crates")
+                .and_then(|c| c.get("core"))
+                .and_then(|c| c.get("files"))
+                .and_then(|v| v.as_usize()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn analyze_sources_runs_line_and_interprocedural_rules() {
+        let sources = vec![
+            (
+                "crates/core/src/lib.rs".to_string(),
+                "fn site() { let _ = std::env::var(\"X\"); }\nfn mid() { site(); }\npub fn api() { mid(); }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/eval/src/lib.rs".to_string(),
+                "use std::collections::HashMap;\n".to_string(),
+            ),
+        ];
+        let r = analyze_sources(&sources, &BTreeMap::new());
+        assert_eq!(r.files_scanned, 2);
+        let rules_hit: Vec<Rule> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules_hit.contains(&Rule::D1), "{rules_hit:?}");
+        assert!(rules_hit.contains(&Rule::D6), "{rules_hit:?}");
+        let d6 = r.findings.iter().find(|f| f.rule == Rule::D6).unwrap();
+        assert_eq!(
+            d6.path,
+            vec!["core::api", "core::mid", "core::site"],
+            "D6 findings carry the public call path as evidence"
+        );
+        // Phase timings exist for every phase + interprocedural rule.
+        let names: Vec<&str> = r.timings_us.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "lex_parse",
+                "line_rules",
+                "symbols_callgraph",
+                "rule_d4",
+                "rule_d5",
+                "rule_d6",
+                "rule_u2",
+                "rule_p2"
+            ]
+        );
+        assert_eq!(r.per_crate["core"].files, 1);
+        assert_eq!(r.per_crate["eval"].findings, 1);
+    }
+
+    #[test]
+    fn interprocedural_findings_are_suppressible_and_unused_allows_fire_a0() {
+        let src = "\
+// lint:allow(D6): fixture exercises the suppression path for D6
+fn site() { let _ = std::env::var(\"X\"); }\n";
+        let r = analyze_sources(
+            &[("crates/core/src/lib.rs".to_string(), src.to_string())],
+            &BTreeMap::new(),
+        );
+        assert!(
+            r.findings.is_empty(),
+            "allow must cover the D6 site: {:?}",
+            r.findings
+        );
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, Rule::D6);
+
+        // The same allow with nothing to suppress is an A0 after the
+        // deferred check.
+        let src = "// lint:allow(D6): nothing here reads the environment\nfn quiet() {}\n";
+        let r = analyze_sources(
+            &[("crates/core/src/lib.rs".to_string(), src.to_string())],
+            &BTreeMap::new(),
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::A0);
     }
 }

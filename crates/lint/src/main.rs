@@ -13,7 +13,7 @@ fn main() -> ExitCode {
         // CARGO_MANIFEST_DIR = crates/lint → workspace root is two up.
         None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
     };
-    let report = match sage_lint::lint_workspace(&root) {
+    let mut report = match sage_lint::lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!(
@@ -24,8 +24,20 @@ fn main() -> ExitCode {
         }
     };
 
+    // `SAGE_LINT_TIMINGS=0` zeroes the diagnostic phase timings so two
+    // runs of the same tree produce byte-identical reports (the check.sh
+    // smoke gate byte-compares reports across thread counts).
+    if sage_util::env_cfg::lint_timings().as_deref() == Some("0") {
+        for t in &mut report.timings_us {
+            t.1 = 0;
+        }
+    }
+
     for f in &report.findings {
         println!("{}:{}: {}: {}", f.file, f.line, f.rule, f.msg);
+        if !f.path.is_empty() {
+            println!("    call path: {}", f.path.join(" -> "));
+        }
     }
 
     // Per-rule counts feed the obs registry so the report's embedded
@@ -50,9 +62,29 @@ fn main() -> ExitCode {
                 sage_obs::obs_counter!("lint.unsuppressed.u1").add(fired);
                 sage_obs::obs_counter!("lint.suppressed.u1").add(suppressed);
             }
+            "D4" => {
+                sage_obs::obs_counter!("lint.unsuppressed.d4").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d4").add(suppressed);
+            }
+            "D5" => {
+                sage_obs::obs_counter!("lint.unsuppressed.d5").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d5").add(suppressed);
+            }
+            "D6" => {
+                sage_obs::obs_counter!("lint.unsuppressed.d6").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.d6").add(suppressed);
+            }
+            "U2" => {
+                sage_obs::obs_counter!("lint.unsuppressed.u2").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.u2").add(suppressed);
+            }
             "P1" => {
                 sage_obs::obs_counter!("lint.unsuppressed.p1").add(fired);
                 sage_obs::obs_counter!("lint.suppressed.p1").add(suppressed);
+            }
+            "P2" => {
+                sage_obs::obs_counter!("lint.unsuppressed.p2").add(fired);
+                sage_obs::obs_counter!("lint.suppressed.p2").add(suppressed);
             }
             "O1" => {
                 sage_obs::obs_counter!("lint.unsuppressed.o1").add(fired);
@@ -70,7 +102,8 @@ fn main() -> ExitCode {
     if let sage_util::Json::Obj(m) = &mut json {
         m.insert("metrics".to_string(), sage_bench::obs_metrics());
     }
-    let path = sage_bench::write_report("LINT_report.json", &json);
+    let out_name = sage_util::env_cfg::lint_out().unwrap_or_else(|| "LINT_report.json".to_string());
+    let path = sage_bench::write_report(&out_name, &json);
 
     let total: usize = counts.values().map(|c| c.0).sum();
     let suppressed: usize = counts.values().map(|c| c.1).sum();

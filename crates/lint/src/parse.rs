@@ -1,0 +1,748 @@
+//! Tolerant recursive-descent parser: token stream → item-level AST.
+//!
+//! The grammar subset is exactly what the interprocedural rules need:
+//! `fn` items (free, impl and trait methods) with their parameter and
+//! body token ranges, `struct`/`enum` declarations with field types,
+//! `impl` blocks (to attribute methods to a self type), inline `mod`
+//! nesting, and flattened `use` trees. Everything else — consts, statics,
+//! macros, trait bounds, where clauses — is skipped structurally
+//! (matched delimiters, or to the next `;`), never an error: a file the
+//! parser cannot fully shape still yields every item it *could* shape.
+//!
+//! Test-only code is tracked at parse time: an item annotated
+//! `#[cfg(test)]` or `#[test]` (and everything nested inside it) is
+//! marked `in_test`, which the rules use to scope P2/U2/D6 to shipping
+//! code the way the line rules already scope P1.
+
+use crate::ast::{Field, FileAst, FnItem, TypeItem, UseLeaf, Vis};
+use crate::lexer::{Lexed, SpannedTok, Tok};
+
+/// Parse one lexed file into its item-level AST.
+pub fn parse(lexed: &Lexed) -> FileAst {
+    let mut out = FileAst::default();
+    let toks = &lexed.toks;
+    parse_items(toks, 0, toks.len(), &mut out, &[], None, false);
+    out
+}
+
+fn ident_at(toks: &[SpannedTok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[SpannedTok], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(t) if t.tok == Tok::Punct(c))
+}
+
+/// Index of the delimiter matching the opener at `open_idx` (which must
+/// hold `open`), or the end of the stream if unterminated.
+pub fn matching(toks: &[SpannedTok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.tok == Tok::Punct(open) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a generic parameter/argument list starting at `<`; returns the
+/// index just past the closing `>`. `->` arrows inside bounds (e.g.
+/// `F: Fn(usize) -> R`) do not close the list, and `>>` closes two
+/// levels because the lexer splits it into two `>` puncts.
+fn skip_generics(toks: &[SpannedTok], i: usize) -> usize {
+    debug_assert!(punct_at(toks, i, '<'));
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if punct_at(toks, j, '<') {
+            depth += 1;
+        } else if punct_at(toks, j, '>') && !punct_at(toks, j.wrapping_sub(1), '-') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skip to the `;` terminating a const/static/type item, honouring
+/// nested delimiters; returns the index just past it.
+fn skip_to_semi(toks: &[SpannedTok], i: usize) -> usize {
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct(';') => return j + 1,
+            Tok::Punct('{') => j = matching(toks, j, '{', '}') + 1,
+            Tok::Punct('(') => j = matching(toks, j, '(', ')') + 1,
+            Tok::Punct('[') => j = matching(toks, j, '[', ']') + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Does the attribute opening at `#`/`[` mark test-only code? True for
+/// `#[test]` and any `#[cfg(...)]` whose arguments mention `test`.
+fn attr_is_test(toks: &[SpannedTok], hash: usize, close: usize) -> bool {
+    match ident_at(toks, hash + 2) {
+        Some("test") => true,
+        Some("cfg") => toks[hash + 2..close]
+            .iter()
+            .skip(1)
+            .any(|t| t.tok == Tok::Ident("test".into())),
+        _ => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_items(
+    toks: &[SpannedTok],
+    start: usize,
+    end: usize,
+    out: &mut FileAst,
+    module: &[String],
+    impl_type: Option<&str>,
+    in_test: bool,
+) {
+    let mut i = start;
+    let mut vis = Vis::Private;
+    let mut item_test = in_test;
+    let mut item_unsafe = false;
+    // Reset per-item modifier state after an item (or junk) is consumed.
+    macro_rules! reset {
+        () => {{
+            vis = Vis::Private;
+            item_test = in_test;
+            item_unsafe = false;
+        }};
+    }
+    while i < end {
+        let Some(st) = toks.get(i) else { break };
+        match &st.tok {
+            Tok::Punct('#') => {
+                // Attribute (`#[...]` or inner `#![...]`): note test
+                // markers, then skip the bracket group.
+                let open = if punct_at(toks, i + 1, '[') {
+                    i + 1
+                } else if punct_at(toks, i + 1, '!') && punct_at(toks, i + 2, '[') {
+                    i + 2
+                } else {
+                    i += 1;
+                    continue;
+                };
+                let close = matching(toks, open, '[', ']');
+                if open == i + 1 && attr_is_test(toks, i, close) {
+                    item_test = true;
+                }
+                i = close + 1;
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "pub" => {
+                    vis = if punct_at(toks, i + 1, '(') {
+                        i = matching(toks, i + 1, '(', ')') + 1;
+                        Vis::PubScoped
+                    } else {
+                        i += 1;
+                        Vis::Pub
+                    };
+                }
+                "unsafe" => {
+                    item_unsafe = true;
+                    i += 1;
+                }
+                "const" | "async" | "extern" if ahead_is_fn(toks, i + 1) => {
+                    // Function qualifier, not a const/extern item.
+                    i += 1;
+                }
+                "fn" => {
+                    i = parse_fn(toks, i, out, module, impl_type, vis, item_test, item_unsafe);
+                    reset!();
+                }
+                "struct" | "union" => {
+                    i = parse_struct(toks, i, out, module, item_test);
+                    reset!();
+                }
+                "enum" => {
+                    i = parse_enum(toks, i, out, module, item_test);
+                    reset!();
+                }
+                "mod" => {
+                    if let Some(name) = ident_at(toks, i + 1) {
+                        if punct_at(toks, i + 2, '{') {
+                            let close = matching(toks, i + 2, '{', '}');
+                            let mut sub = module.to_vec();
+                            sub.push(name.to_string());
+                            parse_items(toks, i + 3, close, out, &sub, None, item_test);
+                            i = close + 1;
+                        } else {
+                            i = skip_to_semi(toks, i + 2);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    reset!();
+                }
+                "impl" => {
+                    i = parse_impl(toks, i, out, module, item_test);
+                    reset!();
+                }
+                "trait" => {
+                    // Default methods parse as methods of the trait name.
+                    let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                    let mut j = i + 2;
+                    if punct_at(toks, j, '<') {
+                        j = skip_generics(toks, j);
+                    }
+                    while j < end && !punct_at(toks, j, '{') && !punct_at(toks, j, ';') {
+                        j += 1;
+                    }
+                    if punct_at(toks, j, '{') {
+                        let close = matching(toks, j, '{', '}');
+                        parse_items(toks, j + 1, close, out, module, Some(&name), item_test);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    reset!();
+                }
+                "use" => {
+                    i = parse_use(toks, i + 1, out, item_test);
+                    reset!();
+                }
+                "macro_rules" => {
+                    let mut j = i + 1;
+                    while j < end && !punct_at(toks, j, '{') {
+                        j += 1;
+                    }
+                    i = matching(toks, j, '{', '}') + 1;
+                    reset!();
+                }
+                "static" | "const" | "type" | "extern" => {
+                    i = skip_to_semi(toks, i + 1);
+                    reset!();
+                }
+                _ => {
+                    i += 1;
+                    reset!();
+                }
+            },
+            // Stray delimiters at item level: skip structurally so a
+            // mis-parse cannot swallow the rest of the file.
+            Tok::Punct('{') => {
+                i = matching(toks, i, '{', '}') + 1;
+                reset!();
+            }
+            _ => {
+                i += 1;
+                reset!();
+            }
+        }
+    }
+}
+
+/// Is the next item-level keyword (past qualifiers) `fn`?
+fn ahead_is_fn(toks: &[SpannedTok], mut i: usize) -> bool {
+    for _ in 0..4 {
+        match ident_at(toks, i) {
+            Some("fn") => return true,
+            Some("unsafe" | "const" | "async") => i += 1,
+            Some(_) | None => {
+                // `extern "C" fn` carries a string literal qualifier.
+                if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Str(_))) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    toks: &[SpannedTok],
+    fn_kw: usize,
+    out: &mut FileAst,
+    module: &[String],
+    impl_type: Option<&str>,
+    vis: Vis,
+    in_test: bool,
+    is_unsafe: bool,
+) -> usize {
+    let Some(name) = ident_at(toks, fn_kw + 1) else {
+        return fn_kw + 1;
+    };
+    let name = name.to_string();
+    let mut j = fn_kw + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    if !punct_at(toks, j, '(') {
+        return j; // tolerant: not a shape we understand
+    }
+    let params_close = matching(toks, j, '(', ')');
+    let params = (j, params_close);
+    // Return type and where clause: scan to the body `{` or a `;`.
+    let mut k = params_close + 1;
+    while k < toks.len() && !punct_at(toks, k, '{') && !punct_at(toks, k, ';') {
+        if punct_at(toks, k, '<') {
+            k = skip_generics(toks, k);
+        } else if punct_at(toks, k, '(') {
+            k = matching(toks, k, '(', ')') + 1;
+        } else {
+            k += 1;
+        }
+    }
+    let (body, next) = if punct_at(toks, k, '{') {
+        let close = matching(toks, k, '{', '}');
+        (Some((k, close)), close + 1)
+    } else {
+        (None, k + 1)
+    };
+    out.fns.push(FnItem {
+        name,
+        vis,
+        line: toks[fn_kw].line,
+        module: module.to_vec(),
+        impl_type: impl_type.map(str::to_string),
+        params,
+        body,
+        in_test,
+        is_unsafe,
+    });
+    next
+}
+
+fn parse_struct(
+    toks: &[SpannedTok],
+    kw: usize,
+    out: &mut FileAst,
+    module: &[String],
+    in_test: bool,
+) -> usize {
+    let Some(name) = ident_at(toks, kw + 1) else {
+        return kw + 1;
+    };
+    let name = name.to_string();
+    let line = toks[kw].line;
+    let mut j = kw + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    // Where clause before the body, if any.
+    while j < toks.len()
+        && !punct_at(toks, j, '{')
+        && !punct_at(toks, j, '(')
+        && !punct_at(toks, j, ';')
+    {
+        if punct_at(toks, j, '<') {
+            j = skip_generics(toks, j);
+        } else {
+            j += 1;
+        }
+    }
+    let mut fields = Vec::new();
+    let next = if punct_at(toks, j, '{') {
+        let close = matching(toks, j, '{', '}');
+        parse_named_fields(toks, j + 1, close, &mut fields);
+        close + 1
+    } else if punct_at(toks, j, '(') {
+        // Tuple struct: fields named by position.
+        let close = matching(toks, j, '(', ')');
+        let mut k = j + 1;
+        let mut idx = 0usize;
+        let mut ty = Vec::new();
+        while k < close {
+            match &toks[k].tok {
+                Tok::Punct(',') => {
+                    fields.push(Field {
+                        name: idx.to_string(),
+                        ty: std::mem::take(&mut ty),
+                    });
+                    idx += 1;
+                    k += 1;
+                }
+                Tok::Punct('(') => k = matching(toks, k, '(', ')') + 1,
+                Tok::Ident(s) if s != "pub" => {
+                    ty.push(s.clone());
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        if !ty.is_empty() {
+            fields.push(Field {
+                name: idx.to_string(),
+                ty,
+            });
+        }
+        skip_to_semi(toks, close + 1)
+    } else {
+        j + 1 // unit struct `;`
+    };
+    out.types.push(TypeItem {
+        name,
+        line,
+        module: module.to_vec(),
+        fields,
+        in_test,
+    });
+    next
+}
+
+/// Parse `name: Type, ...` between `start` and `end` (exclusive).
+fn parse_named_fields(toks: &[SpannedTok], start: usize, end: usize, out: &mut Vec<Field>) {
+    let mut k = start;
+    while k < end {
+        // Skip attributes and visibility on the field.
+        if punct_at(toks, k, '#') && punct_at(toks, k + 1, '[') {
+            k = matching(toks, k + 1, '[', ']') + 1;
+            continue;
+        }
+        if ident_at(toks, k) == Some("pub") {
+            k += 1;
+            if punct_at(toks, k, '(') {
+                k = matching(toks, k, '(', ')') + 1;
+            }
+            continue;
+        }
+        let (Some(name), true) = (ident_at(toks, k), punct_at(toks, k + 1, ':')) else {
+            k += 1;
+            continue;
+        };
+        let name = name.to_string();
+        // Collect type idents until a top-level `,` or the end.
+        let mut ty = Vec::new();
+        let mut j = k + 2;
+        let mut depth = 0usize;
+        while j < end {
+            match &toks[j].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth = depth.saturating_sub(1),
+                Tok::Punct('(') => {
+                    j = matching(toks, j, '(', ')');
+                }
+                Tok::Punct(',') if depth == 0 => break,
+                Tok::Ident(s) if s != "dyn" && s != "mut" => ty.push(s.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(Field { name, ty });
+        k = j + 1;
+    }
+}
+
+fn parse_enum(
+    toks: &[SpannedTok],
+    kw: usize,
+    out: &mut FileAst,
+    module: &[String],
+    in_test: bool,
+) -> usize {
+    let Some(name) = ident_at(toks, kw + 1) else {
+        return kw + 1;
+    };
+    let name = name.to_string();
+    let line = toks[kw].line;
+    let mut j = kw + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    while j < toks.len() && !punct_at(toks, j, '{') && !punct_at(toks, j, ';') {
+        j += 1;
+    }
+    let next = if punct_at(toks, j, '{') {
+        matching(toks, j, '{', '}') + 1
+    } else {
+        j + 1
+    };
+    out.types.push(TypeItem {
+        name,
+        line,
+        module: module.to_vec(),
+        fields: Vec::new(),
+        in_test,
+    });
+    next
+}
+
+fn parse_impl(
+    toks: &[SpannedTok],
+    kw: usize,
+    out: &mut FileAst,
+    module: &[String],
+    in_test: bool,
+) -> usize {
+    let mut j = kw + 1;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    // Collect the head up to `{`; the self type is the path-root ident of
+    // the segment after `for` (trait impls) or of the head itself.
+    let mut head: Vec<&str> = Vec::new();
+    let mut after_for: Vec<&str> = Vec::new();
+    let mut seen_for = false;
+    while j < toks.len() && !punct_at(toks, j, '{') {
+        match &toks[j].tok {
+            Tok::Punct('<') => {
+                j = skip_generics(toks, j);
+                continue;
+            }
+            Tok::Ident(s) if s == "for" => seen_for = true,
+            Tok::Ident(s) if s == "where" => {
+                // Bounds follow; the type head is complete.
+                while j < toks.len() && !punct_at(toks, j, '{') {
+                    if punct_at(toks, j, '<') {
+                        j = skip_generics(toks, j);
+                    } else {
+                        j += 1;
+                    }
+                }
+                break;
+            }
+            Tok::Ident(s) => {
+                if seen_for {
+                    after_for.push(s);
+                } else {
+                    head.push(s);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let segs = if seen_for { &after_for } else { &head };
+    let self_ty = segs.last().copied().unwrap_or("").to_string();
+    if !punct_at(toks, j, '{') {
+        return j + 1;
+    }
+    let close = matching(toks, j, '{', '}');
+    let ty = (!self_ty.is_empty()).then_some(self_ty.as_str());
+    parse_items(toks, j + 1, close, out, module, ty, in_test);
+    close + 1
+}
+
+/// Parse (and flatten) a use tree starting after the `use` keyword;
+/// returns the index just past the terminating `;`.
+fn parse_use(toks: &[SpannedTok], start: usize, out: &mut FileAst, in_test: bool) -> usize {
+    let end = skip_to_semi(toks, start);
+    let mut leaves = Vec::new();
+    use_tree(toks, start, end.saturating_sub(1), &[], &mut leaves);
+    for (path, name) in leaves {
+        out.uses.push(UseLeaf {
+            path,
+            name,
+            in_test,
+        });
+    }
+    end
+}
+
+/// Recursive use-tree flattener over `toks[start..end)` with `prefix`
+/// already resolved.
+fn use_tree(
+    toks: &[SpannedTok],
+    start: usize,
+    end: usize,
+    prefix: &[String],
+    out: &mut Vec<(Vec<String>, String)>,
+) {
+    let mut path = prefix.to_vec();
+    let mut i = start;
+    while i < end {
+        match &toks[i].tok {
+            Tok::Ident(s) if s == "as" => {
+                // `path as Alias`
+                if let Some(alias) = ident_at(toks, i + 1) {
+                    out.push((path.clone(), alias.to_string()));
+                }
+                return;
+            }
+            Tok::Ident(s) => {
+                path.push(s.clone());
+                i += 1;
+            }
+            Tok::Punct(':') => i += 1,
+            Tok::Punct('*') => {
+                out.push((path.clone(), "*".to_string()));
+                return;
+            }
+            Tok::Punct('{') => {
+                // Group: split members on top-level commas.
+                let close = matching(toks, i, '{', '}');
+                let mut seg = i + 1;
+                let mut depth = 0usize;
+                for k in i + 1..close {
+                    match toks[k].tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => depth = depth.saturating_sub(1),
+                        Tok::Punct(',') if depth == 0 => {
+                            use_tree(toks, seg, k, &path, out);
+                            seg = k + 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if seg < close {
+                    use_tree(toks, seg, close, &path, out);
+                }
+                return;
+            }
+            _ => i += 1,
+        }
+    }
+    if path.len() > prefix.len() {
+        let name = path.last().cloned().unwrap_or_default();
+        out.push((path, name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ast(src: &str) -> FileAst {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let a = ast("pub fn alpha() {}\nfn beta(x: u32) -> u32 { x }\npub(crate) fn gamma() {}\n");
+        let names: Vec<_> = a.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        assert_eq!(a.fns[0].vis, Vis::Pub);
+        assert_eq!(a.fns[1].vis, Vis::Private);
+        assert_eq!(a.fns[2].vis, Vis::PubScoped);
+        assert!(a.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type() {
+        let a = ast("struct Table;\nimpl Table {\n    pub fn digest(&self) -> u64 { 0 }\n}\nimpl std::fmt::Display for Table {\n    fn fmt(&self) -> u64 { 1 }\n}\n");
+        assert_eq!(a.fns.len(), 2);
+        assert_eq!(a.fns[0].impl_type.as_deref(), Some("Table"));
+        assert_eq!(a.fns[0].name, "digest");
+        assert_eq!(a.fns[1].impl_type.as_deref(), Some("Table"));
+        assert_eq!(a.fns[1].name, "fmt");
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let a = ast(
+            "pub fn par_map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>\nwhere R: Send, F: Fn(usize) -> R + Sync,\n{ Vec::new() }\n",
+        );
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(a.fns[0].name, "par_map_range");
+        assert!(a.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn nested_generics_close_with_split_gt() {
+        let a = ast("fn f(v: Vec<Vec<u32>>) -> Option<Box<Vec<u8>>> { None }\nfn g() {}\n");
+        let names: Vec<_> = a.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["f", "g"]);
+    }
+
+    #[test]
+    fn struct_fields_capture_type_idents() {
+        let a = ast("pub struct Entry {\n    pub key: u64,\n    hidden: Vec<f64>,\n    map: BTreeMap<String, Vec<u8>>,\n}\n");
+        assert_eq!(a.types.len(), 1);
+        let t = &a.types[0];
+        assert_eq!(t.name, "Entry");
+        assert_eq!(t.fields.len(), 3);
+        assert_eq!(t.fields[1].name, "hidden");
+        assert_eq!(t.fields[1].ty, ["Vec", "f64"]);
+        assert_eq!(t.fields[2].ty[0], "BTreeMap");
+    }
+
+    #[test]
+    fn mods_nest_and_cfg_test_marks_items() {
+        let src = "mod inner {\n    pub fn deep() {}\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n    fn helper() {}\n}\nfn shipping() {}\n";
+        let a = ast(src);
+        let deep = a.fns.iter().find(|f| f.name == "deep").unwrap();
+        assert_eq!(deep.module, ["inner"]);
+        assert!(!deep.in_test);
+        assert!(a.fns.iter().find(|f| f.name == "t").unwrap().in_test);
+        assert!(a.fns.iter().find(|f| f.name == "helper").unwrap().in_test);
+        assert!(!a.fns.iter().find(|f| f.name == "shipping").unwrap().in_test);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let a = ast("use sage_util::{par_map, Json as J, rng::Rng};\nuse std::collections::BTreeMap;\nuse sage_obs::*;\n");
+        let find = |n: &str| a.uses.iter().find(|u| u.name == n).map(|u| u.path.clone());
+        assert_eq!(
+            find("par_map"),
+            Some(vec!["sage_util".into(), "par_map".into()])
+        );
+        assert_eq!(find("J"), Some(vec!["sage_util".into(), "Json".into()]));
+        assert_eq!(
+            find("Rng"),
+            Some(vec!["sage_util".into(), "rng".into(), "Rng".into()])
+        );
+        assert_eq!(
+            find("BTreeMap"),
+            Some(vec!["std".into(), "collections".into(), "BTreeMap".into()])
+        );
+        assert_eq!(find("*"), Some(vec!["sage_obs".into()]));
+    }
+
+    #[test]
+    fn unsafe_and_qualified_fns_parse() {
+        let a = ast("pub unsafe fn raw() {}\nconst fn cf() -> u32 { 1 }\npub async fn af() {}\nextern \"C\" fn ef() {}\n");
+        let names: Vec<_> = a.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["raw", "cf", "af", "ef"]);
+        assert!(a.fns[0].is_unsafe);
+        assert!(!a.fns[1].is_unsafe);
+    }
+
+    #[test]
+    fn tolerant_on_consts_statics_macros() {
+        let src = "const TABLE: [u8; 4] = [0; 4];\nstatic NAME: &str = \"x\";\nmacro_rules! m { () => {}; }\ntype Alias = Vec<u8>;\nfn after() {}\n";
+        let a = ast(src);
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(a.fns[0].name, "after");
+    }
+
+    #[test]
+    fn trait_default_methods_attach_to_trait_name() {
+        let a = ast("pub trait Scheme {\n    fn act(&self) -> u64;\n    fn name(&self) -> &str { \"x\" }\n}\n");
+        assert_eq!(a.fns.len(), 2);
+        assert_eq!(a.fns[0].impl_type.as_deref(), Some("Scheme"));
+        assert!(a.fns[0].body.is_none());
+        assert!(a.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_at_finds_enclosing_body() {
+        let src = "fn outer() { inner_call(); }\nfn second() {}\n";
+        let a = ast(src);
+        let (open, close) = a.fns[0].body.unwrap();
+        assert_eq!(a.fn_at(open + 1).map(|f| f.name.as_str()), Some("outer"));
+        assert_eq!(a.fn_at(close).map(|f| f.name.as_str()), Some("outer"));
+        assert!(
+            a.fn_at(close + 1).is_none()
+                || a.fn_at(close + 1).map(|f| f.name.as_str()) != Some("outer")
+        );
+    }
+
+    #[test]
+    fn raw_idents_and_shebang_parse_cleanly() {
+        let a = ast("#!/usr/bin/env x\nfn r#match() {}\n");
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(a.fns[0].name, "match");
+    }
+}

@@ -1,0 +1,475 @@
+//! Name resolution: per-crate symbol tables, use-resolution, and the
+//! crate dependency map.
+//!
+//! Resolution is *best-effort and over-approximate*: the goal is a call
+//! graph good enough for reachability rules, not a compiler. A name that
+//! cannot be resolved produces no edge (tolerant), and a method call
+//! whose receiver type is unknown resolves to every same-named method
+//! visible from the calling crate (conservative). Visibility between
+//! crates follows the real `Cargo.toml` dependency edges so a fuzzy
+//! method name cannot leak taint from a crate the caller does not even
+//! link against.
+
+use crate::ast::{FileAst, FnItem};
+use crate::lexer::Lexed;
+use crate::rules::FileClass;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// One lexed + parsed source file, the unit the workspace passes work on.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub rel: String,
+    pub class: FileClass,
+    pub lexed: Lexed,
+    pub ast: FileAst,
+}
+
+/// Map an extern crate name as it appears in paths (`sage_util`) to the
+/// workspace crate short name (`util`). Returns `None` for `std` & co.
+pub fn extern_to_crate(name: &str) -> Option<String> {
+    if name == "sage" {
+        return Some("sage".to_string());
+    }
+    name.strip_prefix("sage_").map(str::to_string)
+}
+
+/// Scan every workspace `Cargo.toml` for intra-workspace dependencies.
+/// Returns short-crate-name → direct deps (short names). The parse is a
+/// line scan for `sage-*` package references — dependable because the
+/// workspace convention names every crate `sage-<dir>`.
+pub fn scan_deps(root: &Path) -> io::Result<BTreeMap<String, Vec<String>>> {
+    let mut deps = BTreeMap::new();
+    let mut scan_one = |crate_name: &str, manifest: &Path| -> io::Result<()> {
+        let Ok(text) = std::fs::read_to_string(manifest) else {
+            return Ok(());
+        };
+        let mut list = Vec::new();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line.contains("dependencies");
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            if let Some(name) = line.split(['=', '.']).next() {
+                let name = name.trim().trim_matches('"');
+                if let Some(short) = name.strip_prefix("sage-") {
+                    if short != crate_name {
+                        list.push(short.to_string());
+                    }
+                }
+            }
+        }
+        list.sort();
+        list.dedup();
+        deps.insert(crate_name.to_string(), list);
+        Ok(())
+    };
+    scan_one("sage", &root.join("Cargo.toml"))?;
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for c in entries {
+        let name = c
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        scan_one(&name, &c.join("Cargo.toml"))?;
+    }
+    Ok(deps)
+}
+
+/// A function node in the workspace symbol table.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the workspace's file list.
+    pub file: usize,
+    /// Index into that file's `ast.fns`.
+    pub ast_idx: usize,
+    /// Display name `crate::module::Type::name` for findings evidence.
+    pub qual: String,
+}
+
+/// Workspace-wide symbol tables over a set of parsed files.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    pub fns: Vec<FnNode>,
+    /// (crate, fn name) → node ids of free fns.
+    free: BTreeMap<(String, String), Vec<usize>>,
+    /// (crate, self type, method name) → node ids.
+    methods: BTreeMap<(String, String, String), Vec<usize>>,
+    /// method name → node ids of every method anywhere (filtered by
+    /// crate visibility at query time).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (crate, type name) → (file idx, type idx).
+    types: BTreeMap<(String, String), (usize, usize)>,
+    /// crate → transitively visible crates (self + deps closure).
+    visible: BTreeMap<String, BTreeSet<String>>,
+    /// Per file: binding name → full use path.
+    use_maps: Vec<BTreeMap<String, Vec<String>>>,
+    /// Per file: glob-imported path prefixes.
+    globs: Vec<Vec<Vec<String>>>,
+}
+
+impl Symbols {
+    pub fn build(files: &[ParsedFile], deps: &BTreeMap<String, Vec<String>>) -> Symbols {
+        let mut s = Symbols::default();
+        // Transitive dep closure per crate (workspace crate count is tiny).
+        let crates: BTreeSet<String> = files.iter().map(|f| f.class.crate_name.clone()).collect();
+        for c in &crates {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut stack = vec![c.clone()];
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n.clone()) {
+                    continue;
+                }
+                for d in deps.get(&n).into_iter().flatten() {
+                    stack.push(d.clone());
+                }
+            }
+            s.visible.insert(c.clone(), seen);
+        }
+        // When no dep map is supplied (in-memory analysis), every crate
+        // sees every other: conservative, and exact for single-crate sets.
+        if deps.is_empty() {
+            for c in &crates {
+                s.visible.insert(c.clone(), crates.clone());
+            }
+        }
+
+        for (fi, file) in files.iter().enumerate() {
+            let krate = &file.class.crate_name;
+            for (ai, f) in file.ast.fns.iter().enumerate() {
+                let id = s.fns.len();
+                s.fns.push(FnNode {
+                    file: fi,
+                    ast_idx: ai,
+                    qual: qual_name(krate, f),
+                });
+                match &f.impl_type {
+                    Some(ty) => {
+                        s.methods
+                            .entry((krate.clone(), ty.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                        s.by_name.entry(f.name.clone()).or_default().push(id);
+                    }
+                    None => {
+                        s.free
+                            .entry((krate.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                }
+            }
+            for (ti, t) in file.ast.types.iter().enumerate() {
+                s.types
+                    .entry((krate.clone(), t.name.clone()))
+                    .or_insert((fi, ti));
+            }
+            let mut um = BTreeMap::new();
+            let mut globs = Vec::new();
+            for u in &file.ast.uses {
+                if u.name == "*" {
+                    globs.push(u.path.clone());
+                } else {
+                    um.insert(u.name.clone(), u.path.clone());
+                }
+            }
+            s.use_maps.push(um);
+            s.globs.push(globs);
+        }
+        s
+    }
+
+    pub fn node(&self, id: usize) -> &FnNode {
+        &self.fns[id]
+    }
+
+    pub fn fn_item<'a>(&self, files: &'a [ParsedFile], id: usize) -> &'a FnItem {
+        let n = &self.fns[id];
+        &files[n.file].ast.fns[n.ast_idx]
+    }
+
+    fn is_visible(&self, from: &str, target: &str) -> bool {
+        self.visible.get(from).is_some_and(|v| v.contains(target))
+    }
+
+    /// Resolve the root of a use path to a workspace crate short name.
+    fn path_crate(&self, own: &str, root: &str) -> Option<String> {
+        match root {
+            "crate" | "self" | "super" => Some(own.to_string()),
+            _ => extern_to_crate(root).filter(|c| self.is_visible(own, c)),
+        }
+    }
+
+    /// Resolve a free-call path (`[name]` or `[seg, .., name]`) from
+    /// `file_idx` in crate `own` to candidate fn node ids.
+    pub fn resolve_path_call(&self, file_idx: usize, own: &str, path: &[String]) -> Vec<usize> {
+        let Some(name) = path.last() else {
+            return Vec::new();
+        };
+        if path.len() == 1 {
+            // Bare name: same-crate free fn, else a use-imported one.
+            if let Some(ids) = self.free.get(&(own.to_string(), name.clone())) {
+                return ids.clone();
+            }
+            if let Some(full) = self.use_maps[file_idx].get(name) {
+                if full.last() == Some(name) {
+                    return self.resolve_absolute(own, full);
+                }
+            }
+            for glob in &self.globs[file_idx] {
+                let mut full = glob.clone();
+                full.push(name.clone());
+                let ids = self.resolve_absolute(own, &full);
+                if !ids.is_empty() {
+                    return ids;
+                }
+            }
+            return Vec::new();
+        }
+        // Qualified path. `Type::method` on an imported or local type
+        // first, then absolute module paths.
+        let head = &path[path.len() - 2];
+        if head.chars().next().is_some_and(char::is_uppercase) {
+            // The head names a type: local, imported, or dep-visible.
+            let type_crate = if self.types.contains_key(&(own.to_string(), head.clone())) {
+                Some(own.to_string())
+            } else if let Some(full) = self.use_maps[file_idx].get(head) {
+                self.path_crate(own, &full[0])
+            } else {
+                None
+            };
+            if let Some(c) = type_crate {
+                if let Some(ids) = self.methods.get(&(c, head.clone(), name.clone())) {
+                    return ids.clone();
+                }
+            }
+            // Fall back to any visible crate defining `head::name`.
+            let mut out = Vec::new();
+            for ((c, ty, m), ids) in &self.methods {
+                if ty == head && m == name && self.is_visible(own, c) {
+                    out.extend_from_slice(ids);
+                }
+            }
+            return out;
+        }
+        self.resolve_absolute(own, path)
+    }
+
+    /// Resolve an absolute path (root is a crate name / crate / self).
+    fn resolve_absolute(&self, own: &str, path: &[String]) -> Vec<usize> {
+        let Some(name) = path.last() else {
+            return Vec::new();
+        };
+        let Some(c) = self.path_crate(own, &path[0]) else {
+            return Vec::new(); // std, core, external — no workspace edge
+        };
+        // `crate::module::Type::method` vs `crate::module::fn`: try the
+        // segment before the name as a type first.
+        if path.len() >= 2 {
+            let head = &path[path.len() - 2];
+            if head.chars().next().is_some_and(char::is_uppercase) {
+                if let Some(ids) = self.methods.get(&(c.clone(), head.clone(), name.clone())) {
+                    return ids.clone();
+                }
+            }
+        }
+        self.free
+            .get(&(c, name.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Resolve a method call `recv.name(...)`. With a receiver type hint
+    /// the lookup is exact (crate-visible impls of that type); without
+    /// one it falls back to every same-named method visible from `own`.
+    pub fn resolve_method_call(&self, own: &str, hint: Option<&str>, name: &str) -> Vec<usize> {
+        if let Some(ty) = hint {
+            let mut out = Vec::new();
+            for ((c, t, m), ids) in &self.methods {
+                if t == ty && m == name && self.is_visible(own, c) {
+                    out.extend_from_slice(ids);
+                }
+            }
+            return out;
+        }
+        let mut out = Vec::new();
+        for id in self.by_name.get(name).into_iter().flatten() {
+            let krate = {
+                let n = &self.fns[*id];
+                n.qual.split("::").next().unwrap_or("").to_string()
+            };
+            if self.is_visible(own, &krate) {
+                out.push(*id);
+            }
+        }
+        out
+    }
+
+    /// Root type idents of a field of `type_name`, searched across the
+    /// crates visible from `own`.
+    pub fn field_type<'a>(
+        &self,
+        files: &'a [ParsedFile],
+        own: &str,
+        type_name: &str,
+        field: &str,
+    ) -> Option<&'a [String]> {
+        for ((c, ty), (fi, ti)) in &self.types {
+            if ty == type_name && self.is_visible(own, c) {
+                let t = &files[*fi].ast.types[*ti];
+                if let Some(f) = t.fields.iter().find(|f| f.name == field) {
+                    return Some(&f.ty);
+                }
+            }
+        }
+        None
+    }
+
+    /// Lookup a type item by name across crates visible from `own`.
+    pub fn type_item<'a>(
+        &self,
+        files: &'a [ParsedFile],
+        own: &str,
+        type_name: &str,
+    ) -> Option<(usize, &'a crate::ast::TypeItem)> {
+        for ((c, ty), (fi, ti)) in &self.types {
+            if ty == type_name && self.is_visible(own, c) {
+                return Some((*fi, &files[*fi].ast.types[*ti]));
+            }
+        }
+        None
+    }
+}
+
+fn qual_name(krate: &str, f: &FnItem) -> String {
+    let mut parts = vec![krate.to_string()];
+    parts.extend(f.module.iter().cloned());
+    if let Some(t) = &f.impl_type {
+        parts.push(t.clone());
+    }
+    parts.push(f.name.clone());
+    parts.join("::")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn pf(rel: &str, src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let ast = parse(&lexed);
+        ParsedFile {
+            rel: rel.to_string(),
+            class: FileClass::from_rel_path(rel),
+            lexed,
+            ast,
+        }
+    }
+
+    #[test]
+    fn free_fn_and_import_resolution() {
+        let files = vec![
+            pf(
+                "crates/util/src/lib.rs",
+                "pub fn par_map_range() {}\npub fn helper() {}\n",
+            ),
+            pf(
+                "crates/core/src/lib.rs",
+                "use sage_util::par_map_range;\nfn local() {}\npub fn train() { local(); par_map_range(); }\n",
+            ),
+        ];
+        let mut deps = BTreeMap::new();
+        deps.insert("core".to_string(), vec!["util".to_string()]);
+        let s = Symbols::build(&files, &deps);
+        // Bare local name.
+        let ids = s.resolve_path_call(1, "core", &["local".to_string()]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(s.node(ids[0]).qual, "core::local");
+        // Imported name.
+        let ids = s.resolve_path_call(1, "core", &["par_map_range".to_string()]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(s.node(ids[0]).qual, "util::par_map_range");
+        // Absolute path.
+        let ids = s.resolve_path_call(1, "core", &["sage_util".to_string(), "helper".to_string()]);
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn method_resolution_prefers_type_hint() {
+        let files = vec![
+            pf(
+                "crates/serve/src/table.rs",
+                "pub struct Table { slots: Vec<u64> }\nimpl Table {\n    pub fn digest(&self) -> u64 { 0 }\n}\n",
+            ),
+            pf(
+                "crates/distill/src/tree.rs",
+                "pub struct Tree;\nimpl Tree {\n    pub fn digest(&self) -> u64 { 1 }\n}\n",
+            ),
+        ];
+        let s = Symbols::build(&files, &BTreeMap::new());
+        let exact = s.resolve_method_call("serve", Some("Table"), "digest");
+        assert_eq!(exact.len(), 1);
+        assert_eq!(s.node(exact[0]).qual, "serve::Table::digest");
+        let fuzzy = s.resolve_method_call("serve", None, "digest");
+        assert_eq!(fuzzy.len(), 2);
+    }
+
+    #[test]
+    fn dependency_visibility_bounds_fuzzy_resolution() {
+        let files = vec![
+            pf(
+                "crates/a/src/lib.rs",
+                "pub struct A;\nimpl A { pub fn go(&self) {} }\n",
+            ),
+            pf(
+                "crates/b/src/lib.rs",
+                "pub struct B;\nimpl B { pub fn go(&self) {} }\n",
+            ),
+        ];
+        let mut deps = BTreeMap::new();
+        deps.insert("a".to_string(), Vec::new());
+        deps.insert("b".to_string(), Vec::new());
+        let s = Symbols::build(&files, &deps);
+        // `a` does not depend on `b`: only its own method is visible.
+        let ids = s.resolve_method_call("a", None, "go");
+        assert_eq!(ids.len(), 1);
+        assert_eq!(s.node(ids[0]).qual, "a::A::go");
+    }
+
+    #[test]
+    fn field_types_resolve_across_crates() {
+        let files = vec![
+            pf(
+                "crates/core/src/pool.rs",
+                "pub struct Pool { pub transitions: Vec<u64> }\n",
+            ),
+            pf("crates/bench/src/lib.rs", "fn x() {}\n"),
+        ];
+        let mut deps = BTreeMap::new();
+        deps.insert("bench".to_string(), vec!["core".to_string()]);
+        let s = Symbols::build(&files, &deps);
+        let ty = s.field_type(&files, "bench", "Pool", "transitions");
+        assert_eq!(ty.map(|t| t[0].as_str()), Some("Vec"));
+    }
+
+    #[test]
+    fn extern_names_map_to_crate_dirs() {
+        assert_eq!(extern_to_crate("sage_util").as_deref(), Some("util"));
+        assert_eq!(extern_to_crate("sage").as_deref(), Some("sage"));
+        assert_eq!(extern_to_crate("std"), None);
+    }
+}

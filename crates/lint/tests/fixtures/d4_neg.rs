@@ -1,0 +1,30 @@
+//! D4 negative: per-task results reduced in index order after the parallel
+//! region, and closure-local accumulators — both deterministic shapes.
+
+pub fn ordered_sum(threads: usize, xs: &[f64]) -> f64 {
+    let parts = sage_util::par_map_range(threads, xs.len(), |i| xs[i] * 2.0);
+    let mut total: f64 = 0.0;
+    for p in parts {
+        total += p;
+    }
+    total
+}
+
+pub fn local_acc(threads: usize, rows: &[Vec<f64>]) -> Vec<f64> {
+    sage_util::par_map_range(threads, rows.len(), |i| {
+        let mut acc: f64 = 0.0;
+        for &v in &rows[i] {
+            acc += v;
+        }
+        acc
+    })
+}
+
+pub fn integer_counts(threads: usize, xs: &[u64]) -> u64 {
+    let mut hits: u64 = 0;
+    let parts = sage_util::par_map_range(threads, xs.len(), |i| xs[i] & 1);
+    for p in parts {
+        hits += p;
+    }
+    hits
+}

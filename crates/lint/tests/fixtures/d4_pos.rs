@@ -1,0 +1,18 @@
+//! D4 positive: float accumulation into captured state inside a closure
+//! handed to a `par_map*` helper — the classic unordered reduction.
+
+pub fn unordered_sum(threads: usize, xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    sage_util::par_map_range(threads, xs.len(), |i| {
+        total += xs[i];
+    });
+    total
+}
+
+pub fn unordered_scale(threads: usize, rows: &[Vec<f32>]) -> f32 {
+    let mut norm = 1.0f32;
+    sage_util::par_map(threads, rows, |_, row| {
+        norm *= row.len() as f32;
+    });
+    norm
+}

@@ -1,0 +1,38 @@
+//! D5 negative: the iterated type is marked `lint:stable-order`, and the
+//! `fold_digest` caller is marked `lint:ordered-merge`.
+
+// lint:stable-order — vals is a Vec visited front-to-back, so iteration
+// order is a pure function of the push history.
+pub struct Ring {
+    vals: Vec<u64>,
+}
+
+impl Ring {
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.vals.iter()
+    }
+
+    /// Fingerprint of the ring contents.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in self.iter() {
+            h ^= v;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub fn fold_digest(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0100_0000_01b3)
+}
+
+// lint:ordered-merge — xs arrives already sorted by task index, so the
+// fold visits contributions in a thread-count-independent order.
+pub fn merge_shards(xs: &[u64]) -> u64 {
+    let mut h = 0u64;
+    for &x in xs {
+        h = fold_digest(h, x);
+    }
+    h
+}

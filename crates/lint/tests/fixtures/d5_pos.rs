@@ -1,0 +1,35 @@
+//! D5 positive: a digest-named fn iterating a workspace type that carries
+//! no `lint:stable-order` marker, and a `fold_digest` reached from a
+//! caller that is neither digest-named nor marked `lint:ordered-merge`.
+
+pub struct Ring {
+    vals: Vec<u64>,
+}
+
+impl Ring {
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.vals.iter()
+    }
+
+    /// Fingerprint of the ring contents.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in self.iter() {
+            h ^= v;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub fn fold_digest(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0100_0000_01b3)
+}
+
+pub fn scramble(xs: &[u64]) -> u64 {
+    let mut h = 0u64;
+    for &x in xs {
+        h = fold_digest(h, x);
+    }
+    h
+}

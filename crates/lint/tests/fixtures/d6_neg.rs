@@ -1,0 +1,14 @@
+//! D6 negative: configuration flows in through an explicit argument — no
+//! ambient environment read anywhere on the path.
+
+pub struct Knobs {
+    pub width: usize,
+}
+
+fn mid(k: &Knobs) -> usize {
+    k.width * 2
+}
+
+pub fn api(k: &Knobs) -> usize {
+    mid(k) + 1
+}

@@ -1,0 +1,23 @@
+//! P2 negative: the panicking fn documents its contract with a `# Panics`
+//! section, which absorbs the taint before it reaches the public surface.
+
+static TABLE: [(&str, u32); 2] = [("cubic", 1), ("bbr", 2)];
+
+pub fn parse_scheme(name: &str) -> u32 {
+    lookup(name)
+}
+
+/// Resolve a scheme name against the static table.
+///
+/// # Panics
+///
+/// Panics on an unknown name — the table is static, so that is a
+/// programming error, not an input condition.
+fn lookup(name: &str) -> u32 {
+    TABLE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        // lint:allow(P1): the caller contract requires a known scheme name; an unknown name is a programming error
+        .unwrap()
+}

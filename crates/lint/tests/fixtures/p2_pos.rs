@@ -1,0 +1,18 @@
+//! P2 positive: a public API transitively reaching a (P1-justified) unwrap
+//! with no `# Panics` doc anywhere on the path — the panic contract is
+//! invisible to callers.
+
+static TABLE: [(&str, u32); 2] = [("cubic", 1), ("bbr", 2)];
+
+pub fn parse_scheme(name: &str) -> u32 {
+    lookup(name)
+}
+
+fn lookup(name: &str) -> u32 {
+    TABLE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        // lint:allow(P1): the caller contract requires a known scheme name; an unknown name is a programming error
+        .unwrap()
+}

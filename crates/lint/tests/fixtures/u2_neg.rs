@@ -1,0 +1,16 @@
+//! U2 negative: the fn encapsulating the `unsafe` block declares itself a
+//! safety boundary, so no obligation escapes to public callers.
+
+pub fn fast_copy(dst: &mut [u8], src: &[u8]) {
+    inner(dst, src);
+}
+
+// SAFETY-BOUNDARY: the length assert plus Rust's aliasing rules discharge
+// every precondition of copy_nonoverlapping inside this fn; callers have
+// no residual obligation.
+fn inner(dst: &mut [u8], src: &[u8]) {
+    assert!(dst.len() >= src.len());
+    // SAFETY: the length check above guarantees the destination holds
+    // src.len() bytes, and distinct &mut/& borrows cannot overlap.
+    unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len()) }
+}

@@ -1,0 +1,14 @@
+//! U2 positive: a public API transitively reaching an `unsafe` block whose
+//! enclosing fn carries no `SAFETY-BOUNDARY` doc — the obligation leaks to
+//! callers undocumented.
+
+pub fn fast_copy(dst: &mut [u8], src: &[u8]) {
+    inner(dst, src);
+}
+
+fn inner(dst: &mut [u8], src: &[u8]) {
+    assert!(dst.len() >= src.len());
+    // SAFETY: the length check above guarantees the destination holds
+    // src.len() bytes, and distinct &mut/& borrows cannot overlap.
+    unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len()) }
+}

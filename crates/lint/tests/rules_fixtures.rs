@@ -125,3 +125,143 @@ fn a0_positive_flags_missing_reason_unknown_rule_and_unused_allow() {
     assert_eq!(count(&out, Rule::P1), 2, "{:?}", out.findings);
     assert!(out.suppressed.is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (D4/D5/D6/U2/P2) go through the full pipeline via
+// `analyze_sources`, since they need the symbol table and call graph.
+// ---------------------------------------------------------------------------
+
+use sage_lint::{analyze_sources, WorkspaceReport};
+use std::collections::BTreeMap;
+
+/// Run the whole pipeline over in-memory sources classified as lib code.
+fn lint_pipeline(files: &[(&str, &str)]) -> WorkspaceReport {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_sources(&sources, &BTreeMap::new())
+}
+
+fn wcount(r: &WorkspaceReport, rule: Rule) -> usize {
+    r.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn d4_positive_flags_captured_float_accumulation_in_par_closures() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d4_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::D4), 2, "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2);
+}
+
+#[test]
+fn d4_negative_ordered_reduce_and_local_acc_are_clean() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d4_neg.rs"),
+    )]);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn d5_positive_flags_unmarked_iteration_and_unordered_fold_digest() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d5_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::D5), 2, "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2);
+}
+
+#[test]
+fn d5_negative_markers_clear_both_shapes() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d5_neg.rs"),
+    )]);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn d6_positive_flags_ambient_env_read_with_call_path() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d6_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::D6), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert!(
+        !f.path.is_empty(),
+        "D6 findings must carry call-path evidence: {f:?}"
+    );
+}
+
+#[test]
+fn d6_negative_explicit_config_argument_is_clean() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/d6_neg.rs"),
+    )]);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn d6_positive_is_sanctioned_inside_the_env_cfg_layer() {
+    let r = lint_pipeline(&[(
+        "crates/util/src/env_cfg.rs",
+        include_str!("fixtures/d6_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::D6), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn u2_positive_flags_public_api_reaching_undeclared_unsafe() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/u2_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::U2), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert!(
+        f.path.iter().any(|q| q.contains("fast_copy")),
+        "U2 path must start at the public fn: {f:?}"
+    );
+}
+
+#[test]
+fn u2_negative_safety_boundary_doc_absorbs_the_obligation() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/u2_neg.rs"),
+    )]);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn p2_positive_flags_public_api_reaching_undocumented_panic() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/p2_pos.rs"),
+    )]);
+    assert_eq!(wcount(&r, Rule::P2), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert!(
+        !f.path.is_empty(),
+        "P2 findings must carry call-path evidence: {f:?}"
+    );
+    // The site-level P1 suppression stays honored; P2 tracks the contract.
+    assert_eq!(r.suppressed.len(), 1);
+}
+
+#[test]
+fn p2_negative_panics_doc_absorbs_the_taint() {
+    let r = lint_pipeline(&[(
+        "crates/netsim/src/fixture.rs",
+        include_str!("fixtures/p2_neg.rs"),
+    )]);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed.len(), 1);
+}

@@ -43,6 +43,10 @@ fn kernel() -> Kernel {
 }
 
 /// `a (m x k) * b (k x n)`, bit-identical to [`Array::matmul`].
+// SAFETY-BOUNDARY: all unsafe SIMD dispatch is encapsulated here — kernels
+// run only after `is_x86_feature_detected!` confirmed the target feature,
+// and slice lengths are pinned by Array's rows*cols invariant, so no caller
+// obligation escapes this fn.
 pub fn matmul(a: &Array, b: &Array) -> Array {
     assert_eq!(a.cols, b.rows, "matmul inner dims");
     let (m, k, n) = (a.rows, a.cols, b.cols);

@@ -68,7 +68,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 static OBS_STATE: AtomicU8 = AtomicU8::new(0);
 
 /// Environment variable for the runtime kill switch.
-pub const OBS_ENV: &str = "SAGE_OBS";
+pub const OBS_ENV: &str = sage_util::env_cfg::OBS;
 
 /// Whether metrics and profiling record anything. The hot path is one
 /// relaxed load plus a predictable branch; with the `off` cargo feature it
@@ -87,12 +87,12 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn init_enabled() -> bool {
-    let on = match std::env::var(OBS_ENV) {
-        Ok(v) => !matches!(
+    let on = match sage_util::env_cfg::obs() {
+        Some(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "0" | "off" | "false" | "no"
         ),
-        Err(_) => true,
+        None => true,
     };
     OBS_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
     on

@@ -21,10 +21,10 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Environment variable selecting the maximum visible level.
-pub const LOG_ENV: &str = "SAGE_LOG";
+pub const LOG_ENV: &str = sage_util::env_cfg::LOG;
 
 /// Environment variable naming the structured JSONL trace file.
-pub const TRACE_FILE_ENV: &str = "SAGE_TRACE_FILE";
+pub const TRACE_FILE_ENV: &str = sage_util::env_cfg::TRACE_FILE;
 
 /// Event severity. Ordered: an event is visible when its level is at or
 /// below the configured maximum.
@@ -68,9 +68,9 @@ fn parse_level(s: &str) -> u8 {
 
 #[cold]
 fn init_level() -> u8 {
-    let max = match std::env::var(LOG_ENV) {
-        Ok(v) => parse_level(&v),
-        Err(_) => Level::Info as u8,
+    let max = match sage_util::env_cfg::log() {
+        Some(v) => parse_level(&v),
+        None => Level::Info as u8,
     };
     MAX_LEVEL.store(max + 1, Ordering::Relaxed);
     max
@@ -109,7 +109,7 @@ struct TraceSink {
 fn trace_sink() -> Option<&'static TraceSink> {
     static SINK: OnceLock<Option<TraceSink>> = OnceLock::new();
     SINK.get_or_init(|| {
-        std::env::var(TRACE_FILE_ENV).ok().map(|p| TraceSink {
+        sage_util::env_cfg::trace_file().map(|p| TraceSink {
             path: PathBuf::from(p),
             lines: Mutex::new(Vec::new()),
         })

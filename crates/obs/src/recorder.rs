@@ -29,10 +29,10 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Environment variable selecting recorded categories (comma list or `all`).
-pub const RECORD_ENV: &str = "SAGE_RECORD";
+pub const RECORD_ENV: &str = sage_util::env_cfg::RECORD;
 
 /// Environment variable sizing each per-thread ring (events).
-pub const RECORD_CAP_ENV: &str = "SAGE_RECORD_CAP";
+pub const RECORD_CAP_ENV: &str = sage_util::env_cfg::RECORD_CAP;
 
 /// Default per-thread ring capacity.
 pub const DEFAULT_RING_CAP: usize = 65536;
@@ -245,9 +245,9 @@ fn parse_mask(spec: &str) -> u32 {
 
 #[cold]
 fn init_mask() -> u32 {
-    let mask = match std::env::var(RECORD_ENV) {
-        Ok(v) => parse_mask(&v),
-        Err(_) => 0,
+    let mask = match sage_util::env_cfg::record() {
+        Some(v) => parse_mask(&v),
+        None => 0,
     };
     RECORD_STATE.store(mask | INIT_BIT, Relaxed);
     mask
@@ -296,8 +296,7 @@ fn ring_cap() -> usize {
     if cap != 0 {
         return cap;
     }
-    let cap = std::env::var(RECORD_CAP_ENV)
-        .ok()
+    let cap = sage_util::env_cfg::record_cap()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&c| c > 0)
         .unwrap_or(DEFAULT_RING_CAP);
@@ -418,7 +417,7 @@ pub fn postmortem_jsonl(per_thread: usize) -> String {
 /// Where panic-recovery paths dump the post-mortem tail:
 /// `SAGE_FLIGHT_FILE`, or `FLIGHT_panic.jsonl` in the working directory.
 pub fn panic_dump_path() -> std::path::PathBuf {
-    std::env::var_os("SAGE_FLIGHT_FILE")
+    sage_util::env_cfg::flight_file()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("FLIGHT_panic.jsonl"))
 }

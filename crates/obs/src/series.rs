@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
 
 /// Environment variable capping points kept per series.
-pub const SERIES_CAP_ENV: &str = "SAGE_SERIES_CAP";
+pub const SERIES_CAP_ENV: &str = sage_util::env_cfg::SERIES_CAP;
 
 /// Default points kept per series.
 pub const DEFAULT_SERIES_CAP: usize = 1024;
@@ -36,8 +36,7 @@ fn series_cap() -> usize {
     if cap != 0 {
         return cap;
     }
-    let cap = std::env::var(SERIES_CAP_ENV)
-        .ok()
+    let cap = sage_util::env_cfg::series_cap()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&c| c > 0)
         .unwrap_or(DEFAULT_SERIES_CAP);

@@ -235,6 +235,12 @@ impl ServeRuntime {
 
     /// Admit a flow; its first action is due at `now_tick`. Returns false
     /// when the key is taken or the table is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured fallback scheme name is not in the registry
+    /// — the name is fixed at runtime construction, so this is a config
+    /// programming error.
     pub fn admit(&mut self, key: FlowKey, now_tick: u64, interval_ticks: u64) -> bool {
         if self.table.len() >= self.cfg.max_flows || self.table.contains(key) {
             self.stats.rejected += 1;
@@ -336,6 +342,12 @@ impl ServeRuntime {
     /// Serve one tick: expire due flows, observe them through `observe`
     /// (return `None` when the flow has no view, e.g. the connection died),
     /// batch-infer, and return the decided actions in slab order.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal invariant violation (a slot the expiry
+    /// pass retained vanishing from the flow table mid-tick) — a
+    /// programming error, never an input condition.
     pub fn on_tick(
         &mut self,
         now_tick: u64,

@@ -76,6 +76,11 @@ impl BatchCc for ServeBridge {
 
 /// Run a shared-bottleneck scenario with all learned flows served by one
 /// batched runtime. Deterministic for a fixed (scenario, model, config).
+///
+/// # Panics
+///
+/// Panics if a `CROSS_SCHEMES` entry is missing from the registry — the
+/// table is static, so an unknown entry is a programming error.
 pub fn run_many_flow(
     sc: &ManyFlowScenario,
     model: Arc<SageModel>,

@@ -1,0 +1,119 @@
+//! The single sanctioned ambient-configuration layer.
+//!
+//! The D6 lint rule bans `std::env::var` everywhere in library code
+//! except this file, the bench crate, and tests: a raw environment read
+//! buried in a pipeline makes results depend on ambient state that no
+//! seed, golden, or replay captures. Every knob the workspace honours is
+//! therefore a *named* accessor here — one greppable inventory of the
+//! process's ambient surface, with the variable-name constants as the
+//! single source of truth (downstream crates re-export them).
+//!
+//! Accessors return the raw `Option<String>` (unset → `None`) and leave
+//! parsing to the call site, so each consumer keeps its exact historical
+//! semantics (empty strings, trim rules, defaults).
+
+use std::ffi::OsString;
+
+/// Worker count for `util::par` (`util::par::THREADS_ENV` re-exports).
+pub const THREADS: &str = "SAGE_THREADS";
+/// Master switch for the obs metrics registry.
+pub const OBS: &str = "SAGE_OBS";
+/// Log level for the obs structured logger.
+pub const LOG: &str = "SAGE_LOG";
+/// Path of the JSONL trace sink, when set.
+pub const TRACE_FILE: &str = "SAGE_TRACE_FILE";
+/// Flight-recorder category mask spec.
+pub const RECORD: &str = "SAGE_RECORD";
+/// Flight-recorder per-thread ring capacity.
+pub const RECORD_CAP: &str = "SAGE_RECORD_CAP";
+/// Per-series point cap for time-series observability.
+pub const SERIES_CAP: &str = "SAGE_SERIES_CAP";
+/// Where panic-recovery paths dump the flight-recorder tail.
+pub const FLIGHT_FILE: &str = "SAGE_FLIGHT_FILE";
+/// Explicit path of the distilled symbolic tree.
+pub const TREE: &str = "SAGE_TREE";
+/// Output filename override for the lint report.
+pub const LINT_OUT: &str = "SAGE_LINT_OUT";
+/// `0` zeroes the lint report's phase timings (byte-stable reports).
+pub const LINT_TIMINGS: &str = "SAGE_LINT_TIMINGS";
+
+/// The one raw read. Everything below goes through here so the whole
+/// ambient surface is this single call site.
+fn read(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn threads() -> Option<String> {
+    read(THREADS)
+}
+
+pub fn obs() -> Option<String> {
+    read(OBS)
+}
+
+pub fn log() -> Option<String> {
+    read(LOG)
+}
+
+pub fn trace_file() -> Option<String> {
+    read(TRACE_FILE)
+}
+
+pub fn record() -> Option<String> {
+    read(RECORD)
+}
+
+pub fn record_cap() -> Option<String> {
+    read(RECORD_CAP)
+}
+
+pub fn series_cap() -> Option<String> {
+    read(SERIES_CAP)
+}
+
+/// `OsString` because the dump path need not be valid UTF-8.
+pub fn flight_file() -> Option<OsString> {
+    std::env::var_os(FLIGHT_FILE)
+}
+
+pub fn tree() -> Option<String> {
+    read(TREE)
+}
+
+pub fn lint_out() -> Option<String> {
+    read(LINT_OUT)
+}
+
+pub fn lint_timings() -> Option<String> {
+    read(LINT_TIMINGS)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unset_variables_read_as_none() {
+        // A name no test environment sets; the accessor contract is
+        // simply Ok→Some, Err→None with no filtering.
+        assert!(std::env::var("SAGE_DEFINITELY_UNSET_KNOB").is_err());
+        assert_eq!(super::read("SAGE_DEFINITELY_UNSET_KNOB"), None);
+    }
+
+    #[test]
+    fn constants_name_the_sage_namespace() {
+        for name in [
+            super::THREADS,
+            super::OBS,
+            super::LOG,
+            super::TRACE_FILE,
+            super::RECORD,
+            super::RECORD_CAP,
+            super::SERIES_CAP,
+            super::FLIGHT_FILE,
+            super::TREE,
+            super::LINT_OUT,
+            super::LINT_TIMINGS,
+        ] {
+            assert!(name.starts_with("SAGE_"), "{name}");
+        }
+    }
+}

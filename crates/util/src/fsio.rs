@@ -113,8 +113,9 @@ pub fn verify_footer(buf: &[u8]) -> io::Result<&[u8]> {
             "missing checksum footer (file truncated mid-write or from an incompatible version)",
         ));
     }
-    // lint:allow(P1): the 8-byte slice is carved by FOOTER_LEN above, so the array conversion is infallible
-    let stored_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&footer[8..16]);
+    let stored_len = u64::from_le_bytes(len_bytes);
     if stored_len != payload.len() as u64 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -124,8 +125,9 @@ pub fn verify_footer(buf: &[u8]) -> io::Result<&[u8]> {
             ),
         ));
     }
-    // lint:allow(P1): the 4-byte slice is carved by FOOTER_LEN above, so the array conversion is infallible
-    let stored_crc = u32::from_le_bytes(footer[16..20].try_into().unwrap());
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&footer[16..20]);
+    let stored_crc = u32::from_le_bytes(crc_bytes);
     let actual = crc32(payload);
     if stored_crc != actual {
         return Err(io::Error::new(

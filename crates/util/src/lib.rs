@@ -6,6 +6,7 @@
 //! own xoshiro256++ instead of the `rand` crate so that simulation results are
 //! reproducible byte-for-byte across dependency upgrades.
 
+pub mod env_cfg;
 pub mod fsio;
 pub mod json;
 pub mod par;

@@ -17,17 +17,17 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable controlling the default worker count.
-pub const THREADS_ENV: &str = "SAGE_THREADS";
+pub const THREADS_ENV: &str = crate::env_cfg::THREADS;
 
 /// Worker count configured for this process: `SAGE_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism.
 pub fn configured_threads() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
+    match crate::env_cfg::threads() {
+        Some(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => default_threads(),
         },
-        Err(_) => default_threads(),
+        None => default_threads(),
     }
 }
 
@@ -54,7 +54,11 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// thread count. With `threads <= 1` (or `n <= 1`) the tasks run inline in
 /// index order on the caller's thread — the exact legacy serial path.
 ///
-/// A panic in any task propagates to the caller once all workers stopped.
+/// # Panics
+///
+/// A panic in any task propagates to the caller once all workers stopped;
+/// the helper itself panics only on a scheduler invariant violation (a task
+/// index left without a result).
 pub fn par_map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,

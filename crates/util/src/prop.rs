@@ -44,6 +44,11 @@ impl PropConfig {
 /// Run `prop` over `cfg.cases` independently seeded cases. The property
 /// returns `Err(reason)` (or panics) to fail; the harness panics with the
 /// property name, case number, and the case's stream seed for replay.
+///
+/// # Panics
+///
+/// Panics on the first failing case — that is the harness's
+/// failure-reporting mechanism.
 pub fn forall<F>(name: &str, cfg: PropConfig, mut prop: F)
 where
     F: FnMut(&mut Rng) -> Result<(), String>,

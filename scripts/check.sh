@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 # an aborted run never leaves half-written artifacts behind to confuse the
 # next one (committed reports are never listed here).
 cleanup() {
+  rm -f artifacts/results/LINT_smoke_t1.json artifacts/results/LINT_smoke_t4.json \
+        artifacts/results/LINT_negctrl.json
+  rm -rf target/lint_negctrl
   rm -f artifacts/results/ADV_smoke_t1.json artifacts/results/ADV_smoke_t4.json \
         artifacts/results/EVAL_matrix_smoke_t1.json \
         artifacts/results/EVAL_matrix_smoke_t4.json \
@@ -27,12 +30,45 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Workspace determinism & safety lint: rejects seeded-hash iteration,
-# ambient wall clocks/threads/entropy, undocumented unsafe, and
-# unjustified panics at the source line (see DESIGN.md "Static analysis").
+# Workspace determinism & safety lint: line rules (seeded-hash iteration,
+# ambient wall clocks/threads/entropy, undocumented unsafe, unjustified
+# panics) plus the interprocedural pass over the workspace call graph
+# (unordered float reduction, digest stability, ambient-config taint,
+# unsafe/panic reachability) — see DESIGN.md "Static analysis v2".
 # Exits non-zero on any unsuppressed finding; writes LINT_report.json.
+# Timings are zeroed so the committed report stays byte-stable.
 echo "== sage-lint (determinism & safety rules) =="
-cargo run --release -q -p sage-lint
+SAGE_LINT_TIMINGS=0 cargo run --release -q -p sage-lint
+
+# Lint-report determinism smoke: the analyzer itself must be a pure
+# function of the tree — byte-identical reports at two thread counts.
+echo "== sage-lint smoke: report digest at SAGE_THREADS=1 vs 4 =="
+SAGE_LINT_TIMINGS=0 SAGE_LINT_OUT=LINT_smoke_t1.json SAGE_THREADS=1 \
+  ./target/release/sage_lint > /dev/null
+SAGE_LINT_TIMINGS=0 SAGE_LINT_OUT=LINT_smoke_t4.json SAGE_THREADS=4 \
+  ./target/release/sage_lint > /dev/null
+cmp artifacts/results/LINT_smoke_t1.json artifacts/results/LINT_smoke_t4.json \
+  || { echo "FAIL: lint report differs across thread counts"; exit 1; }
+
+# Seeded negative control: a throwaway tree with an unordered float
+# reduction in a par closure must make the analyzer exit non-zero. If it
+# passes, the detector has rotted and the clean self-lint proves nothing.
+echo "== sage-lint negative control: seeded violation must be caught =="
+mkdir -p target/lint_negctrl/crates/bad/src
+cat > target/lint_negctrl/crates/bad/src/lib.rs <<'RS'
+pub fn bad_total(threads: usize, xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    sage_util::par_map_range(threads, xs.len(), |i| {
+        total += xs[i];
+    });
+    total
+}
+RS
+if SAGE_LINT_TIMINGS=0 SAGE_LINT_OUT=LINT_negctrl.json \
+     ./target/release/sage_lint target/lint_negctrl > /dev/null 2>&1; then
+  echo "FAIL: sage-lint passed the seeded negative control"; exit 1
+fi
+rm -rf target/lint_negctrl
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -174,5 +210,29 @@ SAGE_THREADS=1 cargo test -q -p sage-bench --release --test set4_gate
 
 echo "== Set IV golden gate: pinned hardest scenarios (SAGE_THREADS=4) =="
 SAGE_THREADS=4 cargo test -q -p sage-bench --release --test set4_gate
+
+# Opt-in ThreadSanitizer lane over the parallel runtime (SAGE_TSAN=1).
+# TSan needs a nightly toolchain with the rust-src component (the sanitizer
+# runtime requires -Zbuild-std); the lane skips cleanly when either is
+# missing so the default offline gate stays stable-toolchain-only. The
+# static analyzer proves ordered reduction; TSan hunts the data races the
+# lexical/AST view cannot see.
+if [ "${SAGE_TSAN:-0}" = "1" ]; then
+  echo "== TSan lane: par pool + serve tier tests under -Zsanitizer=thread =="
+  if command -v rustup > /dev/null 2>&1 \
+     && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+     && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src (installed)'; then
+    TSAN_HOST=$(rustc -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -p sage-util par \
+        -Zbuild-std --target "$TSAN_HOST"
+    RUSTFLAGS="-Zsanitizer=thread" SAGE_THREADS=4 \
+      cargo +nightly test -q -p sage-serve tier \
+        -Zbuild-std --target "$TSAN_HOST"
+  else
+    echo "skipping: no nightly toolchain with rust-src installed"
+  fi
+fi
 
 echo "ALL CHECKS PASSED"
